@@ -1,0 +1,416 @@
+package cgdqp
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (Section 7). Each benchmark prints the reproduced
+// panel once (so `go test -bench=. -benchmem` doubles as the experiment
+// report) and then measures the underlying workload. EXPERIMENTS.md
+// records paper-vs-measured shapes.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cgdqp/internal/experiments"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
+	"cgdqp/internal/optimizer"
+	"cgdqp/internal/policy"
+	"cgdqp/internal/schema"
+	"cgdqp/internal/tpch"
+	"cgdqp/internal/workload"
+)
+
+var benchCfg = experiments.Config{SF: 0.01, ExecSF: 0.002, Repetitions: 1, Seed: 42}
+
+// printOnce guards each panel so repeated benchmark iterations do not
+// spam the output.
+var printOnce sync.Map
+
+func reportOnce(b *testing.B, key, panel string) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(key, true); !done {
+		fmt.Println(panel)
+	}
+}
+
+// BenchmarkTable1PolicyEvaluation reproduces the Section 5 / Table 1
+// policy-evaluation walk-through and measures evaluator throughput.
+func BenchmarkTable1PolicyEvaluation(b *testing.B) {
+	reportOnce(b, "table1", experiments.RenderTable1())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1Evaluation()
+		if rows[0].Result != "{l3}" {
+			b.Fatalf("unexpected 𝒜(q1) = %s", rows[0].Result)
+		}
+	}
+}
+
+// BenchmarkFig5aTraditionalCompliance reproduces Figure 5(a): the
+// compliance matrix of the traditional optimizer across the six TPC-H
+// queries and four expression sets.
+func BenchmarkFig5aTraditionalCompliance(b *testing.B) {
+	cells, err := experiments.Fig5aEffectiveness(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "fig5a", experiments.RenderFig5a(cells))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5aEffectiveness(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5PlanExcerpts reproduces Figures 5(b)–(e): the Q2/Q3 plan
+// excerpts, traditional vs compliant.
+func BenchmarkFig5PlanExcerpts(b *testing.B) {
+	out, err := experiments.Fig5PlanExcerpts(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "fig5be", out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5PlanExcerpts(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6aAdhocEffectiveness reproduces Figure 6(a): 400 ad-hoc
+// queries split over the four expression sets (100 per set under -bench
+// defaults; scale with -benchtime as desired).
+func BenchmarkFig6aAdhocEffectiveness(b *testing.B) {
+	rows, err := experiments.Fig6aAdhocEffectiveness(benchCfg, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "fig6a", experiments.RenderFig6a(rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6aAdhocEffectiveness(benchCfg, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6bMinimalOverhead reproduces Figure 6(b): optimization
+// time under unrestricted policies — the framework's fixed overhead.
+func BenchmarkFig6bMinimalOverhead(b *testing.B) {
+	rows, err := experiments.Fig6bMinimalOverhead(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "fig6b", experiments.RenderOptTimes("Figure 6(b): minimal overhead (ship * from t to *)", rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6bMinimalOverhead(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchOptTime(b *testing.B, set workload.SetName, figure string) {
+	rows, err := experiments.Fig6OptTime(benchCfg, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, figure, experiments.RenderOptTimes(
+		fmt.Sprintf("Figure %s: optimization time under set %s", figure, set), rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6OptTime(benchCfg, set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6cOptTimeT reproduces Figure 6(c) (set T).
+func BenchmarkFig6cOptTimeT(b *testing.B) { benchOptTime(b, workload.SetT, "6(c)") }
+
+// BenchmarkFig6dOptTimeC reproduces Figure 6(d) (set C).
+func BenchmarkFig6dOptTimeC(b *testing.B) { benchOptTime(b, workload.SetC, "6(d)") }
+
+// BenchmarkFig6eOptTimeCR reproduces Figure 6(e) (set CR).
+func BenchmarkFig6eOptTimeCR(b *testing.B) { benchOptTime(b, workload.SetCR, "6(e)") }
+
+// BenchmarkFig6fOptTimeCRA reproduces Figure 6(f) (set CR+A).
+func BenchmarkFig6fOptTimeCRA(b *testing.B) { benchOptTime(b, workload.SetCRA, "6(f)") }
+
+// BenchmarkFig6gQualityC reproduces Figure 6(g): scaled execution cost
+// under set C (plans are executed over generated data; SHIP operators
+// are priced by the message cost model).
+func BenchmarkFig6gQualityC(b *testing.B) {
+	rows, err := experiments.Fig6Quality(benchCfg, workload.SetC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "fig6g", experiments.RenderQuality("Figure 6(g): scaled execution cost under C", rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6Quality(benchCfg, workload.SetC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6hQualityCR reproduces Figure 6(h): scaled execution cost
+// under set CR, including the Q2 overhead case (shipping the bigger
+// compliant side instead of the restricted Part table).
+func BenchmarkFig6hQualityCR(b *testing.B) {
+	rows, err := experiments.Fig6Quality(benchCfg, workload.SetCR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "fig6h", experiments.RenderQuality("Figure 6(h): scaled execution cost under CR", rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6Quality(benchCfg, workload.SetCR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7ScalabilityExpressions reproduces Figures 7(a)–(c):
+// optimization time and η for Q2/Q3/Q10 under CR+A sets of 12–100
+// expressions.
+func BenchmarkFig7ScalabilityExpressions(b *testing.B) {
+	rows, err := experiments.Fig7Expressions(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "fig7abc", experiments.RenderFig7(rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7Expressions(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7deTableLocations reproduces Figures 7(d)/(e): Customer
+// and Orders fragmented over 1–5 locations (union rewrite).
+func BenchmarkFig7deTableLocations(b *testing.B) {
+	rows, err := experiments.Fig7deTableLocations(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "fig7de", experiments.RenderFig7de(rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7deTableLocations(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8LocationsPerExpression reproduces Figure 8: the impact of
+// the number of `to` locations per policy expression (3–20 over a
+// 20-location deployment).
+func BenchmarkFig8LocationsPerExpression(b *testing.B) {
+	rows, err := experiments.Fig8Locations(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportOnce(b, "fig8", experiments.RenderFig8(rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8Locations(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md "Design choices") --------------------
+
+func ablationOptimizer(opts optimizer.Options) (*optimizer.Optimizer, string) {
+	cat := tpch.NewCatalog(benchCfg.SF)
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := workload.TPCHSet(workload.SetCRA)
+	opts.Compliant = true
+	// Deliver results at L1 (the customer/orders site): under CR+A only
+	// aggregated lineitem data may reach L1, so the Figure 5(e) rewrite
+	// is mandatory.
+	opts.ResultLocation = "L1"
+	return optimizer.New(cat, pc, net, opts), tpch.Queries["Q3"]
+}
+
+// carcoAblation builds the Section 2 scenario with the result pinned to
+// Asia: delivering there needs a costlier orders-aggregation alternative
+// that a single-best memo (MaxAlts=1) prunes away.
+func carcoAblation(opts optimizer.Options) (*optimizer.Optimizer, string) {
+	cat := schemaCarCo()
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := policy.NewCatalog()
+	pc.AddAll(
+		policy.MustParse("ship custkey, name, mktseg, region from Customer to *", "pn", "db-n"),
+		policy.MustParse("ship custkey, ordkey from Orders to *", "pe1", "db-e"),
+		policy.MustParse("ship totprice as aggregates sum from Orders to A group by custkey, ordkey", "pe2", "db-e"),
+		policy.MustParse("ship quantity, extprice as aggregates sum from Supply to E group by ordkey", "pa", "db-a"),
+	)
+	opts.Compliant = true
+	opts.ResultLocation = "A"
+	q := `SELECT C.name, SUM(O.totprice) AS total, SUM(S.quantity) AS qty
+	      FROM Customer C, Orders O, Supply S
+	      WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey
+	      GROUP BY C.name`
+	return optimizer.New(cat, pc, net, opts), q
+}
+
+func schemaCarCo() *schema.Catalog {
+	cat := schema.NewCatalog()
+	c := schema.NewTable("Customer", "db-n", "N", 1000,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "name", Type: expr.TString},
+		schema.Column{Name: "acctbal", Type: expr.TFloat},
+		schema.Column{Name: "mktseg", Type: expr.TString},
+		schema.Column{Name: "region", Type: expr.TString})
+	c.SetColStats("custkey", schema.ColStats{Distinct: 1000})
+	o := schema.NewTable("Orders", "db-e", "E", 10000,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "ordkey", Type: expr.TInt},
+		schema.Column{Name: "totprice", Type: expr.TFloat})
+	o.SetColStats("ordkey", schema.ColStats{Distinct: 10000})
+	o.SetColStats("custkey", schema.ColStats{Distinct: 1000})
+	sp := schema.NewTable("Supply", "db-a", "A", 40000,
+		schema.Column{Name: "ordkey", Type: expr.TInt},
+		schema.Column{Name: "quantity", Type: expr.TInt},
+		schema.Column{Name: "extprice", Type: expr.TFloat})
+	sp.SetColStats("ordkey", schema.ColStats{Distinct: 10000})
+	cat.MustAddTable(c)
+	cat.MustAddTable(o)
+	cat.MustAddTable(sp)
+	return cat
+}
+
+// BenchmarkAblationTraitSubsets compares the default Pareto width
+// (MaxAlts=12) against a single-best memo (MaxAlts=1): collapsing the
+// trait subsets loses the costlier-but-wider-shipping alternatives that
+// deliver the CarCo result in Asia, so the query is (incorrectly)
+// rejected.
+func BenchmarkAblationTraitSubsets(b *testing.B) {
+	for _, alts := range []int{1, 4, 12} {
+		b.Run(fmt.Sprintf("maxAlts=%d", alts), func(b *testing.B) {
+			opt, q := carcoAblation(optimizer.Options{MaxAlts: alts})
+			found := 0
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.OptimizeSQL(q); err == nil {
+					found++
+				}
+			}
+			b.ReportMetric(float64(found)/float64(b.N), "plans/op")
+		})
+	}
+}
+
+// BenchmarkAblationAggPushdown measures the cost and necessity of the
+// aggregation-pushdown rule: without it Q3 under CR+A is rejected
+// (Section 6.4's completeness discussion).
+func BenchmarkAblationAggPushdown(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		b.Run(fmt.Sprintf("disabled=%v", disabled), func(b *testing.B) {
+			opt, q := ablationOptimizer(optimizer.Options{DisableAggPushdown: disabled})
+			found := 0
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.OptimizeSQL(q); err == nil {
+					found++
+				}
+			}
+			b.ReportMetric(float64(found)/float64(b.N), "plans/op")
+		})
+	}
+}
+
+// BenchmarkAblationSiteSelector compares Algorithm 2's dynamic
+// programming against a greedy placement where placement freedom is
+// maximal (no compliance constraints narrow the execution traits); the
+// metric is the summed estimated communication cost over the six TPC-H
+// queries. Greedy placement pays ~25% more on the multi-join queries
+// (Q2, Q5, Q9).
+func BenchmarkAblationSiteSelector(b *testing.B) {
+	cat := tpch.NewCatalog(benchCfg.SF)
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := workload.TPCHSet(workload.SetT)
+	for _, greedy := range []bool{false, true} {
+		name := "algorithm2"
+		if greedy {
+			name = "greedy"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total = 0
+				opt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: false, GreedySiteSelection: greedy})
+				for _, qn := range tpch.QueryNames() {
+					res, err := opt.OptimizeSQL(tpch.Queries[qn])
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += optimizer.ShippingCost(res.Plan, net)
+				}
+			}
+			b.ReportMetric(total, "shipms/op")
+		})
+	}
+}
+
+// BenchmarkAblationImplication compares the full range-subsumption
+// implication test against the syntactic-equality-only variant. The
+// scenario: lineitem rows may reach L1 only when shipdate > 1995-01-01,
+// and Q3 (whose predicate shipdate > 1995-03-15 IMPLIES the grant, but
+// not syntactically) must deliver its result at L1. The full test finds
+// the plan; the syntactic variant soundly-but-incompletely rejects it.
+func BenchmarkAblationImplication(b *testing.B) {
+	cat := tpch.NewCatalog(benchCfg.SF)
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := policy.NewCatalog()
+	pc.AddAll(
+		policy.MustParse("ship * from db-5.region to *", "i1", ""),
+		policy.MustParse("ship * from db-5.nation to *", "i2", ""),
+		policy.MustParse("ship * from db-1.customer to *", "i3", ""),
+		policy.MustParse("ship * from db-1.orders to *", "i4", ""),
+		policy.MustParse("ship orderkey, extendedprice, discount, shipdate from db-4.lineitem to L1 where shipdate > DATE '1995-01-01'", "i5", ""),
+	)
+	for _, mode := range []struct {
+		name string
+		mode expr.ImplicationMode
+	}{{"full", expr.ImplicationFull}, {"syntactic", expr.ImplicationSyntactic}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := optimizer.New(cat, pc, net, optimizer.Options{
+					Compliant:       true,
+					ImplicationMode: mode.mode,
+					ResultLocation:  "L1",
+				})
+				found := 0.0
+				if _, err := opt.OptimizeSQL(tpch.Queries["Q3"]); err == nil {
+					found = 1
+				}
+				b.ReportMetric(found, "plans/op")
+			}
+		})
+	}
+}
+
+// --- per-query optimization micro-benchmarks -----------------------------
+
+// BenchmarkOptimizeTPCH measures per-query compliant optimization time
+// under CR+A (the headline optimization-overhead numbers).
+func BenchmarkOptimizeTPCH(b *testing.B) {
+	cat := tpch.NewCatalog(benchCfg.SF)
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := workload.TPCHSet(workload.SetCRA)
+	for _, qn := range tpch.QueryNames() {
+		b.Run(qn, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+				if _, err := opt.OptimizeSQL(tpch.Queries[qn]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,401 @@
+// Package cgdqp is a compliant geo-distributed query processing engine:
+// a Go implementation of "Compliant Geo-distributed Query Processing"
+// (Beedkar, Quiané-Ruiz, Markl; SIGMOD 2021).
+//
+// The engine executes SQL over data spread across geo-distributed sites
+// while guaranteeing that no query execution plan ships data to a
+// location its dataflow policies forbid. Data officers declare policies
+// with SQL-like policy expressions:
+//
+//	ship custkey, name from customer to Europe, Asia
+//	ship acctbal as aggregates sum, avg from customer to * group by mktsegment
+//
+// and the compliance-based optimizer (a Volcano-style memo extended with
+// execution/shipping traits, annotation rules AR1–AR4 and a two-phase
+// site selector) produces plans that provably satisfy them (Theorem 1) —
+// or rejects the query when no compliant plan exists.
+//
+// A minimal session:
+//
+//	sys := cgdqp.NewSystem()
+//	sys.MustDefineTable("customer", "db-eu", "EU", 1000,
+//	    cgdqp.Col("custkey", cgdqp.TInt), cgdqp.Col("name", cgdqp.TString))
+//	sys.MustAddPolicy("ship custkey, name from customer to *")
+//	sys.MustLoad("customer", rows)
+//	res, err := sys.Query("SELECT name FROM customer WHERE custkey < 10")
+package cgdqp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cgdqp/internal/cluster"
+	"cgdqp/internal/executor"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
+	"cgdqp/internal/optimizer"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
+	"cgdqp/internal/schema"
+	"cgdqp/internal/sqlparse"
+)
+
+// Value is a scalar value; Row is one tuple.
+type (
+	Value = expr.Value
+	Row   = expr.Row
+)
+
+// Value constructors re-exported for data loading.
+var (
+	Int    = expr.NewInt
+	Float  = expr.NewFloat
+	String = expr.NewString
+	Bool   = expr.NewBool
+	Date   = expr.MustDate
+	Null   = expr.NullValue
+)
+
+// Type is a column type.
+type Type = expr.Type
+
+// Column types.
+const (
+	TInt    = expr.TInt
+	TFloat  = expr.TFloat
+	TString = expr.TString
+	TBool   = expr.TBool
+	TDate   = expr.TDate
+)
+
+// Column describes a table column.
+type Column = schema.Column
+
+// Fragment places part of a horizontally fragmented table.
+type Fragment = schema.Fragment
+
+// Col builds a column definition.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// ErrNoCompliantPlan is returned when a query has no compliant plan
+// under the registered policies.
+var ErrNoCompliantPlan = optimizer.ErrNoCompliantPlan
+
+// Options tune the system.
+type Options struct {
+	// ResultLocation pins where query results must be delivered
+	// ("" = wherever is cheapest among legal sites).
+	ResultLocation string
+	// Network overrides the default five-region WAN profile.
+	Network *network.CostModel
+	// MaxAlts / MaxExprs bound the optimizer's search (0 = defaults).
+	MaxAlts  int
+	MaxExprs int
+}
+
+// System is a compliant geo-distributed query processing session: a
+// geo-distributed catalog, a policy catalog, a simulated cluster holding
+// data, and the compliance-based optimizer.
+type System struct {
+	Schema   *schema.Catalog
+	Policies *policy.Catalog
+	Net      *network.CostModel
+	opts     Options
+
+	cl  *cluster.Cluster
+	opt *optimizer.Optimizer
+}
+
+// NewSystem creates an empty system with default options.
+func NewSystem() *System { return NewSystemWith(Options{}) }
+
+// NewSystemWith creates an empty system.
+func NewSystemWith(opts Options) *System {
+	return &System{
+		Schema:   schema.NewCatalog(),
+		Policies: policy.NewCatalog(),
+		opts:     opts,
+	}
+}
+
+// DefineTable registers a single-site table: db names the database at
+// the location; rows is the expected cardinality used by the optimizer's
+// cost model (statistics can be refined with SetColumnStats).
+func (s *System) DefineTable(name, db, location string, rows int64, cols ...Column) error {
+	s.invalidate()
+	return s.Schema.AddTable(schema.NewTable(name, db, location, rows, cols...))
+}
+
+// MustDefineTable is DefineTable panicking on error.
+func (s *System) MustDefineTable(name, db, location string, rows int64, cols ...Column) {
+	if err := s.DefineTable(name, db, location, rows, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// DefineFragmentedTable registers a horizontally fragmented table: one
+// fragment per (db, location, rowcount) triple.
+func (s *System) DefineFragmentedTable(name string, cols []Column, fragments []schema.Fragment) error {
+	s.invalidate()
+	return s.Schema.AddTable(&schema.Table{Name: name, Columns: cols, Fragments: fragments})
+}
+
+// SetColumnStats records optimizer statistics for a column.
+func (s *System) SetColumnStats(table, column string, distinct int64, min, max Value) error {
+	t, ok := s.Schema.Table(table)
+	if !ok {
+		return fmt.Errorf("cgdqp: unknown table %q", table)
+	}
+	t.SetColStats(column, schema.ColStats{Distinct: distinct, Min: min, Max: max})
+	return nil
+}
+
+// AddPolicy registers a policy expression. The owning database is taken
+// from the expression's qualified table ("db-1.customer") or, for
+// unqualified tables, from the schema catalog.
+func (s *System) AddPolicy(expression string) error {
+	s.invalidate()
+	stmt, err := sqlparse.ParsePolicy(expression)
+	if err != nil {
+		return err
+	}
+	db := stmt.DB
+	if db == "" {
+		t, ok := s.Schema.Table(stmt.Table)
+		if !ok {
+			return fmt.Errorf("cgdqp: policy references unknown table %q (qualify it as db.table or define the table first)", stmt.Table)
+		}
+		db = t.DB()
+	}
+	e, err := policy.FromStmt(stmt, fmt.Sprintf("p%d", s.Policies.Len()+1), db)
+	if err != nil {
+		return err
+	}
+	s.Policies.Add(e)
+	return nil
+}
+
+// MustAddPolicy is AddPolicy panicking on error.
+func (s *System) MustAddPolicy(expression string) {
+	if err := s.AddPolicy(expression); err != nil {
+		panic(err)
+	}
+}
+
+// AddDenyPolicies registers negative expressions
+// (`deny attrs from table to locations`) for one table and compiles them
+// into positive grants under the closed-world assumption (Section 4's
+// disclosure-model note): every attribute may ship everywhere except
+// where a denial blocks it. All denials for a table must be supplied in
+// one call, after every location is known (i.e. after all tables are
+// defined).
+func (s *System) AddDenyPolicies(table string, expressions ...string) error {
+	s.invalidate()
+	t, ok := s.Schema.Table(table)
+	if !ok {
+		return fmt.Errorf("cgdqp: unknown table %q", table)
+	}
+	denials := make([]*policy.Denial, 0, len(expressions))
+	for _, src := range expressions {
+		d, err := policy.ParseDenial(src, t.DB())
+		if err != nil {
+			return err
+		}
+		if !strings.EqualFold(d.Table, t.Name) {
+			return fmt.Errorf("cgdqp: denial over %q registered for table %q", d.Table, t.Name)
+		}
+		denials = append(denials, d)
+	}
+	grants, err := policy.CompileDenials(t.Name, t.DB(), t.ColumnNames(), denials, s.Schema.Locations(),
+		fmt.Sprintf("deny-%s-", strings.ToLower(t.Name)))
+	if err != nil {
+		return err
+	}
+	s.Policies.AddAll(grants...)
+	return nil
+}
+
+// PolicyList returns the registered policy expressions in surface
+// syntax, grouped by database.
+func (s *System) PolicyList() []string {
+	var out []string
+	for _, db := range s.Policies.Databases() {
+		for _, e := range s.Policies.ForDB(db) {
+			out = append(out, e.String())
+		}
+	}
+	return out
+}
+
+// Load inserts rows into a table (fragment 0).
+func (s *System) Load(table string, rows []Row) error {
+	return s.LoadFragment(table, 0, rows)
+}
+
+// MustLoad is Load panicking on error.
+func (s *System) MustLoad(table string, rows []Row) {
+	if err := s.Load(table, rows); err != nil {
+		panic(err)
+	}
+}
+
+// LoadFragment inserts rows into one fragment of a table.
+func (s *System) LoadFragment(table string, fragIdx int, rows []Row) error {
+	t, ok := s.Schema.Table(table)
+	if !ok {
+		return fmt.Errorf("cgdqp: unknown table %q", table)
+	}
+	return s.Cluster().LoadFragment(t, fragIdx, rows)
+}
+
+// Analyze recomputes optimizer statistics (distinct counts, min/max,
+// fragment row counts) for every table from the loaded data — the
+// engine's ANALYZE. Run it after loading so cardinality estimates match
+// reality.
+func (s *System) Analyze() error {
+	s.invalidate()
+	return s.Cluster().AnalyzeAll(s.Schema)
+}
+
+// Cluster returns the simulated geo-distributed cluster, creating it on
+// first use (after all tables are defined).
+func (s *System) Cluster() *cluster.Cluster {
+	if s.cl == nil {
+		s.cl = cluster.New(s.Schema, s.network())
+	}
+	return s.cl
+}
+
+func (s *System) network() *network.CostModel {
+	if s.Net == nil {
+		if s.opts.Network != nil {
+			s.Net = s.opts.Network
+		} else {
+			s.Net = network.FiveRegionWAN(s.Schema.Locations())
+		}
+	}
+	return s.Net
+}
+
+// invalidate drops derived state after schema/policy changes.
+func (s *System) invalidate() { s.opt = nil }
+
+// Optimizer returns the compliance-based optimizer over the current
+// catalogs.
+func (s *System) Optimizer() *optimizer.Optimizer {
+	if s.opt == nil {
+		s.opt = optimizer.New(s.Schema, s.Policies, s.network(), optimizer.Options{
+			Compliant:      true,
+			ResultLocation: s.opts.ResultLocation,
+			MaxAlts:        s.opts.MaxAlts,
+			MaxExprs:       s.opts.MaxExprs,
+		})
+	}
+	return s.opt
+}
+
+// Plan is a located, compliant query execution plan.
+type Plan struct {
+	Root *plan.Node
+	// Columns are the output column names.
+	Columns []string
+	// EstShipCost is the optimizer's estimated communication cost.
+	EstShipCost float64
+	res         *optimizer.Result
+}
+
+// String pretty-prints the plan with locations and traits.
+func (p *Plan) String() string { return p.Root.Format(true) }
+
+// Dot renders the plan as a Graphviz digraph clustered by site.
+func (p *Plan) Dot() string { return p.Root.Dot() }
+
+// JSON renders the plan as indented JSON for external tooling.
+func (p *Plan) JSON() (string, error) { return p.Root.JSON() }
+
+// Explain parses, binds and optimizes a query, returning the compliant
+// plan without executing it. It returns ErrNoCompliantPlan when the
+// query is illegal under the policies.
+func (s *System) Explain(sql string) (*Plan, error) {
+	res, err := s.Optimizer().OptimizeSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(res.Plan.Cols))
+	for i, c := range res.Plan.Cols {
+		cols[i] = c.Name
+	}
+	return &Plan{Root: res.Plan, Columns: cols, EstShipCost: res.ShipCost, res: res}, nil
+}
+
+// Result is the outcome of an executed query.
+type Result struct {
+	Plan    *Plan
+	Rows    []Row
+	Columns []string
+	// ShippedBytes / ShipCost account the cross-border transfers the
+	// execution performed (simulated WAN time in milliseconds).
+	ShippedBytes int64
+	ShipCost     float64
+}
+
+// Query optimizes and executes a SQL query over the loaded data,
+// guaranteeing the executed plan is compliant.
+func (s *System) Query(sql string) (*Result, error) {
+	p, err := s.Explain(sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, stats, err := executor.Run(p.Root, s.Cluster())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Plan:         p,
+		Rows:         rows,
+		Columns:      p.Columns,
+		ShippedBytes: stats.ShippedBytes,
+		ShipCost:     stats.ShipCost,
+	}, nil
+}
+
+// Legal reports whether a query has at least one compliant execution
+// plan under the current policies (Figure 2's "legal?" gate).
+func (s *System) Legal(sql string) (bool, error) {
+	_, err := s.Explain(sql)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, ErrNoCompliantPlan) {
+		return false, nil
+	}
+	return false, err
+}
+
+// CheckCompliance validates any located plan against Definition 1,
+// returning human-readable violations (empty = compliant).
+func (s *System) CheckCompliance(p *Plan) []string {
+	vs := s.Optimizer().Check(p.Root)
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// EvaluatePolicies runs the policy evaluator 𝒜 on a query over a single
+// database: it returns the locations the query's output may legally be
+// shipped to. The query must reference tables of one database only.
+func (s *System) EvaluatePolicies(sql string) ([]string, error) {
+	logical, err := sqlparse.ParseAndBind(sql, s.Schema)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := policy.Describe(optimizer.Normalize(logical))
+	if !ok {
+		return nil, fmt.Errorf("cgdqp: query is not a local query over a single database")
+	}
+	ev := policy.NewEvaluator(s.Policies, s.Schema.Locations())
+	return ev.Evaluate(q).Slice(), nil
+}

@@ -1,0 +1,171 @@
+// Command cgdqp is an interactive compliant geo-distributed SQL shell
+// over the TPC-H deployment of the paper's evaluation: eight tables
+// spread over five locations (Table 2) with a selectable policy set.
+//
+//	cgdqp -set CR -sf 0.001                      # interactive shell
+//	cgdqp -set CR+A -q "SELECT ..."              # one-shot query
+//	cgdqp -set T -explain -q "SELECT ..."        # plan only
+//
+// Inside the shell:
+//
+//	> SELECT c.name, SUM(o.totalprice) AS t FROM customer c, orders o
+//	  WHERE c.custkey = o.custkey GROUP BY c.name LIMIT 5;
+//	> \explain SELECT ...;
+//	> \dot SELECT ...;  -- print the compliant plan as Graphviz
+//	> \policies         -- list active policy expressions
+//	> \analyze          -- recompute statistics from loaded data
+//	> \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cgdqp/internal/cluster"
+	"cgdqp/internal/executor"
+	"cgdqp/internal/network"
+	"cgdqp/internal/optimizer"
+	"cgdqp/internal/policy"
+	"cgdqp/internal/tpch"
+	"cgdqp/internal/workload"
+)
+
+func main() {
+	setName := flag.String("set", "CR", "policy set: T, C, CR, CR+A, open (unrestricted)")
+	sf := flag.Float64("sf", 0.001, "TPC-H scale factor for loaded data")
+	query := flag.String("q", "", "run one query and exit")
+	explainOnly := flag.Bool("explain", false, "print the plan without executing")
+	resultLoc := flag.String("at", "", "pin the result location (L1..L5)")
+	flag.Parse()
+
+	var pc *policy.Catalog
+	switch strings.ToUpper(*setName) {
+	case "T":
+		pc = workload.TPCHSet(workload.SetT)
+	case "C":
+		pc = workload.TPCHSet(workload.SetC)
+	case "CR":
+		pc = workload.TPCHSet(workload.SetCR)
+	case "CR+A", "CRA":
+		pc = workload.TPCHSet(workload.SetCRA)
+	case "OPEN":
+		pc = workload.UnrestrictedSet()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy set %q\n", *setName)
+		os.Exit(2)
+	}
+
+	cat := tpch.NewCatalog(*sf)
+	net := network.FiveRegionWAN(cat.Locations())
+	cl := cluster.New(cat, net)
+	fmt.Fprintf(os.Stderr, "loading TPC-H data at SF %g over L1..L5 ...\n", *sf)
+	if err := tpch.Generate(cat, cl); err != nil {
+		fmt.Fprintf(os.Stderr, "load: %v\n", err)
+		os.Exit(1)
+	}
+	opt := optimizer.New(cat, pc, net, optimizer.Options{
+		Compliant:      true,
+		ResultLocation: *resultLoc,
+	})
+
+	runOne := func(sql string) {
+		res, err := opt.OptimizeSQL(sql)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		fmt.Println(res.Plan.Format(true))
+		if *explainOnly {
+			fmt.Printf("-- optimization: %v, estimated ship cost: %.2f ms\n",
+				res.Stats.TotalTime, res.ShipCost)
+			return
+		}
+		rows, stats, err := executor.Run(res.Plan, cl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "execution error: %v\n", err)
+			return
+		}
+		for i, r := range rows {
+			if i >= 25 {
+				fmt.Printf("... (%d rows total)\n", len(rows))
+				break
+			}
+			parts := make([]string, len(r))
+			for j, v := range r {
+				parts[j] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("-- %d rows; shipped %d bytes across borders (%.2f ms simulated)\n",
+			stats.RowsOut, stats.ShippedBytes, stats.ShipCost)
+	}
+
+	if *query != "" {
+		runOne(*query)
+		return
+	}
+
+	fmt.Println("compliant geo-distributed SQL shell — \\policies, \\explain <sql>, \\quit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == `\quit` || trimmed == `\q`:
+			return
+		case trimmed == `\policies`:
+			for _, db := range pc.Databases() {
+				for _, e := range pc.ForDB(db) {
+					fmt.Printf("  [%s] %s\n", e.ID, e)
+				}
+			}
+			prompt()
+			continue
+		case strings.HasPrefix(trimmed, `\explain `):
+			was := *explainOnly
+			*explainOnly = true
+			runOne(strings.TrimSuffix(strings.TrimPrefix(trimmed, `\explain `), ";"))
+			*explainOnly = was
+			prompt()
+			continue
+		case strings.HasPrefix(trimmed, `\dot `):
+			sql := strings.TrimSuffix(strings.TrimPrefix(trimmed, `\dot `), ";")
+			if res, err := opt.OptimizeSQL(sql); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else {
+				fmt.Println(res.Plan.Dot())
+			}
+			prompt()
+			continue
+		case trimmed == `\analyze`:
+			if err := cl.AnalyzeAll(cat); err != nil {
+				fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			} else {
+				fmt.Println("statistics recomputed from loaded data")
+				opt = optimizer.New(cat, pc, net, optimizer.Options{
+					Compliant:      true,
+					ResultLocation: *resultLoc,
+				})
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			sql := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			if sql != "" {
+				runOne(sql)
+			}
+			prompt()
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command expgen generates policy-expression sets and ad-hoc query
+// workloads over the TPC-H schema, mirroring the paper's generators
+// (Section 7.1). Output is plain text, one expression/query per line.
+//
+//	expgen -kind policies -set CR+A -n 50
+//	expgen -kind queries -n 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cgdqp/internal/tpch"
+	"cgdqp/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "policies", "what to generate: policies or queries")
+	set := flag.String("set", "CR+A", "policy template: T, C, CR, CR+A")
+	n := flag.Int("n", 50, "number of expressions / queries")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	flag.Parse()
+
+	switch *kind {
+	case "policies":
+		var name workload.SetName
+		switch strings.ToUpper(*set) {
+		case "T":
+			name = workload.SetT
+		case "C":
+			name = workload.SetC
+		case "CR":
+			name = workload.SetCR
+		case "CR+A", "CRA":
+			name = workload.SetCRA
+		default:
+			fmt.Fprintf(os.Stderr, "unknown template %q\n", *set)
+			os.Exit(2)
+		}
+		pc := workload.NewPolicyGen(*seed, tpch.Locations()).Generate(name, *n)
+		for _, db := range pc.Databases() {
+			for _, e := range pc.ForDB(db) {
+				fmt.Println(e)
+			}
+		}
+	case "queries":
+		for _, q := range workload.NewQueryGen(*seed).Generate(*n) {
+			fmt.Println(q + ";")
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,63 @@
+package cgdqp
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDenyPoliciesEndToEnd drives the closed-world negative-expression
+// path through the public API.
+func TestDenyPoliciesEndToEnd(t *testing.T) {
+	sys := NewSystem()
+	sys.MustDefineTable("users", "db-eu", "EU", 10,
+		Col("id", TInt), Col("name", TString), Col("ssn", TString))
+	sys.MustDefineTable("events", "db-us", "US", 30,
+		Col("user_id", TInt), Col("kind", TString))
+	// Events never leave the US (no expression, conservative default).
+	// Closed world for users: everything may move, except ssn anywhere.
+	if err := sys.AddDenyPolicies("users", "deny ssn from users to *"); err != nil {
+		t.Fatal(err)
+	}
+
+	var uRows, eRows []Row
+	for i := 0; i < 10; i++ {
+		uRows = append(uRows, Row{Int(int64(i)), String("u"), String("secret")})
+	}
+	for i := 0; i < 30; i++ {
+		eRows = append(eRows, Row{Int(int64(i % 10)), String("click")})
+	}
+	sys.MustLoad("users", uRows)
+	sys.MustLoad("events", eRows)
+
+	// Joining on id/name is legal anywhere.
+	res, err := sys.Query(`SELECT u.name, COUNT(*) AS n FROM users u, events e
+		WHERE u.id = e.user_id GROUP BY u.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Int() != 30 {
+		t.Errorf("rows: %v", res.Rows)
+	}
+	// Exporting ssn with events is rejected: ssn cannot reach the US and
+	// events cannot reach the EU.
+	_, err = sys.Query(`SELECT u.ssn, e.kind FROM users u, events e WHERE u.id = e.user_id`)
+	if !errors.Is(err, ErrNoCompliantPlan) {
+		t.Errorf("ssn export should be rejected, got %v", err)
+	}
+	// ssn stays usable locally.
+	res2, err := sys.Query("SELECT u.ssn FROM users u LIMIT 1")
+	if err != nil || res2.Plan.Root.Loc != "EU" {
+		t.Errorf("local ssn query: %v (loc %v)", err, res2.Plan.Root.Loc)
+	}
+
+	// Errors surface.
+	if err := sys.AddDenyPolicies("ghost", "deny x from ghost to *"); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if err := sys.AddDenyPolicies("users", "deny nope from users to *"); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	if err := sys.AddDenyPolicies("users", "deny kind from events to *"); err == nil {
+		t.Error("mismatched table must fail")
+	}
+}

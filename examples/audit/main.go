@@ -1,0 +1,117 @@
+// Audit: legality checking and policy evaluation from a data officer's
+// point of view. The example builds a small multinational deployment,
+// then (1) evaluates 𝒜 for several local queries — which destinations
+// each masked view of the data may reach; (2) runs a batch of analyst
+// queries through the "legal?" gate of Figure 2, reporting which are
+// rejected and why; and (3) demonstrates the Definition 1 checker on a
+// hand-built non-compliant plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cgdqp"
+	"cgdqp/internal/plan"
+)
+
+func main() {
+	sys := cgdqp.NewSystem()
+	sys.MustDefineTable("patients", "db-de", "Germany", 5000,
+		cgdqp.Col("id", cgdqp.TInt),
+		cgdqp.Col("name", cgdqp.TString),
+		cgdqp.Col("age", cgdqp.TInt),
+		cgdqp.Col("diagnosis", cgdqp.TString))
+	sys.MustDefineTable("trials", "db-us", "USA", 800,
+		cgdqp.Col("trial_id", cgdqp.TInt),
+		cgdqp.Col("patient_id", cgdqp.TInt),
+		cgdqp.Col("outcome", cgdqp.TString))
+	sys.MustDefineTable("sites", "db-ch", "Switzerland", 40,
+		cgdqp.Col("trial_id", cgdqp.TInt),
+		cgdqp.Col("hospital", cgdqp.TString))
+
+	// German health data: pseudonymous ids may join trials abroad; ages
+	// may leave only aggregated per diagnosis; names never leave.
+	sys.MustAddPolicy("ship id from patients to USA, Switzerland")
+	sys.MustAddPolicy("ship diagnosis from patients to Switzerland")
+	sys.MustAddPolicy("ship age as aggregates avg, count from patients to * group by diagnosis")
+	// Trial data never leaves the USA (no expression = conservative
+	// default); site metadata moves freely.
+	sys.MustAddPolicy("ship * from sites to *")
+
+	fmt.Println("== policy evaluation (𝒜) for local views of `patients` ==")
+	for _, q := range []string{
+		"SELECT p.id FROM patients p",
+		"SELECT p.id, p.diagnosis FROM patients p",
+		"SELECT p.name FROM patients p",
+		"SELECT p.diagnosis, AVG(p.age) AS avg_age FROM patients p GROUP BY p.diagnosis",
+		"SELECT p.diagnosis, AVG(p.age) AS a FROM patients p WHERE p.name LIKE 'A%' GROUP BY p.diagnosis",
+	} {
+		locs, err := sys.EvaluatePolicies(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-95s -> %v\n", oneLine(q), locs)
+	}
+
+	fmt.Println("\n== legality gate for analyst queries ==")
+	for _, q := range []string{
+		// Legal: pseudonymous join, outcome counts.
+		`SELECT s.hospital, COUNT(*) AS n
+		 FROM patients p, trials t, sites s
+		 WHERE p.id = t.patient_id AND t.trial_id = s.trial_id
+		 GROUP BY s.hospital`,
+		// Legal: aggregated ages per diagnosis meet the trials data.
+		`SELECT p.diagnosis, AVG(p.age) AS avg_age
+		 FROM patients p GROUP BY p.diagnosis`,
+		// Illegal: raw names with trial outcomes.
+		`SELECT p.name, t.outcome
+		 FROM patients p, trials t WHERE p.id = t.patient_id`,
+		// Illegal: raw ages joined abroad.
+		`SELECT p.age, t.outcome
+		 FROM patients p, trials t WHERE p.id = t.patient_id`,
+	} {
+		ok, err := sys.Legal(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "LEGAL"
+		if !ok {
+			verdict = "REJECTED"
+		}
+		fmt.Printf("  [%-8s] %s\n", verdict, oneLine(q))
+		if ok {
+			p, _ := sys.Explain(q)
+			fmt.Printf("             plan delivers at %s, est. ship cost %.1f ms\n", p.Root.Loc, p.EstShipCost)
+		}
+	}
+
+	fmt.Println("\n== auditing a hand-built plan against Definition 1 ==")
+	// Someone proposes shipping the raw patients table to the USA.
+	patients, _ := sys.Schema.Table("patients")
+	scan := plan.NewScan(patients, "p", -1)
+	scan.Loc = "Germany"
+	ship := plan.NewShip(scan, "Germany", "USA")
+	audited := &cgdqp.Plan{Root: ship}
+	for _, v := range sys.CheckCompliance(audited) {
+		fmt.Println("  VIOLATION:", v)
+	}
+}
+
+func oneLine(s string) string {
+	out := make([]byte, 0, len(s))
+	space := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\n' || c == '\t' || c == ' ' {
+			space = true
+			continue
+		}
+		if space && len(out) > 0 {
+			out = append(out, ' ')
+		}
+		space = false
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,72 @@
+// Quickstart: define two tables in two jurisdictions, declare dataflow
+// policies, and run a compliant cross-border join.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cgdqp"
+)
+
+func main() {
+	sys := cgdqp.NewSystem()
+
+	// A customer database in the EU and an orders database in the US.
+	sys.MustDefineTable("customers", "db-eu", "EU", 4,
+		cgdqp.Col("id", cgdqp.TInt),
+		cgdqp.Col("name", cgdqp.TString),
+		cgdqp.Col("email", cgdqp.TString))
+	sys.MustDefineTable("orders", "db-us", "US", 6,
+		cgdqp.Col("id", cgdqp.TInt),
+		cgdqp.Col("customer_id", cgdqp.TInt),
+		cgdqp.Col("amount", cgdqp.TFloat))
+
+	// Dataflow policies: customer ids and names may cross the Atlantic,
+	// e-mail addresses may not. Orders have no expressions at all — under
+	// the conservative disclosure model they never leave the US.
+	sys.MustAddPolicy("ship id, name from customers to US")
+
+	sys.MustLoad("customers", []cgdqp.Row{
+		{cgdqp.Int(1), cgdqp.String("ada"), cgdqp.String("ada@example.eu")},
+		{cgdqp.Int(2), cgdqp.String("grace"), cgdqp.String("grace@example.eu")},
+		{cgdqp.Int(3), cgdqp.String("edsger"), cgdqp.String("edsger@example.eu")},
+		{cgdqp.Int(4), cgdqp.String("alan"), cgdqp.String("alan@example.eu")},
+	})
+	sys.MustLoad("orders", []cgdqp.Row{
+		{cgdqp.Int(10), cgdqp.Int(1), cgdqp.Float(99.5)},
+		{cgdqp.Int(11), cgdqp.Int(1), cgdqp.Float(12.0)},
+		{cgdqp.Int(12), cgdqp.Int(2), cgdqp.Float(40.0)},
+		{cgdqp.Int(13), cgdqp.Int(3), cgdqp.Float(7.25)},
+		{cgdqp.Int(14), cgdqp.Int(3), cgdqp.Float(18.75)},
+		{cgdqp.Int(15), cgdqp.Int(4), cgdqp.Float(250.0)},
+	})
+
+	// A legal query: joins on id/name only. The optimizer masks the
+	// customer table (drops email) before shipping it to the US.
+	res, err := sys.Query(`
+		SELECT c.name, SUM(o.amount) AS total
+		FROM customers c, orders o
+		WHERE c.id = o.customer_id
+		GROUP BY c.name
+		ORDER BY total DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compliant plan:")
+	fmt.Println(res.Plan)
+	fmt.Println("results:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-8s %8.2f\n", r[0].Str(), r[1].Float())
+	}
+	fmt.Printf("shipped %d bytes across borders (%.2f ms simulated WAN time)\n\n",
+		res.ShippedBytes, res.ShipCost)
+
+	// An illegal query: e-mails cannot leave the EU, and order data
+	// cannot answer the query without meeting them somewhere.
+	_, err = sys.Query(`
+		SELECT c.email, o.amount
+		FROM customers c, orders o
+		WHERE c.id = o.customer_id`)
+	fmt.Printf("selecting emails with orders: %v\n", err)
+}

@@ -1,0 +1,112 @@
+// TPC-H over five regions: the evaluation deployment of the paper
+// (Table 2), loaded with generated data, optimized under the CR+A policy
+// set, and executed. The example runs the six benchmark queries,
+// printing for each whether the traditional plan would have been
+// compliant, the compliant plan's crossings, and the measured transfer
+// ledger.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cgdqp/internal/cluster"
+	"cgdqp/internal/executor"
+	"cgdqp/internal/network"
+	"cgdqp/internal/optimizer"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/tpch"
+	"cgdqp/internal/workload"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
+	flag.Parse()
+
+	cat := tpch.NewCatalog(*sf)
+	net := network.FiveRegionWAN(cat.Locations())
+	cl := cluster.New(cat, net)
+	fmt.Printf("generating TPC-H data at SF %g (lineitem: %d rows) ...\n",
+		*sf, tpch.SizesFor(*sf).Lineitem)
+	if err := tpch.Generate(cat, cl); err != nil {
+		log.Fatal(err)
+	}
+
+	pc := workload.TPCHSet(workload.SetCRA)
+	fmt.Println("\nactive dataflow policies (set CR+A):")
+	for _, db := range pc.Databases() {
+		for _, e := range pc.ForDB(db) {
+			fmt.Println("  ", e)
+		}
+	}
+
+	compliant := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+	traditional := optimizer.New(cat, pc, net, optimizer.Options{Compliant: false})
+
+	for _, qn := range tpch.QueryNames() {
+		sql := tpch.Queries[qn]
+		tres, err := traditional.OptimizeSQL(sql)
+		if err != nil {
+			log.Fatalf("%s traditional: %v", qn, err)
+		}
+		tviol := compliant.Check(tres.Plan)
+		cres, err := compliant.OptimizeSQL(sql)
+		if err != nil {
+			log.Fatalf("%s compliant: %v", qn, err)
+		}
+
+		cl.Ledger.Reset()
+		rows, stats, err := executor.Run(cres.Plan, cl)
+		if err != nil {
+			log.Fatalf("%s execute: %v", qn, err)
+		}
+		fmt.Printf("\n--- %s --- traditional plan: %s; compliant plan optimized in %v\n",
+			qn, verdict(len(tviol)), cres.Stats.TotalTime)
+		var ships []string
+		cres.Plan.Walk(func(n *plan.Node) bool {
+			if n.Kind == plan.Ship {
+				ships = append(ships, n.FromLoc+"->"+n.ToLoc)
+			}
+			return true
+		})
+		fmt.Printf("    crossings: %v\n", ships)
+		fmt.Printf("    %d result rows; shipped %d rows / %d bytes (%.1f ms simulated)\n",
+			len(rows), stats.ShippedRows, stats.ShippedBytes, stats.ShipCost)
+		if sum := cl.Ledger.Summary(); sum != "" {
+			fmt.Print(indent(sum))
+		}
+	}
+}
+
+func verdict(violations int) string {
+	if violations == 0 {
+		return "compliant"
+	}
+	return fmt.Sprintf("NON-COMPLIANT (%d violations)", violations)
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		if line != "" {
+			out += "    " + line + "\n"
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package cgdqp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPlanExportThroughFacade(t *testing.T) {
+	sys := demoSystem(t)
+	p, err := sys.Explain(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := p.Dot()
+	if !strings.Contains(dot, "digraph plan") || !strings.Contains(dot, "Ship[") {
+		t.Errorf("dot export:\n%s", dot)
+	}
+	js, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(js), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["location"] == "" {
+		t.Error("JSON should carry locations")
+	}
+}
+
+func TestPolicyList(t *testing.T) {
+	sys := demoSystem(t)
+	list := sys.PolicyList()
+	if len(list) != 4 {
+		t.Fatalf("policies: %d", len(list))
+	}
+	joined := strings.Join(list, "\n")
+	for _, want := range []string{"ship custkey, name from db-n.customer to *", "as aggregates sum"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module cgdqp
+
+go 1.22

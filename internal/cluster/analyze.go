@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/schema"
+)
+
+// Analyze recomputes a table's optimizer statistics from the rows
+// actually stored in the cluster: exact per-column distinct counts and
+// min/max for orderable types, plus fragment row counts. It is the
+// engine's ANALYZE: run it after loading so cardinality estimates match
+// the data.
+func (c *Cluster) Analyze(t *schema.Table) error {
+	type colAcc struct {
+		distinct map[uint64]struct{}
+		min, max expr.Value
+		seen     bool
+	}
+	accs := make([]colAcc, len(t.Columns))
+	for i := range accs {
+		accs[i].distinct = map[uint64]struct{}{}
+	}
+	for fi := range t.Fragments {
+		rows, err := c.FragmentRows(t, fi)
+		if err != nil {
+			return err
+		}
+		t.Fragments[fi].RowCount = int64(len(rows))
+		for _, row := range rows {
+			if len(row) != len(t.Columns) {
+				return fmt.Errorf("cluster: analyze %s: row width %d != %d columns", t.Name, len(row), len(t.Columns))
+			}
+			for i, v := range row {
+				if v.IsNull() {
+					continue
+				}
+				a := &accs[i]
+				a.distinct[v.Hash()] = struct{}{}
+				if !a.seen {
+					a.min, a.max, a.seen = v, v, true
+					continue
+				}
+				if cres, err := v.Compare(a.min); err == nil && cres < 0 {
+					a.min = v
+				}
+				if cres, err := v.Compare(a.max); err == nil && cres > 0 {
+					a.max = v
+				}
+			}
+		}
+	}
+	for i, col := range t.Columns {
+		st := schema.ColStats{Distinct: int64(len(accs[i].distinct))}
+		if accs[i].seen {
+			st.Min, st.Max = accs[i].min, accs[i].max
+		}
+		t.SetColStats(col.Name, st)
+	}
+	return nil
+}
+
+// AnalyzeAll runs Analyze over every table of the catalog.
+func (c *Cluster) AnalyzeAll(cat *schema.Catalog) error {
+	for _, t := range cat.Tables() {
+		if err := c.Analyze(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

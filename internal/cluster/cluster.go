@@ -1,0 +1,176 @@
+// Package cluster simulates the geo-distributed deployment of Figure 2:
+// one database gateway per location, a WAN between them priced by the
+// message cost model, and a transfer ledger recording every cross-border
+// shipment a query performs.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
+	"cgdqp/internal/schema"
+	"cgdqp/internal/storage"
+)
+
+// Site is one location: a gateway to its local database.
+type Site struct {
+	Location string
+	DB       *storage.DB
+}
+
+// Cluster is the set of sites plus the network between them.
+type Cluster struct {
+	sites  map[string]*Site
+	Net    *network.CostModel
+	Ledger *network.Ledger
+}
+
+// New creates a cluster over the catalog's locations: each location gets
+// a site hosting its database (named per the catalog's location→database
+// mapping), with every table fragment placed at its location.
+func New(cat *schema.Catalog, net *network.CostModel) *Cluster {
+	c := &Cluster{sites: map[string]*Site{}, Net: net, Ledger: network.NewLedger(net)}
+	for _, loc := range cat.Locations() {
+		dbName := cat.DatabaseAt(loc)
+		if dbName == "" {
+			dbName = "db@" + loc
+		}
+		c.sites[loc] = &Site{Location: loc, DB: storage.NewDB(dbName)}
+	}
+	for _, t := range cat.Tables() {
+		for i := range t.Fragments {
+			site := c.sites[t.Fragments[i].Location]
+			if site == nil {
+				continue
+			}
+			_, _ = site.DB.CreateTable(fragName(t, i), t.ColumnNames())
+		}
+	}
+	return c
+}
+
+// fragName returns the storage name of a fragment: the bare table name
+// for single-fragment tables, a #idx-suffixed name otherwise (so two
+// fragments of one table may share a site without mixing rows).
+func fragName(t *schema.Table, idx int) string {
+	if !t.Fragmented() {
+		return t.Name
+	}
+	return fmt.Sprintf("%s#%d", t.Name, idx)
+}
+
+// Site returns the site at a location.
+func (c *Cluster) Site(loc string) (*Site, bool) {
+	s, ok := c.sites[loc]
+	return s, ok
+}
+
+// Locations returns the cluster's locations (unsorted map order is
+// avoided: callers use the catalog for deterministic order).
+func (c *Cluster) Locations() []string {
+	out := make([]string, 0, len(c.sites))
+	for l := range c.sites {
+		out = append(out, l)
+	}
+	return out
+}
+
+// LoadFragment stores rows into a table fragment at its location.
+func (c *Cluster) LoadFragment(t *schema.Table, fragIdx int, rows []expr.Row) error {
+	if fragIdx < 0 {
+		fragIdx = 0
+	}
+	if fragIdx >= len(t.Fragments) {
+		return fmt.Errorf("cluster: table %s has no fragment %d", t.Name, fragIdx)
+	}
+	loc := t.Fragments[fragIdx].Location
+	site, ok := c.sites[loc]
+	if !ok {
+		return fmt.Errorf("cluster: no site at %s", loc)
+	}
+	st, ok := site.DB.Table(fragName(t, fragIdx))
+	if !ok {
+		return fmt.Errorf("cluster: table %s missing at %s", t.Name, loc)
+	}
+	if err := validateSortedBy(t, rows); err != nil {
+		return err
+	}
+	return st.Insert(rows...)
+}
+
+// validateSortedBy checks that rows respect the table's declared physical
+// sort order (the optimizer relies on it for merge joins).
+func validateSortedBy(t *schema.Table, rows []expr.Row) error {
+	if len(t.SortedBy) == 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(t.SortedBy))
+	for _, name := range t.SortedBy {
+		found := -1
+		for i, c := range t.Columns {
+			if strings.EqualFold(c.Name, name) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("cluster: table %s declares unknown sort column %q", t.Name, name)
+		}
+		idx = append(idx, found)
+	}
+	for i := 1; i < len(rows); i++ {
+		for _, j := range idx {
+			a, b := rows[i-1][j], rows[i][j]
+			if a.IsNull() || b.IsNull() {
+				break // NULL ordering unchecked
+			}
+			c, err := a.Compare(b)
+			if err != nil {
+				return fmt.Errorf("cluster: table %s sort validation: %v", t.Name, err)
+			}
+			if c < 0 {
+				break
+			}
+			if c > 0 {
+				return fmt.Errorf("cluster: table %s declared sorted by %v but row %d violates the order", t.Name, t.SortedBy, i)
+			}
+		}
+	}
+	return nil
+}
+
+// FragmentRows reads the stored rows of a table fragment.
+func (c *Cluster) FragmentRows(t *schema.Table, fragIdx int) ([]expr.Row, error) {
+	if fragIdx < 0 {
+		fragIdx = 0
+	}
+	if fragIdx >= len(t.Fragments) {
+		return nil, fmt.Errorf("cluster: table %s has no fragment %d", t.Name, fragIdx)
+	}
+	loc := t.Fragments[fragIdx].Location
+	site, ok := c.sites[loc]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no site at %s", loc)
+	}
+	st, ok := site.DB.Table(fragName(t, fragIdx))
+	if !ok {
+		return nil, fmt.Errorf("cluster: table %s missing at %s", t.Name, loc)
+	}
+	return st.Rows(), nil
+}
+
+// AllRows concatenates the rows of every fragment of a table (global
+// view, used by reference execution).
+func (c *Cluster) AllRows(t *schema.Table) ([]expr.Row, error) {
+	var out []expr.Row
+	for i := range t.Fragments {
+		rows, err := c.FragmentRows(t, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}

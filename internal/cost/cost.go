@@ -1,0 +1,313 @@
+// Package cost implements the phase-1 cost model of the two-phase
+// optimizer (Section 6): cardinality estimation from catalog statistics
+// and single-site operator cost functions that ignore data location, as
+// in centralized query optimization. Shipping costs (phase 2) live in
+// package network.
+package cost
+
+import (
+	"math"
+	"strings"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/schema"
+)
+
+// Default selectivities for predicates the estimator cannot analyze
+// precisely; values follow the classic System R conventions.
+const (
+	selEq      = 0.005 // equality fallback when distinct count unknown
+	selRange   = 1.0 / 3.0
+	selLike    = 0.25
+	selIn      = 0.02 // per IN list element
+	selDefault = 0.25
+	selNotNull = 0.9
+)
+
+// Per-row operator cost weights (abstract units ≈ rows touched).
+const (
+	cpuRow       = 1.0
+	hashBuildRow = 2.0
+	hashProbeRow = 1.2
+	sortRowLog   = 0.5
+	aggRow       = 1.5
+	outputRow    = 0.1
+)
+
+// Estimator estimates operator cardinalities using base-table statistics
+// resolved through query aliases.
+type Estimator struct {
+	tables map[string]*schema.Table // lowercase alias -> base table
+}
+
+// NewEstimator builds an estimator for one query: it collects the base
+// tables reachable from the logical plan, keyed by alias.
+func NewEstimator(root *plan.Node) *Estimator {
+	est := &Estimator{tables: map[string]*schema.Table{}}
+	if root != nil {
+		root.Walk(func(n *plan.Node) bool {
+			if n.Kind == plan.Scan || n.Kind == plan.TableScan {
+				est.tables[strings.ToLower(n.Alias)] = n.Table
+			}
+			return true
+		})
+	}
+	return est
+}
+
+// Distinct returns the estimated number of distinct values of a column,
+// or fallback when statistics are unavailable.
+func (e *Estimator) Distinct(c *expr.Col, fallback float64) float64 {
+	t, ok := e.tables[strings.ToLower(c.Table)]
+	if !ok {
+		return fallback
+	}
+	if s := t.Stats(c.Name); s.Distinct > 0 {
+		return float64(s.Distinct)
+	}
+	return fallback
+}
+
+// ScanCard returns the cardinality of a table scan (whole table or one
+// fragment).
+func ScanCard(t *schema.Table, fragIdx int) float64 {
+	if fragIdx >= 0 && fragIdx < len(t.Fragments) {
+		return float64(t.Fragments[fragIdx].RowCount)
+	}
+	return float64(t.RowCount())
+}
+
+// FilterSel estimates the selectivity of a predicate.
+func (e *Estimator) FilterSel(pred expr.Expr) float64 {
+	if pred == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, c := range expr.Conjuncts(pred) {
+		sel *= e.conjunctSel(c)
+	}
+	return clampSel(sel)
+}
+
+func (e *Estimator) conjunctSel(c expr.Expr) float64 {
+	switch n := c.(type) {
+	case *expr.Cmp:
+		lc, lok := n.L.(*expr.Col)
+		rc, rok := n.R.(*expr.Col)
+		if lok && rok {
+			// Join predicates are handled in JoinSel; as a plain filter
+			// (self-correlation) use the equality default.
+			_ = rc
+			return selEq * 10
+		}
+		col := lc
+		if !lok {
+			col, lok = n.R.(*expr.Col)
+		}
+		if !lok {
+			return selDefault
+		}
+		switch n.Op {
+		case expr.EQ:
+			d := e.Distinct(col, 0)
+			if d > 0 {
+				return 1 / d
+			}
+			return selEq
+		case expr.NE:
+			d := e.Distinct(col, 0)
+			if d > 1 {
+				return 1 - 1/d
+			}
+			return 1 - selEq
+		default:
+			return selRange
+		}
+	case *expr.And:
+		return e.conjunctSel(n.L) * e.conjunctSel(n.R)
+	case *expr.Or:
+		a, b := e.conjunctSel(n.L), e.conjunctSel(n.R)
+		return clampSel(a + b - a*b)
+	case *expr.Not:
+		return clampSel(1 - e.conjunctSel(n.E))
+	case *expr.Like:
+		if n.Negated {
+			return 1 - selLike
+		}
+		return selLike
+	case *expr.In:
+		sel := float64(len(n.List)) * selIn
+		if col, ok := n.E.(*expr.Col); ok {
+			if d := e.Distinct(col, 0); d > 0 {
+				sel = float64(len(n.List)) / d
+			}
+		}
+		if n.Negated {
+			return clampSel(1 - sel)
+		}
+		return clampSel(sel)
+	case *expr.Between:
+		return selRange
+	case *expr.IsNull:
+		if n.Negated {
+			return selNotNull
+		}
+		return 1 - selNotNull
+	}
+	return selDefault
+}
+
+// JoinSel estimates the selectivity of a join condition over the cross
+// product of the inputs. Equi-joins use 1/max(distinct(l), distinct(r)).
+func (e *Estimator) JoinSel(cond expr.Expr, lcard, rcard float64) float64 {
+	if cond == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, c := range expr.Conjuncts(cond) {
+		cmp, ok := c.(*expr.Cmp)
+		if !ok || cmp.Op != expr.EQ {
+			sel *= e.conjunctSel(c)
+			continue
+		}
+		lc, lok := cmp.L.(*expr.Col)
+		rc, rok := cmp.R.(*expr.Col)
+		if !lok || !rok {
+			sel *= e.conjunctSel(c)
+			continue
+		}
+		dl := e.Distinct(lc, math.Max(lcard, 1))
+		dr := e.Distinct(rc, math.Max(rcard, 1))
+		sel *= 1 / math.Max(1, math.Max(dl, dr))
+	}
+	return clampSel(sel)
+}
+
+// GroupCard estimates the number of groups an aggregation produces.
+func (e *Estimator) GroupCard(groupBy []*expr.Col, childCard float64) float64 {
+	if len(groupBy) == 0 {
+		return 1
+	}
+	groups := 1.0
+	for _, g := range groupBy {
+		groups *= e.Distinct(g, math.Sqrt(math.Max(childCard, 1)))
+	}
+	// Cap: there cannot be more groups than input rows.
+	return math.Max(1, math.Min(groups, childCard))
+}
+
+// SortCost prices sorting n rows (the memo charges it for merge-join
+// inputs that are not already ordered).
+func SortCost(card float64) float64 {
+	n := math.Max(card, 2)
+	return n * math.Log2(n) * sortRowLog
+}
+
+// clampSel keeps selectivities within (0, 1].
+func clampSel(s float64) float64 {
+	if s < 1e-9 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// OperatorCost returns the phase-1 cost of executing one operator, given
+// its output cardinality and its input cardinalities. Costs are abstract
+// units proportional to rows processed; they deliberately ignore where
+// data lives (Section 6's first phase assumes all tables are local).
+func OperatorCost(kind plan.Kind, outCard float64, inCards ...float64) float64 {
+	in := func(i int) float64 {
+		if i < len(inCards) {
+			return inCards[i]
+		}
+		return 0
+	}
+	switch kind {
+	case plan.Scan, plan.TableScan:
+		return outCard * cpuRow
+	case plan.Filter, plan.FilterExec:
+		return in(0) * cpuRow
+	case plan.Project, plan.ProjectExec:
+		return in(0) * outputRow
+	case plan.Join, plan.HashJoin:
+		// Build on the right, probe with the left.
+		return in(1)*hashBuildRow + in(0)*hashProbeRow + outCard*outputRow
+	case plan.NLJoin:
+		return in(0)*in(1)*cpuRow*0.01 + outCard*outputRow
+	case plan.MergeJoin:
+		// Merge phase only; the optimizer adds sorting costs for inputs
+		// that are not already ordered on the join keys.
+		return (in(0)+in(1))*cpuRow + outCard*outputRow
+	case plan.Aggregate, plan.HashAgg:
+		return in(0)*aggRow + outCard*outputRow
+	case plan.Sort, plan.SortExec:
+		n := math.Max(in(0), 2)
+		return n * math.Log2(n) * sortRowLog
+	case plan.Limit, plan.LimitExec:
+		return outCard * outputRow
+	case plan.Union, plan.UnionAll:
+		total := 0.0
+		for _, c := range inCards {
+			total += c
+		}
+		return total * outputRow
+	case plan.Ship:
+		// Phase 1 ignores shipping; phase 2 prices it via the network
+		// cost model.
+		return 0
+	}
+	return outCard * cpuRow
+}
+
+// EstimateTree fills Card and Cost bottom-up for a complete plan tree.
+// The memo performs the same computation incrementally; this helper
+// serves the baseline paths, tests and the executor's accounting.
+func (e *Estimator) EstimateTree(n *plan.Node) {
+	inCards := make([]float64, len(n.Children))
+	childCost := 0.0
+	for i, c := range n.Children {
+		e.EstimateTree(c)
+		inCards[i] = c.Card
+		childCost += c.Cost
+	}
+	n.Card = e.NodeCard(n, inCards)
+	n.Cost = childCost + OperatorCost(n.Kind, n.Card, inCards...)
+}
+
+// NodeCard estimates one operator's output cardinality from its input
+// cardinalities.
+func (e *Estimator) NodeCard(n *plan.Node, inCards []float64) float64 {
+	in := func(i int) float64 {
+		if i < len(inCards) {
+			return inCards[i]
+		}
+		return 0
+	}
+	switch n.Kind {
+	case plan.Scan, plan.TableScan:
+		return ScanCard(n.Table, n.FragIdx)
+	case plan.Filter, plan.FilterExec:
+		return math.Max(1, in(0)*e.FilterSel(n.Pred))
+	case plan.Project, plan.ProjectExec, plan.Sort, plan.SortExec:
+		return in(0)
+	case plan.Join, plan.HashJoin, plan.NLJoin, plan.MergeJoin:
+		return math.Max(1, in(0)*in(1)*e.JoinSel(n.Pred, in(0), in(1)))
+	case plan.Aggregate, plan.HashAgg:
+		return e.GroupCard(n.GroupBy, in(0))
+	case plan.Limit, plan.LimitExec:
+		return math.Min(in(0), float64(n.LimitN))
+	case plan.Union, plan.UnionAll:
+		total := 0.0
+		for _, c := range inCards {
+			total += c
+		}
+		return total
+	case plan.Ship:
+		return in(0)
+	}
+	return in(0)
+}

@@ -1,0 +1,889 @@
+// Package executor runs physical query execution plans over the
+// simulated geo-distributed cluster using the Volcano iterator model
+// (Open / Next / Close). SHIP operators move rows through the simulated
+// WAN and charge the message cost model via the cluster's ledger, which
+// is how the plan-quality experiments (Figures 6g/6h) measure execution
+// cost.
+package executor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cgdqp/internal/cluster"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+)
+
+// Operator is the Volcano iterator interface.
+type Operator interface {
+	Open() error
+	// Next returns the next row; ok is false at end of stream.
+	Next() (row expr.Row, ok bool, err error)
+	Close() error
+}
+
+// RunStats summarizes one execution.
+type RunStats struct {
+	RowsOut      int64
+	ShippedRows  int64
+	ShippedBytes int64
+	// ShipCost is the simulated communication cost (ms) of all SHIP
+	// operators, priced by the cluster's message cost model.
+	ShipCost float64
+}
+
+// Run executes a located physical plan and materializes its result.
+func Run(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
+	before := c.Ledger.TotalBytes()
+	beforeCost := c.Ledger.TotalCost()
+	op, err := Build(p, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := Collect(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &RunStats{
+		RowsOut:      int64(len(rows)),
+		ShippedBytes: c.Ledger.TotalBytes() - before,
+		ShipCost:     c.Ledger.TotalCost() - beforeCost,
+	}
+	for _, t := range c.Ledger.Transfers() {
+		stats.ShippedRows += t.Rows
+	}
+	return rows, stats, nil
+}
+
+// Collect drains an operator into a slice.
+func Collect(op Operator) ([]expr.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []expr.Row
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// Build compiles a physical plan node into an operator tree.
+func Build(n *plan.Node, c *cluster.Cluster) (Operator, error) {
+	children := make([]Operator, len(n.Children))
+	for i, ch := range n.Children {
+		op, err := Build(ch, c)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = op
+	}
+	switch n.Kind {
+	case plan.TableScan, plan.Scan:
+		return newScan(n, c)
+	case plan.FilterExec, plan.Filter:
+		return newFilter(n, children[0])
+	case plan.ProjectExec, plan.Project:
+		return newProject(n, children[0])
+	case plan.HashJoin:
+		return newHashJoin(n, children[0], children[1])
+	case plan.MergeJoin:
+		return newMergeJoin(n, children[0], children[1])
+	case plan.NLJoin, plan.Join:
+		return newNLJoin(n, children[0], children[1])
+	case plan.HashAgg, plan.Aggregate:
+		return newHashAgg(n, children[0])
+	case plan.SortExec, plan.Sort:
+		return newSort(n, children[0])
+	case plan.LimitExec, plan.Limit:
+		return newLimit(n, children[0]), nil
+	case plan.UnionAll, plan.Union:
+		return newUnion(children), nil
+	case plan.Ship:
+		return newShip(n, children[0], c), nil
+	}
+	return nil, fmt.Errorf("executor: unsupported operator %s", n.Kind)
+}
+
+// resolver builds a column resolver over a plan node's output schema.
+func resolver(n *plan.Node) expr.Resolver {
+	keys := make([]string, len(n.Cols))
+	for i, c := range n.Cols {
+		keys[i] = c.Key()
+	}
+	return expr.SliceResolver(keys)
+}
+
+// --- scan ---------------------------------------------------------------
+
+type scanOp struct {
+	node *plan.Node
+	c    *cluster.Cluster
+	rows []expr.Row
+	pos  int
+}
+
+func newScan(n *plan.Node, c *cluster.Cluster) (Operator, error) {
+	if n.Table == nil {
+		return nil, fmt.Errorf("executor: scan without table")
+	}
+	return &scanOp{node: n, c: c}, nil
+}
+
+func (s *scanOp) Open() error {
+	var err error
+	if s.node.FragIdx < 0 && s.node.Table.Fragmented() {
+		s.rows, err = s.c.AllRows(s.node.Table)
+	} else {
+		s.rows, err = s.c.FragmentRows(s.node.Table, s.node.FragIdx)
+	}
+	s.pos = 0
+	return err
+}
+
+func (s *scanOp) Next() (expr.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+func (s *scanOp) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// --- filter -------------------------------------------------------------
+
+type filterOp struct {
+	child Operator
+	pred  expr.Expr
+}
+
+func newFilter(n *plan.Node, child Operator) (Operator, error) {
+	bound, err := expr.Bind(n.Pred, resolver(n.Children[0]))
+	if err != nil {
+		return nil, fmt.Errorf("executor: filter bind: %w", err)
+	}
+	return &filterOp{child: child, pred: bound}, nil
+}
+
+func (f *filterOp) Open() error { return f.child.Open() }
+
+func (f *filterOp) Next() (expr.Row, bool, error) {
+	for {
+		row, ok, err := f.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := expr.EvalBool(f.pred, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return row, true, nil
+		}
+	}
+}
+
+func (f *filterOp) Close() error { return f.child.Close() }
+
+// --- project ------------------------------------------------------------
+
+type projectOp struct {
+	child Operator
+	exprs []expr.Expr
+}
+
+func newProject(n *plan.Node, child Operator) (Operator, error) {
+	res := resolver(n.Children[0])
+	exprs := make([]expr.Expr, len(n.Projs))
+	for i, p := range n.Projs {
+		bound, err := expr.Bind(p.E, res)
+		if err != nil {
+			return nil, fmt.Errorf("executor: project bind %s: %w", p.E, err)
+		}
+		exprs[i] = bound
+	}
+	return &projectOp{child: child, exprs: exprs}, nil
+}
+
+func (p *projectOp) Open() error { return p.child.Open() }
+
+func (p *projectOp) Next() (expr.Row, bool, error) {
+	row, ok, err := p.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(expr.Row, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := expr.Eval(e, row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (p *projectOp) Close() error { return p.child.Close() }
+
+// --- hash join ----------------------------------------------------------
+
+type hashJoinOp struct {
+	node        *plan.Node
+	left, right Operator
+	leftKeys    []expr.Expr // bound against left schema
+	rightKeys   []expr.Expr // bound against right schema
+	residual    expr.Expr   // bound against concatenated schema
+
+	table map[uint64][]expr.Row // build side (right)
+	// probe state
+	matches []expr.Row
+	current expr.Row
+	mi      int
+}
+
+func newHashJoin(n *plan.Node, left, right Operator) (Operator, error) {
+	lres := resolver(n.Children[0])
+	rres := resolver(n.Children[1])
+	var lk, rk []expr.Expr
+	var residual []expr.Expr
+	for _, c := range expr.Conjuncts(n.Pred) {
+		cmp, ok := c.(*expr.Cmp)
+		if ok && cmp.Op == expr.EQ {
+			lc, lok := cmp.L.(*expr.Col)
+			rc, rok := cmp.R.(*expr.Col)
+			if lok && rok {
+				if bl, err := expr.Bind(lc, lres); err == nil {
+					if br, err := expr.Bind(rc, rres); err == nil {
+						lk = append(lk, bl)
+						rk = append(rk, br)
+						continue
+					}
+				}
+				// Reversed sides.
+				if bl, err := expr.Bind(rc, lres); err == nil {
+					if br, err := expr.Bind(lc, rres); err == nil {
+						lk = append(lk, bl)
+						rk = append(rk, br)
+						continue
+					}
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	if len(lk) == 0 {
+		return nil, fmt.Errorf("executor: hash join without equi-key: %v", n.Pred)
+	}
+	var res expr.Expr
+	if len(residual) > 0 {
+		bound, err := expr.Bind(expr.AndAll(residual...), resolver(n))
+		if err != nil {
+			return nil, fmt.Errorf("executor: join residual bind: %w", err)
+		}
+		res = bound
+	}
+	return &hashJoinOp{node: n, left: left, right: right, leftKeys: lk, rightKeys: rk, residual: res}, nil
+}
+
+func hashKey(keys []expr.Expr, row expr.Row) (uint64, bool, error) {
+	var h uint64 = 1469598103934665603
+	for _, k := range keys {
+		v, err := expr.Eval(k, row)
+		if err != nil {
+			return 0, false, err
+		}
+		if v.IsNull() {
+			return 0, false, nil // NULL keys never match
+		}
+		h = h*1099511628211 ^ v.Hash()
+	}
+	return h, true, nil
+}
+
+func (j *hashJoinOp) Open() error {
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.table = map[uint64][]expr.Row{}
+	for {
+		row, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h, valid, err := hashKey(j.rightKeys, row)
+		if err != nil {
+			return err
+		}
+		if valid {
+			j.table[h] = append(j.table[h], row)
+		}
+	}
+	if err := j.right.Close(); err != nil {
+		return err
+	}
+	return j.left.Open()
+}
+
+func (j *hashJoinOp) Next() (expr.Row, bool, error) {
+	for {
+		for j.mi < len(j.matches) {
+			r := j.matches[j.mi]
+			j.mi++
+			out := make(expr.Row, 0, len(j.current)+len(r))
+			out = append(out, j.current...)
+			out = append(out, r...)
+			if j.residual != nil {
+				keep, err := expr.EvalBool(j.residual, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			// Verify key equality (hash collisions).
+			eq, err := j.keysEqual(j.current, r)
+			if err != nil {
+				return nil, false, err
+			}
+			if !eq {
+				continue
+			}
+			return out, true, nil
+		}
+		row, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		h, valid, err := hashKey(j.leftKeys, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if !valid {
+			continue
+		}
+		j.current = row
+		j.matches = j.table[h]
+		j.mi = 0
+	}
+}
+
+func (j *hashJoinOp) keysEqual(l, r expr.Row) (bool, error) {
+	for i := range j.leftKeys {
+		lv, err := expr.Eval(j.leftKeys[i], l)
+		if err != nil {
+			return false, err
+		}
+		rv, err := expr.Eval(j.rightKeys[i], r)
+		if err != nil {
+			return false, err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return false, nil
+		}
+		c, err := lv.Compare(rv)
+		if err != nil || c != 0 {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func (j *hashJoinOp) Close() error {
+	j.table = nil
+	j.matches = nil
+	return j.left.Close()
+}
+
+// --- nested-loop join ---------------------------------------------------
+
+type nlJoinOp struct {
+	node        *plan.Node
+	left, right Operator
+	cond        expr.Expr
+	rightRows   []expr.Row
+	current     expr.Row
+	ri          int
+	done        bool
+}
+
+func newNLJoin(n *plan.Node, left, right Operator) (Operator, error) {
+	var cond expr.Expr
+	if n.Pred != nil {
+		bound, err := expr.Bind(n.Pred, resolver(n))
+		if err != nil {
+			return nil, fmt.Errorf("executor: nl join bind: %w", err)
+		}
+		cond = bound
+	}
+	return &nlJoinOp{node: n, left: left, right: right, cond: cond}, nil
+}
+
+func (j *nlJoinOp) Open() error {
+	rows, err := Collect(j.right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.ri = 0
+	j.current = nil
+	return j.left.Open()
+}
+
+func (j *nlJoinOp) Next() (expr.Row, bool, error) {
+	for {
+		if j.current == nil {
+			row, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.current = row
+			j.ri = 0
+		}
+		for j.ri < len(j.rightRows) {
+			r := j.rightRows[j.ri]
+			j.ri++
+			out := make(expr.Row, 0, len(j.current)+len(r))
+			out = append(out, j.current...)
+			out = append(out, r...)
+			keep, err := expr.EvalBool(j.cond, out)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				return out, true, nil
+			}
+		}
+		j.current = nil
+	}
+}
+
+func (j *nlJoinOp) Close() error {
+	j.rightRows = nil
+	return j.left.Close()
+}
+
+// --- hash aggregate -----------------------------------------------------
+
+type aggState struct {
+	groupVals expr.Row
+	accums    []*accumulator
+}
+
+type hashAggOp struct {
+	node   *plan.Node
+	child  Operator
+	keys   []expr.Expr // bound group-by columns
+	args   []expr.Expr // bound aggregate arguments (nil for COUNT(*))
+	fns    []expr.AggFn
+	groups map[string]*aggState
+	order  []string
+	pos    int
+}
+
+func newHashAgg(n *plan.Node, child Operator) (Operator, error) {
+	res := resolver(n.Children[0])
+	keys := make([]expr.Expr, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		bound, err := expr.Bind(g, res)
+		if err != nil {
+			return nil, fmt.Errorf("executor: group-by bind %s: %w", g, err)
+		}
+		keys[i] = bound
+	}
+	args := make([]expr.Expr, len(n.Aggs))
+	fns := make([]expr.AggFn, len(n.Aggs))
+	for i, a := range n.Aggs {
+		fns[i] = a.Fn
+		if a.Arg != nil {
+			bound, err := expr.Bind(a.Arg, res)
+			if err != nil {
+				return nil, fmt.Errorf("executor: aggregate bind %s: %w", a.Arg, err)
+			}
+			args[i] = bound
+		}
+	}
+	return &hashAggOp{node: n, child: child, keys: keys, args: args, fns: fns}, nil
+}
+
+func (a *hashAggOp) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	a.groups = map[string]*aggState{}
+	a.order = nil
+	a.pos = 0
+	for {
+		row, ok, err := a.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := a.absorb(row); err != nil {
+			return err
+		}
+	}
+	if err := a.child.Close(); err != nil {
+		return err
+	}
+	// A global aggregation over zero rows still yields one row.
+	if len(a.keys) == 0 && len(a.groups) == 0 {
+		st := &aggState{accums: newAccums(a.fns)}
+		a.groups[""] = st
+		a.order = append(a.order, "")
+	}
+	return nil
+}
+
+func (a *hashAggOp) absorb(row expr.Row) error {
+	var keyBuf strings.Builder
+	groupVals := make(expr.Row, len(a.keys))
+	for i, k := range a.keys {
+		v, err := expr.Eval(k, row)
+		if err != nil {
+			return err
+		}
+		groupVals[i] = v
+		keyBuf.WriteString(v.String())
+		keyBuf.WriteByte('\x00')
+	}
+	key := keyBuf.String()
+	st, ok := a.groups[key]
+	if !ok {
+		st = &aggState{groupVals: groupVals, accums: newAccums(a.fns)}
+		a.groups[key] = st
+		a.order = append(a.order, key)
+	}
+	for i, acc := range st.accums {
+		if a.args[i] == nil {
+			acc.addCountStar()
+			continue
+		}
+		v, err := expr.Eval(a.args[i], row)
+		if err != nil {
+			return err
+		}
+		acc.add(v)
+	}
+	return nil
+}
+
+func (a *hashAggOp) Next() (expr.Row, bool, error) {
+	if a.pos >= len(a.order) {
+		return nil, false, nil
+	}
+	st := a.groups[a.order[a.pos]]
+	a.pos++
+	out := make(expr.Row, 0, len(st.groupVals)+len(st.accums))
+	out = append(out, st.groupVals...)
+	for _, acc := range st.accums {
+		out = append(out, acc.result())
+	}
+	return out, true, nil
+}
+
+func (a *hashAggOp) Close() error {
+	a.groups = nil
+	a.order = nil
+	return nil
+}
+
+// accumulator computes one aggregate.
+type accumulator struct {
+	fn       expr.AggFn
+	count    int64
+	sumF     float64
+	sumI     int64
+	intOnly  bool
+	min, max expr.Value
+	seen     bool
+}
+
+func newAccums(fns []expr.AggFn) []*accumulator {
+	out := make([]*accumulator, len(fns))
+	for i, fn := range fns {
+		out[i] = &accumulator{fn: fn, intOnly: true}
+	}
+	return out
+}
+
+func (a *accumulator) addCountStar() { a.count++ }
+
+func (a *accumulator) add(v expr.Value) {
+	if v.IsNull() {
+		return // SQL aggregates skip NULLs
+	}
+	a.count++
+	switch v.T {
+	case expr.TInt, expr.TBool, expr.TDate:
+		a.sumI += v.Int()
+		a.sumF += float64(v.Int())
+	default:
+		a.intOnly = false
+		a.sumF += v.Float()
+	}
+	if !a.seen {
+		a.min, a.max, a.seen = v, v, true
+		return
+	}
+	if c, err := v.Compare(a.min); err == nil && c < 0 {
+		a.min = v
+	}
+	if c, err := v.Compare(a.max); err == nil && c > 0 {
+		a.max = v
+	}
+}
+
+func (a *accumulator) result() expr.Value {
+	switch a.fn {
+	case expr.AggCount:
+		return expr.NewInt(a.count)
+	case expr.AggSum:
+		if a.count == 0 {
+			return expr.TypedNull(expr.TFloat)
+		}
+		if a.intOnly {
+			return expr.NewInt(a.sumI)
+		}
+		return expr.NewFloat(a.sumF)
+	case expr.AggAvg:
+		if a.count == 0 {
+			return expr.TypedNull(expr.TFloat)
+		}
+		return expr.NewFloat(a.sumF / float64(a.count))
+	case expr.AggMin:
+		if !a.seen {
+			return expr.NullValue()
+		}
+		return a.min
+	case expr.AggMax:
+		if !a.seen {
+			return expr.NullValue()
+		}
+		return a.max
+	}
+	return expr.NullValue()
+}
+
+// --- sort / limit / union ----------------------------------------------
+
+type sortOp struct {
+	child Operator
+	keys  []expr.Expr
+	descs []bool
+	rows  []expr.Row
+	pos   int
+}
+
+func newSort(n *plan.Node, child Operator) (Operator, error) {
+	res := resolver(n.Children[0])
+	keys := make([]expr.Expr, len(n.SortKeys))
+	descs := make([]bool, len(n.SortKeys))
+	for i, k := range n.SortKeys {
+		bound, err := expr.Bind(k.E, res)
+		if err != nil {
+			return nil, fmt.Errorf("executor: sort bind %s: %w", k.E, err)
+		}
+		keys[i] = bound
+		descs[i] = k.Desc
+	}
+	return &sortOp{child: child, keys: keys, descs: descs}, nil
+}
+
+func (s *sortOp) Open() error {
+	rows, err := Collect(s.child)
+	if err != nil {
+		return err
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, key := range s.keys {
+			vi, err1 := expr.Eval(key, rows[i])
+			vj, err2 := expr.Eval(key, rows[j])
+			if err1 != nil || err2 != nil {
+				if sortErr == nil {
+					sortErr = fmt.Errorf("executor: sort eval: %v %v", err1, err2)
+				}
+				return false
+			}
+			// NULLs sort first ascending, last descending.
+			switch {
+			case vi.IsNull() && vj.IsNull():
+				continue
+			case vi.IsNull():
+				return !s.descs[k]
+			case vj.IsNull():
+				return s.descs[k]
+			}
+			c, err := vi.Compare(vj)
+			if err != nil {
+				if sortErr == nil {
+					sortErr = err
+				}
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if s.descs[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	s.rows = rows
+	s.pos = 0
+	return nil
+}
+
+func (s *sortOp) Next() (expr.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *sortOp) Close() error {
+	s.rows = nil
+	return nil
+}
+
+type limitOp struct {
+	child Operator
+	n     int64
+	seen  int64
+}
+
+func newLimit(n *plan.Node, child Operator) Operator {
+	return &limitOp{child: child, n: n.LimitN}
+}
+
+func (l *limitOp) Open() error {
+	l.seen = 0
+	return l.child.Open()
+}
+
+func (l *limitOp) Next() (expr.Row, bool, error) {
+	if l.seen >= l.n {
+		return nil, false, nil
+	}
+	row, ok, err := l.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+func (l *limitOp) Close() error { return l.child.Close() }
+
+type unionOp struct {
+	children []Operator
+	idx      int
+}
+
+func newUnion(children []Operator) Operator { return &unionOp{children: children} }
+
+func (u *unionOp) Open() error {
+	u.idx = 0
+	for _, c := range u.children {
+		if err := c.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (u *unionOp) Next() (expr.Row, bool, error) {
+	for u.idx < len(u.children) {
+		row, ok, err := u.children[u.idx].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+		u.idx++
+	}
+	return nil, false, nil
+}
+
+func (u *unionOp) Close() error {
+	for _, c := range u.children {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- ship ---------------------------------------------------------------
+
+// shipOp simulates moving the child's entire output between sites: it
+// materializes the stream, accounts rows and bytes in the cluster ledger
+// (priced with the message cost model), and replays the rows at the
+// destination.
+type shipOp struct {
+	node  *plan.Node
+	child Operator
+	c     *cluster.Cluster
+	rows  []expr.Row
+	pos   int
+}
+
+func newShip(n *plan.Node, child Operator, c *cluster.Cluster) Operator {
+	return &shipOp{node: n, child: child, c: c}
+}
+
+func (s *shipOp) Open() error {
+	rows, err := Collect(s.child)
+	if err != nil {
+		return err
+	}
+	var bytes int64
+	for _, r := range rows {
+		bytes += int64(r.Width())
+	}
+	s.c.Ledger.Record(s.node.FromLoc, s.node.ToLoc, int64(len(rows)), bytes)
+	s.rows = rows
+	s.pos = 0
+	return nil
+}
+
+func (s *shipOp) Next() (expr.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *shipOp) Close() error {
+	s.rows = nil
+	return nil
+}

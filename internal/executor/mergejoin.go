@@ -1,0 +1,210 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+)
+
+// mergeJoinOp implements sort-merge join: both inputs are materialized,
+// sorted by their equi-join keys, and merged; duplicate key groups join
+// block-wise. Residual (non-equi) conjuncts are evaluated on the
+// concatenated row. The output is ordered by the left join keys
+// (ascending), which is the property the optimizer's sort-elision relies
+// on.
+type mergeJoinOp struct {
+	node        *plan.Node
+	left, right Operator
+	leftKeys    []expr.Expr
+	rightKeys   []expr.Expr
+	residual    expr.Expr
+
+	out []expr.Row
+	pos int
+}
+
+func newMergeJoin(n *plan.Node, left, right Operator) (Operator, error) {
+	lres := resolver(n.Children[0])
+	rres := resolver(n.Children[1])
+	var lk, rk []expr.Expr
+	var residual []expr.Expr
+	for _, c := range expr.Conjuncts(n.Pred) {
+		if cmp, ok := c.(*expr.Cmp); ok && cmp.Op == expr.EQ {
+			lc, lok := cmp.L.(*expr.Col)
+			rc, rok := cmp.R.(*expr.Col)
+			if lok && rok {
+				if bl, err := expr.Bind(lc, lres); err == nil {
+					if br, err := expr.Bind(rc, rres); err == nil {
+						lk = append(lk, bl)
+						rk = append(rk, br)
+						continue
+					}
+				}
+				if bl, err := expr.Bind(rc, lres); err == nil {
+					if br, err := expr.Bind(lc, rres); err == nil {
+						lk = append(lk, bl)
+						rk = append(rk, br)
+						continue
+					}
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	if len(lk) == 0 {
+		return nil, fmt.Errorf("executor: merge join without equi-key: %v", n.Pred)
+	}
+	var res expr.Expr
+	if len(residual) > 0 {
+		bound, err := expr.Bind(expr.AndAll(residual...), resolver(n))
+		if err != nil {
+			return nil, fmt.Errorf("executor: merge join residual bind: %w", err)
+		}
+		res = bound
+	}
+	return &mergeJoinOp{node: n, left: left, right: right, leftKeys: lk, rightKeys: rk, residual: res}, nil
+}
+
+// keyOf evaluates the join key tuple; ok=false when any component is
+// NULL (NULL keys never join).
+func keyOf(keys []expr.Expr, row expr.Row) ([]expr.Value, bool, error) {
+	out := make([]expr.Value, len(keys))
+	for i, k := range keys {
+		v, err := expr.Eval(k, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			return nil, false, nil
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// compareKeys orders two key tuples.
+func compareKeys(a, b []expr.Value) (int, error) {
+	for i := range a {
+		c, err := a[i].Compare(b[i])
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+type keyedRow struct {
+	key []expr.Value
+	row expr.Row
+}
+
+func collectKeyed(op Operator, keys []expr.Expr) ([]keyedRow, error) {
+	rows, err := Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]keyedRow, 0, len(rows))
+	for _, r := range rows {
+		k, ok, err := keyOf(keys, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, keyedRow{key: k, row: r})
+		}
+	}
+	var sortErr error
+	sort.SliceStable(out, func(i, j int) bool {
+		c, err := compareKeys(out[i].key, out[j].key)
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	return out, sortErr
+}
+
+func (m *mergeJoinOp) Open() error {
+	lrows, err := collectKeyed(m.left, m.leftKeys)
+	if err != nil {
+		return err
+	}
+	rrows, err := collectKeyed(m.right, m.rightKeys)
+	if err != nil {
+		return err
+	}
+	m.out = nil
+	m.pos = 0
+	li, ri := 0, 0
+	for li < len(lrows) && ri < len(rrows) {
+		c, err := compareKeys(lrows[li].key, rrows[ri].key)
+		if err != nil {
+			return err
+		}
+		switch {
+		case c < 0:
+			li++
+		case c > 0:
+			ri++
+		default:
+			// Find the right-side block sharing this key.
+			rEnd := ri
+			for rEnd < len(rrows) {
+				cc, err := compareKeys(lrows[li].key, rrows[rEnd].key)
+				if err != nil {
+					return err
+				}
+				if cc != 0 {
+					break
+				}
+				rEnd++
+			}
+			// Every left row with this key joins the block.
+			for ; li < len(lrows); li++ {
+				cc, err := compareKeys(lrows[li].key, rrows[ri].key)
+				if err != nil {
+					return err
+				}
+				if cc != 0 {
+					break
+				}
+				for k := ri; k < rEnd; k++ {
+					row := make(expr.Row, 0, len(lrows[li].row)+len(rrows[k].row))
+					row = append(row, lrows[li].row...)
+					row = append(row, rrows[k].row...)
+					if m.residual != nil {
+						keep, err := expr.EvalBool(m.residual, row)
+						if err != nil {
+							return err
+						}
+						if !keep {
+							continue
+						}
+					}
+					m.out = append(m.out, row)
+				}
+			}
+			ri = rEnd
+		}
+	}
+	return nil
+}
+
+func (m *mergeJoinOp) Next() (expr.Row, bool, error) {
+	if m.pos >= len(m.out) {
+		return nil, false, nil
+	}
+	r := m.out[m.pos]
+	m.pos++
+	return r, true, nil
+}
+
+func (m *mergeJoinOp) Close() error {
+	m.out = nil
+	return nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The CSV renderers emit machine-readable panels (one header line plus
+// data rows) so plots can be regenerated outside Go.
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func csvLine(fields ...string) string {
+	escaped := make([]string, len(fields))
+	for i, f := range fields {
+		escaped[i] = csvEscape(f)
+	}
+	return strings.Join(escaped, ",") + "\n"
+}
+
+func msF(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+// CSVFig5a renders the effectiveness matrix.
+func CSVFig5a(cells []ComplianceCell) string {
+	var b strings.Builder
+	b.WriteString(csvLine("set", "query", "traditional", "compliant"))
+	for _, c := range cells {
+		trad := "C"
+		if !c.TraditionalCompliant {
+			trad = "NC"
+		}
+		comp := "rejected"
+		if c.CompliantFound {
+			comp = "C"
+			if !c.CompliantValid {
+				comp = "INVALID"
+			}
+		}
+		b.WriteString(csvLine(string(c.Set), c.Query, trad, comp))
+	}
+	return b.String()
+}
+
+// CSVFig6a renders the ad-hoc effectiveness fractions.
+func CSVFig6a(rows []AdhocResult) string {
+	var b strings.Builder
+	b.WriteString(csvLine("set", "expressions", "queries", "traditional_compliant", "compliant_ok"))
+	for _, r := range rows {
+		b.WriteString(csvLine(string(r.Set),
+			fmt.Sprint(r.SetSize), fmt.Sprint(r.Queries),
+			fmt.Sprint(r.TraditionalCompliant), fmt.Sprint(r.CompliantOK)))
+	}
+	return b.String()
+}
+
+// CSVOptTimes renders a Figure 6(b)–(f) panel.
+func CSVOptTimes(rows []OptTimeRow) string {
+	var b strings.Builder
+	b.WriteString(csvLine("query", "traditional_ms", "compliant_ms", "eta", "groups", "exprs"))
+	for _, r := range rows {
+		b.WriteString(csvLine(r.Query, msF(r.Traditional), msF(r.Compliant),
+			fmt.Sprint(r.Eta), fmt.Sprint(r.Groups), fmt.Sprint(r.Exprs)))
+	}
+	return b.String()
+}
+
+// CSVQuality renders a Figure 6(g)/(h) panel.
+func CSVQuality(rows []QualityRow) string {
+	var b strings.Builder
+	b.WriteString(csvLine("query", "set", "traditional_cost_ms", "compliant_cost_ms", "scaled", "traditional_compliant", "same_plan"))
+	for _, r := range rows {
+		b.WriteString(csvLine(r.Query, string(r.Set),
+			fmt.Sprintf("%.3f", r.TraditionalCost), fmt.Sprintf("%.3f", r.CompliantCost),
+			fmt.Sprintf("%.3f", r.Scaled),
+			fmt.Sprint(r.TraditionalCompliant), fmt.Sprint(r.SamePlan)))
+	}
+	return b.String()
+}
+
+// CSVFig7 renders the expression-count scalability panel.
+func CSVFig7(rows []ScaleRow) string {
+	var b strings.Builder
+	b.WriteString(csvLine("query", "expressions", "compliant_ms", "eta"))
+	for _, r := range rows {
+		b.WriteString(csvLine(r.Query, fmt.Sprint(r.NumExprs), msF(r.Compliant), fmt.Sprint(r.Eta)))
+	}
+	return b.String()
+}
+
+// CSVFig7de renders the table-locations scalability panel.
+func CSVFig7de(rows []FragRow) string {
+	var b strings.Builder
+	b.WriteString(csvLine("query", "locations", "compliant_ms", "site_selection_ms"))
+	for _, r := range rows {
+		b.WriteString(csvLine(r.Query, fmt.Sprint(r.NumLocs), msF(r.Compliant), msF(r.SiteTime)))
+	}
+	return b.String()
+}
+
+// CSVFig8 renders the locations-per-expression panel.
+func CSVFig8(rows []WideRow) string {
+	var b strings.Builder
+	b.WriteString(csvLine("query", "locations_per_expression", "compliant_ms", "site_selection_ms"))
+	for _, r := range rows {
+		b.WriteString(csvLine(r.Query, fmt.Sprint(r.LocsPerExpr), msF(r.Compliant), msF(r.SiteTime)))
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cgdqp/internal/workload"
+)
+
+func TestCSVRenderers(t *testing.T) {
+	cells := []ComplianceCell{{Query: "Q2", Set: workload.SetT, TraditionalCompliant: false, CompliantFound: true, CompliantValid: true}}
+	out := CSVFig5a(cells)
+	if !strings.HasPrefix(out, "set,query,traditional,compliant\n") || !strings.Contains(out, "T,Q2,NC,C") {
+		t.Errorf("fig5a csv:\n%s", out)
+	}
+	adhoc := []AdhocResult{{Set: workload.SetCRA, SetSize: 50, Queries: 100, TraditionalCompliant: 31, CompliantOK: 100}}
+	if out := CSVFig6a(adhoc); !strings.Contains(out, "CR+A,50,100,31,100") {
+		t.Errorf("fig6a csv:\n%s", out)
+	}
+	opt := []OptTimeRow{{Query: "Q3", Traditional: 300 * time.Microsecond, Compliant: 2 * time.Millisecond, Eta: 28, Groups: 32, Exprs: 58}}
+	if out := CSVOptTimes(opt); !strings.Contains(out, "Q3,0.300,2.000,28,32,58") {
+		t.Errorf("opt csv:\n%s", out)
+	}
+	q := []QualityRow{{Query: "Q2", Set: workload.SetCR, TraditionalCost: 589.02, CompliantCost: 1195.7, Scaled: 2.03, TraditionalCompliant: false, SamePlan: false}}
+	if out := CSVQuality(q); !strings.Contains(out, "Q2,CR,589.020,1195.700,2.030,false,false") {
+		t.Errorf("quality csv:\n%s", out)
+	}
+	if out := CSVFig7([]ScaleRow{{Query: "Q2", NumExprs: 12, Compliant: time.Millisecond, Eta: 27}}); !strings.Contains(out, "Q2,12,1.000,27") {
+		t.Errorf("fig7 csv:\n%s", out)
+	}
+	if out := CSVFig7de([]FragRow{{Query: "Q3", NumLocs: 3, Compliant: time.Millisecond, SiteTime: 50 * time.Microsecond}}); !strings.Contains(out, "Q3,3,1.000,0.050") {
+		t.Errorf("fig7de csv:\n%s", out)
+	}
+	if out := CSVFig8([]WideRow{{Query: "Q3", LocsPerExpr: 10, Compliant: time.Millisecond, SiteTime: time.Microsecond * 10}}); !strings.Contains(out, "Q3,10,1.000,0.010") {
+		t.Errorf("fig8 csv:\n%s", out)
+	}
+	// Escaping.
+	if got := csvEscape(`a,"b"`); got != `"a,""b"""` {
+		t.Errorf("escape: %s", got)
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f ms", float64(d.Microseconds())/1000) }
+
+// RenderFig5a renders the effectiveness matrix.
+func RenderFig5a(cells []ComplianceCell) string {
+	var b strings.Builder
+	b.WriteString("Figure 5(a): QEPs produced by the traditional query optimizer (C = compliant, NC = non-compliant)\n")
+	b.WriteString("and whether the compliance-based optimizer found a valid plan.\n\n")
+	b.WriteString(fmt.Sprintf("%-6s %-8s %-14s %-10s\n", "Set", "Query", "Traditional", "Compliant"))
+	for _, c := range cells {
+		trad := "C"
+		if !c.TraditionalCompliant {
+			trad = "NC"
+		}
+		comp := "rejected"
+		if c.CompliantFound {
+			comp = "C"
+			if !c.CompliantValid {
+				comp = "INVALID"
+			}
+		}
+		b.WriteString(fmt.Sprintf("%-6s %-8s %-14s %-10s\n", c.Set, c.Query, trad, comp))
+	}
+	return b.String()
+}
+
+// RenderFig6a renders the ad-hoc effectiveness fractions.
+func RenderFig6a(rows []AdhocResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 6(a): fraction of ad-hoc queries with a compliant QEP\n\n")
+	b.WriteString(fmt.Sprintf("%-8s %-10s %-10s %-22s %-22s\n", "Set", "#Exprs", "#Queries", "Traditional QO", "Compliant QO"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-8s %-10d %-10d %-22s %-22s\n",
+			r.Set, r.SetSize, r.Queries,
+			fmt.Sprintf("%.2f", float64(r.TraditionalCompliant)/float64(r.Queries)),
+			fmt.Sprintf("%.2f", float64(r.CompliantOK)/float64(r.Queries))))
+	}
+	return b.String()
+}
+
+// RenderOptTimes renders a Figure 6(b)–(f) panel.
+func RenderOptTimes(title string, rows []OptTimeRow) string {
+	var b strings.Builder
+	b.WriteString(title + "\n\n")
+	b.WriteString(fmt.Sprintf("%-8s %-16s %-16s %-10s %-8s %-8s\n", "Query", "Traditional", "Compliant", "Ratio", "Eta", "Exprs"))
+	for _, r := range rows {
+		ratio := float64(r.Compliant) / float64(r.Traditional)
+		b.WriteString(fmt.Sprintf("%-8s %-16s %-16s %-10.2f %-8d %-8d\n",
+			r.Query, ms(r.Traditional), ms(r.Compliant), ratio, r.Eta, r.Exprs))
+	}
+	return b.String()
+}
+
+// RenderQuality renders a Figure 6(g)/(h) panel.
+func RenderQuality(title string, rows []QualityRow) string {
+	var b strings.Builder
+	b.WriteString(title + "\n\n")
+	b.WriteString(fmt.Sprintf("%-8s %-14s %-14s %-10s %-6s %-6s\n", "Query", "Trad cost", "Comp cost", "Scaled", "C/NC", "=/≠"))
+	for _, r := range rows {
+		marker := "C"
+		if !r.TraditionalCompliant {
+			marker = "NC"
+		}
+		eq := "="
+		if !r.SamePlan {
+			eq = "≠"
+		}
+		b.WriteString(fmt.Sprintf("%-8s %-14.2f %-14.2f %-10.2f %-6s %-6s\n",
+			r.Query, r.TraditionalCost, r.CompliantCost, r.Scaled, marker, eq))
+	}
+	return b.String()
+}
+
+// RenderFig7 renders the expression-count scalability panel.
+func RenderFig7(rows []ScaleRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 7(a-c): optimization time vs #policy expressions (with η)\n\n")
+	b.WriteString(fmt.Sprintf("%-8s %-10s %-16s %-8s\n", "Query", "#Exprs", "Compliant", "Eta"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-8s %-10d %-16s %-8d\n", r.Query, r.NumExprs, ms(r.Compliant), r.Eta))
+	}
+	return b.String()
+}
+
+// RenderFig7de renders the fragmented-table scalability panel.
+func RenderFig7de(rows []FragRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 7(d,e): optimization time vs #table locations (Customer/Orders fragmented)\n\n")
+	b.WriteString(fmt.Sprintf("%-8s %-10s %-16s %-16s\n", "Query", "#Locs", "Compliant", "SiteSel"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-8s %-10d %-16s %-16s\n", r.Query, r.NumLocs, ms(r.Compliant), ms(r.SiteTime)))
+	}
+	return b.String()
+}
+
+// RenderFig8 renders the locations-per-expression panel.
+func RenderFig8(rows []WideRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: optimization time vs #locations per policy expression\n\n")
+	b.WriteString(fmt.Sprintf("%-8s %-10s %-16s %-16s\n", "Query", "#Locs", "Compliant", "SiteSel"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-8s %-10d %-16s %-16s\n", r.Query, r.LocsPerExpr, ms(r.Compliant), ms(r.SiteTime)))
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/policy"
+)
+
+// Table1Row is one evaluated query of the Table 1 walk-through.
+type Table1Row struct {
+	Query  string
+	Result string // 𝒜(q, D, P)
+}
+
+// Table1Evaluation reproduces the Section 5 walk-through: the four
+// policy expressions e1–e4 over T(A,...,G) evaluated against q1 and q2.
+func Table1Evaluation() []Table1Row {
+	cat := policy.NewCatalog()
+	cat.AddAll(
+		policy.MustParse("ship A, B, C from T to l2, l3", "e1", "d"),
+		policy.MustParse("ship A, B from T to l1, l2, l3, l4", "e2", "d"),
+		policy.MustParse("ship A, D from T to l1, l3 where B > 10", "e3", "d"),
+		policy.MustParse("ship F, G as aggregates sum, avg from T to l1, l2 group by E, C", "e4", "d"),
+	)
+	ev := policy.NewEvaluator(cat, []string{"l1", "l2", "l3", "l4"})
+
+	attr := func(name string) policy.Attr { return policy.Attr{Table: "t", Name: name} }
+	q1 := &policy.Query{
+		DB: "d",
+		OutAttrs: []policy.OutAttr{
+			{Attr: attr("a")}, {Attr: attr("c")}, {Attr: attr("d")},
+			{Attr: attr("b")}, // accessed by the predicate
+		},
+		Pred: expr.NewCmp(expr.GT, expr.NewCol("t", "b"), expr.NewConst(expr.NewInt(15))),
+	}
+	q2 := &policy.Query{
+		DB: "d",
+		OutAttrs: []policy.OutAttr{
+			{Attr: attr("c")},
+			{Attr: attr("f"), Agg: expr.AggSum, HasAgg: true},
+			{Attr: attr("g"), Agg: expr.AggSum, HasAgg: true},
+		},
+		GroupBy:    []policy.Attr{attr("c")},
+		Aggregated: true,
+	}
+	return []Table1Row{
+		{Query: "q1 ≡ Π_{A,C,D}(σ_{B>15}(T))", Result: ev.Evaluate(q1).String()},
+		{Query: "q2 ≡ _C Γ_{sum(F*(1-G))}(T)", Result: ev.Evaluate(q2).String()},
+	}
+}
+
+// RenderTable1 renders the walk-through as text.
+func RenderTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: policy evaluation walk-through (Section 5)\n")
+	b.WriteString("  e1 ≡ ship A, B, C from T to l2, l3\n")
+	b.WriteString("  e2 ≡ ship A, B from T to l1, l2, l3, l4\n")
+	b.WriteString("  e3 ≡ ship A, D from T to l1, l3 where B > 10\n")
+	b.WriteString("  e4 ≡ ship F, G as aggregates sum, avg from T to l1, l2 group by E, C\n")
+	for _, row := range Table1Evaluation() {
+		fmt.Fprintf(&b, "  𝒜(%s) = %s\n", row.Query, row.Result)
+	}
+	return b.String()
+}

@@ -1,0 +1,409 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testRow builds a row and a resolver over the given column keys.
+func testRow(keys []string, vals ...Value) (Row, Resolver) {
+	return Row(vals), SliceResolver(keys)
+}
+
+func mustEval(t *testing.T, e Expr, row Row) Value {
+	t.Helper()
+	v, err := Eval(e, row)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestEvalColAndConst(t *testing.T) {
+	row, res := testRow([]string{"t.a", "t.b"}, NewInt(10), NewString("x"))
+	e := MustBind(NewCol("t", "a"), res)
+	if v := mustEval(t, e, row); v.Int() != 10 {
+		t.Errorf("col eval: %v", v)
+	}
+	if v := mustEval(t, NewConst(NewInt(7)), row); v.Int() != 7 {
+		t.Errorf("const eval: %v", v)
+	}
+}
+
+func TestEvalComparisonsAllOps(t *testing.T) {
+	row, res := testRow([]string{"t.a"}, NewInt(5))
+	cases := []struct {
+		op   CmpOp
+		rhs  int64
+		want bool
+	}{
+		{EQ, 5, true}, {EQ, 4, false},
+		{NE, 4, true}, {NE, 5, false},
+		{LT, 6, true}, {LT, 5, false},
+		{LE, 5, true}, {LE, 4, false},
+		{GT, 4, true}, {GT, 5, false},
+		{GE, 5, true}, {GE, 6, false},
+	}
+	for _, c := range cases {
+		e := MustBind(NewCmp(c.op, NewCol("t", "a"), NewConst(NewInt(c.rhs))), res)
+		if got := mustEval(t, e, row).Bool(); got != c.want {
+			t.Errorf("5 %s %d = %v, want %v", c.op, c.rhs, got, c.want)
+		}
+	}
+}
+
+func TestEvalNullSemantics(t *testing.T) {
+	row, res := testRow([]string{"t.a", "t.b"}, TypedNull(TInt), NewBool(true))
+	// NULL = 5 is NULL.
+	e := MustBind(NewCmp(EQ, NewCol("t", "a"), NewConst(NewInt(5))), res)
+	if v := mustEval(t, e, row); !v.IsNull() {
+		t.Errorf("NULL = 5 should be NULL, got %v", v)
+	}
+	// NULL AND FALSE is FALSE.
+	f := MustBind(NewAnd(NewCmp(EQ, NewCol("t", "a"), NewConst(NewInt(5))), NewConst(NewBool(false))), res)
+	if v := mustEval(t, f, row); v.IsNull() || v.Bool() {
+		t.Errorf("NULL AND FALSE should be FALSE, got %v", v)
+	}
+	// NULL OR TRUE is TRUE.
+	g := MustBind(NewOr(NewCmp(EQ, NewCol("t", "a"), NewConst(NewInt(5))), NewConst(NewBool(true))), res)
+	if v := mustEval(t, g, row); !v.Bool() {
+		t.Errorf("NULL OR TRUE should be TRUE, got %v", v)
+	}
+	// NOT NULL is NULL.
+	h := MustBind(NewNot(NewCmp(EQ, NewCol("t", "a"), NewConst(NewInt(5)))), res)
+	if v := mustEval(t, h, row); !v.IsNull() {
+		t.Errorf("NOT NULL should be NULL, got %v", v)
+	}
+	// EvalBool collapses NULL to false.
+	ok, err := EvalBool(e, row)
+	if err != nil || ok {
+		t.Errorf("EvalBool(NULL) = %v, %v", ok, err)
+	}
+	// IS NULL / IS NOT NULL.
+	in := MustBind(NewIsNull(NewCol("t", "a")), res)
+	if !mustEval(t, in, row).Bool() {
+		t.Error("IS NULL on NULL should be TRUE")
+	}
+	inn := MustBind(&IsNull{E: NewCol("t", "a"), Negated: true}, res)
+	if mustEval(t, inn, row).Bool() {
+		t.Error("IS NOT NULL on NULL should be FALSE")
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	row, res := testRow([]string{"t.a", "t.b"}, NewInt(6), NewFloat(1.5))
+	cases := []struct {
+		e    Expr
+		want float64
+	}{
+		{NewArith(Add, NewCol("t", "a"), NewConst(NewInt(2))), 8},
+		{NewArith(Sub, NewCol("t", "a"), NewConst(NewInt(2))), 4},
+		{NewArith(Mul, NewCol("t", "a"), NewConst(NewInt(2))), 12},
+		{NewArith(Div, NewCol("t", "a"), NewConst(NewInt(2))), 3},
+		{NewArith(Mul, NewCol("t", "b"), NewConst(NewInt(4))), 6},
+		{NewArith(Mul, NewCol("t", "a"), NewArith(Sub, NewConst(NewInt(1)), NewCol("t", "b"))), -3},
+	}
+	for _, c := range cases {
+		e := MustBind(c.e, res)
+		if got := mustEval(t, e, row).Float(); got != c.want {
+			t.Errorf("%s = %v, want %v", e, got, c.want)
+		}
+	}
+	// Integer ops stay integral.
+	e := MustBind(NewArith(Add, NewCol("t", "a"), NewConst(NewInt(1))), res)
+	if v := mustEval(t, e, row); v.T != TInt || v.Int() != 7 {
+		t.Errorf("int add: %v", v)
+	}
+	// Division by zero yields NULL.
+	z := MustBind(NewArith(Div, NewCol("t", "a"), NewConst(NewInt(0))), res)
+	if v := mustEval(t, z, row); !v.IsNull() {
+		t.Errorf("div by zero should be NULL, got %v", v)
+	}
+}
+
+func TestEvalLike(t *testing.T) {
+	row, res := testRow([]string{"t.s"}, NewString("COPPER PLATED"))
+	cases := []struct {
+		pat  string
+		want bool
+	}{
+		{"%COPPER%", true},
+		{"COPPER%", true},
+		{"%PLATED", true},
+		{"COPPER PLATED", true},
+		{"C_PPER%", true},
+		{"%BRASS%", false},
+		{"copper%", false}, // case-sensitive
+		{"%", true},
+		{"", false},
+	}
+	for _, c := range cases {
+		e := MustBind(NewLike(NewCol("t", "s"), c.pat), res)
+		if got := mustEval(t, e, row).Bool(); got != c.want {
+			t.Errorf("LIKE %q = %v, want %v", c.pat, got, c.want)
+		}
+	}
+	neg := MustBind(&Like{E: NewCol("t", "s"), Pattern: "%BRASS%", Negated: true}, res)
+	if !mustEval(t, neg, row).Bool() {
+		t.Error("NOT LIKE should be TRUE")
+	}
+}
+
+func TestMatchLikeEdgeCases(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"a", "_", true},
+		{"ab", "_", false},
+		{"abc", "a%c", true},
+		{"ac", "a%c", true},
+		{"abcd", "a%c", false},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "%iss%pi", true},
+		{"mississippi", "%iss%pz", false},
+		{"mississippi", "%iss%ppi", true},
+	}
+	for _, c := range cases {
+		if got := MatchLike(c.s, c.p); got != c.want {
+			t.Errorf("MatchLike(%q,%q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// Property: a string always matches itself and pattern "%"+s+"%".
+func TestMatchLikeSelfProperty(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true // wildcards in the value change semantics; skip
+		}
+		return MatchLike(s, s) && MatchLike(s, "%"+s+"%") && MatchLike("x"+s+"y", "%"+s+"%")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalInBetween(t *testing.T) {
+	row, res := testRow([]string{"t.a"}, NewInt(5))
+	in := MustBind(NewIn(NewCol("t", "a"), []Value{NewInt(1), NewInt(5)}), res)
+	if !mustEval(t, in, row).Bool() {
+		t.Error("5 IN (1,5)")
+	}
+	nin := MustBind(&In{E: NewCol("t", "a"), List: []Value{NewInt(1)}, Negated: true}, res)
+	if !mustEval(t, nin, row).Bool() {
+		t.Error("5 NOT IN (1)")
+	}
+	bt := MustBind(NewBetween(NewCol("t", "a"), NewInt(1), NewInt(5)), res)
+	if !mustEval(t, bt, row).Bool() {
+		t.Error("5 BETWEEN 1 AND 5")
+	}
+	bt2 := MustBind(NewBetween(NewCol("t", "a"), NewInt(6), NewInt(9)), res)
+	if mustEval(t, bt2, row).Bool() {
+		t.Error("5 BETWEEN 6 AND 9 should be FALSE")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	_, res := testRow([]string{"t.a"}, NewInt(1))
+	if _, err := Bind(NewCol("t", "missing"), res); err == nil {
+		t.Error("expected bind error for unknown column")
+	}
+	if _, err := Bind(NewCol("u", "a"), res); err == nil {
+		t.Error("expected bind error for unknown qualifier")
+	}
+	// Unqualified resolution works when unambiguous.
+	e, err := Bind(NewCol("", "a"), res)
+	if err != nil {
+		t.Fatalf("unqualified bind: %v", err)
+	}
+	if e.(*Col).Index != 0 {
+		t.Errorf("unqualified bind index = %d", e.(*Col).Index)
+	}
+	// Ambiguous unqualified reference fails.
+	res2 := SliceResolver([]string{"t.a", "u.a"})
+	if _, err := Bind(NewCol("", "a"), res2); err == nil {
+		t.Error("expected ambiguity error")
+	}
+}
+
+func TestEvalAggregateErrors(t *testing.T) {
+	row := Row{NewInt(1)}
+	if _, err := Eval(NewAgg(AggSum, &Col{Name: "a", Index: 0}), row); err == nil {
+		t.Error("aggregates must not evaluate row-wise")
+	}
+}
+
+func TestConjunctsDisjuncts(t *testing.T) {
+	a := NewCmp(EQ, NewCol("t", "a"), NewConst(NewInt(1)))
+	b := NewCmp(EQ, NewCol("t", "b"), NewConst(NewInt(2)))
+	c := NewCmp(EQ, NewCol("t", "c"), NewConst(NewInt(3)))
+	and := NewAnd(NewAnd(a, b), c)
+	if got := Conjuncts(and); len(got) != 3 {
+		t.Errorf("Conjuncts: %d", len(got))
+	}
+	or := NewOr(a, NewOr(b, c))
+	if got := Disjuncts(or); len(got) != 3 {
+		t.Errorf("Disjuncts: %d", len(got))
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil)")
+	}
+	if AndAll() != nil {
+		t.Error("AndAll() should be nil")
+	}
+	if !AndAll(a).Equal(a) {
+		t.Error("AndAll(a) = a")
+	}
+	if _, ok := AndAll(a, b).(*And); !ok {
+		t.Error("AndAll(a,b) should be And")
+	}
+}
+
+func TestColumnsAndWalk(t *testing.T) {
+	e := NewAnd(
+		NewCmp(EQ, NewCol("t", "a"), NewCol("u", "b")),
+		NewCmp(GT, NewCol("t", "a"), NewConst(NewInt(1))),
+	)
+	cols := Columns(e)
+	if len(cols) != 2 {
+		t.Fatalf("Columns: got %d, want 2", len(cols))
+	}
+	if cols[0].Key() != "t.a" || cols[1].Key() != "u.b" {
+		t.Errorf("Columns order: %v, %v", cols[0].Key(), cols[1].Key())
+	}
+	count := 0
+	Walk(e, func(Expr) bool { count++; return true })
+	if count != 7 {
+		t.Errorf("Walk visited %d nodes, want 7", count)
+	}
+}
+
+func TestContainsAgg(t *testing.T) {
+	plain := NewCmp(EQ, NewCol("t", "a"), NewConst(NewInt(1)))
+	if ContainsAgg(plain) {
+		t.Error("plain expr has no agg")
+	}
+	agg := NewArith(Mul, NewAgg(AggSum, NewCol("t", "a")), NewConst(NewInt(2)))
+	if !ContainsAgg(agg) {
+		t.Error("agg expr should report true")
+	}
+}
+
+func TestTransformAndClone(t *testing.T) {
+	orig := NewAnd(
+		NewCmp(EQ, NewCol("t", "a"), NewConst(NewInt(1))),
+		NewLike(NewCol("t", "s"), "x%"),
+	)
+	cl := Clone(orig)
+	if !cl.Equal(orig) {
+		t.Error("clone not equal")
+	}
+	// Mutating the clone's columns must not affect the original.
+	cl.(*And).L.(*Cmp).L.(*Col).Index = 99
+	if orig.L.(*Cmp).L.(*Col).Index == 99 {
+		t.Error("clone aliases original")
+	}
+	// Transform replaces constants.
+	doubled := Transform(orig, func(n Expr) Expr {
+		if c, ok := n.(*Const); ok && c.Val.T == TInt {
+			return NewConst(NewInt(c.Val.Int() * 2))
+		}
+		return n
+	})
+	if doubled.(*And).L.(*Cmp).R.(*Const).Val.Int() != 2 {
+		t.Error("transform did not double constant")
+	}
+}
+
+func TestExprStringRendering(t *testing.T) {
+	e := NewAnd(
+		NewCmp(GT, NewCol("o", "total"), NewConst(NewFloat(100))),
+		NewOr(NewLike(NewCol("c", "name"), "A%"), NewIn(NewCol("c", "seg"), []Value{NewString("AUTO")})),
+	)
+	s := e.String()
+	for _, want := range []string{"o.total > 100", "c.name LIKE 'A%'", "c.seg IN ('AUTO')", "AND", "OR"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	a := NewAgg(AggSum, NewArith(Mul, NewCol("l", "price"), NewArith(Sub, NewConst(NewInt(1)), NewCol("l", "disc"))))
+	if got := a.String(); got != "SUM((l.price * (1 - l.disc)))" {
+		t.Errorf("agg string: %q", got)
+	}
+	if NewAgg(AggCount, nil).String() != "COUNT(*)" {
+		t.Error("COUNT(*) rendering")
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	ct := func(c *Col) Type {
+		if c.Name == "f" {
+			return TFloat
+		}
+		return TInt
+	}
+	if TypeOf(NewArith(Add, NewCol("t", "a"), NewCol("t", "b")), ct) != TInt {
+		t.Error("int + int = int")
+	}
+	if TypeOf(NewArith(Add, NewCol("t", "a"), NewCol("t", "f")), ct) != TFloat {
+		t.Error("int + float = float")
+	}
+	if TypeOf(NewArith(Div, NewCol("t", "a"), NewCol("t", "b")), ct) != TFloat {
+		t.Error("div = float")
+	}
+	if TypeOf(NewAgg(AggCount, nil), ct) != TInt {
+		t.Error("count = int")
+	}
+	if TypeOf(NewAgg(AggAvg, NewCol("t", "a")), ct) != TFloat {
+		t.Error("avg = float")
+	}
+	if TypeOf(NewAgg(AggMin, NewCol("t", "f")), ct) != TFloat {
+		t.Error("min preserves type")
+	}
+	if TypeOf(NewCmp(EQ, NewCol("t", "a"), NewConst(NewInt(1))), ct) != TBool {
+		t.Error("cmp = bool")
+	}
+}
+
+func TestParseAggFn(t *testing.T) {
+	for name, want := range map[string]AggFn{"sum": AggSum, "AVG": AggAvg, "Count": AggCount, "min": AggMin, "max": AggMax} {
+		got, err := ParseAggFn(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAggFn(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseAggFn("median"); err == nil {
+		t.Error("expected error for unknown aggregate")
+	}
+}
+
+func TestCmpOpHelpers(t *testing.T) {
+	if LT.Negate() != GE || EQ.Negate() != NE || GT.Negate() != LE {
+		t.Error("Negate")
+	}
+	if LT.Flip() != GT || LE.Flip() != GE || EQ.Flip() != EQ {
+		t.Error("Flip")
+	}
+}
+
+// Property: EvalBool(p AND q) == EvalBool(p) && EvalBool(q) for non-NULL rows.
+func TestAndConjunctionProperty(t *testing.T) {
+	f := func(a, b int8, ta, tb int8) bool {
+		row, res := testRow([]string{"t.a", "t.b"}, NewInt(int64(a)), NewInt(int64(b)))
+		p := MustBind(NewCmp(GT, NewCol("t", "a"), NewConst(NewInt(int64(ta)))), res)
+		q := MustBind(NewCmp(LE, NewCol("t", "b"), NewConst(NewInt(int64(tb)))), res)
+		pq := NewAnd(p, q)
+		x, _ := EvalBool(pq, row)
+		y1, _ := EvalBool(p, row)
+		y2, _ := EvalBool(q, row)
+		return x == (y1 && y2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

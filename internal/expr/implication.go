@@ -1,0 +1,400 @@
+package expr
+
+// This file implements the logical implication test P_q ⇒ P_e used by the
+// policy evaluation algorithm (Algorithm 1, line 3). Following the paper
+// (Section 5, Discussion), the test is in the style of Goldstein & Larson's
+// materialized-view matching: it is SOUND (never claims implication that
+// does not hold) but INCOMPLETE (e.g. it fails for P_q ≡ A=5 ∧ B=3 and
+// P_e ≡ A+B=8).
+//
+// The approach: both predicates are viewed as conjunctions. P_q ⇒ P_e
+// holds when every conjunct of P_e is implied by the conjunction P_q. A
+// conjunct is implied when (a) it appears structurally in P_q, (b) it is a
+// disjunction with an implied disjunct, or (c) it is a single-column
+// range/set predicate subsumed by the column range that P_q pins down.
+
+// ImplicationMode selects the precision of the implication test. The
+// ablation benchmarks compare the full range-subsumption test against a
+// syntactic-equality-only variant.
+type ImplicationMode int
+
+const (
+	// ImplicationFull enables range subsumption, IN/LIKE reasoning and
+	// disjunction handling. This is the mode the paper's evaluation uses.
+	ImplicationFull ImplicationMode = iota
+	// ImplicationSyntactic only accepts conjuncts that appear verbatim in
+	// the query predicate.
+	ImplicationSyntactic
+)
+
+// Implies reports whether pq ⇒ pe with the full test.
+func Implies(pq, pe Expr) bool { return ImpliesMode(pq, pe, ImplicationFull) }
+
+// ImpliesMode reports whether pq ⇒ pe under the given precision mode.
+// A nil pe is the TRUE predicate and is implied by everything. A nil pq
+// is TRUE and implies only trivially true predicates.
+func ImpliesMode(pq, pe Expr, mode ImplicationMode) bool {
+	if pe == nil || isConstTrue(pe) {
+		return true
+	}
+	qs := Conjuncts(pq)
+	for _, c := range Conjuncts(pe) {
+		if !impliesConjunct(qs, c, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func isConstTrue(e Expr) bool {
+	c, ok := e.(*Const)
+	return ok && !c.Val.IsNull() && c.Val.T == TBool && c.Val.Bool()
+}
+
+// impliesConjunct reports whether the conjunction qs implies the single
+// conjunct c.
+func impliesConjunct(qs []Expr, c Expr, mode ImplicationMode) bool {
+	// (a) Structural match.
+	for _, q := range qs {
+		if q.Equal(c) {
+			return true
+		}
+		// a = b matches b = a.
+		if qc, ok := q.(*Cmp); ok {
+			if cc, ok2 := c.(*Cmp); ok2 && qc.Op.Flip() == cc.Op && qc.L.Equal(cc.R) && qc.R.Equal(cc.L) {
+				return true
+			}
+		}
+	}
+	if mode == ImplicationSyntactic {
+		return false
+	}
+	// (b) Disjunctive conjunct: any implied disjunct suffices; or every
+	// disjunct of some disjunctive query conjunct implies some disjunct
+	// of c (case split).
+	if _, ok := c.(*Or); ok {
+		ds := Disjuncts(c)
+		for _, d := range ds {
+			if impliesConjunct(qs, d, mode) {
+				return true
+			}
+		}
+		for _, q := range qs {
+			if _, ok := q.(*Or); !ok {
+				continue
+			}
+			all := true
+			for _, qd := range Disjuncts(q) {
+				anyImplied := false
+				for _, d := range ds {
+					if impliesConjunct([]Expr{qd}, d, mode) {
+						anyImplied = true
+						break
+					}
+				}
+				if !anyImplied {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	}
+	// (c) Single-column subsumption.
+	col, ok := predicateColumn(c)
+	if !ok {
+		return false
+	}
+	r := deriveRange(qs, col)
+	return r.satisfies(c)
+}
+
+// predicateColumn extracts the single column a conjunct constrains, if it
+// has exactly that shape (column vs. constant).
+func predicateColumn(c Expr) (*Col, bool) {
+	switch n := c.(type) {
+	case *Cmp:
+		if col, ok := n.L.(*Col); ok {
+			if _, ok2 := n.R.(*Const); ok2 {
+				return col, true
+			}
+		}
+		if col, ok := n.R.(*Col); ok {
+			if _, ok2 := n.L.(*Const); ok2 {
+				return col, true
+			}
+		}
+	case *Between:
+		if col, ok := n.E.(*Col); ok {
+			return col, true
+		}
+	case *In:
+		if col, ok := n.E.(*Col); ok && !n.Negated {
+			return col, true
+		}
+	case *Like:
+		if col, ok := n.E.(*Col); ok && !n.Negated {
+			return col, true
+		}
+	case *IsNull:
+		if col, ok := n.E.(*Col); ok && n.Negated {
+			return col, true
+		}
+	}
+	return nil, false
+}
+
+// colRange is the set of values a column may take under a conjunction of
+// predicates: an interval, optionally a finite equality set, and a
+// not-null flag. A nil eqSet means "no finite restriction".
+type colRange struct {
+	hasLo, hasHi   bool
+	loOpen, hiOpen bool
+	lo, hi         Value
+	eqSet          []Value // non-nil: column restricted to these values
+	empty          bool    // contradictory constraints: implies anything
+	notNull        bool
+}
+
+// deriveRange accumulates the constraints qs place on col.
+func deriveRange(qs []Expr, col *Col) colRange {
+	var r colRange
+	for _, q := range qs {
+		switch n := q.(type) {
+		case *Cmp:
+			c, v, op, ok := normalizeCmp(n)
+			if !ok || !c.Equal(col) {
+				continue
+			}
+			r.notNull = true
+			switch op {
+			case EQ:
+				r.intersectEq([]Value{v})
+			case LT:
+				r.tightenHi(v, true)
+			case LE:
+				r.tightenHi(v, false)
+			case GT:
+				r.tightenLo(v, true)
+			case GE:
+				r.tightenLo(v, false)
+			}
+		case *Between:
+			if c, ok := n.E.(*Col); ok && c.Equal(col) {
+				r.notNull = true
+				r.tightenLo(n.Lo, false)
+				r.tightenHi(n.Hi, false)
+			}
+		case *In:
+			if c, ok := n.E.(*Col); ok && c.Equal(col) && !n.Negated {
+				r.notNull = true
+				r.intersectEq(n.List)
+			}
+		case *Like:
+			if c, ok := n.E.(*Col); ok && c.Equal(col) && !n.Negated {
+				r.notNull = true
+			}
+		case *IsNull:
+			if c, ok := n.E.(*Col); ok && c.Equal(col) && n.Negated {
+				r.notNull = true
+			}
+		}
+	}
+	return r
+}
+
+// normalizeCmp rewrites a comparison so the column is on the left.
+func normalizeCmp(n *Cmp) (*Col, Value, CmpOp, bool) {
+	if col, ok := n.L.(*Col); ok {
+		if k, ok2 := n.R.(*Const); ok2 && !k.Val.IsNull() {
+			return col, k.Val, n.Op, true
+		}
+	}
+	if col, ok := n.R.(*Col); ok {
+		if k, ok2 := n.L.(*Const); ok2 && !k.Val.IsNull() {
+			return col, k.Val, n.Op.Flip(), true
+		}
+	}
+	return nil, Value{}, 0, false
+}
+
+func (r *colRange) tightenLo(v Value, open bool) {
+	if !r.hasLo {
+		r.hasLo, r.lo, r.loOpen = true, v, open
+		return
+	}
+	c, err := v.Compare(r.lo)
+	if err != nil {
+		return
+	}
+	if c > 0 || (c == 0 && open && !r.loOpen) {
+		r.lo, r.loOpen = v, open
+	}
+}
+
+func (r *colRange) tightenHi(v Value, open bool) {
+	if !r.hasHi {
+		r.hasHi, r.hi, r.hiOpen = true, v, open
+		return
+	}
+	c, err := v.Compare(r.hi)
+	if err != nil {
+		return
+	}
+	if c < 0 || (c == 0 && open && !r.hiOpen) {
+		r.hi, r.hiOpen = v, open
+	}
+}
+
+func (r *colRange) intersectEq(vals []Value) {
+	if r.eqSet == nil {
+		r.eqSet = append([]Value(nil), vals...)
+		if len(r.eqSet) == 0 {
+			r.empty = true
+		}
+		return
+	}
+	var out []Value
+	for _, v := range r.eqSet {
+		for _, w := range vals {
+			if c, err := v.Compare(w); err == nil && c == 0 {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	r.eqSet = out
+	if len(out) == 0 {
+		r.empty = true
+	}
+}
+
+// satisfies reports whether every value permitted by the range satisfies
+// the conjunct c. Errors during comparison fail conservatively (false).
+func (r colRange) satisfies(c Expr) bool {
+	if r.empty {
+		return true // unsatisfiable query predicate implies anything
+	}
+	switch n := c.(type) {
+	case *Cmp:
+		col, v, op, ok := normalizeCmp(n)
+		if !ok {
+			return false
+		}
+		_ = col
+		return r.satisfiesCmp(op, v)
+	case *Between:
+		return r.satisfiesCmp(GE, n.Lo) && r.satisfiesCmp(LE, n.Hi)
+	case *In:
+		if r.eqSet == nil {
+			return false
+		}
+		for _, v := range r.eqSet {
+			found := false
+			for _, w := range n.List {
+				if cres, err := v.Compare(w); err == nil && cres == 0 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	case *Like:
+		if r.eqSet == nil {
+			return false
+		}
+		for _, v := range r.eqSet {
+			if v.T != TString || !MatchLike(v.Str(), n.Pattern) {
+				return false
+			}
+		}
+		return true
+	case *IsNull:
+		return n.Negated && r.notNull
+	}
+	return false
+}
+
+func (r colRange) satisfiesCmp(op CmpOp, v Value) bool {
+	// With a finite equality set, test each member directly.
+	if r.eqSet != nil {
+		for _, m := range r.eqSet {
+			c, err := m.Compare(v)
+			if err != nil {
+				return false
+			}
+			var ok bool
+			switch op {
+			case EQ:
+				ok = c == 0
+			case NE:
+				ok = c != 0
+			case LT:
+				ok = c < 0
+			case LE:
+				ok = c <= 0
+			case GT:
+				ok = c > 0
+			case GE:
+				ok = c >= 0
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	switch op {
+	case GT:
+		if !r.hasLo {
+			return false
+		}
+		c, err := r.lo.Compare(v)
+		return err == nil && (c > 0 || (c == 0 && r.loOpen))
+	case GE:
+		if !r.hasLo {
+			return false
+		}
+		c, err := r.lo.Compare(v)
+		return err == nil && c >= 0
+	case LT:
+		if !r.hasHi {
+			return false
+		}
+		c, err := r.hi.Compare(v)
+		return err == nil && (c < 0 || (c == 0 && r.hiOpen))
+	case LE:
+		if !r.hasHi {
+			return false
+		}
+		c, err := r.hi.Compare(v)
+		return err == nil && c <= 0
+	case EQ:
+		if !r.hasLo || !r.hasHi || r.loOpen || r.hiOpen {
+			return false
+		}
+		cl, err1 := r.lo.Compare(v)
+		ch, err2 := r.hi.Compare(v)
+		return err1 == nil && err2 == nil && cl == 0 && ch == 0
+	case NE:
+		// The interval must exclude v entirely.
+		if r.hasLo {
+			if c, err := r.lo.Compare(v); err == nil && (c > 0 || (c == 0 && r.loOpen)) {
+				return true
+			}
+		}
+		if r.hasHi {
+			if c, err := r.hi.Compare(v); err == nil && (c < 0 || (c == 0 && r.hiOpen)) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func col(name string) *Col                { return NewCol("T", name) }
+func cint(v int64) *Const                 { return NewConst(NewInt(v)) }
+func cstr(s string) *Const                { return NewConst(NewString(s)) }
+func cmp(op CmpOp, c string, v Expr) *Cmp { return NewCmp(op, col(c), v) }
+
+func TestImpliesBasics(t *testing.T) {
+	bGT15 := cmp(GT, "B", cint(15))
+	bGT10 := cmp(GT, "B", cint(10))
+
+	// Nil policy predicate (TRUE) is implied by everything.
+	if !Implies(bGT15, nil) {
+		t.Error("anything ⇒ TRUE")
+	}
+	// Nil query predicate implies only TRUE.
+	if Implies(nil, bGT10) {
+		t.Error("TRUE ⇏ B > 10")
+	}
+	if !Implies(nil, NewConst(NewBool(true))) {
+		t.Error("TRUE ⇒ TRUE")
+	}
+	// Structural match.
+	if !Implies(bGT10, bGT10) {
+		t.Error("p ⇒ p")
+	}
+	// Range subsumption: B > 15 ⇒ B > 10 (the paper's e3 example).
+	if !Implies(bGT15, bGT10) {
+		t.Error("B>15 ⇒ B>10")
+	}
+	// But not the converse.
+	if Implies(bGT10, bGT15) {
+		t.Error("B>10 ⇏ B>15")
+	}
+}
+
+func TestImpliesRangeOperators(t *testing.T) {
+	cases := []struct {
+		q, e Expr
+		want bool
+	}{
+		{cmp(EQ, "A", cint(5)), cmp(GE, "A", cint(5)), true},
+		{cmp(EQ, "A", cint(5)), cmp(GT, "A", cint(4)), true},
+		{cmp(EQ, "A", cint(5)), cmp(GT, "A", cint(5)), false},
+		{cmp(EQ, "A", cint(5)), cmp(LE, "A", cint(5)), true},
+		{cmp(EQ, "A", cint(5)), cmp(NE, "A", cint(6)), true},
+		{cmp(EQ, "A", cint(5)), cmp(NE, "A", cint(5)), false},
+		{cmp(GE, "A", cint(5)), cmp(GT, "A", cint(4)), true},
+		{cmp(GE, "A", cint(5)), cmp(GE, "A", cint(5)), true},
+		{cmp(GT, "A", cint(5)), cmp(GE, "A", cint(5)), true},
+		{cmp(GT, "A", cint(5)), cmp(GT, "A", cint(5)), true},
+		{cmp(LT, "A", cint(5)), cmp(LE, "A", cint(5)), true},
+		{cmp(LE, "A", cint(5)), cmp(LT, "A", cint(5)), false},
+		{cmp(LT, "A", cint(5)), cmp(NE, "A", cint(5)), true},
+		{cmp(GT, "A", cint(5)), cmp(NE, "A", cint(5)), true},
+		{cmp(GT, "A", cint(4)), cmp(NE, "A", cint(5)), false},
+		// Interval from two conjuncts.
+		{NewAnd(cmp(GE, "A", cint(3)), cmp(LE, "A", cint(4))), NewBetween(col("A"), NewInt(1), NewInt(5)), true},
+		{NewBetween(col("A"), NewInt(3), NewInt(4)), cmp(GT, "A", cint(2)), true},
+		{NewBetween(col("A"), NewInt(3), NewInt(4)), cmp(GT, "A", cint(3)), false},
+		// Equality pinning implies BETWEEN.
+		{cmp(EQ, "A", cint(3)), NewBetween(col("A"), NewInt(1), NewInt(5)), true},
+		// Flipped comparisons (const on the left).
+		{NewCmp(LT, cint(10), col("A")), cmp(GT, "A", cint(5)), true},
+	}
+	for i, c := range cases {
+		if got := Implies(c.q, c.e); got != c.want {
+			t.Errorf("case %d: Implies(%s, %s) = %v, want %v", i, c.q, c.e, got, c.want)
+		}
+	}
+}
+
+func TestImpliesInAndLike(t *testing.T) {
+	// eq value within IN list.
+	if !Implies(cmp(EQ, "S", cstr("AUTO")), NewIn(col("S"), []Value{NewString("AUTO"), NewString("BUILDING")})) {
+		t.Error("S='AUTO' ⇒ S IN ('AUTO','BUILDING')")
+	}
+	if Implies(cmp(EQ, "S", cstr("SHIP")), NewIn(col("S"), []Value{NewString("AUTO")})) {
+		t.Error("S='SHIP' ⇏ S IN ('AUTO')")
+	}
+	// IN subset.
+	if !Implies(NewIn(col("S"), []Value{NewString("A")}), NewIn(col("S"), []Value{NewString("A"), NewString("B")})) {
+		t.Error("IN subset")
+	}
+	if Implies(NewIn(col("S"), []Value{NewString("A"), NewString("C")}), NewIn(col("S"), []Value{NewString("A"), NewString("B")})) {
+		t.Error("IN non-subset")
+	}
+	// Equality satisfying LIKE.
+	if !Implies(cmp(EQ, "S", cstr("COPPER TUBE")), NewLike(col("S"), "%COPPER%")) {
+		t.Error("S='COPPER TUBE' ⇒ S LIKE '%COPPER%'")
+	}
+	if Implies(cmp(EQ, "S", cstr("BRASS")), NewLike(col("S"), "%COPPER%")) {
+		t.Error("S='BRASS' ⇏ LIKE COPPER")
+	}
+	// Identical LIKE is a structural match.
+	l := NewLike(col("S"), "%COPPER%")
+	if !Implies(l, NewLike(col("S"), "%COPPER%")) {
+		t.Error("LIKE self-implication")
+	}
+	// Different LIKE patterns are conservatively rejected.
+	if Implies(NewLike(col("S"), "%COPPER PLATED%"), NewLike(col("S"), "%COPPER%")) {
+		t.Error("pattern subsumption is out of scope (sound incompleteness)")
+	}
+}
+
+func TestImpliesDisjunction(t *testing.T) {
+	sizeGT40 := cmp(GT, "size", cint(40))
+	copper := NewLike(col("type"), "%COPPER%")
+	pe := NewOr(sizeGT40, copper) // e4's predicate from Table 3
+
+	// Query pinning size > 50 implies the disjunction.
+	if !Implies(cmp(GT, "size", cint(50)), pe) {
+		t.Error("size>50 ⇒ size>40 OR type LIKE COPPER")
+	}
+	// Query with the LIKE conjunct implies it too.
+	if !Implies(NewAnd(copper, cmp(EQ, "size", cint(1))), pe) {
+		t.Error("type LIKE COPPER ⇒ disjunction")
+	}
+	// A query that guarantees neither does not imply it.
+	if Implies(cmp(EQ, "size", cint(10)), pe) {
+		t.Error("size=10 ⇏ disjunction")
+	}
+	// Disjunctive query predicate: every disjunct implies some disjunct.
+	q := NewOr(cmp(GT, "size", cint(50)), cmp(EQ, "type", cstr("COPPER ROD")))
+	if !Implies(q, pe) {
+		t.Error("case-split disjunction implication")
+	}
+	q2 := NewOr(cmp(GT, "size", cint(50)), cmp(EQ, "type", cstr("BRASS ROD")))
+	if Implies(q2, pe) {
+		t.Error("one failing disjunct kills case split")
+	}
+}
+
+func TestImpliesSoundIncompleteness(t *testing.T) {
+	// The paper's example: Pq ≡ (A = 5 ∧ B = 3), Pe ≡ A + B = 8 fails.
+	pq := NewAnd(cmp(EQ, "A", cint(5)), cmp(EQ, "B", cint(3)))
+	pe := NewCmp(EQ, NewArith(Add, col("A"), col("B")), cint(8))
+	if Implies(pq, pe) {
+		t.Error("implication over arithmetic must (soundly) fail")
+	}
+}
+
+func TestImpliesMultiConjunct(t *testing.T) {
+	pq := AndAll(cmp(GT, "B", cint(15)), cmp(EQ, "mktseg", cstr("commercial")), cmp(LT, "B", cint(20)))
+	pe := AndAll(cmp(GT, "B", cint(10)), cmp(EQ, "mktseg", cstr("commercial")))
+	if !Implies(pq, pe) {
+		t.Error("multi-conjunct implication")
+	}
+	pe2 := AndAll(cmp(GT, "B", cint(10)), cmp(EQ, "mktseg", cstr("retail")))
+	if Implies(pq, pe2) {
+		t.Error("mismatched equality must fail")
+	}
+}
+
+func TestImpliesIsNotNull(t *testing.T) {
+	// Any range constraint on a column implies IS NOT NULL.
+	if !Implies(cmp(GT, "A", cint(1)), &IsNull{E: col("A"), Negated: true}) {
+		t.Error("A>1 ⇒ A IS NOT NULL")
+	}
+	if Implies(cmp(GT, "B", cint(1)), &IsNull{E: col("A"), Negated: true}) {
+		t.Error("B>1 ⇏ A IS NOT NULL")
+	}
+}
+
+func TestImpliesUnsatisfiableQuery(t *testing.T) {
+	// A contradictory query predicate implies anything (vacuous truth).
+	pq := NewAnd(NewIn(col("A"), []Value{NewInt(1)}), NewIn(col("A"), []Value{NewInt(2)}))
+	if !Implies(pq, cmp(EQ, "A", cint(99))) {
+		t.Error("empty range implies anything")
+	}
+}
+
+func TestImpliesSyntacticMode(t *testing.T) {
+	bGT15 := cmp(GT, "B", cint(15))
+	bGT10 := cmp(GT, "B", cint(10))
+	if !ImpliesMode(bGT15, bGT15, ImplicationSyntactic) {
+		t.Error("syntactic self-implication")
+	}
+	if ImpliesMode(bGT15, bGT10, ImplicationSyntactic) {
+		t.Error("syntactic mode must not do range reasoning")
+	}
+	// Flipped structural match still allowed.
+	if !ImpliesMode(NewCmp(LT, cint(15), col("B")), bGT15, ImplicationSyntactic) {
+		t.Error("flipped structural match")
+	}
+}
+
+// Property: soundness spot-check. If Implies(pq, pe) holds for randomly
+// generated single-column integer range predicates, then every integer
+// satisfying pq also satisfies pe.
+func TestImpliesSoundnessProperty(t *testing.T) {
+	mkPred := func(opSel uint8, v int8) Expr {
+		ops := []CmpOp{EQ, LT, LE, GT, GE}
+		return cmp(ops[int(opSel)%len(ops)], "A", cint(int64(v)))
+	}
+	f := func(op1, op2 uint8, v1, v2 int8, probe int8) bool {
+		pq := mkPred(op1, v1)
+		pe := mkPred(op2, v2)
+		if !Implies(pq, pe) {
+			return true // nothing to verify
+		}
+		row := Row{NewInt(int64(probe))}
+		res := SliceResolver([]string{"T.A"})
+		bq := MustBind(Clone(pq), res)
+		be := MustBind(Clone(pe), res)
+		qOK, _ := EvalBool(bq, row)
+		eOK, _ := EvalBool(be, row)
+		return !qOK || eOK // pq(x) → pe(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: conjoining extra conjuncts to the query predicate never
+// breaks an implication (monotonicity).
+func TestImpliesMonotonicityProperty(t *testing.T) {
+	f := func(v1, v2, v3 int8) bool {
+		pq := cmp(GT, "A", cint(int64(v1)))
+		pe := cmp(GT, "A", cint(int64(v2)))
+		if !Implies(pq, pe) {
+			return true
+		}
+		stronger := NewAnd(pq, cmp(LT, "B", cint(int64(v3))))
+		return Implies(stronger, pe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

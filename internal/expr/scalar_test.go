@@ -1,0 +1,154 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarFnParsing(t *testing.T) {
+	for name, want := range map[string]ScalarFn{"year": FnYear, "MONTH": FnMonth, "Day": FnDay, "abs": FnAbs} {
+		got, ok := ParseScalarFn(name)
+		if !ok || got != want {
+			t.Errorf("ParseScalarFn(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ParseScalarFn("sqrt"); ok {
+		t.Error("unknown function should miss")
+	}
+}
+
+func TestEvalDateFunctions(t *testing.T) {
+	row := Row{MustDate("1995-03-15")}
+	col := &Col{Name: "d", Index: 0}
+	cases := []struct {
+		fn   ScalarFn
+		want int64
+	}{{FnYear, 1995}, {FnMonth, 3}, {FnDay, 15}}
+	for _, c := range cases {
+		v, err := Eval(NewCall(c.fn, col), row)
+		if err != nil || v.Int() != c.want {
+			t.Errorf("%s: %v %v", c.fn, v, err)
+		}
+	}
+	// NULL propagates.
+	v, err := Eval(NewCall(FnYear, &Col{Name: "d", Index: 0}), Row{TypedNull(TDate)})
+	if err != nil || !v.IsNull() {
+		t.Errorf("NULL date: %v %v", v, err)
+	}
+	// Type error on non-dates.
+	if _, err := Eval(NewCall(FnYear, NewConst(NewInt(5))), nil); err == nil {
+		t.Error("YEAR over int must fail")
+	}
+}
+
+func TestEvalAbs(t *testing.T) {
+	if v, _ := Eval(NewCall(FnAbs, NewConst(NewInt(-7))), nil); v.Int() != 7 {
+		t.Errorf("ABS(-7): %v", v)
+	}
+	if v, _ := Eval(NewCall(FnAbs, NewConst(NewFloat(-2.5))), nil); v.Float() != 2.5 {
+		t.Errorf("ABS(-2.5): %v", v)
+	}
+	if _, err := Eval(NewCall(FnAbs, NewConst(NewString("x"))), nil); err == nil {
+		t.Error("ABS over string must fail")
+	}
+}
+
+func TestEvalCase(t *testing.T) {
+	row := Row{NewInt(5)}
+	a := &Col{Name: "a", Index: 0}
+	c := NewCase([]When{
+		{Cond: NewCmp(GT, a, NewConst(NewInt(10))), Result: NewConst(NewString("big"))},
+		{Cond: NewCmp(GT, a, NewConst(NewInt(3))), Result: NewConst(NewString("mid"))},
+	}, NewConst(NewString("small")))
+	if v, err := Eval(c, row); err != nil || v.Str() != "mid" {
+		t.Errorf("case: %v %v", v, err)
+	}
+	if v, _ := Eval(c, Row{NewInt(50)}); v.Str() != "big" {
+		t.Errorf("first branch: %v", v)
+	}
+	if v, _ := Eval(c, Row{NewInt(1)}); v.Str() != "small" {
+		t.Errorf("else: %v", v)
+	}
+	// Without ELSE: NULL.
+	noElse := NewCase(c.Whens, nil)
+	if v, _ := Eval(noElse, Row{NewInt(1)}); !v.IsNull() {
+		t.Errorf("missing else: %v", v)
+	}
+}
+
+func TestCaseCallStructural(t *testing.T) {
+	a := NewCol("t", "a")
+	c1 := NewCase([]When{{Cond: NewCmp(GT, a, NewConst(NewInt(1))), Result: NewConst(NewInt(1))}}, NewConst(NewInt(0)))
+	c2 := Clone(c1)
+	if !c1.Equal(c2) {
+		t.Error("clone equality")
+	}
+	if c1.String() != "CASE WHEN t.a > 1 THEN 1 ELSE 0 END" {
+		t.Errorf("String: %s", c1)
+	}
+	if len(c1.Children()) != 3 {
+		t.Errorf("children: %d", len(c1.Children()))
+	}
+	call := NewCall(FnYear, a)
+	if call.String() != "YEAR(t.a)" || !call.Equal(Clone(call)) {
+		t.Errorf("call: %s", call)
+	}
+	// Transform reaches inside CASE.
+	doubled := Transform(c1, func(n Expr) Expr {
+		if k, ok := n.(*Const); ok && k.Val.T == TInt {
+			return NewConst(NewInt(k.Val.Int() + 100))
+		}
+		return n
+	})
+	if doubled.(*Case).Else.(*Const).Val.Int() != 100 {
+		t.Error("transform into else branch")
+	}
+	// Columns finds refs inside CASE conditions.
+	if cols := Columns(c1); len(cols) != 1 || cols[0].Key() != "t.a" {
+		t.Errorf("columns: %v", cols)
+	}
+	// TypeOf picks the first branch type.
+	if TypeOf(c1, nil) != TInt {
+		t.Error("case type")
+	}
+	if TypeOf(NewCall(FnYear, a), nil) != TInt {
+		t.Error("year type")
+	}
+}
+
+// Property: YEAR/MONTH/DAY of a date reassemble into the same date.
+func TestDatePartsRoundTripProperty(t *testing.T) {
+	f := func(days uint16) bool {
+		d := NewDate(int64(days)) // 1970..2149
+		y, _ := Eval(NewCall(FnYear, NewConst(d)), nil)
+		m, _ := Eval(NewCall(FnMonth, NewConst(d)), nil)
+		dd, _ := Eval(NewCall(FnDay, NewConst(d)), nil)
+		re := MustDate(renderDate(y.Int(), m.Int(), dd.Int()))
+		return re.Int() == d.Int()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func renderDate(y, m, d int64) string {
+	two := func(v int64) string {
+		if v < 10 {
+			return "0" + string(rune('0'+v))
+		}
+		return string(rune('0'+v/10)) + string(rune('0'+v%10))
+	}
+	return itoa(y) + "-" + two(m) + "-" + two(d)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,514 @@
+package memo
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"cgdqp/internal/cost"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
+)
+
+// Alt is one physical alternative for a group: a concrete operator tree
+// whose nodes carry cardinalities and (in compliant mode) execution and
+// shipping traits.
+type Alt struct {
+	Tree *plan.Node
+	Cost float64
+	// Ship is the root's shipping trait 𝒮 (compliant mode only).
+	Ship plan.SiteSet
+	// DescKey identifies the subtree as a local query for AR4 pruning
+	// purposes ("" when the subtree is not a local query).
+	DescKey string
+	// Order lists the column keys the output is sorted by (ascending) —
+	// the classic "interesting property" that merge joins provide and
+	// sort elision consumes.
+	Order []string
+}
+
+// ImplConfig configures the implementation pass.
+type ImplConfig struct {
+	Est *cost.Estimator
+	// Compliant enables trait derivation (AR1–AR4) and the
+	// compliance-based cost function; when false the pass behaves like a
+	// traditional cost-based optimizer (single cheapest alternative per
+	// group, all traits ignored).
+	Compliant bool
+	// Evaluator supplies 𝒜 for AR4 (required when Compliant).
+	Evaluator *policy.Evaluator
+	// AllLocations is the universe of sites (traditional mode execution
+	// traits for the site selector).
+	AllLocations []string
+	// MaxAlts caps the number of Pareto alternatives kept per group.
+	MaxAlts int
+	// TrackOrder enables sort-order as a Pareto dimension (set when the
+	// query contains an ORDER BY; otherwise orderings cannot pay off and
+	// tracking them would only widen the alternative fronts).
+	TrackOrder bool
+
+	// analyzer caches local-query analysis across alternatives.
+	analyzer *policy.Analyzer
+}
+
+// Implement computes the physical alternatives of a group bottom-up,
+// memoized. In compliant mode an alternative is discarded when its
+// execution trait is empty (the infinite-cost adaptation of Section 6.1).
+func (m *Memo) Implement(g *Group, cfg *ImplConfig) []*Alt {
+	if g.implemented {
+		return g.Alts
+	}
+	g.implemented = true // set first; the memo DAG is acyclic by construction
+	if cfg.analyzer == nil {
+		cfg.analyzer = policy.NewAnalyzer()
+	}
+	maxAlts := cfg.MaxAlts
+	if maxAlts <= 0 {
+		maxAlts = 12
+	}
+	if !cfg.Compliant {
+		maxAlts = 1
+	}
+
+	var alts []*Alt
+	for _, e := range g.Exprs {
+		childAlts := make([][]*Alt, len(e.Children))
+		feasible := true
+		for i, c := range e.Children {
+			childAlts[i] = m.Implement(c, cfg)
+			if len(childAlts[i]) == 0 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		for _, phys := range physicalKinds(e.Op) {
+			forEachCombo(childAlts, func(combo []*Alt) {
+				alt := m.buildAlt(e, phys, combo, cfg)
+				if alt != nil {
+					alts = insertAlt(alts, alt, maxAlts, cfg)
+				}
+			})
+		}
+		// Sort elision: when a child alternative already delivers the
+		// requested ordering, the Sort disappears entirely.
+		if e.Op.Kind == plan.Sort {
+			if want, ok := ascColKeys(e.Op.SortKeys); ok {
+				for _, child := range childAlts[0] {
+					if prefixCovered(child.Order, want) {
+						alts = insertAlt(alts, child, maxAlts, cfg)
+					}
+				}
+			}
+		}
+	}
+	g.Alts = alts
+	return alts
+}
+
+// physicalKinds maps a logical operator to its physical implementations.
+func physicalKinds(op *plan.Node) []plan.Kind {
+	switch op.Kind {
+	case plan.Scan:
+		return []plan.Kind{plan.TableScan}
+	case plan.Filter:
+		return []plan.Kind{plan.FilterExec}
+	case plan.Project:
+		return []plan.Kind{plan.ProjectExec}
+	case plan.Join:
+		if hasEquiCond(op.Pred) {
+			return []plan.Kind{plan.HashJoin, plan.MergeJoin, plan.NLJoin}
+		}
+		return []plan.Kind{plan.NLJoin}
+	case plan.Aggregate:
+		return []plan.Kind{plan.HashAgg}
+	case plan.Sort:
+		return []plan.Kind{plan.SortExec}
+	case plan.Limit:
+		return []plan.Kind{plan.LimitExec}
+	case plan.Union:
+		return []plan.Kind{plan.UnionAll}
+	}
+	// Already physical (should not happen for logical exploration).
+	return []plan.Kind{op.Kind}
+}
+
+func hasEquiCond(cond expr.Expr) bool {
+	for _, c := range expr.Conjuncts(cond) {
+		if cmp, ok := c.(*expr.Cmp); ok && cmp.Op == expr.EQ {
+			if _, lok := cmp.L.(*expr.Col); lok {
+				if _, rok := cmp.R.(*expr.Col); rok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// buildAlt constructs one physical alternative and derives its traits.
+// It returns nil when the alternative is infeasible (empty execution
+// trait in compliant mode — the infinite-cost rule).
+func (m *Memo) buildAlt(e *MExpr, phys plan.Kind, combo []*Alt, cfg *ImplConfig) *Alt {
+	node := *e.Op
+	node.Kind = phys
+	// Schema comes from this expression's own children (a commuted join
+	// orders its output columns differently from the group canon; upstream
+	// operators resolve columns by name, so order is a per-tree detail).
+	node.Cols = outputCols(e.Op, e.Children)
+	node.Card = e.Group.Card
+	node.Children = make([]*plan.Node, len(combo))
+	inCards := make([]float64, len(combo))
+	childCost := 0.0
+	for i, c := range combo {
+		node.Children[i] = c.Tree
+		inCards[i] = c.Tree.Card
+		childCost += c.Cost
+	}
+	opCost := cost.OperatorCost(phys, node.Card, inCards...)
+	// Merge join pays to sort any input that is not already ordered on
+	// its join keys; its output provides the left-key ordering.
+	var order []string
+	switch phys {
+	case plan.MergeJoin:
+		lk, rk := equiKeyCols(node.Pred, node.Children[0].Cols, node.Children[1].Cols)
+		if len(lk) == 0 {
+			return nil // no usable equi keys after child resolution
+		}
+		lOrdered := prefixCovered(combo[0].Order, lk)
+		rOrdered := prefixCovered(combo[1].Order, rk)
+		// Merge join is only worth enumerating when at least one input
+		// already delivers its key order (otherwise two sorts never beat
+		// a hash join).
+		if !lOrdered && !rOrdered {
+			return nil
+		}
+		if !lOrdered {
+			opCost += cost.SortCost(inCards[0])
+		}
+		if !rOrdered {
+			opCost += cost.SortCost(inCards[1])
+		}
+		order = lk
+	case plan.TableScan:
+		// Scans of physically sorted tables deliver that order.
+		if node.Table != nil {
+			for _, name := range node.Table.SortedBy {
+				order = append(order, node.Alias+"."+name)
+			}
+		}
+	case plan.HashAgg, plan.UnionAll:
+		// unordered
+	case plan.SortExec:
+		if keys, ok := ascColKeys(node.SortKeys); ok {
+			order = keys
+		}
+	case plan.ProjectExec:
+		order = orderThroughSchema(combo[0].Order, node.Cols)
+	default:
+		// Filters, limits, hash/NL joins (which stream their left input)
+		// preserve the left child's ordering.
+		if len(combo) > 0 {
+			order = combo[0].Order
+		}
+	}
+	total := childCost + opCost
+	node.Cost = total
+
+	alt := &Alt{Tree: &node, Cost: total, Order: order}
+	if !cfg.Compliant {
+		// Traditional mode: leaves execute at the table's site; anything
+		// else anywhere. Traits carry only what the site selector needs.
+		if phys == plan.TableScan {
+			node.Exec = plan.NewSiteSet(scanLocation(&node))
+		} else {
+			node.Exec = plan.NewSiteSet(cfg.AllLocations...)
+		}
+		return canonicalizeAlt(alt, e.Group)
+	}
+
+	// AR1: a tablescan executes at its table's source location.
+	if phys == plan.TableScan {
+		node.Exec = plan.NewSiteSet(scanLocation(&node))
+	} else {
+		// AR2: an operator may execute wherever every input may legally
+		// be shipped.
+		exec := combo[0].Ship
+		for _, c := range combo[1:] {
+			exec = exec.Intersect(c.Ship)
+		}
+		node.Exec = exec
+	}
+	if node.Exec.Empty() {
+		// Compliance-based cost function: infinite cost; discard.
+		return nil
+	}
+	// AR3: output can ship wherever the operator can execute.
+	ship := node.Exec
+	// AR4: when the subtree is a local query over a single database,
+	// the policy evaluator contributes destinations.
+	if q, ok := cfg.analyzer.Describe(&node); ok {
+		ship = ship.Union(cfg.Evaluator.Evaluate(q))
+		alt.DescKey = q.Digest()
+	}
+	node.ShipT = ship
+	alt.Ship = ship
+	return canonicalizeAlt(alt, e.Group)
+}
+
+// canonicalizeAlt makes the alternative's output schema match the group's
+// canonical column order. Group members may produce the same columns in
+// different orders (a commuted join concatenates its sides the other way
+// round); parents resolve positions against the group schema, so every
+// alternative must deliver exactly that layout. A cheap reordering
+// projection is inserted when the orders differ.
+func canonicalizeAlt(alt *Alt, g *Group) *Alt {
+	node := alt.Tree
+	if sameColKeys(node.Cols, g.Cols) {
+		return alt
+	}
+	projs := make([]plan.NamedExpr, len(g.Cols))
+	for i, c := range g.Cols {
+		projs[i] = plan.NamedExpr{E: c.Col(), Name: c.Name, Type: c.Type}
+	}
+	reorder := &plan.Node{
+		Kind:     plan.ProjectExec,
+		Children: []*plan.Node{node},
+		Cols:     append([]plan.ColRef(nil), g.Cols...),
+		Projs:    projs,
+		Card:     node.Card,
+		Cost:     node.Cost + cost.OperatorCost(plan.ProjectExec, node.Card, node.Card),
+		Exec:     node.Exec,
+		ShipT:    node.ShipT,
+	}
+	out := *alt
+	out.Tree = reorder
+	out.Cost = reorder.Cost
+	// A pure reorder keeps every column; the ordering property survives.
+	return &out
+}
+
+func sameColKeys(a, b []plan.ColRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+func scanLocation(n *plan.Node) string {
+	idx := n.FragIdx
+	if idx < 0 {
+		idx = 0
+	}
+	if n.Table == nil || idx >= len(n.Table.Fragments) {
+		return ""
+	}
+	return n.Table.Fragments[idx].Location
+}
+
+// insertAlt adds an alternative to a Pareto-pruned list. Alternative B
+// dominates A when B costs no more, B's shipping trait covers A's, and
+// the two describe the same local query (or A describes none) — the
+// descriptor guard keeps alternatives whose different masking shapes
+// could yield different AR4 results upstream.
+func insertAlt(alts []*Alt, alt *Alt, maxAlts int, cfg *ImplConfig) []*Alt {
+	if !cfg.Compliant && !cfg.TrackOrder {
+		if len(alts) == 0 {
+			return []*Alt{alt}
+		}
+		if alt.Cost < alts[0].Cost {
+			alts[0] = alt
+		}
+		return alts
+	}
+	for _, other := range alts {
+		if dominates(other, alt, cfg) {
+			return alts
+		}
+	}
+	kept := alts[:0]
+	for _, other := range alts {
+		if !dominates(alt, other, cfg) {
+			kept = append(kept, other)
+		}
+	}
+	kept = append(kept, alt)
+	if len(kept) > maxAlts {
+		sort.Slice(kept, func(i, j int) bool { return kept[i].Cost < kept[j].Cost })
+		kept = kept[:maxAlts]
+	}
+	return kept
+}
+
+func dominates(b, a *Alt, cfg *ImplConfig) bool {
+	if b.Cost > a.Cost {
+		return false
+	}
+	if cfg.Compliant && !b.Ship.SupersetOf(a.Ship) {
+		return false
+	}
+	if cfg.TrackOrder && !prefixCovered(b.Order, a.Order) {
+		return false // A is more interestingly ordered
+	}
+	if cfg.Compliant && a.DescKey != "" && a.DescKey != b.DescKey {
+		return false
+	}
+	return true
+}
+
+// SortKeysTrackable reports whether an ORDER BY could be satisfied by a
+// tracked ordering (all-ascending plain column keys).
+func SortKeysTrackable(keys []plan.SortKey) bool {
+	_, ok := ascColKeys(keys)
+	return ok
+}
+
+// ascColKeys extracts the column keys of sort keys when every key is a
+// plain ascending column reference (the only orderings tracked).
+func ascColKeys(keys []plan.SortKey) ([]string, bool) {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		c, ok := k.E.(*expr.Col)
+		if !ok || k.Desc {
+			return nil, false
+		}
+		out = append(out, c.Key())
+	}
+	return out, true
+}
+
+// prefixCovered reports whether want is a prefix of have (an output
+// sorted by (a, b) satisfies a requirement for (a)).
+func prefixCovered(have, want []string) bool {
+	if len(want) > len(have) {
+		return false
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// orderThroughSchema truncates an ordering at the first column that does
+// not survive into the given output schema.
+func orderThroughSchema(order []string, cols []plan.ColRef) []string {
+	var out []string
+	for _, key := range order {
+		found := false
+		for _, c := range cols {
+			if c.Key() == key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		out = append(out, key)
+	}
+	return out
+}
+
+// equiKeyCols extracts, per equi-join conjunct, the (left, right) column
+// keys resolved against the child schemas; conjuncts whose sides do not
+// split cleanly are skipped.
+func equiKeyCols(pred expr.Expr, leftCols, rightCols []plan.ColRef) (lk, rk []string) {
+	inCols := func(c *expr.Col, cols []plan.ColRef) (string, bool) {
+		for _, cr := range cols {
+			if strings.EqualFold(cr.Name, c.Name) && (c.Table == "" || strings.EqualFold(cr.Table, c.Table)) {
+				return cr.Key(), true
+			}
+		}
+		return "", false
+	}
+	for _, c := range expr.Conjuncts(pred) {
+		cmp, ok := c.(*expr.Cmp)
+		if !ok || cmp.Op != expr.EQ {
+			continue
+		}
+		a, aok := cmp.L.(*expr.Col)
+		b, bok := cmp.R.(*expr.Col)
+		if !aok || !bok {
+			continue
+		}
+		if la, ok1 := inCols(a, leftCols); ok1 {
+			if rb, ok2 := inCols(b, rightCols); ok2 {
+				lk = append(lk, la)
+				rk = append(rk, rb)
+				continue
+			}
+		}
+		if lb, ok1 := inCols(b, leftCols); ok1 {
+			if ra, ok2 := inCols(a, rightCols); ok2 {
+				lk = append(lk, lb)
+				rk = append(rk, ra)
+			}
+		}
+	}
+	return lk, rk
+}
+
+// forEachCombo enumerates the cartesian product of child alternatives.
+func forEachCombo(childAlts [][]*Alt, fn func([]*Alt)) {
+	if len(childAlts) == 0 {
+		fn(nil)
+		return
+	}
+	combo := make([]*Alt, len(childAlts))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(childAlts) {
+			cp := make([]*Alt, len(combo))
+			copy(cp, combo)
+			fn(cp)
+			return
+		}
+		for _, a := range childAlts[i] {
+			combo[i] = a
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// Best returns the cheapest alternative of a group satisfying the
+// compliance-based optimization goal (non-empty shipping trait in
+// compliant mode). When requiredLoc is non-empty, only alternatives
+// whose output may legally reach that location qualify (the result must
+// be deliverable there). It returns nil when the group has no feasible
+// alternative — the optimizer then rejects the query.
+func Best(g *Group, compliant bool, requiredLoc string) *Alt {
+	var best *Alt
+	for _, a := range g.Alts {
+		if compliant {
+			if a.Ship.Empty() {
+				continue
+			}
+			if requiredLoc != "" && !a.Ship.Contains(requiredLoc) {
+				continue
+			}
+		}
+		if best == nil || a.Cost < best.Cost {
+			best = a
+		}
+	}
+	return best
+}
+
+// BestCost returns the cost of the best alternative or +Inf.
+func BestCost(g *Group, compliant bool) float64 {
+	if b := Best(g, compliant, ""); b != nil {
+		return b.Cost
+	}
+	return math.Inf(1)
+}

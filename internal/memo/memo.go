@@ -1,0 +1,250 @@
+// Package memo implements the Volcano-style memo at the core of the
+// compliance-based optimizer (Section 6): equivalence groups of logical
+// expressions, a rule engine that explores the plan space to fixpoint,
+// and a bottom-up implementation pass that produces physical alternatives
+// annotated with execution and shipping traits (annotation rules AR1–AR4)
+// using the compliance-based cost function (infinite cost — i.e.
+// discarded — when an operator's execution trait is empty).
+package memo
+
+import (
+	"fmt"
+	"strings"
+
+	"cgdqp/internal/cost"
+	"cgdqp/internal/plan"
+)
+
+// Memo is the search space: a set of equivalence groups.
+type Memo struct {
+	Groups []*Group
+
+	byDigest map[string]*MExpr // expression digest -> canonical expression
+	est      *cost.Estimator
+
+	// MaxExprs bounds the number of logical expressions created during
+	// exploration (a safety valve for very large join graphs).
+	MaxExprs int
+	// exprCount counts inserted expressions.
+	exprCount int
+	// DigestConflicts counts expressions whose digest already existed in
+	// a different group (the insert is skipped; see Insert).
+	DigestConflicts int
+}
+
+// Group is one equivalence class of logically equivalent expressions.
+// Logical properties (schema, estimated cardinality) are derived from the
+// first inserted expression.
+type Group struct {
+	ID    int
+	Exprs []*MExpr
+	Cols  []plan.ColRef
+	Card  float64
+
+	// Implementation results (set by Implement).
+	Alts        []*Alt
+	implemented bool
+}
+
+// MExpr is one logical expression: an operator whose children are groups.
+type MExpr struct {
+	Op       *plan.Node // operator parameters; Children field unused
+	Children []*Group
+	Group    *Group
+
+	// ruleState remembers, per rule, the total number of child-group
+	// expressions seen at the last application. Rules enumerate all
+	// bindings on every call, so re-application is only needed when a
+	// child group has gained expressions since.
+	ruleState map[string]int
+}
+
+// childExprCount sums the sizes of the child groups (the rule-binding
+// universe for this expression).
+func (e *MExpr) childExprCount() int {
+	n := 0
+	for _, c := range e.Children {
+		n += len(c.Exprs)
+	}
+	return n
+}
+
+// Digest returns the canonical identity of the expression.
+func (e *MExpr) Digest() string {
+	var b strings.Builder
+	b.WriteString(e.Op.OpDigest())
+	for _, c := range e.Children {
+		fmt.Fprintf(&b, "[%d]", c.ID)
+	}
+	return b.String()
+}
+
+// New creates an empty memo using the estimator for group cardinalities.
+func New(est *cost.Estimator) *Memo {
+	return &Memo{byDigest: map[string]*MExpr{}, est: est, MaxExprs: 200000}
+}
+
+// Budget reports whether the exploration budget is exhausted.
+func (m *Memo) Budget() bool { return m.exprCount >= m.MaxExprs }
+
+// ExprCount returns the number of logical expressions in the memo.
+func (m *Memo) ExprCount() int { return m.exprCount }
+
+// InsertTree recursively inserts a logical plan tree, returning its root
+// group. Identical subtrees share groups via digest deduplication.
+func (m *Memo) InsertTree(n *plan.Node) *Group {
+	children := make([]*Group, len(n.Children))
+	for i, c := range n.Children {
+		children[i] = m.InsertTree(c)
+	}
+	op := stripChildren(n)
+	e, _ := m.InsertExpr(op, children, nil)
+	return e.Group
+}
+
+// stripChildren copies the operator parameters without the subtree.
+func stripChildren(n *plan.Node) *plan.Node {
+	cp := *n
+	cp.Children = nil
+	cp.Exec = plan.SiteSet{}
+	cp.ShipT = plan.SiteSet{}
+	cp.Loc = ""
+	cp.Cost = 0
+	return &cp
+}
+
+// InsertExpr inserts an expression into the memo. When target is nil the
+// expression lands in the group matching its digest, or a fresh group.
+// When target is given, the expression joins that group — unless an
+// expression with the same digest already lives in a different group, in
+// which case the insert is skipped (no group merging; the plan space
+// loses one equivalence link but stays correct). The bool reports whether
+// a new expression was created.
+func (m *Memo) InsertExpr(op *plan.Node, children []*Group, target *Group) (*MExpr, bool) {
+	e := &MExpr{Op: op, Children: children}
+	d := e.Digest()
+	if existing, ok := m.byDigest[d]; ok {
+		if target != nil && existing.Group != target {
+			m.DigestConflicts++
+		}
+		return existing, false
+	}
+	if target == nil {
+		target = m.newGroup(op, children)
+	}
+	e.Group = target
+	target.Exprs = append(target.Exprs, e)
+	m.byDigest[d] = e
+	m.exprCount++
+	return e, true
+}
+
+// newGroup creates a group, deriving schema and cardinality from the
+// creating expression.
+func (m *Memo) newGroup(op *plan.Node, children []*Group) *Group {
+	g := &Group{ID: len(m.Groups)}
+	g.Cols = outputCols(op, children)
+	cards := make([]float64, len(children))
+	for i, c := range children {
+		cards[i] = c.Card
+	}
+	probe := *op
+	probe.Cols = g.Cols
+	g.Card = m.est.NodeCard(&probe, cards)
+	m.Groups = append(m.Groups, g)
+	return g
+}
+
+// outputCols computes an operator's output schema from its parameters and
+// child group schemas. Scans, projections and aggregations define their
+// own schema; joins concatenate; the rest pass through.
+func outputCols(op *plan.Node, children []*Group) []plan.ColRef {
+	switch op.Kind {
+	case plan.Scan, plan.TableScan:
+		return op.Cols
+	case plan.Project, plan.ProjectExec, plan.Aggregate, plan.HashAgg:
+		return op.Cols
+	case plan.Join, plan.HashJoin, plan.NLJoin:
+		out := make([]plan.ColRef, 0, len(children[0].Cols)+len(children[1].Cols))
+		out = append(out, children[0].Cols...)
+		return append(out, children[1].Cols...)
+	default:
+		if len(children) > 0 {
+			return children[0].Cols
+		}
+		return op.Cols
+	}
+}
+
+// NewExpr is a rule output: an operator over children that are either
+// existing groups (*Group) or nested *NewExpr subtrees to be inserted.
+type NewExpr struct {
+	Op       *plan.Node
+	Children []any // *Group | *NewExpr
+}
+
+// InsertNew resolves a NewExpr bottom-up. The root lands in target.
+func (m *Memo) InsertNew(ne *NewExpr, target *Group) (*MExpr, bool) {
+	children := make([]*Group, len(ne.Children))
+	for i, c := range ne.Children {
+		switch ch := c.(type) {
+		case *Group:
+			children[i] = ch
+		case *NewExpr:
+			sub, _ := m.InsertNew(ch, nil)
+			children[i] = sub.Group
+		default:
+			panic(fmt.Sprintf("memo: invalid NewExpr child %T", c))
+		}
+	}
+	return m.InsertExpr(ne.Op, children, target)
+}
+
+// Rule is a transformation rule: given a logical expression (with access
+// to the memo for matching child-group expressions), it produces zero or
+// more equivalent expressions for the same group.
+type Rule interface {
+	Name() string
+	Apply(m *Memo, e *MExpr) []*NewExpr
+}
+
+// Explore applies the rules to fixpoint (or until the expression budget
+// is exhausted). Rules are re-applied across passes because a rule's
+// bindings may grow as child groups gain expressions; digest-based
+// deduplication keeps re-application cheap and guarantees termination
+// (the space of derivable expressions is finite).
+func (m *Memo) Explore(rules []Rule) {
+	for {
+		changed := false
+		// Iterate with growing bounds: rules may append groups/exprs.
+		for gi := 0; gi < len(m.Groups); gi++ {
+			g := m.Groups[gi]
+			for ei := 0; ei < len(g.Exprs); ei++ {
+				e := g.Exprs[ei]
+				for _, r := range rules {
+					if m.Budget() {
+						return
+					}
+					// Skip when neither this expression nor its binding
+					// universe changed since the last application.
+					universe := e.childExprCount()
+					if e.ruleState == nil {
+						e.ruleState = map[string]int{}
+					}
+					if seen, ok := e.ruleState[r.Name()]; ok && seen == universe {
+						continue
+					}
+					e.ruleState[r.Name()] = universe
+					for _, ne := range r.Apply(m, e) {
+						if _, fresh := m.InsertNew(ne, g); fresh {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

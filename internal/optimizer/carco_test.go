@@ -1,0 +1,253 @@
+package optimizer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
+	"cgdqp/internal/schema"
+)
+
+// The CarCo running example of Section 2: Customer in North America,
+// Orders in Europe, Supply in Asia, with dataflow policies P_N, P_E, P_A.
+
+func carcoSchema() *schema.Catalog {
+	cat := schema.NewCatalog()
+	c := schema.NewTable("Customer", "db-n", "N", 1000,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "name", Type: expr.TString},
+		schema.Column{Name: "acctbal", Type: expr.TFloat},
+		schema.Column{Name: "mktseg", Type: expr.TString},
+		schema.Column{Name: "region", Type: expr.TString},
+	)
+	c.SetColStats("custkey", schema.ColStats{Distinct: 1000})
+	o := schema.NewTable("Orders", "db-e", "E", 10000,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "ordkey", Type: expr.TInt},
+		schema.Column{Name: "totprice", Type: expr.TFloat},
+	)
+	o.SetColStats("custkey", schema.ColStats{Distinct: 1000})
+	o.SetColStats("ordkey", schema.ColStats{Distinct: 10000})
+	s := schema.NewTable("Supply", "db-a", "A", 40000,
+		schema.Column{Name: "ordkey", Type: expr.TInt},
+		schema.Column{Name: "quantity", Type: expr.TInt},
+		schema.Column{Name: "extprice", Type: expr.TFloat},
+	)
+	s.SetColStats("ordkey", schema.ColStats{Distinct: 10000})
+	cat.MustAddTable(c)
+	cat.MustAddTable(o)
+	cat.MustAddTable(s)
+	return cat
+}
+
+func carcoPolicies() *policy.Catalog {
+	pc := policy.NewCatalog()
+	pc.AddAll(
+		// P_N: Customer data leaves only after suppressing acctbal.
+		policy.MustParse("ship custkey, name, mktseg, region from Customer to *", "pn", "db-n"),
+		// P_E: only aggregated Orders data may go to Asia; order prices
+		// never to North America; keys may move freely.
+		policy.MustParse("ship custkey, ordkey from Orders to *", "pe1", "db-e"),
+		policy.MustParse("ship totprice as aggregates sum from Orders to A group by custkey, ordkey", "pe2", "db-e"),
+		// P_A: only per-order aggregated quantity/extprice leave Asia for
+		// Europe.
+		policy.MustParse("ship quantity, extprice as aggregates sum from Supply to E group by ordkey", "pa", "db-a"),
+	)
+	return pc
+}
+
+const carcoQuery = `
+	SELECT C.name, SUM(O.totprice) AS total, SUM(S.quantity) AS qty
+	FROM Customer C, Orders O, Supply S
+	WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey
+	GROUP BY C.name`
+
+func carcoOptimizer(t *testing.T, compliant bool) *Optimizer {
+	t.Helper()
+	sc := carcoSchema()
+	net := network.FiveRegionWAN(sc.Locations())
+	return New(sc, carcoPolicies(), net, Options{Compliant: compliant})
+}
+
+func TestCarCoCompliantPlan(t *testing.T) {
+	opt := carcoOptimizer(t, true)
+	res, err := opt.OptimizeSQL(carcoQuery)
+	if err != nil {
+		t.Fatalf("compliant optimization failed: %v", err)
+	}
+	// The plan must pass the Definition 1 checker.
+	if v := opt.Check(res.Plan); len(v) != 0 {
+		t.Fatalf("compliant plan has violations: %v\n%s", v, res.Plan.Format(true))
+	}
+	// Structure checks mirroring Figure 1(b): Supply is aggregated before
+	// leaving Asia, and Customer's acctbal never ships.
+	txt := res.Plan.Format(true)
+	if !strings.Contains(txt, "Ship[A -> E]") {
+		t.Errorf("expected Supply aggregate shipped from Asia to Europe:\n%s", txt)
+	}
+	var shipsFromA *plan.Node
+	res.Plan.Walk(func(n *plan.Node) bool {
+		if n.Kind == plan.Ship && n.FromLoc == "A" {
+			shipsFromA = n.Children[0]
+		}
+		return true
+	})
+	if shipsFromA == nil {
+		t.Fatalf("no shipment out of Asia:\n%s", txt)
+	}
+	aggFound := false
+	shipsFromA.Walk(func(n *plan.Node) bool {
+		if n.Kind == plan.HashAgg {
+			aggFound = true
+		}
+		return true
+	})
+	if !aggFound {
+		t.Errorf("data leaving Asia must be aggregated:\n%s", txt)
+	}
+	// acctbal must not appear above any ship out of N.
+	res.Plan.Walk(func(n *plan.Node) bool {
+		if n.Kind == plan.Ship && n.FromLoc == "N" {
+			for _, c := range n.Cols {
+				if strings.EqualFold(c.Name, "acctbal") {
+					t.Errorf("acctbal shipped out of North America:\n%s", txt)
+				}
+			}
+		}
+		return true
+	})
+	// Final aggregation happens in Europe.
+	if res.Plan.Loc != "E" {
+		t.Errorf("result should be produced in Europe, got %s", res.Plan.Loc)
+	}
+	if res.ShipCost <= 0 {
+		t.Error("geo-distributed plan must have positive shipping cost")
+	}
+}
+
+func TestCarCoTraditionalPlanIsNonCompliant(t *testing.T) {
+	opt := carcoOptimizer(t, false)
+	res, err := opt.OptimizeSQL(carcoQuery)
+	if err != nil {
+		t.Fatalf("traditional optimization failed: %v", err)
+	}
+	// Check with a compliant evaluator.
+	copt := carcoOptimizer(t, true)
+	violations := copt.Check(res.Plan)
+	if len(violations) == 0 {
+		t.Errorf("traditional plan should violate P_E or P_A:\n%s", res.Plan.Format(true))
+	}
+}
+
+func TestCarCoRejectsIllegalQuery(t *testing.T) {
+	opt := carcoOptimizer(t, true)
+	// Raw acctbal joined with Orders cannot be shipped anywhere out of N,
+	// and Orders cannot reach N raw (totprice is blocked for N), so no
+	// compliant plan exists.
+	_, err := opt.OptimizeSQL(`
+		SELECT C.name, C.acctbal, O.totprice
+		FROM Customer C, Orders O
+		WHERE C.custkey = O.custkey`)
+	if !errors.Is(err, ErrNoCompliantPlan) {
+		t.Fatalf("expected ErrNoCompliantPlan, got %v", err)
+	}
+}
+
+func TestCarCoAggPushdownAblation(t *testing.T) {
+	sc := carcoSchema()
+	net := network.FiveRegionWAN(sc.Locations())
+	opt := New(sc, carcoPolicies(), net, Options{Compliant: true, DisableAggPushdown: true})
+	// Without the aggregation-pushdown rule the optimizer cannot mask
+	// Supply, so it must (incompletely but safely) reject the query —
+	// exactly the incompleteness discussed in Section 6.4.
+	_, err := opt.OptimizeSQL(carcoQuery)
+	if !errors.Is(err, ErrNoCompliantPlan) {
+		t.Fatalf("expected rejection without agg pushdown, got %v", err)
+	}
+}
+
+func TestCarCoResultLocationPinning(t *testing.T) {
+	sc := carcoSchema()
+	net := network.FiveRegionWAN(sc.Locations())
+	opt := New(sc, carcoPolicies(), net, Options{Compliant: true, ResultLocation: "E"})
+	res, err := opt.OptimizeSQL(carcoQuery)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if res.Plan.Loc != "E" {
+		t.Errorf("pinned result location: got %s", res.Plan.Loc)
+	}
+	// Delivering in Asia is legal too (orders aggregates may reach Asia
+	// and Supply lives there): the optimizer finds a different compliant
+	// plan rather than rejecting.
+	opt2 := New(sc, carcoPolicies(), net, Options{Compliant: true, ResultLocation: "A"})
+	res2, err := opt2.OptimizeSQL(carcoQuery)
+	if err != nil {
+		t.Fatalf("result in Asia should be reachable: %v", err)
+	}
+	if res2.Plan.Loc != "A" {
+		t.Errorf("pinned result location: got %s", res2.Plan.Loc)
+	}
+	if v := opt2.Check(res2.Plan); len(v) != 0 {
+		t.Errorf("Asia-delivered plan violates policies: %v\n%s", v, res2.Plan.Format(true))
+	}
+	// North America, however, is impossible: Supply data (even
+	// aggregated) may never reach it.
+	opt3 := New(sc, carcoPolicies(), net, Options{Compliant: true, ResultLocation: "N"})
+	if _, err := opt3.OptimizeSQL(carcoQuery); !errors.Is(err, ErrNoCompliantPlan) {
+		t.Errorf("result in North America should be impossible, got %v", err)
+	}
+}
+
+func TestCarCoQueryOverSingleSite(t *testing.T) {
+	opt := carcoOptimizer(t, true)
+	res, err := opt.OptimizeSQL("SELECT O.ordkey, O.totprice FROM Orders O WHERE O.totprice > 100")
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	ships := 0
+	res.Plan.Walk(func(n *plan.Node) bool {
+		if n.Kind == plan.Ship {
+			ships++
+		}
+		return true
+	})
+	if ships != 0 {
+		t.Errorf("single-site query needs no SHIP operators:\n%s", res.Plan)
+	}
+	if res.Plan.Loc != "E" {
+		t.Errorf("plan should stay in Europe, got %s", res.Plan.Loc)
+	}
+	if res.ShipCost != 0 {
+		t.Errorf("ship cost should be zero, got %v", res.ShipCost)
+	}
+}
+
+func TestCarCoStatsPopulated(t *testing.T) {
+	opt := carcoOptimizer(t, true)
+	res, err := opt.OptimizeSQL(carcoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Groups == 0 || st.Exprs == 0 {
+		t.Errorf("memo stats empty: %+v", st)
+	}
+	if st.Eta == 0 || st.ACalls == 0 {
+		t.Errorf("policy stats empty: %+v", st)
+	}
+	if st.TotalTime <= 0 {
+		t.Error("total time")
+	}
+	if res.PlanCost <= 0 {
+		t.Error("plan cost")
+	}
+	// The annotated plan carries traits.
+	if res.Annotated.ShipT.Empty() {
+		t.Error("annotated root must have a shipping trait")
+	}
+}

@@ -1,0 +1,150 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
+)
+
+// Violation records one breach of Definition 1: an operator executing at
+// Dest consumes (directly or transitively) the output of a local subquery
+// whose policies do not allow shipping there.
+type Violation struct {
+	// Subtree is the root of the crossing local subquery.
+	Subtree *plan.Node
+	// Source is the location the subquery executes at.
+	Source string
+	// Dest is the offending operator location.
+	Dest string
+	// Allowed is 𝒜 for the subquery (empty when not describable).
+	Allowed plan.SiteSet
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("operator at %s consumes data from %s whose policies allow only %s",
+		v.Dest, v.Source, v.Allowed)
+}
+
+// CheckCompliance validates a located plan (with SHIP operators and Loc
+// set on every node) against Definition 1. It returns the violations
+// found; an empty slice means the plan is compliant.
+//
+// The check follows the U_o construction: every maximal location-uniform
+// single-database subtree whose output crosses to a different location
+// must allow (via 𝒜) the location of every operator above it. When such
+// a subtree is not describable as a local query (e.g. it filters on
+// aggregated values), the checker descends into its children — their
+// outputs are what effectively crosses.
+func CheckCompliance(root *plan.Node, ev *policy.Evaluator) []Violation {
+	c := &checker{ev: ev}
+	c.walk(root, nil)
+	return c.violations
+}
+
+type checker struct {
+	ev         *policy.Evaluator
+	violations []Violation
+	seen       map[violationKey]bool
+}
+
+// walk visits every node, carrying the locations of all ancestors. A
+// SHIP operator's Loc is its destination, so a crossing edge is simply a
+// parent/child location mismatch.
+func (c *checker) walk(n *plan.Node, ancestorLocs []string) {
+	locs := append(append([]string{}, ancestorLocs...), n.Loc)
+	for _, child := range n.Children {
+		if child.Loc != n.Loc {
+			// The child subtree's output crosses into n; every ancestor
+			// of n (transitively) consumes it.
+			c.checkUnits(child, locs)
+		}
+		c.walk(child, locs)
+	}
+}
+
+// checkUnits verifies the crossing subtree rooted at r against the given
+// downstream locations, descending when the subtree is not uniform or
+// not describable.
+func (c *checker) checkUnits(r *plan.Node, downstream []string) {
+	if r.Kind == plan.Ship {
+		// Internal crossing: its own walk handles it; descend past.
+		c.checkUnits(r.Children[0], downstream)
+		return
+	}
+	if uniformLoc(r) == "" {
+		// Not location-uniform: internal crossings are checked by walk;
+		// the uniform units below cover the data reaching downstream.
+		for _, child := range r.Children {
+			c.checkUnits(child, downstream)
+		}
+		return
+	}
+	allowed, ok := c.ev.EvaluateSubtree(r)
+	if !ok {
+		if len(r.Children) == 0 {
+			// A bare leaf that cannot be described: conservatively only
+			// its own location is legal.
+			allowed = plan.NewSiteSet(r.Loc)
+		} else {
+			for _, child := range r.Children {
+				c.checkUnits(child, downstream)
+			}
+			return
+		}
+	}
+	for _, dest := range dedupStrings(downstream) {
+		if dest != r.Loc && !allowed.Contains(dest) {
+			key := violationKey{r, dest}
+			if c.seen == nil {
+				c.seen = map[violationKey]bool{}
+			}
+			if c.seen[key] {
+				continue
+			}
+			c.seen[key] = true
+			c.violations = append(c.violations, Violation{
+				Subtree: r,
+				Source:  r.Loc,
+				Dest:    dest,
+				Allowed: allowed,
+			})
+		}
+	}
+}
+
+type violationKey struct {
+	n    *plan.Node
+	dest string
+}
+
+// uniformLoc returns the location shared by every operator in the
+// subtree, or "" when mixed (or when a SHIP is inside).
+func uniformLoc(n *plan.Node) string {
+	loc := n.Loc
+	ok := true
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Ship || x.Loc != loc {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return ""
+	}
+	return loc
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
+	"cgdqp/internal/schema"
+)
+
+func checkerFixture() (*schema.Table, *schema.Table, *policy.Evaluator) {
+	cust := schema.NewTable("cust", "db-a", "A", 10,
+		schema.Column{Name: "k", Type: expr.TInt},
+		schema.Column{Name: "secret", Type: expr.TString})
+	ord := schema.NewTable("ord", "db-b", "B", 10,
+		schema.Column{Name: "k", Type: expr.TInt})
+	pc := policy.NewCatalog()
+	pc.AddAll(
+		policy.MustParse("ship k from cust to B", "p1", "db-a"),
+		policy.MustParse("ship * from ord to *", "p2", "db-b"),
+	)
+	return cust, ord, policy.NewEvaluator(pc, []string{"A", "B", "C"})
+}
+
+func locate(n *plan.Node, loc string) *plan.Node {
+	n.Loc = loc
+	return n
+}
+
+func TestCheckerAcceptsMaskedShip(t *testing.T) {
+	cust, ord, ev := checkerFixture()
+	// Π_k(cust)@A --ship--> join@B with ord@B.
+	scan := locate(plan.NewScan(cust, "c", -1), "A")
+	scan.Kind = plan.TableScan
+	proj := locate(plan.NewProject(scan, []plan.NamedExpr{{E: expr.NewCol("c", "k")}}), "A")
+	proj.Kind = plan.ProjectExec
+	ship := plan.NewShip(proj, "A", "B")
+	oscan := locate(plan.NewScan(ord, "o", -1), "B")
+	oscan.Kind = plan.TableScan
+	join := locate(plan.NewJoin(ship, oscan, expr.NewCmp(expr.EQ, expr.NewCol("c", "k"), expr.NewCol("o", "k"))), "B")
+	join.Kind = plan.HashJoin
+
+	if v := CheckCompliance(join, ev); len(v) != 0 {
+		t.Errorf("masked ship should comply: %v", v)
+	}
+}
+
+func TestCheckerFlagsRawShip(t *testing.T) {
+	cust, ord, ev := checkerFixture()
+	// Shipping the raw cust table (with `secret`) to B violates p1.
+	scan := locate(plan.NewScan(cust, "c", -1), "A")
+	scan.Kind = plan.TableScan
+	ship := plan.NewShip(scan, "A", "B")
+	oscan := locate(plan.NewScan(ord, "o", -1), "B")
+	oscan.Kind = plan.TableScan
+	join := locate(plan.NewJoin(ship, oscan, expr.NewCmp(expr.EQ, expr.NewCol("c", "k"), expr.NewCol("o", "k"))), "B")
+	join.Kind = plan.HashJoin
+
+	v := CheckCompliance(join, ev)
+	if len(v) == 0 {
+		t.Fatal("raw ship must violate")
+	}
+	if v[0].Source != "A" || v[0].Dest != "B" {
+		t.Errorf("violation: %+v", v[0])
+	}
+	if !strings.Contains(v[0].String(), "allow only") {
+		t.Errorf("violation text: %s", v[0])
+	}
+}
+
+func TestCheckerTransitiveFlow(t *testing.T) {
+	cust, ord, ev := checkerFixture()
+	// cust-k ships to B (legal), joins, and the join result ships on to C
+	// — C is not in 𝒜(Π_k(cust)), so the transitive flow violates.
+	scan := locate(plan.NewScan(cust, "c", -1), "A")
+	scan.Kind = plan.TableScan
+	proj := locate(plan.NewProject(scan, []plan.NamedExpr{{E: expr.NewCol("c", "k")}}), "A")
+	proj.Kind = plan.ProjectExec
+	ship := plan.NewShip(proj, "A", "B")
+	oscan := locate(plan.NewScan(ord, "o", -1), "B")
+	oscan.Kind = plan.TableScan
+	join := locate(plan.NewJoin(ship, oscan, expr.NewCmp(expr.EQ, expr.NewCol("c", "k"), expr.NewCol("o", "k"))), "B")
+	join.Kind = plan.HashJoin
+	ship2 := plan.NewShip(join, "B", "C")
+	top := locate(plan.NewFilter(ship2, nil), "C")
+	top.Kind = plan.FilterExec
+
+	v := CheckCompliance(top, ev)
+	if len(v) == 0 {
+		t.Fatal("transitive flow to C must violate")
+	}
+	found := false
+	for _, violation := range v {
+		if violation.Dest == "C" && violation.Source == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected cust-subtree violation at C: %v", v)
+	}
+}
+
+func TestCheckerSingleSitePlan(t *testing.T) {
+	cust, _, ev := checkerFixture()
+	scan := locate(plan.NewScan(cust, "c", -1), "A")
+	scan.Kind = plan.TableScan
+	f := locate(plan.NewFilter(scan, expr.NewCmp(expr.GT, expr.NewCol("c", "k"), expr.NewConst(expr.NewInt(1)))), "A")
+	f.Kind = plan.FilterExec
+	if v := CheckCompliance(f, ev); len(v) != 0 {
+		t.Errorf("single-site plan: %v", v)
+	}
+}
+
+func TestCheckerDescendsNonDescribable(t *testing.T) {
+	cust, ord, ev := checkerFixture()
+	_ = ord
+	// A HAVING-style filter over an aggregate is not describable; the
+	// checker descends to the aggregate below (which is describable) and
+	// accepts shipping it home-side but flags an illegal destination.
+	scan := locate(plan.NewScan(cust, "c", -1), "A")
+	scan.Kind = plan.TableScan
+	agg := locate(plan.NewAggregate(scan, []*expr.Col{expr.NewCol("c", "k")},
+		[]plan.NamedAgg{{Fn: expr.AggCount, Arg: nil, Name: "n"}}), "A")
+	agg.Kind = plan.HashAgg
+	having := locate(plan.NewFilter(agg, expr.NewCmp(expr.GT, expr.NewCol("", "n"), expr.NewConst(expr.NewInt(1)))), "A")
+	having.Kind = plan.FilterExec
+	ship := plan.NewShip(having, "A", "C")
+	top := locate(plan.NewLimit(ship, 10), "C")
+	top.Kind = plan.LimitExec
+
+	v := CheckCompliance(top, ev)
+	// k may ship to B only; COUNT contributes nothing; destination C is
+	// illegal for the aggregate's k column.
+	if len(v) == 0 {
+		t.Fatal("expected violation for C")
+	}
+	if v[0].Subtree.Kind != plan.HashAgg {
+		t.Errorf("checker should have descended to the aggregate, got %v", v[0].Subtree.Kind)
+	}
+}

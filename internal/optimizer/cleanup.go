@@ -1,0 +1,62 @@
+package optimizer
+
+import (
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+)
+
+// mergeProjections collapses adjacent ProjectExec pairs by composing the
+// upper projection's expressions over the lower's (classic projection
+// merging). Stacked projections accumulate from binding, column pruning
+// and schema canonicalization; composing them shrinks plans and saves
+// one row materialization per level.
+//
+// Compliance stays sound: the merged operator reads the lower
+// projection's input directly, so its execution trait is the lower one
+// (AR2 over the same inputs), and its shipping trait is recomputed via
+// AR3 ∪ AR4 on the merged subtree.
+func (o *Optimizer) mergeProjections(n *plan.Node) *plan.Node {
+	for i, c := range n.Children {
+		n.Children[i] = o.mergeProjections(c)
+	}
+	if n.Kind != plan.ProjectExec || len(n.Children) != 1 {
+		return n
+	}
+	lower := n.Children[0]
+	if lower.Kind != plan.ProjectExec {
+		return n
+	}
+	composed := make([]plan.NamedExpr, len(n.Projs))
+	ok := true
+	for idx, p := range n.Projs {
+		e := expr.Transform(p.E, func(x expr.Expr) expr.Expr {
+			col, isCol := x.(*expr.Col)
+			if !isCol || !ok {
+				return x
+			}
+			j := lower.ColIndex(col)
+			if j < 0 || j >= len(lower.Projs) {
+				ok = false
+				return x
+			}
+			return expr.Clone(lower.Projs[j].E)
+		})
+		composed[idx] = plan.NamedExpr{E: e, Name: p.Name, Type: p.Type}
+	}
+	if !ok {
+		return n
+	}
+	merged := *n
+	merged.Children = []*plan.Node{lower.Children[0]}
+	merged.Projs = composed
+	merged.Exec = lower.Exec
+	if o.Opts.Compliant {
+		ship := lower.Exec
+		if s, found := o.Evaluator.EvaluateSubtree(&merged); found {
+			ship = ship.Union(s)
+		}
+		merged.ShipT = ship
+	}
+	// The merge may expose another adjacent pair.
+	return o.mergeProjections(&merged)
+}

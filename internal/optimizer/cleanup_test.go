@@ -1,0 +1,32 @@
+package optimizer
+
+import (
+	"testing"
+
+	"cgdqp/internal/network"
+	"cgdqp/internal/plan"
+)
+
+// TestProjectionMerging: compliant plans must not contain adjacent
+// projections, and merged plans stay valid and compliant.
+func TestProjectionMerging(t *testing.T) {
+	sc := carcoSchema()
+	net := network.FiveRegionWAN(sc.Locations())
+	opt := New(sc, carcoPolicies(), net, Options{Compliant: true})
+	res, err := opt.OptimizeSQL(carcoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Plan.Walk(func(n *plan.Node) bool {
+		if n.Kind == plan.ProjectExec && len(n.Children) == 1 && n.Children[0].Kind == plan.ProjectExec {
+			t.Errorf("adjacent projections survive:\n%s", res.Plan.Format(true))
+		}
+		return true
+	})
+	if err := ValidatePlan(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	if v := opt.Check(res.Plan); len(v) != 0 {
+		t.Errorf("violations after merging: %v", v)
+	}
+}

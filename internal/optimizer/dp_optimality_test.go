@@ -1,0 +1,100 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/schema"
+)
+
+// TestSiteSelectorOptimality brute-forces every feasible placement of a
+// small annotated plan under a randomized (but deterministic) asymmetric
+// network and checks Algorithm 2's DP finds the global minimum.
+func TestSiteSelectorOptimality(t *testing.T) {
+	locs := []string{"L1", "L2", "L3"}
+	// Three-leaf plan: Agg(Join(Join(a, b), c)) with permissive traits.
+	mk := func() *plan.Node {
+		ta := schema.NewTable("A", "da", "L1", 100, schema.Column{Name: "k", Type: expr.TInt})
+		tb := schema.NewTable("B", "db", "L2", 300, schema.Column{Name: "k", Type: expr.TInt})
+		tc := schema.NewTable("C", "dc", "L3", 500, schema.Column{Name: "k", Type: expr.TInt})
+		a := plan.NewScan(ta, "a", -1)
+		a.Kind = plan.TableScan
+		a.Card = 100
+		a.Exec = plan.NewSiteSet("L1")
+		b := plan.NewScan(tb, "b", -1)
+		b.Kind = plan.TableScan
+		b.Card = 300
+		b.Exec = plan.NewSiteSet("L2")
+		c := plan.NewScan(tc, "c", -1)
+		c.Kind = plan.TableScan
+		c.Card = 500
+		c.Exec = plan.NewSiteSet("L3")
+		j1 := plan.NewJoin(a, b, expr.NewCmp(expr.EQ, expr.NewCol("a", "k"), expr.NewCol("b", "k")))
+		j1.Kind = plan.HashJoin
+		j1.Card = 200
+		j1.Exec = plan.NewSiteSet(locs...)
+		j2 := plan.NewJoin(j1, c, expr.NewCmp(expr.EQ, expr.NewCol("a", "k"), expr.NewCol("c", "k")))
+		j2.Kind = plan.HashJoin
+		j2.Card = 150
+		j2.Exec = plan.NewSiteSet(locs...)
+		agg := plan.NewAggregate(j2, []*expr.Col{expr.NewCol("a", "k")}, nil)
+		agg.Kind = plan.HashAgg
+		agg.Card = 50
+		agg.Exec = plan.NewSiteSet(locs...)
+		agg.ShipT = agg.Exec
+		return agg
+	}
+
+	// A deterministic pseudo-random asymmetric network.
+	seed := uint64(12345)
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return z ^ (z >> 31)
+	}
+	for trial := 0; trial < 10; trial++ {
+		net := network.NewCostModel(1e9, 1)
+		for _, f := range locs {
+			for _, to := range locs {
+				if f != to {
+					net.SetEdge(f, to, float64(1+next()%500), float64(next()%100)/1e3)
+				}
+			}
+		}
+		tree := mk()
+		located, dpCost, err := SelectSites(tree, net, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: the three inner operators (j1, j2, agg) each pick
+		// any of the three locations; leaves are pinned. The plan cost is
+		// the sum of edge transfers where child loc != parent loc, with
+		// bytes = card × row width.
+		ship := func(card float64, width float64, from, to string) float64 {
+			if from == to {
+				return 0
+			}
+			return net.ShipCost(from, to, card*width)
+		}
+		best := math.Inf(1)
+		for _, lj1 := range locs {
+			for _, lj2 := range locs {
+				for _, lagg := range locs {
+					cost := ship(100, 8, "L1", lj1) + ship(300, 8, "L2", lj1) +
+						ship(200, 16, lj1, lj2) + ship(500, 8, "L3", lj2) +
+						ship(150, 24, lj2, lagg)
+					if cost < best {
+						best = cost
+					}
+				}
+			}
+		}
+		if diff := dpCost - best; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("trial %d: DP cost %v != brute force %v\n%s", trial, dpCost, best, located.Format(true))
+		}
+	}
+}

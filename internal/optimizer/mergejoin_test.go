@@ -1,0 +1,175 @@
+package optimizer
+
+import (
+	"testing"
+
+	"cgdqp/internal/executor"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
+	"cgdqp/internal/schema"
+
+	"cgdqp/internal/cluster"
+)
+
+// mergeFixture: two same-site tables joined and ordered by the join key.
+// When sorted is true the tables declare a physical k-order (dbgen-style
+// PK order): sort-merge join then needs no sorting and beats hash join.
+func mergeFixture(sorted bool) (*schema.Catalog, *policy.Catalog) {
+	cat := schema.NewCatalog()
+	l := schema.NewTable("big1", "db-1", "L1", 200000,
+		schema.Column{Name: "k", Type: expr.TInt},
+		schema.Column{Name: "v", Type: expr.TFloat})
+	l.SetColStats("k", schema.ColStats{Distinct: 200000})
+	r := schema.NewTable("big2", "db-1", "L1", 200000,
+		schema.Column{Name: "k", Type: expr.TInt},
+		schema.Column{Name: "w", Type: expr.TFloat})
+	r.SetColStats("k", schema.ColStats{Distinct: 200000})
+	if sorted {
+		l.SortedBy = []string{"k"}
+		r.SortedBy = []string{"k"}
+	}
+	cat.MustAddTable(l)
+	cat.MustAddTable(r)
+	pc := policy.NewCatalog()
+	pc.AddAll(
+		policy.MustParse("ship * from big1 to *", "p1", "db-1"),
+		policy.MustParse("ship * from big2 to *", "p2", "db-1"),
+	)
+	return cat, pc
+}
+
+const orderedJoinQuery = `
+	SELECT a.k, a.v, b.w FROM big1 a, big2 b
+	WHERE a.k = b.k
+	ORDER BY a.k`
+
+func TestMergeJoinWithSortElision(t *testing.T) {
+	cat, pc := mergeFixture(true)
+	net := network.FiveRegionWAN(cat.Locations())
+	opt := New(cat, pc, net, Options{Compliant: true})
+	res, err := opt.OptimizeSQL(orderedJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merges, sorts int
+	res.Plan.Walk(func(n *plan.Node) bool {
+		switch n.Kind {
+		case plan.MergeJoin:
+			merges++
+		case plan.SortExec:
+			sorts++
+		}
+		return true
+	})
+	if merges != 1 {
+		t.Errorf("expected a merge join:\n%s", res.Plan.Format(true))
+	}
+	if sorts != 0 {
+		t.Errorf("the ORDER BY should be elided (merge join provides it):\n%s", res.Plan.Format(true))
+	}
+	if v := opt.Check(res.Plan); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestMergeJoinNotChosenWithoutOrderBy(t *testing.T) {
+	// Over unsorted tables, hash join is cheaper (merge would pay two
+	// sorts).
+	cat, pc := mergeFixture(false)
+	net := network.FiveRegionWAN(cat.Locations())
+	opt := New(cat, pc, net, Options{Compliant: true})
+	res, err := opt.OptimizeSQL(orderedJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := false
+	res.Plan.Walk(func(n *plan.Node) bool {
+		if n.Kind == plan.HashJoin {
+			hash = true
+		}
+		return true
+	})
+	if !hash {
+		t.Errorf("hash join expected without ORDER BY:\n%s", res.Plan.Format(true))
+	}
+}
+
+// TestMergeJoinExecutesCorrectly cross-checks merge-join results and
+// output ordering against hash join.
+func TestMergeJoinExecutesCorrectly(t *testing.T) {
+	cat := schema.NewCatalog()
+	l := schema.NewTable("t1", "db-1", "L1", 50,
+		schema.Column{Name: "k", Type: expr.TInt},
+		schema.Column{Name: "v", Type: expr.TInt})
+	r := schema.NewTable("t2", "db-1", "L1", 60,
+		schema.Column{Name: "k", Type: expr.TInt},
+		schema.Column{Name: "w", Type: expr.TInt})
+	cat.MustAddTable(l)
+	cat.MustAddTable(r)
+	cl := cluster.New(cat, network.UniformWAN(1, 1e-6))
+	var lRows, rRows []expr.Row
+	for i := 0; i < 50; i++ {
+		lRows = append(lRows, expr.Row{expr.NewInt(int64(49 - i%25)), expr.NewInt(int64(i))}) // duplicates, unsorted
+	}
+	for i := 0; i < 60; i++ {
+		rRows = append(rRows, expr.Row{expr.NewInt(int64(i % 30)), expr.NewInt(int64((i * 7) % 60))})
+	}
+	if err := cl.LoadFragment(l, 0, lRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadFragment(r, 0, rRows); err != nil {
+		t.Fatal(err)
+	}
+	cond := expr.NewCmp(expr.EQ, expr.NewCol("a", "k"), expr.NewCol("b", "k"))
+	mk := func(kind plan.Kind) *plan.Node {
+		j := plan.NewJoin(plan.NewScan(l, "a", -1), plan.NewScan(r, "b", -1), cond)
+		j.Kind = kind
+		return j
+	}
+	mRows, _, err := executor.Run(mk(plan.MergeJoin), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hRows, _, err := executor.Run(mk(plan.HashJoin), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mRows) != len(hRows) {
+		t.Fatalf("cardinality: merge %d vs hash %d", len(mRows), len(hRows))
+	}
+	// Merge output is ordered by the left key.
+	for i := 1; i < len(mRows); i++ {
+		if mRows[i][0].Int() < mRows[i-1][0].Int() {
+			t.Fatalf("merge output not ordered at %d", i)
+		}
+	}
+	// Multisets agree (sum of a hashable projection).
+	sum := func(rows []expr.Row) int64 {
+		var s int64
+		for _, r := range rows {
+			s += r[0].Int()*1000003 + r[1].Int()*31 + r[3].Int()
+		}
+		return s
+	}
+	if sum(mRows) != sum(hRows) {
+		t.Error("merge and hash join results differ")
+	}
+	// Residual predicates filter after the merge.
+	withResidual := plan.NewJoin(plan.NewScan(l, "a", -1), plan.NewScan(r, "b", -1),
+		expr.NewAnd(cond, expr.NewCmp(expr.GT, expr.NewCol("b", "w"), expr.NewCol("a", "v"))))
+	withResidual.Kind = plan.MergeJoin
+	resRows, _, err := executor.Run(withResidual, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range resRows {
+		if row[3].Int() <= row[1].Int() {
+			t.Fatalf("residual not applied: %v", row)
+		}
+	}
+	if len(resRows) == 0 || len(resRows) >= len(mRows) {
+		t.Errorf("residual should filter some rows: %d of %d", len(resRows), len(mRows))
+	}
+}

@@ -1,0 +1,271 @@
+// Package optimizer implements the compliance-based two-phase optimizer
+// of Section 6: a normalization pre-pass (filter pushdown, column
+// pruning, fragment expansion), the plan annotator (phase 1, Section 6.2)
+// built on the memo, the dynamic-programming site selector (phase 2,
+// Section 6.3, Algorithm 2), and a compliance checker that validates any
+// located plan against Definition 1.
+package optimizer
+
+import (
+	"strings"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+)
+
+// Normalize canonicalizes a bound logical plan before memo insertion:
+//
+//  1. scans of fragmented tables expand into unions of per-fragment scans
+//     (the GAV rewrite t = t1 ∪ ... ∪ tn of Section 7.5);
+//  2. filter predicates push down to the deepest operator that covers
+//     their columns, turning cross products into joins;
+//  3. column pruning inserts projections above each leaf so that only
+//     attributes the query actually uses travel upward — this is the
+//     masking-via-projection the compliant plans of Figure 1(b) rely on.
+func Normalize(root *plan.Node) *plan.Node {
+	root = expandFragments(root)
+	root = pushFilters(root, nil)
+	root = pruneColumns(root)
+	return root
+}
+
+// expandFragments rewrites whole-table scans of fragmented tables into
+// unions of per-fragment scans.
+func expandFragments(n *plan.Node) *plan.Node {
+	for i, c := range n.Children {
+		n.Children[i] = expandFragments(c)
+	}
+	if n.Kind == plan.Scan && n.FragIdx < 0 && n.Table.Fragmented() {
+		scans := make([]*plan.Node, len(n.Table.Fragments))
+		for i := range n.Table.Fragments {
+			scans[i] = plan.NewScan(n.Table, n.Alias, i)
+		}
+		return plan.NewUnion(scans...)
+	}
+	return n
+}
+
+// pushFilters distributes the given conjuncts (plus any Filter operators
+// encountered) down the tree.
+func pushFilters(n *plan.Node, conjuncts []expr.Expr) *plan.Node {
+	switch n.Kind {
+	case plan.Filter:
+		return pushFilters(n.Children[0], append(append([]expr.Expr{}, conjuncts...), expr.Conjuncts(n.Pred)...))
+
+	case plan.Join:
+		pool := append(append([]expr.Expr{}, conjuncts...), expr.Conjuncts(n.Pred)...)
+		var left, right, here []expr.Expr
+		l, r := n.Children[0], n.Children[1]
+		for _, c := range pool {
+			switch {
+			case coveredBy(c, l):
+				left = append(left, c)
+			case coveredBy(c, r):
+				right = append(right, c)
+			default:
+				here = append(here, c)
+			}
+		}
+		n.Children[0] = pushFilters(l, left)
+		n.Children[1] = pushFilters(r, right)
+		n.Pred = expr.AndAll(here...)
+		return n
+
+	case plan.Union:
+		for i, c := range n.Children {
+			n.Children[i] = pushFilters(c, cloneConjuncts(conjuncts))
+		}
+		return n
+
+	case plan.Project:
+		// Push through when every conjunct column is a pass-through
+		// column of the projection; otherwise filter above.
+		var passable, blocked []expr.Expr
+		for _, c := range conjuncts {
+			if rewritten, ok := throughProject(c, n); ok {
+				passable = append(passable, rewritten)
+			} else {
+				blocked = append(blocked, c)
+			}
+		}
+		n.Children[0] = pushFilters(n.Children[0], passable)
+		return wrapFilter(n, blocked)
+
+	case plan.Sort, plan.Limit:
+		// LIMIT changes semantics under filters: keep conjuncts above.
+		if n.Kind == plan.Limit {
+			n.Children[0] = pushFilters(n.Children[0], nil)
+			return wrapFilter(n, conjuncts)
+		}
+		n.Children[0] = pushFilters(n.Children[0], conjuncts)
+		return n
+
+	case plan.Aggregate:
+		// Conjuncts over grouping columns could push below; conjuncts
+		// over aggregates cannot. Keep all above for simplicity (the
+		// binder does not produce HAVING yet, so this arises only from
+		// derived tables).
+		n.Children[0] = pushFilters(n.Children[0], nil)
+		return wrapFilter(n, conjuncts)
+
+	default: // Scan and anything else: wrap.
+		for i, c := range n.Children {
+			n.Children[i] = pushFilters(c, nil)
+		}
+		return wrapFilter(n, conjuncts)
+	}
+}
+
+func wrapFilter(n *plan.Node, conjuncts []expr.Expr) *plan.Node {
+	if pred := expr.AndAll(conjuncts...); pred != nil {
+		return plan.NewFilter(n, pred)
+	}
+	return n
+}
+
+func cloneConjuncts(cs []expr.Expr) []expr.Expr {
+	out := make([]expr.Expr, len(cs))
+	for i, c := range cs {
+		out[i] = expr.Clone(c)
+	}
+	return out
+}
+
+// coveredBy reports whether every column of e resolves in n's schema.
+func coveredBy(e expr.Expr, n *plan.Node) bool {
+	ok := true
+	expr.Walk(e, func(x expr.Expr) bool {
+		if c, isCol := x.(*expr.Col); isCol {
+			if n.ColIndex(c) < 0 {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// throughProject rewrites a conjunct in terms of the projection's input,
+// when every referenced column is a pass-through column.
+func throughProject(e expr.Expr, proj *plan.Node) (expr.Expr, bool) {
+	ok := true
+	out := expr.Transform(e, func(x expr.Expr) expr.Expr {
+		c, isCol := x.(*expr.Col)
+		if !isCol || !ok {
+			return x
+		}
+		for i, cr := range proj.Cols {
+			if strings.EqualFold(cr.Name, c.Name) && (c.Table == "" || strings.EqualFold(cr.Table, c.Table)) {
+				if src, isSrc := proj.Projs[i].E.(*expr.Col); isSrc {
+					return &expr.Col{Table: src.Table, Name: src.Name, Index: -1}
+				}
+				ok = false
+				return x
+			}
+		}
+		ok = false
+		return x
+	})
+	if !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// pruneColumns inserts pruning projections above each leaf's filter stack
+// so that only columns referenced anywhere else in the plan survive.
+func pruneColumns(root *plan.Node) *plan.Node {
+	// Collect used columns per alias from every expression in the tree,
+	// except predicates of scan-local filters (they evaluate below the
+	// inserted projection).
+	used := map[string]map[string]bool{} // alias -> column -> true
+	addCol := func(c *expr.Col) {
+		if c.Table == "" {
+			return
+		}
+		key := strings.ToLower(c.Table)
+		if used[key] == nil {
+			used[key] = map[string]bool{}
+		}
+		used[key][strings.ToLower(c.Name)] = true
+	}
+	addExpr := func(e expr.Expr) {
+		for _, c := range expr.Columns(e) {
+			addCol(c)
+		}
+	}
+	root.Walk(func(n *plan.Node) bool {
+		switch n.Kind {
+		case plan.Filter:
+			if !isScanLocalFilter(n) {
+				addExpr(n.Pred)
+			}
+		case plan.Join:
+			addExpr(n.Pred)
+		case plan.Project:
+			for _, p := range n.Projs {
+				addExpr(p.E)
+			}
+		case plan.Aggregate:
+			for _, g := range n.GroupBy {
+				addCol(g)
+			}
+			for _, a := range n.Aggs {
+				if a.Arg != nil {
+					addExpr(a.Arg)
+				}
+			}
+		case plan.Sort:
+			for _, k := range n.SortKeys {
+				addExpr(k.E)
+			}
+		}
+		return true
+	})
+	return insertPrunes(root, used)
+}
+
+// isScanLocalFilter reports whether the filter sits directly above a scan
+// (possibly through other scan-local filters) and references only that
+// scan's alias.
+func isScanLocalFilter(n *plan.Node) bool {
+	c := n.Children[0]
+	for c.Kind == plan.Filter {
+		c = c.Children[0]
+	}
+	if c.Kind != plan.Scan {
+		return false
+	}
+	return coveredBy(n.Pred, c)
+}
+
+// insertPrunes wraps each leaf stack (scan plus local filters) with a
+// projection keeping only used columns.
+func insertPrunes(n *plan.Node, used map[string]map[string]bool) *plan.Node {
+	if n.Kind == plan.Scan || n.Kind == plan.Filter && isScanLocalFilter(n) {
+		scan := n
+		for scan.Kind == plan.Filter {
+			scan = scan.Children[0]
+		}
+		keep := used[strings.ToLower(scan.Alias)]
+		var projs []plan.NamedExpr
+		for _, cr := range scan.Cols {
+			if keep[strings.ToLower(cr.Name)] {
+				projs = append(projs, plan.NamedExpr{E: cr.Col(), Name: cr.Name, Type: cr.Type})
+			}
+		}
+		if len(projs) == 0 {
+			// Keep one column so rows retain identity.
+			cr := scan.Cols[0]
+			projs = []plan.NamedExpr{{E: cr.Col(), Name: cr.Name, Type: cr.Type}}
+		}
+		if len(projs) == len(scan.Cols) {
+			return n // nothing to prune
+		}
+		return plan.NewProject(n, projs)
+	}
+	for i, c := range n.Children {
+		n.Children[i] = insertPrunes(c, used)
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/schema"
+	"cgdqp/internal/sqlparse"
+)
+
+func normCatalog() *schema.Catalog {
+	cat := schema.NewCatalog()
+	cat.MustAddTable(schema.NewTable("r", "db-1", "L1", 100,
+		schema.Column{Name: "a", Type: expr.TInt},
+		schema.Column{Name: "b", Type: expr.TInt},
+		schema.Column{Name: "junk", Type: expr.TString},
+	))
+	cat.MustAddTable(schema.NewTable("s", "db-2", "L2", 100,
+		schema.Column{Name: "a", Type: expr.TInt},
+		schema.Column{Name: "c", Type: expr.TInt},
+		schema.Column{Name: "junk2", Type: expr.TString},
+	))
+	cat.MustAddTable(&schema.Table{
+		Name:    "fr",
+		Columns: []schema.Column{{Name: "x", Type: expr.TInt}},
+		Fragments: []schema.Fragment{
+			{DB: "db-1", Location: "L1", RowCount: 50},
+			{DB: "db-2", Location: "L2", RowCount: 50},
+		},
+	})
+	return cat
+}
+
+func normalizeSQL(t *testing.T, sql string) *plan.Node {
+	t.Helper()
+	logical, err := sqlparse.ParseAndBind(sql, normCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Normalize(logical)
+}
+
+func TestNormalizeFilterPushdown(t *testing.T) {
+	n := normalizeSQL(t, `SELECT r.b FROM r, s WHERE r.a = s.a AND r.b > 5 AND s.c = 3`)
+	// The join condition lands on the join; the single-table conjuncts
+	// sink to their scans.
+	var join *plan.Node
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Join {
+			join = x
+		}
+		return true
+	})
+	if join == nil || join.Pred == nil || !strings.Contains(join.Pred.String(), "r.a = s.a") {
+		t.Fatalf("join pred: %v", join)
+	}
+	filters := 0
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Filter {
+			filters++
+			if !strings.Contains(x.Pred.String(), "r.b > 5") && !strings.Contains(x.Pred.String(), "s.c = 3") {
+				t.Errorf("unexpected filter: %v", x.Pred)
+			}
+			if x.Children[0].Kind != plan.Scan {
+				t.Errorf("filter not on scan: %v", x.Children[0].Kind)
+			}
+		}
+		return true
+	})
+	if filters != 2 {
+		t.Errorf("filters: %d", filters)
+	}
+}
+
+func TestNormalizeColumnPruning(t *testing.T) {
+	n := normalizeSQL(t, `SELECT r.b FROM r, s WHERE r.a = s.a`)
+	// junk / junk2 must be pruned from the leaves.
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Project && x.Children[0].Kind == plan.Scan {
+			for _, c := range x.Cols {
+				if strings.Contains(c.Name, "junk") {
+					t.Errorf("unpruned column %s", c.Key())
+				}
+			}
+		}
+		return true
+	})
+	// Pruning keeps join keys.
+	found := false
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Project {
+			for _, c := range x.Cols {
+				if c.Key() == "s.a" {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Error("join key pruned away")
+	}
+}
+
+func TestNormalizeFragmentExpansion(t *testing.T) {
+	n := normalizeSQL(t, `SELECT fr.x FROM fr WHERE fr.x > 1`)
+	unions, scans := 0, 0
+	n.Walk(func(x *plan.Node) bool {
+		switch x.Kind {
+		case plan.Union:
+			unions++
+		case plan.Scan:
+			scans++
+			if x.FragIdx < 0 {
+				t.Error("fragment scan without index")
+			}
+		}
+		return true
+	})
+	if unions != 1 || scans != 2 {
+		t.Errorf("unions=%d scans=%d", unions, scans)
+	}
+	// The filter is pushed into both branches.
+	filters := 0
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Filter {
+			filters++
+		}
+		return true
+	})
+	if filters != 2 {
+		t.Errorf("per-branch filters: %d", filters)
+	}
+}
+
+func TestNormalizeKeepsLimitSemantics(t *testing.T) {
+	// A filter above LIMIT (from a derived table) must not push below it.
+	n := normalizeSQL(t, `SELECT x.b FROM (SELECT r.b FROM r ORDER BY r.b LIMIT 5) x WHERE x.b > 2`)
+	// Walk down: the Filter must appear above the Limit.
+	var sawFilter bool
+	ok := true
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Filter {
+			sawFilter = true
+		}
+		if x.Kind == plan.Limit && !sawFilter {
+			ok = false
+		}
+		return true
+	})
+	if !ok || !sawFilter {
+		t.Errorf("filter pushed below LIMIT:\n%s", n)
+	}
+}

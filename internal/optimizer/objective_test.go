@@ -1,0 +1,78 @@
+package optimizer
+
+import (
+	"testing"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/schema"
+)
+
+// TestResponseTimeObjectiveDiverges builds a placement where the two
+// objectives disagree: a union of sources at L1 and L2 may execute at P
+// or Q with transfer costs
+//
+//	at P: ship A = 90, ship B = 90   → total 180, response 90
+//	at Q: ship A = 10, ship B = 150  → total 160, response 150
+//
+// Total-cost picks Q; response-time picks P.
+func TestResponseTimeObjectiveDiverges(t *testing.T) {
+	ta := schema.NewTable("A", "da", "L1", 1, schema.Column{Name: "x", Type: expr.TInt})
+	tb := schema.NewTable("B", "db", "L2", 1, schema.Column{Name: "x", Type: expr.TInt})
+	a := plan.NewScan(ta, "a", -1)
+	a.Kind = plan.TableScan
+	a.Card = 1
+	a.Exec = plan.NewSiteSet("L1")
+	b := plan.NewScan(tb, "b", -1)
+	b.Kind = plan.TableScan
+	b.Card = 1
+	b.Exec = plan.NewSiteSet("L2")
+	u := plan.NewUnion(a, b)
+	u.Kind = plan.UnionAll
+	u.Card = 2
+	u.Exec = plan.NewSiteSet("P", "Q")
+	u.ShipT = u.Exec
+
+	net := network.NewCostModel(1e9, 0) // unknown edges prohibitive
+	net.SetEdge("L1", "P", 90, 0)
+	net.SetEdge("L2", "P", 90, 0)
+	net.SetEdge("L1", "Q", 10, 0)
+	net.SetEdge("L2", "Q", 150, 0)
+
+	total, totalCost, err := SelectSites(u.Clone(), net, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Loc != "Q" || totalCost != 160 {
+		t.Errorf("total-cost objective: loc=%s cost=%v (want Q, 160)", total.Loc, totalCost)
+	}
+	resp, respCost, err := SelectSitesObjective(u.Clone(), net, "", ObjectiveResponseTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Loc != "P" || respCost != 90 {
+		t.Errorf("response-time objective: loc=%s cost=%v (want P, 90)", resp.Loc, respCost)
+	}
+}
+
+// TestResponseTimeThroughOptimizer exercises the option end to end: the
+// CarCo query optimizes under both objectives and both plans pass the
+// compliance checker.
+func TestResponseTimeThroughOptimizer(t *testing.T) {
+	sc := carcoSchema()
+	net := network.FiveRegionWAN(sc.Locations())
+	for _, rt := range []bool{false, true} {
+		opt := New(sc, carcoPolicies(), net, Options{Compliant: true, ResponseTimeObjective: rt})
+		res, err := opt.OptimizeSQL(carcoQuery)
+		if err != nil {
+			t.Fatalf("rt=%v: %v", rt, err)
+		}
+		if v := opt.Check(res.Plan); len(v) != 0 {
+			t.Errorf("rt=%v violations: %v", rt, v)
+		}
+		if res.ShipCost <= 0 {
+			t.Errorf("rt=%v ship cost: %v", rt, res.ShipCost)
+		}
+	}
+}

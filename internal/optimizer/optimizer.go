@@ -1,0 +1,286 @@
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cgdqp/internal/cost"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/memo"
+	"cgdqp/internal/network"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
+	"cgdqp/internal/rules"
+	"cgdqp/internal/schema"
+	"cgdqp/internal/sqlparse"
+)
+
+// ErrNoCompliantPlan is returned when the optimizer cannot find any
+// compliant execution plan for a query: the query is rejected, as in
+// Figure 2's "legal?" gate.
+var ErrNoCompliantPlan = errors.New("optimizer: query has no compliant execution plan under the current dataflow policies")
+
+// Options configure an optimizer instance.
+type Options struct {
+	// Compliant selects the compliance-based optimizer; false gives the
+	// traditional cost-based baseline (Section 7.1's comparison subject):
+	// Calcite-style phase 1 without traits, then the same site selector
+	// with every location considered legal.
+	Compliant bool
+	// ImplicationMode selects the precision of the P_q ⇒ P_e test.
+	ImplicationMode expr.ImplicationMode
+	// MaxAlts caps per-group Pareto alternatives (default 12).
+	MaxAlts int
+	// MaxExprs caps memo exploration (default 200000).
+	MaxExprs int
+	// DisableAggPushdown removes the aggregation-pushdown rule (the
+	// ablation of Section 6.4's completeness discussion).
+	DisableAggPushdown bool
+	// DisableJoinReorder removes join commutativity/associativity.
+	DisableJoinReorder bool
+	// GreedySiteSelection replaces Algorithm 2 with a greedy
+	// cheapest-edge placement (ablation).
+	GreedySiteSelection bool
+	// ResponseTimeObjective makes the site selector minimize the
+	// critical transfer path instead of total communication cost (the
+	// Section 3.3 "query response time" cost model).
+	ResponseTimeObjective bool
+	// ResultLocation pins where the query result must be delivered
+	// ("" = wherever is cheapest).
+	ResultLocation string
+	// NoPolicyCache disables the policy evaluator's memoization (the
+	// paper's evaluator re-ran per operator; see Figure 6(c–f)).
+	NoPolicyCache bool
+}
+
+// Optimizer turns bound logical plans into located, compliant QEPs.
+type Optimizer struct {
+	Schema   *schema.Catalog
+	Policies *policy.Catalog
+	Net      *network.CostModel
+	Opts     Options
+
+	// Evaluator is shared across optimizations so that the policy cache
+	// persists (its η/call counters are reset per Optimize call).
+	Evaluator *policy.Evaluator
+}
+
+// New builds an optimizer over the given catalogs and network model.
+func New(sc *schema.Catalog, pc *policy.Catalog, net *network.CostModel, opts Options) *Optimizer {
+	ev := policy.NewEvaluator(pc, sc.Locations())
+	ev.Mode = opts.ImplicationMode
+	ev.NoCache = opts.NoPolicyCache
+	return &Optimizer{Schema: sc, Policies: pc, Net: net, Opts: opts, Evaluator: ev}
+}
+
+// Stats reports what one optimization did.
+type Stats struct {
+	NormalizeTime time.Duration
+	ExploreTime   time.Duration
+	ImplementTime time.Duration
+	SiteTime      time.Duration
+	TotalTime     time.Duration
+
+	Groups int
+	Exprs  int
+	Eta    int64 // policy expressions considered (Fig 7's η)
+	ACalls int64 // policy evaluator invocations
+}
+
+// Result is the outcome of one optimization.
+type Result struct {
+	// Plan is the final located QEP with SHIP operators.
+	Plan *plan.Node
+	// Annotated is the phase-1 output (before site selection), with
+	// execution and shipping traits on every operator.
+	Annotated *plan.Node
+	// PlanCost is the phase-1 (single-site) cost of the chosen plan.
+	PlanCost float64
+	// ShipCost is the phase-2 estimated communication cost.
+	ShipCost float64
+	Stats    Stats
+}
+
+// Optimize runs the two-phase compliance-based optimization on a bound
+// logical plan.
+func (o *Optimizer) Optimize(logical *plan.Node) (*Result, error) {
+	start := time.Now()
+	o.Evaluator.ResetStats()
+
+	t0 := time.Now()
+	norm := Normalize(logical.Clone())
+	est := cost.NewEstimator(norm)
+	normTime := time.Since(t0)
+
+	// Phase 1: plan annotator.
+	t1 := time.Now()
+	m := memo.New(est)
+	if o.Opts.MaxExprs > 0 {
+		m.MaxExprs = o.Opts.MaxExprs
+	}
+	root := m.InsertTree(norm)
+	m.Explore(o.ruleSet())
+	exploreTime := time.Since(t1)
+
+	t2 := time.Now()
+	// Track sort orders as a Pareto dimension only when some ORDER BY
+	// could actually consume one (all-ascending plain column keys — the
+	// only orderings the memo models); otherwise tracking would widen
+	// the alternative fronts for nothing.
+	trackOrder := false
+	norm.Walk(func(n *plan.Node) bool {
+		if n.Kind == plan.Sort && memo.SortKeysTrackable(n.SortKeys) {
+			trackOrder = true
+			return false
+		}
+		return true
+	})
+	cfg := &memo.ImplConfig{
+		Est:          est,
+		Compliant:    o.Opts.Compliant,
+		Evaluator:    o.Evaluator,
+		AllLocations: o.Schema.Locations(),
+		MaxAlts:      o.Opts.MaxAlts,
+		TrackOrder:   trackOrder,
+	}
+	m.Implement(root, cfg)
+	best := memo.Best(root, o.Opts.Compliant, o.Opts.ResultLocation)
+	implementTime := time.Since(t2)
+	if best == nil {
+		return nil, ErrNoCompliantPlan
+	}
+	annotated := best.Tree
+
+	// Phase 2: site selector over a private copy of the chosen tree
+	// (memo alternatives share subtrees). Adjacent projections are
+	// merged first.
+	t3 := time.Now()
+	located := o.mergeProjections(annotated.Clone())
+	var shipCost float64
+	var err error
+	switch {
+	case o.Opts.GreedySiteSelection:
+		located, shipCost, err = greedySelectSites(located, o.Net, o.Opts.ResultLocation)
+	case o.Opts.ResponseTimeObjective:
+		located, shipCost, err = SelectSitesObjective(located, o.Net, o.Opts.ResultLocation, ObjectiveResponseTime)
+	default:
+		located, shipCost, err = SelectSites(located, o.Net, o.Opts.ResultLocation)
+	}
+	siteTime := time.Since(t3)
+	if err != nil {
+		if o.Opts.Compliant {
+			return nil, fmt.Errorf("%w: %v", ErrNoCompliantPlan, err)
+		}
+		return nil, err
+	}
+
+	return &Result{
+		Plan:      located,
+		Annotated: annotated,
+		PlanCost:  best.Cost,
+		ShipCost:  shipCost,
+		Stats: Stats{
+			NormalizeTime: normTime,
+			ExploreTime:   exploreTime,
+			ImplementTime: implementTime,
+			SiteTime:      siteTime,
+			TotalTime:     time.Since(start),
+			Groups:        len(m.Groups),
+			Exprs:         m.ExprCount(),
+			Eta:           o.Evaluator.Eta,
+			ACalls:        o.Evaluator.Calls,
+		},
+	}, nil
+}
+
+// OptimizeSQL parses, binds and optimizes a SQL string.
+func (o *Optimizer) OptimizeSQL(sql string) (*Result, error) {
+	logical, err := sqlparse.ParseAndBind(sql, o.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return o.Optimize(logical)
+}
+
+// Check validates a located plan against Definition 1 using this
+// optimizer's policy evaluator.
+func (o *Optimizer) Check(located *plan.Node) []Violation {
+	return CheckCompliance(located, o.Evaluator)
+}
+
+func (o *Optimizer) ruleSet() []memo.Rule {
+	var rs []memo.Rule
+	if !o.Opts.DisableJoinReorder {
+		rs = append(rs, rules.JoinCommute{}, rules.JoinAssoc{})
+	}
+	rs = append(rs, rules.JoinUnionDistribute{})
+	// The traditional baseline mirrors "Calcite as-is" (Section 7.1):
+	// no eager-aggregation rule. The compliant optimizer needs it for
+	// completeness (Section 6.4).
+	if o.Opts.Compliant && !o.Opts.DisableAggPushdown {
+		rs = append(rs, rules.AggPushdown{})
+	}
+	return rs
+}
+
+// greedySelectSites is the ablation baseline for Algorithm 2: it places
+// each operator bottom-up at the legal location that minimizes only the
+// immediate shipping cost of its inputs, ignoring downstream placement.
+func greedySelectSites(root *plan.Node, net *network.CostModel, resultLoc string) (*plan.Node, float64, error) {
+	total := 0.0
+	var place func(n *plan.Node, prefer string) (string, error)
+	place = func(n *plan.Node, prefer string) (string, error) {
+		if len(n.Children) == 0 {
+			if n.Exec.Empty() {
+				return "", fmt.Errorf("optimizer: empty execution trait on leaf")
+			}
+			n.Loc = n.Exec.Slice()[0]
+			return n.Loc, nil
+		}
+		childLocs := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			cl, err := place(c, prefer)
+			if err != nil {
+				return "", err
+			}
+			childLocs[i] = cl
+		}
+		cands := n.Exec.Slice()
+		if prefer != "" && n.Exec.Contains(prefer) && n == root {
+			cands = []string{prefer}
+		}
+		if len(cands) == 0 {
+			return "", fmt.Errorf("optimizer: empty execution trait")
+		}
+		bestLoc, bestCost := "", -1.0
+		for _, l := range cands {
+			c := 0.0
+			for i, child := range n.Children {
+				c += net.ShipCost(childLocs[i], l, child.Card*child.RowWidth())
+			}
+			if bestCost < 0 || c < bestCost {
+				bestCost, bestLoc = c, l
+			}
+		}
+		total += bestCost
+		n.Loc = bestLoc
+		for i, child := range n.Children {
+			if childLocs[i] != bestLoc {
+				ship := plan.NewShip(child, childLocs[i], bestLoc)
+				ship.Exec = plan.NewSiteSet(bestLoc)
+				n.Children[i] = ship
+			}
+		}
+		return bestLoc, nil
+	}
+	if _, err := place(root, resultLoc); err != nil {
+		return nil, 0, err
+	}
+	if resultLoc != "" && root.Loc != resultLoc {
+		if !root.Exec.Contains(resultLoc) {
+			return nil, 0, fmt.Errorf("optimizer: result location %s not legal", resultLoc)
+		}
+	}
+	return root, total, nil
+}

@@ -1,0 +1,117 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Dot renders the plan as a Graphviz digraph. Operators are boxes labeled
+// with their parameters; nodes are clustered by execution location so the
+// geo-distribution of the plan is visible at a glance; SHIP edges are
+// drawn bold.
+func (n *Node) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n")
+	b.WriteString("  rankdir=BT;\n  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+
+	// Assign ids and bucket nodes per location.
+	ids := map[*Node]int{}
+	var order []*Node
+	n.Walk(func(x *Node) bool {
+		ids[x] = len(order)
+		order = append(order, x)
+		return true
+	})
+	byLoc := map[string][]*Node{}
+	var locs []string
+	for _, x := range order {
+		loc := x.Loc
+		if _, seen := byLoc[loc]; !seen {
+			locs = append(locs, loc)
+		}
+		byLoc[loc] = append(byLoc[loc], x)
+	}
+	for ci, loc := range locs {
+		if loc != "" {
+			fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"%s\";\n    style=dashed;\n", ci, loc)
+		}
+		for _, x := range byLoc[loc] {
+			label := strings.ReplaceAll(x.OpString(), `"`, `\"`)
+			if x.Card > 0 {
+				label += fmt.Sprintf(`\nrows≈%.0f`, x.Card)
+			}
+			attrs := ""
+			if x.Kind == Ship {
+				attrs = ", style=filled, fillcolor=lightyellow"
+			}
+			fmt.Fprintf(&b, "    n%d [label=\"%s\"%s];\n", ids[x], label, attrs)
+		}
+		if loc != "" {
+			b.WriteString("  }\n")
+		}
+	}
+	n.Walk(func(x *Node) bool {
+		for _, c := range x.Children {
+			style := ""
+			if x.Kind == Ship || c.Kind == Ship {
+				style = " [penwidth=2]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", ids[c], ids[x], style)
+		}
+		return true
+	})
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// jsonNode is the serialized form of a plan operator.
+type jsonNode struct {
+	Operator string     `json:"operator"`
+	Detail   string     `json:"detail,omitempty"`
+	Location string     `json:"location,omitempty"`
+	Exec     []string   `json:"exec_trait,omitempty"`
+	Ship     []string   `json:"ship_trait,omitempty"`
+	Rows     float64    `json:"est_rows,omitempty"`
+	Columns  []string   `json:"columns,omitempty"`
+	Children []jsonNode `json:"children,omitempty"`
+}
+
+func (n *Node) toJSON() jsonNode {
+	out := jsonNode{
+		Operator: n.Kind.String(),
+		Location: n.Loc,
+		Rows:     n.Card,
+	}
+	if detail := n.OpString(); detail != n.Kind.String() {
+		out.Detail = detail
+	}
+	if !n.Exec.Empty() {
+		out.Exec = n.Exec.Slice()
+	}
+	if !n.ShipT.Empty() {
+		out.Ship = n.ShipT.Slice()
+	}
+	for _, c := range n.Cols {
+		out.Columns = append(out.Columns, c.Key())
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, c.toJSON())
+	}
+	return out
+}
+
+// MarshalJSON serializes the plan tree (operators, locations, traits,
+// estimates) for external tooling.
+func (n *Node) MarshalJSON() ([]byte, error) {
+	return json.Marshal(n.toJSON())
+}
+
+// JSON renders the plan as indented JSON.
+func (n *Node) JSON() (string, error) {
+	b, err := json.MarshalIndent(n.toJSON(), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

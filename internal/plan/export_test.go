@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cgdqp/internal/expr"
+)
+
+func exportFixture() *Node {
+	c := NewScan(custTable(), "C", -1)
+	c.Kind = TableScan
+	c.Loc = "N"
+	c.Card = 1000
+	p := NewProject(c, []NamedExpr{{E: expr.NewCol("C", "name")}})
+	p.Kind = ProjectExec
+	p.Loc = "N"
+	p.Card = 1000
+	ship := NewShip(p, "N", "E")
+	ship.Card = 1000
+	o := NewScan(ordTable(), "O", -1)
+	o.Kind = TableScan
+	o.Loc = "E"
+	o.Card = 10000
+	j := NewJoin(ship, o, expr.NewCmp(expr.EQ, expr.NewCol("C", "name"), expr.NewCol("O", "ordkey")))
+	j.Kind = HashJoin
+	j.Loc = "E"
+	j.Card = 500
+	j.Exec = NewSiteSet("E")
+	j.ShipT = NewSiteSet("E", "A")
+	return j
+}
+
+func TestDotExport(t *testing.T) {
+	dot := exportFixture().Dot()
+	for _, want := range []string{
+		"digraph plan",
+		"label=\"N\"", "label=\"E\"", // location clusters
+		"Ship[N -> E]",
+		"TableScan(Customer AS C)",
+		"penwidth=2", // bold ship edges
+		"rows≈1000",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q:\n%s", want, dot)
+		}
+	}
+	// Every node id referenced by an edge is declared.
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, "->") {
+			parts := strings.Fields(line)
+			from := strings.TrimPrefix(parts[0], "n")
+			if !strings.Contains(dot, "n"+from+" [label=") {
+				t.Errorf("edge references undeclared node %s", parts[0])
+			}
+		}
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	out, err := exportFixture().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if decoded["operator"] != "HashJoin" || decoded["location"] != "E" {
+		t.Errorf("root: %v", decoded)
+	}
+	ship, _ := decoded["ship_trait"].([]any)
+	if len(ship) != 2 {
+		t.Errorf("ship trait: %v", decoded["ship_trait"])
+	}
+	kids, _ := decoded["children"].([]any)
+	if len(kids) != 2 {
+		t.Fatalf("children: %v", decoded["children"])
+	}
+	// MarshalJSON on the node itself matches.
+	raw, err := json.Marshal(exportFixture())
+	if err != nil || !strings.Contains(string(raw), "\"operator\":\"HashJoin\"") {
+		t.Errorf("MarshalJSON: %v %s", err, raw)
+	}
+}

@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/schema"
+)
+
+func custTable() *schema.Table {
+	return schema.NewTable("Customer", "db-1", "N", 1000,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "name", Type: expr.TString},
+		schema.Column{Name: "acctbal", Type: expr.TFloat},
+	)
+}
+
+func ordTable() *schema.Table {
+	return schema.NewTable("Orders", "db-2", "E", 10000,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "ordkey", Type: expr.TInt},
+		schema.Column{Name: "totprice", Type: expr.TFloat},
+	)
+}
+
+func TestScanSchema(t *testing.T) {
+	s := NewScan(custTable(), "C", -1)
+	if len(s.Cols) != 3 {
+		t.Fatalf("cols: %d", len(s.Cols))
+	}
+	if s.Cols[0].Key() != "C.custkey" || s.Cols[0].Type != expr.TInt {
+		t.Errorf("col0: %+v", s.Cols[0])
+	}
+	// Default alias is the table name.
+	s2 := NewScan(custTable(), "", -1)
+	if s2.Cols[0].Key() != "Customer.custkey" {
+		t.Errorf("default alias: %v", s2.Cols[0].Key())
+	}
+}
+
+func TestProjectSchemaAndTypes(t *testing.T) {
+	s := NewScan(custTable(), "C", -1)
+	p := NewProject(s, []NamedExpr{
+		{E: expr.NewCol("C", "name")},
+		{E: expr.NewArith(expr.Mul, expr.NewCol("C", "acctbal"), expr.NewConst(expr.NewInt(2))), Name: "dbl"},
+	})
+	if len(p.Cols) != 2 {
+		t.Fatalf("cols: %d", len(p.Cols))
+	}
+	// Bare column keeps qualifier; name filled in.
+	if p.Cols[0].Key() != "C.name" || p.Cols[0].Type != expr.TString {
+		t.Errorf("col0: %+v", p.Cols[0])
+	}
+	if p.Projs[0].Name != "name" {
+		t.Errorf("proj name: %q", p.Projs[0].Name)
+	}
+	// Computed column is unqualified with inferred type.
+	if p.Cols[1].Key() != "dbl" || p.Cols[1].Type != expr.TFloat {
+		t.Errorf("col1: %+v", p.Cols[1])
+	}
+}
+
+func TestJoinAggSchema(t *testing.T) {
+	c := NewScan(custTable(), "C", -1)
+	o := NewScan(ordTable(), "O", -1)
+	j := NewJoin(c, o, expr.NewCmp(expr.EQ, expr.NewCol("C", "custkey"), expr.NewCol("O", "custkey")))
+	if len(j.Cols) != 6 {
+		t.Fatalf("join cols: %d", len(j.Cols))
+	}
+	g := NewAggregate(j,
+		[]*expr.Col{expr.NewCol("C", "name")},
+		[]NamedAgg{{Fn: expr.AggSum, Arg: expr.NewCol("O", "totprice"), Name: "total"}})
+	if len(g.Cols) != 2 {
+		t.Fatalf("agg cols: %d", len(g.Cols))
+	}
+	if g.Cols[0].Key() != "C.name" || g.Cols[1].Key() != "total" {
+		t.Errorf("agg schema: %v %v", g.Cols[0].Key(), g.Cols[1].Key())
+	}
+	if g.Cols[1].Type != expr.TFloat {
+		t.Errorf("sum(float) type: %v", g.Cols[1].Type)
+	}
+}
+
+func TestColIndexAndResolver(t *testing.T) {
+	c := NewScan(custTable(), "C", -1)
+	o := NewScan(ordTable(), "O", -1)
+	j := NewJoin(c, o, nil)
+	if i := j.ColIndex(expr.NewCol("O", "ordkey")); i != 4 {
+		t.Errorf("ColIndex(O.ordkey) = %d", i)
+	}
+	if i := j.ColIndex(expr.NewCol("", "name")); i != 1 {
+		t.Errorf("ColIndex(name) = %d", i)
+	}
+	// custkey appears in both inputs: unqualified is ambiguous.
+	if i := j.ColIndex(expr.NewCol("", "custkey")); i != -1 {
+		t.Errorf("ambiguous ColIndex = %d", i)
+	}
+	if i := j.ColIndex(expr.NewCol("X", "name")); i != -1 {
+		t.Errorf("unknown qualifier = %d", i)
+	}
+	// Resolver binds through to evaluation.
+	e, err := expr.Bind(expr.NewCol("O", "totprice"), j.Resolver())
+	if err != nil || e.(*expr.Col).Index != 5 {
+		t.Errorf("Resolver bind: %v %v", e, err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := NewScan(custTable(), "C", -1)
+	f := NewFilter(c, expr.NewCmp(expr.GT, expr.NewCol("C", "acctbal"), expr.NewConst(expr.NewFloat(0))))
+	cl := f.Clone()
+	cl.Loc = "X"
+	cl.Children[0].Loc = "Y"
+	if f.Loc != "" || f.Children[0].Loc != "" {
+		t.Error("clone aliases original locations")
+	}
+	if cl.Digest() != f.Digest() {
+		t.Error("clone digest differs")
+	}
+}
+
+func TestWalkAndTables(t *testing.T) {
+	c := NewScan(custTable(), "C", -1)
+	o := NewScan(ordTable(), "O", -1)
+	j := NewJoin(NewFilter(c, nil), o, nil)
+	count := 0
+	j.Walk(func(*Node) bool { count++; return true })
+	if count != 4 {
+		t.Errorf("walk count = %d", count)
+	}
+	tabs := j.Tables()
+	if len(tabs) != 2 || tabs[0].Alias != "C" || tabs[1].Alias != "O" {
+		t.Errorf("Tables: %v", tabs)
+	}
+}
+
+func TestFormatAndDigest(t *testing.T) {
+	c := NewScan(custTable(), "C", -1)
+	f := NewFilter(c, expr.NewCmp(expr.GT, expr.NewCol("C", "acctbal"), expr.NewConst(expr.NewFloat(100))))
+	p := NewProject(f, []NamedExpr{{E: expr.NewCol("C", "name")}})
+	sh := NewShip(p, "N", "E")
+	out := sh.Format(false)
+	for _, want := range []string{"Ship[N -> E]", "Project[C.name]", "Filter[C.acctbal > 100]", "Scan(Customer AS C)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+	// Annotated format shows traits and location.
+	p.Exec = NewSiteSet("N")
+	p.ShipT = NewSiteSet("N", "E")
+	p.Loc = "N"
+	p.Card = 42
+	annotated := p.Format(true)
+	for _, want := range []string{"@N", "exec={N}", "ship={E, N}", "rows=42"} {
+		if !strings.Contains(annotated, want) {
+			t.Errorf("annotated Format missing %q in:\n%s", want, annotated)
+		}
+	}
+	// Digest distinguishes different predicates and orders.
+	f2 := NewFilter(c, expr.NewCmp(expr.GT, expr.NewCol("C", "acctbal"), expr.NewConst(expr.NewFloat(200))))
+	if f.Digest() == f2.Digest() {
+		t.Error("digests should differ for different predicates")
+	}
+	o := NewScan(ordTable(), "O", -1)
+	j1 := NewJoin(c, o, nil)
+	j2 := NewJoin(o, c, nil)
+	if j1.Digest() == j2.Digest() {
+		t.Error("digests should differ for different child orders")
+	}
+}
+
+func TestRowWidth(t *testing.T) {
+	c := NewScan(custTable(), "C", -1)
+	// Scan uses catalog widths: 8 + 16 + 8.
+	if w := c.RowWidth(); w != 32 {
+		t.Errorf("scan width = %v", w)
+	}
+	p := NewProject(c, []NamedExpr{{E: expr.NewCol("C", "custkey")}})
+	if w := p.RowWidth(); w != 8 {
+		t.Errorf("project width = %v", w)
+	}
+}
+
+func TestUnionSortLimit(t *testing.T) {
+	tab := &schema.Table{
+		Name:    "Frag",
+		Columns: []schema.Column{{Name: "a", Type: expr.TInt}},
+		Fragments: []schema.Fragment{
+			{DB: "db-1", Location: "L1", RowCount: 10},
+			{DB: "db-2", Location: "L2", RowCount: 20},
+		},
+	}
+	s1 := NewScan(tab, "F", 0)
+	s2 := NewScan(tab, "F", 1)
+	u := NewUnion(s1, s2)
+	if len(u.Cols) != 1 || u.Cols[0].Key() != "F.a" {
+		t.Errorf("union schema: %v", u.Cols)
+	}
+	if !strings.Contains(s1.OpString(), "frag 0@L1") {
+		t.Errorf("fragment rendering: %s", s1.OpString())
+	}
+	srt := NewSort(u, []SortKey{{E: expr.NewCol("F", "a"), Desc: true}})
+	if !strings.Contains(srt.OpString(), "F.a DESC") {
+		t.Errorf("sort rendering: %s", srt.OpString())
+	}
+	lim := NewLimit(srt, 10)
+	if lim.LimitN != 10 || lim.Cols[0].Key() != "F.a" {
+		t.Error("limit schema")
+	}
+}
+
+func TestKindHelpers(t *testing.T) {
+	if Scan.Physical() || Join.Physical() {
+		t.Error("logical kinds must not be physical")
+	}
+	if !TableScan.Physical() || !Ship.Physical() {
+		t.Error("physical kinds")
+	}
+	if HashJoin.String() != "HashJoin" || Aggregate.String() != "Aggregate" {
+		t.Error("Kind.String")
+	}
+}

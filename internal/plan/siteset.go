@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"sort"
+	"strings"
+)
+
+// SiteSet is an immutable set of location names. It implements the
+// execution traits (ℰ) and shipping traits (𝒮) of Section 6.1: an
+// execution trait lists the sites where an operator may legally run, a
+// shipping trait the sites its output may legally be shipped to.
+// The zero value is the empty set.
+type SiteSet struct {
+	sites []string // sorted, deduplicated
+}
+
+// NewSiteSet builds a set from the given locations.
+func NewSiteSet(locs ...string) SiteSet {
+	if len(locs) == 0 {
+		return SiteSet{}
+	}
+	cp := append([]string(nil), locs...)
+	sort.Strings(cp)
+	out := cp[:0]
+	for i, s := range cp {
+		if i == 0 || cp[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return SiteSet{sites: out}
+}
+
+// Empty reports whether the set has no members.
+func (s SiteSet) Empty() bool { return len(s.sites) == 0 }
+
+// Len returns the number of members.
+func (s SiteSet) Len() int { return len(s.sites) }
+
+// Contains reports membership.
+func (s SiteSet) Contains(loc string) bool {
+	i := sort.SearchStrings(s.sites, loc)
+	return i < len(s.sites) && s.sites[i] == loc
+}
+
+// Slice returns the members in sorted order (a copy).
+func (s SiteSet) Slice() []string { return append([]string(nil), s.sites...) }
+
+// Union returns s ∪ o.
+func (s SiteSet) Union(o SiteSet) SiteSet {
+	if s.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return s
+	}
+	return NewSiteSet(append(s.Slice(), o.sites...)...)
+}
+
+// Intersect returns s ∩ o.
+func (s SiteSet) Intersect(o SiteSet) SiteSet {
+	var out []string
+	i, j := 0, 0
+	for i < len(s.sites) && j < len(o.sites) {
+		switch {
+		case s.sites[i] == o.sites[j]:
+			out = append(out, s.sites[i])
+			i++
+			j++
+		case s.sites[i] < o.sites[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return SiteSet{sites: out}
+}
+
+// SupersetOf reports whether s ⊇ o.
+func (s SiteSet) SupersetOf(o SiteSet) bool {
+	i := 0
+	for _, x := range o.sites {
+		for i < len(s.sites) && s.sites[i] < x {
+			i++
+		}
+		if i >= len(s.sites) || s.sites[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s SiteSet) Equal(o SiteSet) bool {
+	if len(s.sites) != len(o.sites) {
+		return false
+	}
+	for i := range s.sites {
+		if s.sites[i] != o.sites[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string usable as a map key.
+func (s SiteSet) Key() string { return strings.Join(s.sites, ",") }
+
+// String renders the set like {A, B}.
+func (s SiteSet) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	return "{" + strings.Join(s.sites, ", ") + "}"
+}

@@ -1,0 +1,112 @@
+package plan
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSiteSetBasics(t *testing.T) {
+	s := NewSiteSet("B", "A", "B", "C")
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if !s.Contains("A") || !s.Contains("C") || s.Contains("D") {
+		t.Error("Contains")
+	}
+	if got := s.Slice(); got[0] != "A" || got[1] != "B" || got[2] != "C" {
+		t.Errorf("Slice: %v", got)
+	}
+	if s.String() != "{A, B, C}" {
+		t.Errorf("String: %s", s)
+	}
+	if s.Key() != "A,B,C" {
+		t.Errorf("Key: %s", s.Key())
+	}
+	var zero SiteSet
+	if !zero.Empty() || zero.String() != "{}" {
+		t.Error("zero value")
+	}
+	if NewSiteSet().Len() != 0 {
+		t.Error("empty constructor")
+	}
+}
+
+func TestSiteSetOps(t *testing.T) {
+	a := NewSiteSet("A", "B", "C")
+	b := NewSiteSet("B", "C", "D")
+	if got := a.Intersect(b); got.Key() != "B,C" {
+		t.Errorf("Intersect: %s", got)
+	}
+	if got := a.Union(b); got.Key() != "A,B,C,D" {
+		t.Errorf("Union: %s", got)
+	}
+	if !a.SupersetOf(NewSiteSet("A", "C")) {
+		t.Error("SupersetOf true case")
+	}
+	if a.SupersetOf(b) {
+		t.Error("SupersetOf false case")
+	}
+	if !a.SupersetOf(NewSiteSet()) {
+		t.Error("superset of empty")
+	}
+	if !a.Equal(NewSiteSet("C", "B", "A")) {
+		t.Error("Equal")
+	}
+	if a.Equal(b) {
+		t.Error("not Equal")
+	}
+	var zero SiteSet
+	if got := a.Intersect(zero); !got.Empty() {
+		t.Error("intersect with empty")
+	}
+	if got := a.Union(zero); !got.Equal(a) {
+		t.Error("union with empty")
+	}
+	if got := zero.Union(a); !got.Equal(a) {
+		t.Error("empty union")
+	}
+}
+
+// Property: Union/Intersect agree with a reference map implementation.
+func TestSiteSetOpsProperty(t *testing.T) {
+	names := []string{"L1", "L2", "L3", "L4", "L5"}
+	pick := func(mask uint8) []string {
+		var out []string
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	f := func(ma, mb uint8) bool {
+		a, b := NewSiteSet(pick(ma)...), NewSiteSet(pick(mb)...)
+		inter := map[string]bool{}
+		uni := map[string]bool{}
+		for _, x := range pick(ma) {
+			uni[x] = true
+		}
+		for _, x := range pick(mb) {
+			uni[x] = true
+			for _, y := range pick(ma) {
+				if x == y {
+					inter[x] = true
+				}
+			}
+		}
+		toKey := func(m map[string]bool) string {
+			var ks []string
+			for k := range m {
+				ks = append(ks, k)
+			}
+			sort.Strings(ks)
+			return NewSiteSet(ks...).Key()
+		}
+		return a.Intersect(b).Key() == toKey(inter) && a.Union(b).Key() == toKey(uni) &&
+			a.Union(b).SupersetOf(a) && a.SupersetOf(a.Intersect(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package policy
+
+import (
+	"sort"
+	"strings"
+)
+
+// Catalog is the policy catalog of Figure 2: the set of all registered
+// policy expressions, indexed by owning database. Data officers register
+// expressions offline; the optimizer consults the catalog through the
+// Evaluator at query time.
+type Catalog struct {
+	byDB map[string][]*Expression
+	n    int
+}
+
+// NewCatalog returns an empty policy catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byDB: map[string][]*Expression{}}
+}
+
+// Add registers an expression.
+func (c *Catalog) Add(e *Expression) {
+	db := strings.ToLower(e.DB)
+	c.byDB[db] = append(c.byDB[db], e)
+	c.n++
+}
+
+// AddAll registers several expressions.
+func (c *Catalog) AddAll(es ...*Expression) {
+	for _, e := range es {
+		c.Add(e)
+	}
+}
+
+// ForDB returns the expressions registered for a database.
+func (c *Catalog) ForDB(db string) []*Expression {
+	return c.byDB[strings.ToLower(db)]
+}
+
+// Len returns the total number of registered expressions.
+func (c *Catalog) Len() int { return c.n }
+
+// Databases returns the databases that have policies, sorted.
+func (c *Catalog) Databases() []string {
+	out := make([]string, 0, len(c.byDB))
+	for db := range c.byDB {
+		out = append(out, db)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fingerprint returns a digest of the catalog contents; the evaluator
+// uses it to invalidate caches when policies change.
+func (c *Catalog) Fingerprint() string {
+	var parts []string
+	for db, es := range c.byDB {
+		for _, e := range es {
+			parts = append(parts, db+"|"+e.String())
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cgdqp/internal/sqlparse"
+)
+
+// This file implements the closed-world preprocessing mentioned in the
+// paper's Disclosure Model (Section 4): "in some cases negative
+// instances, i.e., specifying what is not allowed, may be more
+// convenient. This can be handled by an additional preprocessing step
+// under a closed world assumption."
+//
+// A negative expression
+//
+//	deny attr_list from table to location_list
+//
+// states that the listed attributes must NOT be shipped (raw) to the
+// listed locations. Under the closed-world assumption every other
+// (attribute, location) pair is allowed, so a set of denials compiles
+// into positive basic expressions: one per distinct allowed-destination
+// set, covering the attributes that share it.
+
+// Denial is a parsed negative expression.
+type Denial struct {
+	DB       string
+	Table    string
+	AllAttrs bool
+	Attrs    []string
+	ToAll    bool
+	To       []string
+}
+
+// DenialFromStmt converts a parsed deny statement.
+func DenialFromStmt(stmt *sqlparse.PolicyStmt, db string) (*Denial, error) {
+	if !stmt.Deny {
+		return nil, fmt.Errorf("policy: expression is not a denial")
+	}
+	if stmt.Where != nil || len(stmt.GroupBy) > 0 || stmt.IsAggregate() {
+		return nil, fmt.Errorf("policy: denials support only attribute and location lists")
+	}
+	if stmt.DB != "" {
+		if db != "" && !strings.EqualFold(stmt.DB, db) {
+			return nil, fmt.Errorf("policy: denial for %s.%s registered under database %s", stmt.DB, stmt.Table, db)
+		}
+		db = stmt.DB
+	}
+	if db == "" {
+		return nil, fmt.Errorf("policy: denial over %s has no owning database", stmt.Table)
+	}
+	return &Denial{
+		DB:       strings.ToLower(db),
+		Table:    strings.ToLower(stmt.Table),
+		AllAttrs: stmt.AllAttrs,
+		Attrs:    lowerAll(stmt.Attrs),
+		ToAll:    stmt.ToAll,
+		To:       append([]string(nil), stmt.To...),
+	}, nil
+}
+
+// ParseDenial parses a `deny ...` expression.
+func ParseDenial(src, db string) (*Denial, error) {
+	stmt, err := sqlparse.ParsePolicy(src)
+	if err != nil {
+		return nil, err
+	}
+	return DenialFromStmt(stmt, db)
+}
+
+// CompileDenials turns the denials for one table into positive basic
+// expressions under the closed-world assumption: every attribute may
+// ship to every location except those denied for it. tableCols is the
+// table's full attribute list; allLocations the location universe.
+// Expressions are emitted one per distinct allowed-destination set
+// (attributes keep tableCols order; destinations keep allLocations
+// order), so the output is deterministic.
+func CompileDenials(table, db string, tableCols []string, denials []*Denial, allLocations []string, idPrefix string) ([]*Expression, error) {
+	table = strings.ToLower(table)
+	db = strings.ToLower(db)
+	denied := map[string]map[string]bool{} // attr -> blocked locations
+	for _, col := range tableCols {
+		denied[strings.ToLower(col)] = map[string]bool{}
+	}
+	for _, d := range denials {
+		if d.Table != table || d.DB != db {
+			return nil, fmt.Errorf("policy: denial for %s.%s applied to %s.%s", d.DB, d.Table, db, table)
+		}
+		var attrs []string
+		if d.AllAttrs {
+			attrs = lowerAll(tableCols)
+		} else {
+			attrs = d.Attrs
+		}
+		for _, a := range attrs {
+			m, ok := denied[a]
+			if !ok {
+				return nil, fmt.Errorf("policy: denial references unknown attribute %q of %s", a, table)
+			}
+			if d.ToAll {
+				for _, l := range allLocations {
+					m[l] = true
+				}
+			} else {
+				for _, l := range d.To {
+					m[l] = true
+				}
+			}
+		}
+	}
+	// Group attributes by their allowed-destination signature.
+	type bucket struct {
+		attrs []string
+		to    []string
+	}
+	buckets := map[string]*bucket{}
+	var order []string
+	for _, col := range tableCols {
+		a := strings.ToLower(col)
+		var to []string
+		for _, l := range allLocations {
+			if !denied[a][l] {
+				to = append(to, l)
+			}
+		}
+		key := strings.Join(to, ",")
+		b, ok := buckets[key]
+		if !ok {
+			b = &bucket{to: to}
+			buckets[key] = b
+			order = append(order, key)
+		}
+		b.attrs = append(b.attrs, a)
+	}
+	sort.Strings(order)
+	var out []*Expression
+	for i, key := range order {
+		b := buckets[key]
+		if len(b.to) == 0 {
+			continue // fully denied attributes get no grant at all
+		}
+		e := &Expression{
+			ID:     fmt.Sprintf("%s%d", idPrefix, i+1),
+			DB:     db,
+			Tables: []string{table},
+			To:     b.to,
+		}
+		for _, a := range b.attrs {
+			e.Attrs = append(e.Attrs, Attr{Table: table, Name: a})
+		}
+		if len(b.to) == len(allLocations) {
+			e.ToAll = true
+			e.To = nil
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

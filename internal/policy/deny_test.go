@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"testing"
+)
+
+func TestParseDenial(t *testing.T) {
+	d, err := ParseDenial("deny acctbal, phone from customer to Asia, USA", "db-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DB != "db-1" || d.Table != "customer" {
+		t.Errorf("denial: %+v", d)
+	}
+	if len(d.Attrs) != 2 || d.Attrs[0] != "acctbal" {
+		t.Errorf("attrs: %v", d.Attrs)
+	}
+	if len(d.To) != 2 {
+		t.Errorf("to: %v", d.To)
+	}
+	// Wildcards parse too.
+	d2, err := ParseDenial("deny * from db-2.orders to *", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.AllAttrs || !d2.ToAll || d2.DB != "db-2" {
+		t.Errorf("wildcard denial: %+v", d2)
+	}
+	// Ship statements are not denials.
+	if _, err := ParseDenial("ship a from t to *", "db"); err == nil {
+		t.Error("ship is not a denial")
+	}
+	// Denials cannot aggregate.
+	if _, err := ParseDenial("deny a as aggregates sum from t to *", "db"); err == nil {
+		t.Error("deny with aggregates must fail")
+	}
+	// And FromStmt refuses denials.
+	if _, err := Parse("deny a from t to *", "x", "db"); err == nil {
+		t.Error("FromStmt must reject denials")
+	}
+}
+
+func TestCompileDenials(t *testing.T) {
+	cols := []string{"id", "name", "acctbal", "phone"}
+	locs := []string{"EU", "US", "ASIA"}
+	denials := []*Denial{
+		{DB: "db-1", Table: "customer", Attrs: []string{"acctbal"}, ToAll: true},
+		{DB: "db-1", Table: "customer", Attrs: []string{"phone"}, To: []string{"ASIA"}},
+	}
+	grants, err := CompileDenials("customer", "db-1", cols, denials, locs, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected buckets: {id, name} -> *, {phone} -> EU, US;
+	// acctbal fully denied -> no grant.
+	byAttr := map[string]*Expression{}
+	for _, g := range grants {
+		for _, a := range g.Attrs {
+			byAttr[a.Name] = g
+		}
+	}
+	if e := byAttr["id"]; e == nil || !e.ToAll {
+		t.Errorf("id grant: %+v", e)
+	}
+	if byAttr["name"] != byAttr["id"] {
+		t.Error("id and name should share a grant bucket")
+	}
+	if e := byAttr["phone"]; e == nil || e.ToAll || len(e.To) != 2 {
+		t.Errorf("phone grant: %+v", e)
+	} else {
+		for _, l := range e.To {
+			if l == "ASIA" {
+				t.Error("phone must not reach ASIA")
+			}
+		}
+	}
+	if byAttr["acctbal"] != nil {
+		t.Error("fully denied attribute must have no grant")
+	}
+	// Unknown attribute in a denial fails.
+	bad := []*Denial{{DB: "db-1", Table: "customer", Attrs: []string{"ghost"}, ToAll: true}}
+	if _, err := CompileDenials("customer", "db-1", cols, bad, locs, "g"); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	// Mismatched table fails.
+	wrong := []*Denial{{DB: "db-1", Table: "orders", Attrs: []string{"id"}, ToAll: true}}
+	if _, err := CompileDenials("customer", "db-1", cols, wrong, locs, "g"); err == nil {
+		t.Error("wrong table must fail")
+	}
+	// No denials at all: one ship-everything grant.
+	open, err := CompileDenials("customer", "db-1", cols, nil, locs, "g")
+	if err != nil || len(open) != 1 || !open[0].ToAll || len(open[0].Attrs) != 4 {
+		t.Errorf("no-denial compile: %v %v", open, err)
+	}
+}
+
+func TestCompiledDenialsEvaluate(t *testing.T) {
+	cols := []string{"id", "name", "secret"}
+	locs := []string{"EU", "US"}
+	denials := []*Denial{{DB: "db-x", Table: "t", Attrs: []string{"secret"}, To: []string{"US"}}}
+	grants, err := CompileDenials("t", "db-x", cols, denials, locs, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	cat.AddAll(grants...)
+	ev := NewEvaluator(cat, locs)
+
+	// id+name reach both; adding secret restricts to EU.
+	q := &Query{DB: "db-x", OutAttrs: []OutAttr{
+		{Attr: Attr{Table: "t", Name: "id"}}, {Attr: Attr{Table: "t", Name: "name"}},
+	}}
+	if got := ev.Evaluate(q); got.Key() != "EU,US" {
+		t.Errorf("open attrs: %s", got)
+	}
+	q2 := &Query{DB: "db-x", OutAttrs: []OutAttr{
+		{Attr: Attr{Table: "t", Name: "id"}}, {Attr: Attr{Table: "t", Name: "secret"}},
+	}}
+	if got := ev.Evaluate(q2); got.Key() != "EU" {
+		t.Errorf("restricted attrs: %s", got)
+	}
+}

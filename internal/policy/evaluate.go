@@ -1,0 +1,190 @@
+package policy
+
+import (
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+)
+
+// Evaluator implements the policy evaluation algorithm 𝒜 of Section 5
+// (Algorithm 1). It is configured with the policy catalog, the full list
+// of locations (for expanding `to *`), and the implication-test mode.
+//
+// The evaluator memoizes results by query digest and counts η (eta): the
+// number of times a policy expression is "considered" for a query, i.e.
+// its ship attributes overlap the query output AND the implication test
+// passes (Algorithm 1 reaching line 4). Figure 7 plots optimization time
+// against η.
+type Evaluator struct {
+	Policies     *Catalog
+	AllLocations []string
+	Mode         expr.ImplicationMode
+	// NoCache disables result memoization. The paper's evaluator re-runs
+	// per plan operator, which is what makes its C-type expression sets
+	// (whose implication tests always pass) measurably costlier than
+	// CR/CR+A (Figure 6(c–f)); disable the cache to reproduce that
+	// effect, keep it for production use.
+	NoCache bool
+
+	// Stats.
+	Eta   int64 // expressions considered (line 4 reached)
+	Calls int64 // total Evaluate calls
+	Hits  int64 // cache hits
+
+	cache map[string]plan.SiteSet
+}
+
+// NewEvaluator builds an evaluator over the given policy catalog.
+func NewEvaluator(policies *Catalog, allLocations []string) *Evaluator {
+	return &Evaluator{
+		Policies:     policies,
+		AllLocations: append([]string(nil), allLocations...),
+		cache:        map[string]plan.SiteSet{},
+	}
+}
+
+// ResetStats clears the η and call counters (not the cache).
+func (ev *Evaluator) ResetStats() { ev.Eta, ev.Calls, ev.Hits = 0, 0, 0 }
+
+// ResetCache clears the memoization cache (for use after policy changes).
+func (ev *Evaluator) ResetCache() { ev.cache = map[string]plan.SiteSet{} }
+
+// Evaluate runs 𝒜(q, D, P_D): it returns the set of locations to which
+// the output of the local query q over database q.DB may legally be
+// shipped.
+func (ev *Evaluator) Evaluate(q *Query) plan.SiteSet {
+	ev.Calls++
+	if ev.NoCache {
+		return ev.evaluate(q)
+	}
+	key := q.Digest()
+	if got, ok := ev.cache[key]; ok {
+		ev.Hits++
+		return got
+	}
+	res := ev.evaluate(q)
+	ev.cache[key] = res
+	return res
+}
+
+func (ev *Evaluator) evaluate(q *Query) plan.SiteSet {
+	// Shipping to the data's own location is always legal (Section 3.2
+	// evaluates 𝒜(C, D_N, P_N) = {N}): the home location joins the
+	// result regardless of policy coverage.
+	home := plan.SiteSet{}
+	if q.Home != "" {
+		home = plan.NewSiteSet(q.Home)
+	}
+	// A query exposing no attributes (e.g. bare COUNT(*)) still reveals
+	// information; with no attribute to anchor the policy match we stay
+	// conservative and allow nothing beyond the home location.
+	if len(q.OutAttrs) == 0 {
+		return home
+	}
+	exprs := ev.Policies.ForDB(q.DB)
+	// L_a per output attribute (line 1).
+	locs := make([]map[string]bool, len(q.OutAttrs))
+	for i := range locs {
+		locs[i] = map[string]bool{}
+	}
+
+	for _, e := range exprs {
+		// Line 2: A_q ∩ A_e ≠ ∅ (attribute-wise, scoped to e's tables).
+		overlap := false
+		for _, a := range q.OutAttrs {
+			if e.Covers(a.Attr) {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			continue
+		}
+		// Line 3: P_q ⇒ P_e.
+		if !expr.ImpliesMode(q.Pred, e.Where, ev.Mode) {
+			continue
+		}
+		ev.Eta++ // the expression is "considered" (line 4 reached)
+
+		switch {
+		case !e.IsAggregate():
+			// Cases 1 & 2 (lines 4–5): basic expression. Raw cells are
+			// allowed, so both raw and aggregated uses of the attribute
+			// are covered.
+			for i, a := range q.OutAttrs {
+				if e.Covers(a.Attr) {
+					addAll(locs[i], e.Destinations(ev.AllLocations))
+				}
+			}
+		case q.Aggregated:
+			// Case 3 (lines 6–10): aggregate expression and aggregate
+			// query. G_q ⊆ G_e, scoped to the expression's table (this
+			// includes the empty subset).
+			if !groupBySubset(q.GroupBy, e) {
+				continue
+			}
+			for i, a := range q.OutAttrs {
+				if !e.OwnsTable(a.Table) {
+					continue
+				}
+				switch {
+				case !a.HasAgg && e.InGroupBy(a.Attr):
+					// Grouping attributes are implicitly shippable.
+					addAll(locs[i], e.Destinations(ev.AllLocations))
+				case a.HasAgg && e.Covers(a.Attr) && e.AllowsFn(a.Agg):
+					addAll(locs[i], e.Destinations(ev.AllLocations))
+				}
+			}
+		}
+		// Aggregate expression with a non-aggregating query contributes
+		// nothing: raw cells may not leave.
+	}
+
+	// Line 11: every output attribute must have at least one legal
+	// destination; the result is the intersection (plus home).
+	out := plan.NewSiteSet(keys(locs[0])...)
+	for _, m := range locs[1:] {
+		if out.Empty() {
+			break
+		}
+		out = out.Intersect(plan.NewSiteSet(keys(m)...))
+	}
+	return out.Union(home)
+}
+
+// groupBySubset checks G_q ⊆ G_e for grouping attributes that belong to
+// the expression's tables. Attributes of other tables are governed by
+// their own tables' expressions (they appear in A_q and accumulate their
+// own location sets).
+func groupBySubset(groupBy []Attr, e *Expression) bool {
+	for _, g := range groupBy {
+		if e.OwnsTable(g.Table) && !e.InGroupBy(g) {
+			return false
+		}
+	}
+	return true
+}
+
+func addAll(m map[string]bool, locs []string) {
+	for _, l := range locs {
+		m[l] = true
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// EvaluateSubtree describes a plan subtree and, when it is a local query,
+// evaluates the policies against it. ok is false when the subtree is not
+// a local query (AR4 does not apply).
+func (ev *Evaluator) EvaluateSubtree(n *plan.Node) (plan.SiteSet, bool) {
+	q, ok := Describe(n)
+	if !ok {
+		return plan.SiteSet{}, false
+	}
+	return ev.Evaluate(q), true
+}

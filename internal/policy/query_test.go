@@ -1,0 +1,276 @@
+package policy
+
+import (
+	"testing"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/schema"
+)
+
+// CarCo schema from Section 2.
+func carcoTables() (c, o, s *schema.Table) {
+	c = schema.NewTable("Customer", "db-n", "N", 1000,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "name", Type: expr.TString},
+		schema.Column{Name: "acctbal", Type: expr.TFloat},
+		schema.Column{Name: "mktseg", Type: expr.TString},
+		schema.Column{Name: "region", Type: expr.TString},
+	)
+	o = schema.NewTable("Orders", "db-e", "E", 10000,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "ordkey", Type: expr.TInt},
+		schema.Column{Name: "totprice", Type: expr.TFloat},
+	)
+	s = schema.NewTable("Supply", "db-a", "A", 40000,
+		schema.Column{Name: "ordkey", Type: expr.TInt},
+		schema.Column{Name: "quantity", Type: expr.TInt},
+		schema.Column{Name: "extprice", Type: expr.TFloat},
+	)
+	return
+}
+
+func TestDescribeScan(t *testing.T) {
+	c, _, _ := carcoTables()
+	q, ok := Describe(plan.NewScan(c, "C", -1))
+	if !ok {
+		t.Fatal("scan should be a local query")
+	}
+	if q.DB != "db-n" || q.Home != "N" {
+		t.Errorf("db/home: %s %s", q.DB, q.Home)
+	}
+	if len(q.OutAttrs) != 5 || q.OutAttrs[0].Key() != "customer.custkey" {
+		t.Errorf("attrs: %v", q.OutAttrs)
+	}
+	if q.Aggregated || q.Pred != nil {
+		t.Error("plain scan has no pred/agg")
+	}
+}
+
+func TestDescribeProjectFilter(t *testing.T) {
+	c, _, _ := carcoTables()
+	scan := plan.NewScan(c, "C", -1)
+	f := plan.NewFilter(scan, expr.NewCmp(expr.EQ, expr.NewCol("C", "mktseg"), expr.NewConst(expr.NewString("commercial"))))
+	p := plan.NewProject(f, []plan.NamedExpr{
+		{E: expr.NewCol("C", "custkey")},
+		{E: expr.NewCol("C", "name")},
+	})
+	q, ok := Describe(p)
+	if !ok {
+		t.Fatal("should be local")
+	}
+	// custkey, name from projection + mktseg from predicate.
+	if len(q.OutAttrs) != 3 {
+		t.Fatalf("attrs: %v", q.OutAttrs)
+	}
+	keys := map[string]bool{}
+	for _, a := range q.OutAttrs {
+		keys[a.Key()] = true
+	}
+	for _, want := range []string{"customer.custkey", "customer.name", "customer.mktseg"} {
+		if !keys[want] {
+			t.Errorf("missing attr %s in %v", want, q.OutAttrs)
+		}
+	}
+	// Predicate is canonicalized to the base table name.
+	if q.Pred.String() != "customer.mktseg = 'commercial'" {
+		t.Errorf("pred: %s", q.Pred)
+	}
+}
+
+func TestDescribeAggregate(t *testing.T) {
+	_, _, s := carcoTables()
+	scan := plan.NewScan(s, "S", -1)
+	agg := plan.NewAggregate(scan,
+		[]*expr.Col{expr.NewCol("S", "ordkey")},
+		[]plan.NamedAgg{
+			{Fn: expr.AggSum, Arg: expr.NewCol("S", "quantity"), Name: "sq"},
+			{Fn: expr.AggSum, Arg: expr.NewArith(expr.Mul, expr.NewCol("S", "extprice"), expr.NewArith(expr.Sub, expr.NewConst(expr.NewInt(1)), expr.NewCol("S", "quantity"))), Name: "rev"},
+		})
+	q, ok := Describe(agg)
+	if !ok {
+		t.Fatal("should be local")
+	}
+	if !q.Aggregated {
+		t.Error("aggregated flag")
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Key() != "supply.ordkey" {
+		t.Errorf("group by: %v", q.GroupBy)
+	}
+	// ordkey raw + quantity#SUM + extprice#SUM (from the compound arg,
+	// quantity appears both raw-grouped and summed inside rev).
+	keys := map[string]bool{}
+	for _, a := range q.OutAttrs {
+		keys[a.Key()] = true
+	}
+	for _, want := range []string{"supply.ordkey", "supply.quantity#SUM", "supply.extprice#SUM"} {
+		if !keys[want] {
+			t.Errorf("missing %s in %v", want, keys)
+		}
+	}
+}
+
+func TestDescribeReaggregation(t *testing.T) {
+	_, _, s := carcoTables()
+	scan := plan.NewScan(s, "S", -1)
+	partial := plan.NewAggregate(scan,
+		[]*expr.Col{expr.NewCol("S", "ordkey")},
+		[]plan.NamedAgg{{Fn: expr.AggSum, Arg: expr.NewCol("S", "quantity"), Name: "psum"}})
+	final := plan.NewAggregate(partial, nil,
+		[]plan.NamedAgg{{Fn: expr.AggSum, Arg: expr.NewCol("", "psum"), Name: "total"}})
+	q, ok := Describe(final)
+	if !ok {
+		t.Fatal("sum over sum should describe")
+	}
+	found := false
+	for _, a := range q.OutAttrs {
+		if a.Key() == "supply.quantity#SUM" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SUM∘SUM should collapse to SUM: %v", q.OutAttrs)
+	}
+	// AVG over SUM is not decomposable: not describable.
+	bad := plan.NewAggregate(partial, nil,
+		[]plan.NamedAgg{{Fn: expr.AggAvg, Arg: expr.NewCol("", "psum"), Name: "a"}})
+	if _, ok := Describe(bad); ok {
+		t.Error("AVG over SUM must fail")
+	}
+	// Grouping by an aggregated column is not describable.
+	bad2 := plan.NewAggregate(partial, []*expr.Col{expr.NewCol("", "psum")}, nil)
+	if _, ok := Describe(bad2); ok {
+		t.Error("group by aggregate must fail")
+	}
+}
+
+func TestDescribeSameDBJoin(t *testing.T) {
+	c, _, _ := carcoTables()
+	o2 := schema.NewTable("Orders2", "db-n", "N", 500,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "price", Type: expr.TFloat},
+	)
+	j := plan.NewJoin(plan.NewScan(c, "C", -1), plan.NewScan(o2, "O", -1),
+		expr.NewCmp(expr.EQ, expr.NewCol("C", "custkey"), expr.NewCol("O", "custkey")))
+	q, ok := Describe(j)
+	if !ok {
+		t.Fatal("same-DB join should describe")
+	}
+	if q.DB != "db-n" || q.Home != "N" {
+		t.Errorf("db/home: %s %s", q.DB, q.Home)
+	}
+	if q.Pred.String() != "customer.custkey = orders2.custkey" {
+		t.Errorf("join pred: %s", q.Pred)
+	}
+}
+
+func TestDescribeCrossDBJoinFails(t *testing.T) {
+	c, o, _ := carcoTables()
+	j := plan.NewJoin(plan.NewScan(c, "C", -1), plan.NewScan(o, "O", -1),
+		expr.NewCmp(expr.EQ, expr.NewCol("C", "custkey"), expr.NewCol("O", "custkey")))
+	if _, ok := Describe(j); ok {
+		t.Error("cross-DB join must not be a local query")
+	}
+}
+
+func TestDescribeShipFails(t *testing.T) {
+	c, _, _ := carcoTables()
+	sh := plan.NewShip(plan.NewScan(c, "C", -1), "N", "E")
+	if _, ok := Describe(sh); ok {
+		t.Error("subtrees containing SHIP are not local queries")
+	}
+}
+
+func TestDescribeFilterOverAggregateFails(t *testing.T) {
+	_, o, _ := carcoTables()
+	agg := plan.NewAggregate(plan.NewScan(o, "O", -1),
+		[]*expr.Col{expr.NewCol("O", "custkey")},
+		[]plan.NamedAgg{{Fn: expr.AggSum, Arg: expr.NewCol("O", "totprice"), Name: "total"}})
+	// HAVING-style filter over the aggregate output.
+	f := plan.NewFilter(agg, expr.NewCmp(expr.GT, expr.NewCol("", "total"), expr.NewConst(expr.NewFloat(100))))
+	if _, ok := Describe(f); ok {
+		t.Error("predicates over aggregated values are not describable")
+	}
+}
+
+func TestDescribeSortLimitPassThrough(t *testing.T) {
+	c, _, _ := carcoTables()
+	n := plan.NewLimit(plan.NewSort(plan.NewScan(c, "C", -1), []plan.SortKey{{E: expr.NewCol("C", "name")}}), 10)
+	q, ok := Describe(n)
+	if !ok || len(q.OutAttrs) != 5 {
+		t.Errorf("sort/limit pass-through: %v %v", q, ok)
+	}
+}
+
+func TestDescribeFragmentUnion(t *testing.T) {
+	frag := &schema.Table{
+		Name:    "Sales",
+		Columns: []schema.Column{{Name: "amt", Type: expr.TFloat}},
+		Fragments: []schema.Fragment{
+			{DB: "db-x", Location: "L1", RowCount: 10},
+			{DB: "db-x", Location: "L2", RowCount: 10},
+		},
+	}
+	u := plan.NewUnion(plan.NewScan(frag, "S", 0), plan.NewScan(frag, "S", 1))
+	q, ok := Describe(u)
+	if !ok {
+		t.Fatal("same-DB fragment union should describe")
+	}
+	if q.Home != "" {
+		t.Errorf("differing fragment locations clear home, got %q", q.Home)
+	}
+	// Whole-table scan of a fragmented table is not local.
+	if _, ok := Describe(plan.NewScan(frag, "S", -1)); ok {
+		t.Error("whole fragmented scan must fail")
+	}
+	// Union across databases fails.
+	frag2 := &schema.Table{
+		Name:    "Sales",
+		Columns: []schema.Column{{Name: "amt", Type: expr.TFloat}},
+		Fragments: []schema.Fragment{
+			{DB: "db-x", Location: "L1", RowCount: 10},
+			{DB: "db-y", Location: "L2", RowCount: 10},
+		},
+	}
+	u2 := plan.NewUnion(plan.NewScan(frag2, "S", 0), plan.NewScan(frag2, "S", 1))
+	if _, ok := Describe(u2); ok {
+		t.Error("cross-DB union must fail")
+	}
+}
+
+func TestDescribeDigestStability(t *testing.T) {
+	c, _, _ := carcoTables()
+	scan := plan.NewScan(c, "C", -1)
+	q1, _ := Describe(scan)
+	q2, _ := Describe(plan.NewScan(c, "C", -1))
+	if q1.Digest() != q2.Digest() {
+		t.Error("identical subtrees must share digests")
+	}
+	p := plan.NewProject(scan, []plan.NamedExpr{{E: expr.NewCol("C", "name")}})
+	q3, _ := Describe(p)
+	if q3.Digest() == q1.Digest() {
+		t.Error("different queries must have different digests")
+	}
+}
+
+func TestDescribeEndToEndEvaluation(t *testing.T) {
+	// The compliant plan of Figure 1(b): masking projection on Customer.
+	c, _, _ := carcoTables()
+	cat := NewCatalog()
+	cat.AddAll(
+		MustParse("ship custkey, name, mktseg, region from Customer to *", "pn", "db-n"),
+	)
+	ev := NewEvaluator(cat, []string{"N", "E", "A"})
+
+	full := plan.NewScan(c, "C", -1)
+	if got, ok := ev.EvaluateSubtree(full); !ok || got.Key() != "N" {
+		t.Errorf("full Customer: %v %v (acctbal blocks shipping)", got, ok)
+	}
+	masked := plan.NewProject(full, []plan.NamedExpr{
+		{E: expr.NewCol("C", "custkey")},
+		{E: expr.NewCol("C", "name")},
+	})
+	if got, ok := ev.EvaluateSubtree(masked); !ok || got.Key() != "A,E,N" {
+		t.Errorf("masked Customer: %v %v", got, ok)
+	}
+}

@@ -1,0 +1,181 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"cgdqp/internal/cost"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/memo"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/schema"
+)
+
+func tbl(name, db, loc string, rows int64, cols ...string) *schema.Table {
+	sc := make([]schema.Column, len(cols))
+	for i, c := range cols {
+		t := expr.TInt
+		sc[i] = schema.Column{Name: c, Type: t}
+	}
+	return schema.NewTable(name, db, loc, rows, sc...)
+}
+
+func eq(lt, lc, rt, rc string) expr.Expr {
+	return expr.NewCmp(expr.EQ, expr.NewCol(lt, lc), expr.NewCol(rt, rc))
+}
+
+func exploreTree(root *plan.Node, rs []memo.Rule) (*memo.Memo, *memo.Group) {
+	m := memo.New(cost.NewEstimator(root))
+	g := m.InsertTree(root)
+	m.Explore(rs)
+	return m, g
+}
+
+func kindsInGroup(g *memo.Group) map[plan.Kind]int {
+	out := map[plan.Kind]int{}
+	for _, e := range g.Exprs {
+		out[e.Op.Kind]++
+	}
+	return out
+}
+
+func TestJoinCommute(t *testing.T) {
+	a := plan.NewScan(tbl("A", "d1", "L1", 10, "k"), "a", -1)
+	b := plan.NewScan(tbl("B", "d2", "L2", 10, "k"), "b", -1)
+	root := plan.NewJoin(a, b, eq("a", "k", "b", "k"))
+	_, g := exploreTree(root, []memo.Rule{JoinCommute{}})
+	if len(g.Exprs) != 2 {
+		t.Fatalf("expected commuted twin, got %d exprs", len(g.Exprs))
+	}
+	// Children swapped in the new expression.
+	if g.Exprs[1].Children[0] != g.Exprs[0].Children[1] {
+		t.Error("commute did not swap children")
+	}
+}
+
+func TestJoinAssocEnumeratesOrders(t *testing.T) {
+	a := plan.NewScan(tbl("A", "d1", "L1", 10, "k"), "a", -1)
+	b := plan.NewScan(tbl("B", "d2", "L2", 20, "k", "j"), "b", -1)
+	c := plan.NewScan(tbl("C", "d3", "L3", 30, "j"), "c", -1)
+	// (A ⋈ B) ⋈ C along a chain a.k=b.k, b.j=c.j.
+	root := plan.NewJoin(plan.NewJoin(a, b, eq("a", "k", "b", "k")), c, eq("b", "j", "c", "j"))
+	m, g := exploreTree(root, []memo.Rule{JoinCommute{}, JoinAssoc{}})
+	// The root group must contain a join whose right child is the (B⋈C)
+	// group, i.e. A ⋈ (B ⋈ C) was derived.
+	foundBC := false
+	for _, e := range g.Exprs {
+		for _, childG := range e.Children {
+			for _, ce := range childG.Exprs {
+				if ce.Op.Kind == plan.Join && ce.Op.Pred != nil &&
+					strings.Contains(ce.Op.Pred.String(), "b.j = c.j") {
+					foundBC = true
+				}
+			}
+		}
+	}
+	if !foundBC {
+		t.Errorf("association did not derive A ⋈ (B ⋈ C); groups=%d", len(m.Groups))
+	}
+	// No Cartesian product between A and C should ever be formed: every
+	// derived join has a predicate.
+	for _, grp := range m.Groups {
+		for _, e := range grp.Exprs {
+			if e.Op.Kind == plan.Join && e.Op.Pred == nil {
+				t.Errorf("cartesian join derived")
+			}
+		}
+	}
+}
+
+func TestAggPushdownShape(t *testing.T) {
+	o := plan.NewScan(tbl("O", "d1", "L1", 100, "ok", "price"), "o", -1)
+	l := plan.NewScan(tbl("L", "d2", "L2", 1000, "ok", "qty"), "l", -1)
+	join := plan.NewJoin(o, l, eq("o", "ok", "l", "ok"))
+	agg := plan.NewAggregate(join,
+		[]*expr.Col{expr.NewCol("o", "ok")},
+		[]plan.NamedAgg{{Fn: expr.AggSum, Arg: expr.NewCol("l", "qty"), Name: "q"}})
+	_, g := exploreTree(agg, []memo.Rule{AggPushdown{}})
+	if len(g.Exprs) < 2 {
+		t.Fatalf("pushdown produced no rewrite: %d exprs", len(g.Exprs))
+	}
+	// The rewritten aggregate references the partial column.
+	found := false
+	for _, e := range g.Exprs[1:] {
+		for _, a := range e.Op.Aggs {
+			if a.Arg != nil && strings.Contains(a.Arg.String(), "_p_q") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("final aggregate does not consume the partial")
+	}
+}
+
+func TestAggPushdownRefusals(t *testing.T) {
+	o := plan.NewScan(tbl("O", "d1", "L1", 100, "ok", "price"), "o", -1)
+	l := plan.NewScan(tbl("L", "d2", "L2", 1000, "ok", "qty"), "l", -1)
+
+	// AVG is not decomposable.
+	join := plan.NewJoin(o, l, eq("o", "ok", "l", "ok"))
+	avg := plan.NewAggregate(join, []*expr.Col{expr.NewCol("o", "ok")},
+		[]plan.NamedAgg{{Fn: expr.AggAvg, Arg: expr.NewCol("l", "qty"), Name: "a"}})
+	if _, g := exploreTree(avg, []memo.Rule{AggPushdown{}}); len(g.Exprs) != 1 {
+		t.Error("AVG must not push down")
+	}
+
+	// Arguments spanning both sides cannot push.
+	join2 := plan.NewJoin(o, l, eq("o", "ok", "l", "ok"))
+	span := plan.NewAggregate(join2, nil,
+		[]plan.NamedAgg{{Fn: expr.AggSum,
+			Arg:  expr.NewArith(expr.Mul, expr.NewCol("o", "price"), expr.NewCol("l", "qty")),
+			Name: "x"}})
+	if _, g := exploreTree(span, []memo.Rule{AggPushdown{}}); len(g.Exprs) != 1 {
+		t.Error("cross-side argument must not push down")
+	}
+
+	// Non-equi joins cannot align partial groups.
+	join3 := plan.NewJoin(o, l, expr.NewCmp(expr.LT, expr.NewCol("o", "ok"), expr.NewCol("l", "ok")))
+	ne := plan.NewAggregate(join3, nil,
+		[]plan.NamedAgg{{Fn: expr.AggSum, Arg: expr.NewCol("l", "qty"), Name: "x"}})
+	if _, g := exploreTree(ne, []memo.Rule{AggPushdown{}}); len(g.Exprs) != 1 {
+		t.Error("non-equi join must not push down")
+	}
+
+	// Partial-of-partial is refused (no unbounded chains): after one full
+	// exploration the expression count stabilizes even with more passes.
+	join4 := plan.NewJoin(o, l, eq("o", "ok", "l", "ok"))
+	agg := plan.NewAggregate(join4, []*expr.Col{expr.NewCol("o", "ok")},
+		[]plan.NamedAgg{{Fn: expr.AggSum, Arg: expr.NewCol("l", "qty"), Name: "q"}})
+	m, _ := exploreTree(agg, []memo.Rule{AggPushdown{}})
+	first := m.ExprCount()
+	m.Explore([]memo.Rule{AggPushdown{}})
+	if m.ExprCount() != first {
+		t.Errorf("pushdown chains grew: %d -> %d", first, m.ExprCount())
+	}
+}
+
+func TestJoinUnionDistribute(t *testing.T) {
+	frag := &schema.Table{
+		Name:    "F",
+		Columns: []schema.Column{{Name: "k", Type: expr.TInt}},
+		Fragments: []schema.Fragment{
+			{DB: "d1", Location: "L1", RowCount: 5},
+			{DB: "d2", Location: "L2", RowCount: 5},
+		},
+	}
+	u := plan.NewUnion(plan.NewScan(frag, "f", 0), plan.NewScan(frag, "f", 1))
+	r := plan.NewScan(tbl("R", "d3", "L3", 10, "k"), "r", -1)
+	root := plan.NewJoin(u, r, eq("f", "k", "r", "k"))
+	_, g := exploreTree(root, []memo.Rule{JoinUnionDistribute{}})
+	kinds := kindsInGroup(g)
+	if kinds[plan.Union] == 0 {
+		t.Fatalf("distribution did not produce a Union expression: %v", kinds)
+	}
+	// Symmetric: union on the right side.
+	root2 := plan.NewJoin(r, u, eq("r", "k", "f", "k"))
+	_, g2 := exploreTree(root2, []memo.Rule{JoinUnionDistribute{}})
+	if kindsInGroup(g2)[plan.Union] == 0 {
+		t.Error("right-side distribution failed")
+	}
+}

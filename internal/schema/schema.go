@@ -1,0 +1,263 @@
+// Package schema implements the geo-distributed catalog: locations,
+// databases, tables with per-column statistics, and GAV mappings that
+// allow a global table to be horizontally fragmented across locations
+// (Section 7.5 of the paper rewrites such tables as unions of per-site
+// fragments).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cgdqp/internal/expr"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Type expr.Type
+	// AvgWidth is the average encoded width in bytes; 0 means "use the
+	// type default" (8 for numerics, 16 for strings).
+	AvgWidth int
+}
+
+// Width returns the effective average width of the column in bytes.
+func (c Column) Width() int {
+	if c.AvgWidth > 0 {
+		return c.AvgWidth
+	}
+	if c.Type == expr.TString {
+		return 16
+	}
+	if c.Type == expr.TBool {
+		return 1
+	}
+	return 8
+}
+
+// ColStats holds per-column statistics used by the cardinality estimator.
+type ColStats struct {
+	Distinct int64 // number of distinct values; 0 = unknown
+	Min, Max expr.Value
+}
+
+// Fragment is one physical placement of (a horizontal slice of) a table.
+// A conventional table has exactly one fragment. A fragmented table
+// (Section 7.5) has several, each holding RowCount rows at Location
+// within database DB.
+type Fragment struct {
+	DB       string
+	Location string
+	RowCount int64
+}
+
+// Table is a global-schema table together with its GAV mapping onto
+// physical fragments and its statistics.
+type Table struct {
+	Name      string
+	Columns   []Column
+	Fragments []Fragment
+	ColStats  map[string]ColStats
+	// SortedBy declares the physical sort order of the stored rows
+	// (ascending column names, e.g. the primary key for dbgen-style
+	// data). The optimizer uses it as an "interesting property": scans
+	// of sorted tables feed merge joins without re-sorting. Loading
+	// validates the declared order.
+	SortedBy []string
+}
+
+// NewTable builds a single-fragment table located in db at location.
+func NewTable(name, db, location string, rows int64, cols ...Column) *Table {
+	return &Table{
+		Name:      name,
+		Columns:   cols,
+		Fragments: []Fragment{{DB: db, Location: location, RowCount: rows}},
+		ColStats:  map[string]ColStats{},
+	}
+}
+
+// RowCount returns the total number of rows across all fragments.
+func (t *Table) RowCount() int64 {
+	var n int64
+	for _, f := range t.Fragments {
+		n += f.RowCount
+	}
+	return n
+}
+
+// Column returns the named column, or false when absent. Lookup is
+// case-insensitive, matching the SQL front end.
+func (t *Table) Column(name string) (Column, bool) {
+	for _, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// RowWidth returns the estimated width in bytes of a full row.
+func (t *Table) RowWidth() int {
+	w := 0
+	for _, c := range t.Columns {
+		w += c.Width()
+	}
+	return w
+}
+
+// Location returns the location of the table's single fragment. For
+// fragmented tables it returns the first fragment's location; callers
+// that care about fragmentation must inspect Fragments directly.
+func (t *Table) Location() string {
+	if len(t.Fragments) == 0 {
+		return ""
+	}
+	return t.Fragments[0].Location
+}
+
+// DB returns the database of the table's first fragment.
+func (t *Table) DB() string {
+	if len(t.Fragments) == 0 {
+		return ""
+	}
+	return t.Fragments[0].DB
+}
+
+// Fragmented reports whether the table spans more than one location.
+func (t *Table) Fragmented() bool { return len(t.Fragments) > 1 }
+
+// SetColStats records statistics for a column.
+func (t *Table) SetColStats(col string, s ColStats) {
+	if t.ColStats == nil {
+		t.ColStats = map[string]ColStats{}
+	}
+	t.ColStats[strings.ToLower(col)] = s
+}
+
+// Stats returns the recorded statistics for a column (zero value when
+// unknown).
+func (t *Table) Stats(col string) ColStats {
+	return t.ColStats[strings.ToLower(col)]
+}
+
+// Catalog is the global geo-distributed schema: the set of locations and
+// the union of all local schemas (Section 3 assumes the geo-distributed
+// schema is the union of local schemas).
+type Catalog struct {
+	locations []string
+	tables    map[string]*Table
+	dbAtLoc   map[string]string // location -> database name
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*Table{}, dbAtLoc: map[string]string{}}
+}
+
+// AddLocation registers a location (idempotent). Locations keep
+// registration order, which experiments rely on for determinism.
+func (c *Catalog) AddLocation(name string) {
+	for _, l := range c.locations {
+		if l == name {
+			return
+		}
+	}
+	c.locations = append(c.locations, name)
+}
+
+// Locations returns the registered locations in registration order.
+func (c *Catalog) Locations() []string {
+	return append([]string(nil), c.locations...)
+}
+
+// HasLocation reports whether the location is registered.
+func (c *Catalog) HasLocation(name string) bool {
+	for _, l := range c.locations {
+		if l == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AddTable registers a table. Each fragment's location is registered as a
+// side effect, and the location→database mapping is recorded.
+func (c *Catalog) AddTable(t *Table) error {
+	key := strings.ToLower(t.Name)
+	if _, dup := c.tables[key]; dup {
+		return fmt.Errorf("schema: duplicate table %q", t.Name)
+	}
+	if len(t.Fragments) == 0 {
+		return fmt.Errorf("schema: table %q has no fragments", t.Name)
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("schema: table %q has no columns", t.Name)
+	}
+	for _, f := range t.Fragments {
+		c.AddLocation(f.Location)
+		if f.DB != "" {
+			c.dbAtLoc[f.Location] = f.DB
+		}
+	}
+	if t.ColStats == nil {
+		t.ColStats = map[string]ColStats{}
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// MustAddTable registers a table and panics on error; for static schemas.
+func (c *Catalog) MustAddTable(t *Table) {
+	if err := c.AddTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table resolves a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DatabaseAt returns the database name gateway at a location ("" when the
+// location hosts no database).
+func (c *Catalog) DatabaseAt(location string) string { return c.dbAtLoc[location] }
+
+// ResolveColumn finds the unique table owning an unqualified column name.
+// It returns an error when the name is absent or ambiguous.
+func (c *Catalog) ResolveColumn(name string) (*Table, Column, error) {
+	var foundT *Table
+	var foundC Column
+	for _, t := range c.Tables() {
+		if col, ok := t.Column(name); ok {
+			if foundT != nil {
+				return nil, Column{}, fmt.Errorf("schema: ambiguous column %q (in %s and %s)", name, foundT.Name, t.Name)
+			}
+			foundT, foundC = t, col
+		}
+	}
+	if foundT == nil {
+		return nil, Column{}, fmt.Errorf("schema: unknown column %q", name)
+	}
+	return foundT, foundC, nil
+}

@@ -1,0 +1,170 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"cgdqp/internal/expr"
+)
+
+func demoTable() *Table {
+	t := NewTable("Customer", "db-1", "L1", 1500,
+		Column{Name: "custkey", Type: expr.TInt},
+		Column{Name: "name", Type: expr.TString, AvgWidth: 18},
+		Column{Name: "acctbal", Type: expr.TFloat},
+		Column{Name: "mktsegment", Type: expr.TString},
+	)
+	t.SetColStats("custkey", ColStats{Distinct: 1500, Min: expr.NewInt(1), Max: expr.NewInt(1500)})
+	t.SetColStats("mktsegment", ColStats{Distinct: 5})
+	return t
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := demoTable()
+	if tab.RowCount() != 1500 {
+		t.Errorf("RowCount = %d", tab.RowCount())
+	}
+	if tab.Location() != "L1" || tab.DB() != "db-1" {
+		t.Errorf("placement: %s %s", tab.Location(), tab.DB())
+	}
+	if tab.Fragmented() {
+		t.Error("single fragment should not be fragmented")
+	}
+	c, ok := tab.Column("ACCTBAL")
+	if !ok || c.Type != expr.TFloat {
+		t.Errorf("case-insensitive column lookup: %v %v", c, ok)
+	}
+	if _, ok := tab.Column("nope"); ok {
+		t.Error("unknown column should miss")
+	}
+	names := tab.ColumnNames()
+	if len(names) != 4 || names[0] != "custkey" {
+		t.Errorf("ColumnNames: %v", names)
+	}
+	// Row width: 8 + 18 + 8 + 16 (default string).
+	if w := tab.RowWidth(); w != 50 {
+		t.Errorf("RowWidth = %d, want 50", w)
+	}
+	if s := tab.Stats("custkey"); s.Distinct != 1500 {
+		t.Errorf("Stats: %+v", s)
+	}
+	if s := tab.Stats("unknown"); s.Distinct != 0 {
+		t.Errorf("unknown stats should be zero: %+v", s)
+	}
+}
+
+func TestColumnWidthDefaults(t *testing.T) {
+	if (Column{Type: expr.TInt}).Width() != 8 {
+		t.Error("int width")
+	}
+	if (Column{Type: expr.TString}).Width() != 16 {
+		t.Error("string default width")
+	}
+	if (Column{Type: expr.TString, AvgWidth: 25}).Width() != 25 {
+		t.Error("explicit width")
+	}
+	if (Column{Type: expr.TBool}).Width() != 1 {
+		t.Error("bool width")
+	}
+}
+
+func TestCatalogAddAndResolve(t *testing.T) {
+	c := NewCatalog()
+	c.MustAddTable(demoTable())
+	c.MustAddTable(NewTable("Orders", "db-2", "L2", 15000,
+		Column{Name: "orderkey", Type: expr.TInt},
+		Column{Name: "custkey", Type: expr.TInt},
+		Column{Name: "totalprice", Type: expr.TFloat},
+	))
+
+	if got := c.Locations(); len(got) != 2 || got[0] != "L1" || got[1] != "L2" {
+		t.Errorf("Locations: %v", got)
+	}
+	if !c.HasLocation("L1") || c.HasLocation("L9") {
+		t.Error("HasLocation")
+	}
+	if db := c.DatabaseAt("L2"); db != "db-2" {
+		t.Errorf("DatabaseAt: %s", db)
+	}
+	if db := c.DatabaseAt("L9"); db != "" {
+		t.Errorf("DatabaseAt unknown: %q", db)
+	}
+
+	tab, ok := c.Table("customer") // case-insensitive
+	if !ok || tab.Name != "Customer" {
+		t.Errorf("Table lookup: %v %v", tab, ok)
+	}
+	if _, ok := c.Table("lineitem"); ok {
+		t.Error("unknown table should miss")
+	}
+
+	tabs := c.Tables()
+	if len(tabs) != 2 || tabs[0].Name != "Customer" || tabs[1].Name != "Orders" {
+		t.Errorf("Tables sorted: %v", tabs)
+	}
+
+	// Unqualified column resolution.
+	owner, col, err := c.ResolveColumn("totalprice")
+	if err != nil || owner.Name != "Orders" || col.Type != expr.TFloat {
+		t.Errorf("ResolveColumn: %v %v %v", owner, col, err)
+	}
+	if _, _, err := c.ResolveColumn("custkey"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous column should error, got %v", err)
+	}
+	if _, _, err := c.ResolveColumn("ghost"); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestCatalogErrors(t *testing.T) {
+	c := NewCatalog()
+	c.MustAddTable(demoTable())
+	if err := c.AddTable(demoTable()); err == nil {
+		t.Error("duplicate table should error")
+	}
+	if err := c.AddTable(&Table{Name: "empty", Columns: []Column{{Name: "a"}}}); err == nil {
+		t.Error("table without fragments should error")
+	}
+	if err := c.AddTable(&Table{Name: "nocols", Fragments: []Fragment{{Location: "L1"}}}); err == nil {
+		t.Error("table without columns should error")
+	}
+}
+
+func TestFragmentedTable(t *testing.T) {
+	c := NewCatalog()
+	frag := &Table{
+		Name:    "Orders",
+		Columns: []Column{{Name: "orderkey", Type: expr.TInt}},
+		Fragments: []Fragment{
+			{DB: "db-1", Location: "L1", RowCount: 500},
+			{DB: "db-2", Location: "L2", RowCount: 700},
+			{DB: "db-3", Location: "L3", RowCount: 300},
+		},
+	}
+	c.MustAddTable(frag)
+	if !frag.Fragmented() {
+		t.Error("should be fragmented")
+	}
+	if frag.RowCount() != 1500 {
+		t.Errorf("fragment sum: %d", frag.RowCount())
+	}
+	if got := c.Locations(); len(got) != 3 {
+		t.Errorf("fragment locations registered: %v", got)
+	}
+}
+
+func TestAddLocationIdempotent(t *testing.T) {
+	c := NewCatalog()
+	c.AddLocation("L1")
+	c.AddLocation("L1")
+	c.AddLocation("L2")
+	if got := c.Locations(); len(got) != 2 {
+		t.Errorf("Locations: %v", got)
+	}
+	// Mutating the returned slice must not corrupt the catalog.
+	got := c.Locations()
+	got[0] = "HACKED"
+	if c.Locations()[0] != "L1" {
+		t.Error("Locations leaked internal slice")
+	}
+}

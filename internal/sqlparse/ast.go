@@ -1,0 +1,80 @@
+package sqlparse
+
+import (
+	"cgdqp/internal/expr"
+)
+
+// SelectStmt is a parsed SELECT query. JOIN ... ON conditions are folded
+// into Where (the engine performs inner joins only); the optimizer's
+// normalization pass redistributes the conjuncts.
+type SelectStmt struct {
+	Items    []SelectItem
+	Distinct bool
+	From     []TableRef
+	Where    expr.Expr
+	GroupBy  []expr.Expr // columns or computed expressions
+	Having   expr.Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+}
+
+// SelectItem is one output expression of a SELECT list.
+type SelectItem struct {
+	E     expr.Expr
+	Alias string
+	// Star is true for `*` (StarTable qualifies `t.*`).
+	Star      bool
+	StarTable string
+}
+
+// TableRef is one FROM item: either a base table (Name) or a derived
+// table (Sub), with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+	Sub   *SelectStmt
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	E    expr.Expr
+	Desc bool
+}
+
+// PolicyTable is one FROM item of a policy expression.
+type PolicyTable struct {
+	Name  string // base table name (lowercase)
+	Alias string // alias as written ("" = none; lowercase)
+}
+
+// PolicyStmt is a parsed policy expression (Section 4):
+//
+//	SHIP attrs [AS AGGREGATES fns] FROM tables TO locations
+//	     [WHERE cond] [GROUP BY attrs]
+//
+// Attrs/To may be the * wildcard. Tables may be database-qualified
+// ("db-4.lineitem"); following the paper's footnote 4, an expression may
+// range over several base tables of one database, in which case the
+// WHERE clause must contain the join predicate and ship/group-by
+// attributes must be alias-qualified ("c.custkey").
+type PolicyStmt struct {
+	// Deny marks a negative expression (`deny ... from ... to ...`):
+	// the listed attributes must NOT reach the listed locations. Negative
+	// expressions are compiled into positive grants under a closed-world
+	// assumption (policy.CompileDenials), per the Section 4 discussion.
+	Deny     bool
+	Attrs    []string
+	AllAttrs bool
+	AggFns   []expr.AggFn
+	DB       string        // empty when the table references are unqualified
+	Table    string        // first table (single-table shorthand)
+	Tables   []PolicyTable // all FROM items
+	To       []string
+	ToAll    bool
+	Where    expr.Expr
+	GroupBy  []string
+}
+
+// IsAggregate reports whether this is an aggregate expression (§4.2)
+// rather than a basic expression (§4.1).
+func (p *PolicyStmt) IsAggregate() bool { return len(p.AggFns) > 0 }

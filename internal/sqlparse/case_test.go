@@ -1,0 +1,99 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+)
+
+func TestParseCaseExpression(t *testing.T) {
+	q, err := ParseQuery(`SELECT CASE WHEN a > 1 THEN 'x' WHEN a > 0 THEN 'y' ELSE 'z' END AS c FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := q.Items[0].E.(*expr.Case)
+	if !ok || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case: %+v", q.Items[0].E)
+	}
+	if q.Items[0].Alias != "c" {
+		t.Errorf("alias: %q", q.Items[0].Alias)
+	}
+	// CASE without ELSE.
+	q2, err := ParseQuery(`SELECT CASE WHEN a = 1 THEN 2 END AS c FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Items[0].E.(*expr.Case).Else != nil {
+		t.Error("else should be nil")
+	}
+	// Errors.
+	for _, bad := range []string{
+		"SELECT CASE END FROM t",           // no WHEN
+		"SELECT CASE WHEN a THEN 1 FROM t", // missing END
+		"SELECT CASE WHEN a 1 END FROM t",  // missing THEN
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("expected error: %s", bad)
+		}
+	}
+}
+
+func TestParseScalarFunctions(t *testing.T) {
+	q, err := ParseQuery(`SELECT YEAR(o.orderdate) AS y, ABS(o.x) FROM o WHERE MONTH(o.orderdate) = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := q.Items[0].E.(*expr.Call); !ok || c.Fn != expr.FnYear {
+		t.Errorf("item0: %+v", q.Items[0].E)
+	}
+	if c, ok := q.Items[1].E.(*expr.Call); !ok || c.Fn != expr.FnAbs {
+		t.Errorf("item1: %+v", q.Items[1].E)
+	}
+	if !strings.Contains(q.Where.String(), "MONTH(o.orderdate) = 3") {
+		t.Errorf("where: %v", q.Where)
+	}
+}
+
+func TestBindGroupByComputed(t *testing.T) {
+	n := mustBind(t, `
+		SELECT O.ordkey + 0 AS bucket, COUNT(*) AS cnt
+		FROM Orders O
+		GROUP BY O.ordkey + 0`)
+	// A synthesized projection materializes the computed key.
+	var agg *plan.Node
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Aggregate {
+			agg = x
+		}
+		return true
+	})
+	if agg == nil {
+		t.Fatalf("no aggregate:\n%s", n)
+	}
+	if len(agg.GroupBy) != 1 || agg.GroupBy[0].Name != "_g0" {
+		t.Fatalf("synthesized group key: %v", agg.GroupBy)
+	}
+	proj := agg.Children[0]
+	if proj.Kind != plan.Project {
+		t.Fatalf("projection below aggregate:\n%s", n)
+	}
+	found := false
+	for _, p := range proj.Projs {
+		if p.Name == "_g0" && strings.Contains(p.E.String(), "O.ordkey + 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("computed key not materialized: %v", proj.Projs)
+	}
+	// The select item reuses the synthesized column under its alias.
+	if n.Cols[0].Name != "bucket" {
+		t.Errorf("output: %v", n.Cols)
+	}
+	// A select item NOT matching any group expression still fails.
+	if _, err := ParseAndBind(`SELECT O.ordkey + 1 AS b FROM Orders O GROUP BY O.ordkey + 0`, testCatalog()); err == nil {
+		t.Error("mismatched computed item must fail")
+	}
+}

@@ -1,0 +1,119 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"cgdqp/internal/plan"
+)
+
+func TestBindHaving(t *testing.T) {
+	n := mustBind(t, `
+		SELECT C.name, SUM(O.totprice) AS total
+		FROM Customer C, Orders O
+		WHERE C.custkey = O.custkey
+		GROUP BY C.name
+		HAVING SUM(O.totprice) > 1000`)
+	// Project (hidden-agg-free here: HAVING reuses the same SUM) over
+	// Filter over Aggregate.
+	var filter, agg *plan.Node
+	n.Walk(func(x *plan.Node) bool {
+		switch x.Kind {
+		case plan.Filter:
+			if filter == nil {
+				filter = x
+			}
+		case plan.Aggregate:
+			agg = x
+		}
+		return true
+	})
+	if filter == nil || agg == nil {
+		t.Fatalf("expected Filter over Aggregate:\n%s", n)
+	}
+	if !strings.Contains(filter.Pred.String(), "total > 1000") {
+		t.Errorf("having pred: %v", filter.Pred)
+	}
+	// The shared aggregate is not duplicated.
+	if len(agg.Aggs) != 1 {
+		t.Errorf("aggs: %v", agg.Aggs)
+	}
+}
+
+func TestBindHavingHiddenAggregate(t *testing.T) {
+	// HAVING introduces an aggregate not present in the select list: it
+	// becomes a hidden output of the Aggregate, dropped by the final
+	// projection.
+	n := mustBind(t, `
+		SELECT C.name FROM Customer C, Orders O
+		WHERE C.custkey = O.custkey
+		GROUP BY C.name
+		HAVING COUNT(*) > 2`)
+	if n.Kind != plan.Project || len(n.Cols) != 1 || n.Cols[0].Key() != "C.name" {
+		t.Fatalf("projection should hide the COUNT:\n%s", n)
+	}
+	var agg *plan.Node
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Aggregate {
+			agg = x
+		}
+		return true
+	})
+	if agg == nil || len(agg.Aggs) != 1 {
+		t.Fatalf("hidden aggregate missing:\n%s", n)
+	}
+}
+
+func TestBindHavingErrors(t *testing.T) {
+	cat := testCatalog()
+	if _, err := ParseAndBind("SELECT C.name FROM Customer C HAVING C.name > 'a' GROUP BY C.name", cat); err == nil {
+		t.Error("HAVING before GROUP BY is a parse error")
+	}
+	// Non-grouped raw column in HAVING.
+	if _, err := ParseAndBind("SELECT C.name FROM Customer C GROUP BY C.name HAVING C.acctbal > 0", cat); err == nil {
+		t.Error("non-grouped column in HAVING must fail")
+	}
+}
+
+func TestBindDistinct(t *testing.T) {
+	n := mustBind(t, "SELECT DISTINCT C.mktseg FROM Customer C")
+	// Root is an Aggregate grouping by mktseg (or a projection of it).
+	var agg *plan.Node
+	n.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Aggregate {
+			agg = x
+		}
+		return true
+	})
+	if agg == nil || len(agg.GroupBy) != 1 || len(agg.Aggs) != 0 {
+		t.Fatalf("distinct should group by outputs:\n%s", n)
+	}
+	// DISTINCT over computed expressions materializes them first.
+	n2 := mustBind(t, "SELECT DISTINCT C.acctbal * 2 AS dbl FROM Customer C")
+	var proj bool
+	n2.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Project {
+			for _, p := range x.Projs {
+				if p.Name == "dbl" {
+					proj = true
+				}
+			}
+		}
+		return true
+	})
+	if !proj {
+		t.Errorf("distinct over expression needs a projection:\n%s", n2)
+	}
+	// DISTINCT with aggregation is a no-op.
+	n3 := mustBind(t, "SELECT DISTINCT C.mktseg, COUNT(*) AS n FROM Customer C GROUP BY C.mktseg")
+	aggs := 0
+	n3.Walk(func(x *plan.Node) bool {
+		if x.Kind == plan.Aggregate {
+			aggs++
+		}
+		return true
+	})
+	if aggs != 1 {
+		t.Errorf("distinct+group-by should not double-aggregate: %d", aggs)
+	}
+}

@@ -1,0 +1,139 @@
+// Package sqlparse implements the SQL front end: a lexer and
+// recursive-descent parser for the select-project-join-group-by subset
+// the engine supports, a parser for policy expressions (Section 4 of the
+// paper), and a binder that turns parsed queries into logical plans.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexical token with its source position (for errors).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer produces tokens from a SQL string.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input eagerly.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, t)
+		if t.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' {
+				// Consume the dot only when a digit follows, so that
+				// "5.nation" lexes as NUMBER(5) '.' IDENT(nation).
+				if seenDot || l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9' {
+					break
+				}
+				seenDot = true
+			} else if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sqlparse: unterminated string literal at offset %d", start)
+			}
+			d := l.src[l.pos]
+			if d == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(d)
+			l.pos++
+		}
+	default:
+		// Multi-character operators first.
+		for _, op := range []string{"<>", "<=", ">=", "!="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tokSymbol, text: op, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("(),*=<>+-/.;", rune(c)) {
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}

@@ -1,0 +1,749 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cgdqp/internal/expr"
+)
+
+// parser walks a token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) advance()    { p.i++ }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+// peekKeyword reports whether the current token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s at offset %d, found %q", strings.ToUpper(kw), p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+// acceptSymbol consumes the symbol if present.
+func (p *parser) acceptSymbol(sym string) bool {
+	t := p.cur()
+	if t.kind == tokSymbol && t.text == sym {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expectSymbol consumes the symbol or fails.
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sqlparse: expected %q at offset %d, found %q", sym, p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+// expectIdent consumes and returns an identifier.
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlparse: expected identifier at offset %d, found %q", t.pos, t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+// reserved keywords that terminate expression/identifier contexts.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"order": true, "limit": true, "having": true, "as": true, "and": true,
+	"or": true, "not": true, "in": true, "like": true, "between": true,
+	"is": true, "null": true, "join": true, "inner": true, "on": true,
+	"ship": true, "to": true, "aggregates": true, "asc": true, "desc": true,
+	"distinct": true, "deny": true, "case": true, "when": true, "then": true, "else": true, "end": true,
+	"true": true, "false": true, "date": true, "union": true, "all": true,
+}
+
+func isReserved(s string) bool { return reserved[strings.ToLower(s)] }
+
+// ParseQuery parses a single SELECT statement.
+func ParseQuery(src string) (*SelectStmt, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlparse: trailing input at offset %d: %q", p.cur().pos, p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.acceptKeyword("distinct") {
+		stmt.Distinct = true
+	}
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	// FROM.
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	var joinConds []expr.Expr
+	for {
+		ref, conds, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref...)
+		joinConds = append(joinConds, conds...)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	// WHERE.
+	if p.acceptKeyword("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	stmt.Where = expr.AndAll(append([]expr.Expr{stmt.Where}, joinConds...)...)
+	// GROUP BY (columns or computed expressions).
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	// HAVING.
+	if p.acceptKeyword("having") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	// ORDER BY.
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{E: e}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	// LIMIT.
+	if p.acceptKeyword("limit") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sqlparse: expected number after LIMIT at offset %d", t.pos)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad LIMIT: %w", err)
+		}
+		p.advance()
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// `*` or `t.*`
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	save := p.i
+	if p.cur().kind == tokIdent && !isReserved(p.cur().text) {
+		name := p.cur().text
+		p.advance()
+		if p.acceptSymbol(".") && p.acceptSymbol("*") {
+			return SelectItem{Star: true, StarTable: name}, nil
+		}
+		p.i = save
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{E: e}
+	if p.acceptKeyword("as") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().kind == tokIdent && !isReserved(p.cur().text) {
+		item.Alias = p.cur().text
+		p.advance()
+	}
+	return item, nil
+}
+
+// parseTableRef parses one FROM item, plus any JOIN ... ON chains hanging
+// off it. ON conditions are returned separately for folding into WHERE.
+func (p *parser) parseTableRef() ([]TableRef, []expr.Expr, error) {
+	var refs []TableRef
+	var conds []expr.Expr
+	ref, err := p.parseSingleTable()
+	if err != nil {
+		return nil, nil, err
+	}
+	refs = append(refs, ref)
+	for {
+		if p.acceptKeyword("inner") {
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, nil, err
+			}
+		} else if !p.acceptKeyword("join") {
+			break
+		}
+		next, err := p.parseSingleTable()
+		if err != nil {
+			return nil, nil, err
+		}
+		refs = append(refs, next)
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		conds = append(conds, cond)
+	}
+	return refs, conds, nil
+}
+
+func (p *parser) parseSingleTable() (TableRef, error) {
+	if p.acceptSymbol("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return TableRef{}, err
+		}
+		p.acceptKeyword("as")
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, fmt.Errorf("sqlparse: derived table requires an alias: %w", err)
+		}
+		return TableRef{Sub: sub, Alias: alias}, nil
+	}
+	name, err := p.parseTableName()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.acceptKeyword("as") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a
+	} else if p.cur().kind == tokIdent && !isReserved(p.cur().text) {
+		ref.Alias = p.cur().text
+		p.advance()
+	}
+	return ref, nil
+}
+
+// parseTableName accepts identifiers possibly containing hyphens and a
+// database qualifier, e.g. lineitem, db-4.lineitem.
+func (p *parser) parseTableName() (string, error) {
+	part, err := p.parseHyphenIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.acceptSymbol(".") {
+		rest, err := p.parseHyphenIdent()
+		if err != nil {
+			return "", err
+		}
+		return part + "." + rest, nil
+	}
+	return part, nil
+}
+
+// parseHyphenIdent parses IDENT ('-' (IDENT|NUMBER))* as one name,
+// supporting the paper's db-1 ... db-5 database names.
+func (p *parser) parseHyphenIdent() (string, error) {
+	id, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	for {
+		// A '-' immediately followed by an ident or number continues the
+		// name. (Table names appear where arithmetic cannot.)
+		if p.cur().kind == tokSymbol && p.cur().text == "-" {
+			next := p.toks[p.i+1]
+			if next.kind == tokIdent || next.kind == tokNumber {
+				p.advance()
+				id += "-" + next.text
+				p.advance()
+				continue
+			}
+		}
+		return id, nil
+	}
+}
+
+// parseColumnRef parses a possibly qualified column reference.
+func (p *parser) parseColumnRef() (*expr.Col, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol(".") {
+		second, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCol(first, second), nil
+	}
+	return expr.NewCol("", first), nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | predicate
+//	predicate := additive [cmpOp additive | [NOT] LIKE str | [NOT] IN (...) |
+//	             BETWEEN additive AND additive | IS [NOT] NULL]
+//	additive := multiplicative (('+'|'-') multiplicative)*
+//	multiplicative := primary (('*'|'/') primary)*
+//	primary := literal | aggregate | columnRef | '(' expr ')'
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewOr(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKeyword("and") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewAnd(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(e), nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (expr.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison operators.
+	if t := p.cur(); t.kind == tokSymbol {
+		var op expr.CmpOp
+		matched := true
+		switch t.text {
+		case "=":
+			op = expr.EQ
+		case "<>", "!=":
+			op = expr.NE
+		case "<":
+			op = expr.LT
+		case "<=":
+			op = expr.LE
+		case ">":
+			op = expr.GT
+		case ">=":
+			op = expr.GE
+		default:
+			matched = false
+		}
+		if matched {
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewCmp(op, l, r), nil
+		}
+	}
+	negated := false
+	if p.peekKeyword("not") {
+		// Only for NOT LIKE / NOT IN / NOT BETWEEN.
+		next := p.toks[p.i+1]
+		if next.kind == tokIdent && (strings.EqualFold(next.text, "like") || strings.EqualFold(next.text, "in") || strings.EqualFold(next.text, "between")) {
+			p.advance()
+			negated = true
+		}
+	}
+	switch {
+	case p.acceptKeyword("like"):
+		t := p.cur()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("sqlparse: LIKE requires a string literal at offset %d", t.pos)
+		}
+		p.advance()
+		return &expr.Like{E: l, Pattern: t.text, Negated: negated}, nil
+	case p.acceptKeyword("in"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []expr.Value
+		for {
+			v, err := p.parseLiteralValue()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &expr.In{E: l, List: list, Negated: negated}, nil
+	case p.acceptKeyword("between"):
+		lo, err := p.parseLiteralValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteralValue()
+		if err != nil {
+			return nil, err
+		}
+		bt := expr.Expr(expr.NewBetween(l, lo, hi))
+		if negated {
+			bt = expr.NewNot(bt)
+		}
+		return bt, nil
+	case p.acceptKeyword("is"):
+		neg := p.acceptKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{E: l, Negated: neg}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (expr.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		op := expr.Add
+		if t.text == "-" {
+			op = expr.Sub
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewArith(op, l, r)
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr.Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return l, nil
+		}
+		op := expr.Mul
+		if t.text == "/" {
+			op = expr.Div
+		}
+		p.advance()
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewArith(op, l, r)
+	}
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlparse: bad number %q: %w", t.text, err)
+			}
+			return expr.NewConst(expr.NewFloat(f)), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad number %q: %w", t.text, err)
+		}
+		return expr.NewConst(expr.NewInt(n)), nil
+	case t.kind == tokString:
+		p.advance()
+		return expr.NewConst(expr.NewString(t.text)), nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.advance()
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewArith(expr.Sub, expr.NewConst(expr.NewInt(0)), e), nil
+	case t.kind == tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.advance()
+			return expr.NewConst(expr.NewBool(true)), nil
+		case "false":
+			p.advance()
+			return expr.NewConst(expr.NewBool(false)), nil
+		case "null":
+			p.advance()
+			return expr.NewConst(expr.NullValue()), nil
+		case "date":
+			// DATE 'YYYY-MM-DD'
+			p.advance()
+			lit := p.cur()
+			if lit.kind != tokString {
+				return nil, fmt.Errorf("sqlparse: DATE requires a string literal at offset %d", lit.pos)
+			}
+			p.advance()
+			v, err := expr.ParseDate(lit.text)
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewConst(v), nil
+		case "case":
+			return p.parseCase()
+		case "year", "month", "day", "abs":
+			if p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+				fn, _ := expr.ParseScalarFn(t.text)
+				p.advance()
+				p.advance() // (
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return expr.NewCall(fn, arg), nil
+			}
+		case "sum", "avg", "count", "min", "max":
+			if p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+				fn, _ := expr.ParseAggFn(t.text)
+				p.advance()
+				p.advance() // (
+				if p.acceptSymbol("*") {
+					if err := p.expectSymbol(")"); err != nil {
+						return nil, err
+					}
+					if fn != expr.AggCount {
+						return nil, fmt.Errorf("sqlparse: %s(*) is only valid for COUNT", strings.ToUpper(t.text))
+					}
+					return expr.NewAgg(fn, nil), nil
+				}
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return expr.NewAgg(fn, arg), nil
+			}
+		}
+		if isReserved(t.text) {
+			return nil, fmt.Errorf("sqlparse: unexpected keyword %q at offset %d", t.text, t.pos)
+		}
+		return p.parseColumnRef()
+	}
+	return nil, fmt.Errorf("sqlparse: unexpected token %q at offset %d", t.text, t.pos)
+}
+
+// parseLiteralValue parses a literal into a Value (for IN lists and
+// BETWEEN bounds).
+func (p *parser) parseLiteralValue() (expr.Value, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return expr.NullValue(), err
+	}
+	return constFold(e)
+}
+
+// constFold evaluates a constant expression (literals and arithmetic on
+// literals).
+func constFold(e expr.Expr) (expr.Value, error) {
+	if c, ok := e.(*expr.Const); ok {
+		return c.Val, nil
+	}
+	if a, ok := e.(*expr.Arith); ok {
+		if _, lok := a.L.(*expr.Const); lok {
+			if _, rok := a.R.(*expr.Const); rok {
+				return expr.Eval(a, nil)
+			}
+		}
+		lv, lerr := constFold(a.L)
+		rv, rerr := constFold(a.R)
+		if lerr == nil && rerr == nil {
+			return expr.Eval(&expr.Arith{Op: a.Op, L: expr.NewConst(lv), R: expr.NewConst(rv)}, nil)
+		}
+	}
+	return expr.NullValue(), fmt.Errorf("sqlparse: expected a literal, found %s", e)
+}
+
+// parseCase parses a searched CASE expression:
+//
+//	CASE WHEN cond THEN result [WHEN ...] [ELSE result] END
+func (p *parser) parseCase() (expr.Expr, error) {
+	if err := p.expectKeyword("case"); err != nil {
+		return nil, err
+	}
+	var whens []expr.When
+	for p.acceptKeyword("when") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		whens = append(whens, expr.When{Cond: cond, Result: res})
+	}
+	if len(whens) == 0 {
+		return nil, fmt.Errorf("sqlparse: CASE requires at least one WHEN at offset %d", p.cur().pos)
+	}
+	var els expr.Expr
+	if p.acceptKeyword("else") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		els = e
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	return expr.NewCase(whens, els), nil
+}

@@ -1,0 +1,281 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"cgdqp/internal/expr"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a, b FROM t WHERE x >= 10.5 AND s = 'it''s' -- comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []string{"SELECT", "a", ",", "b", "FROM", "t", "WHERE", "x", ">=", "10.5", "AND", "s", "=", "it's", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(texts), len(want), texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Error("missing EOF")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := lex("a ? b"); err == nil {
+		t.Error("unknown character should fail")
+	}
+}
+
+func TestParseSimpleQuery(t *testing.T) {
+	q, err := ParseQuery("SELECT C.name, C.acctbal FROM Customer AS C WHERE C.acctbal > 100 AND C.name LIKE 'A%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 2 || q.Items[0].E.String() != "C.name" {
+		t.Errorf("items: %+v", q.Items)
+	}
+	if len(q.From) != 1 || q.From[0].Name != "Customer" || q.From[0].Alias != "C" {
+		t.Errorf("from: %+v", q.From)
+	}
+	if q.Where == nil || !strings.Contains(q.Where.String(), "C.acctbal > 100") {
+		t.Errorf("where: %v", q.Where)
+	}
+	if q.Limit != -1 {
+		t.Errorf("limit: %d", q.Limit)
+	}
+}
+
+func TestParseAggregateQuery(t *testing.T) {
+	q, err := ParseQuery(`
+		SELECT C.name, SUM(O.totprice) AS total, COUNT(*) cnt
+		FROM Customer C, Orders O
+		WHERE C.custkey = O.custkey
+		GROUP BY C.name
+		ORDER BY total DESC, C.name
+		LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 3 {
+		t.Fatalf("items: %d", len(q.Items))
+	}
+	if a, ok := q.Items[1].E.(*expr.Agg); !ok || a.Fn != expr.AggSum || q.Items[1].Alias != "total" {
+		t.Errorf("item1: %+v", q.Items[1])
+	}
+	if a, ok := q.Items[2].E.(*expr.Agg); !ok || a.Fn != expr.AggCount || a.Arg != nil || q.Items[2].Alias != "cnt" {
+		t.Errorf("item2: %+v", q.Items[2])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].String() != "C.name" {
+		t.Errorf("group by: %v", q.GroupBy)
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("order by: %+v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Errorf("limit: %d", q.Limit)
+	}
+}
+
+func TestParseJoinOnSyntax(t *testing.T) {
+	q, err := ParseQuery(`SELECT * FROM Customer C JOIN Orders O ON C.custkey = O.custkey INNER JOIN Lineitem L ON O.orderkey = L.orderkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 3 {
+		t.Fatalf("from: %d", len(q.From))
+	}
+	// Both ON conditions folded into WHERE.
+	conj := expr.Conjuncts(q.Where)
+	if len(conj) != 2 {
+		t.Errorf("folded conditions: %v", q.Where)
+	}
+	if !q.Items[0].Star {
+		t.Error("star item")
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	q, err := ParseQuery(`SELECT X.total FROM (SELECT SUM(totprice) AS total FROM Orders GROUP BY custkey) AS X WHERE X.total > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 1 || q.From[0].Sub == nil || q.From[0].Alias != "X" {
+		t.Fatalf("derived table: %+v", q.From)
+	}
+	if len(q.From[0].Sub.Items) != 1 {
+		t.Error("subquery items")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"SELECT a FROM t WHERE a IN (1, 2, 3)", "t.a IN (1, 2, 3)"},
+		{"SELECT a FROM t WHERE a NOT IN (1)", "t.a NOT IN (1)"},
+		{"SELECT a FROM t WHERE a BETWEEN 1 AND 5", "t.a BETWEEN 1 AND 5"},
+		{"SELECT a FROM t WHERE a IS NULL", "t.a IS NULL"},
+		{"SELECT a FROM t WHERE a IS NOT NULL", "t.a IS NOT NULL"},
+		{"SELECT a FROM t WHERE NOT a = 1", "NOT (t.a = 1)"},
+		{"SELECT a FROM t WHERE s NOT LIKE 'x%'", "t.s NOT LIKE 'x%'"},
+		{"SELECT a FROM t WHERE a + 1 * 2 = 3", "(t.a + (1 * 2)) = 3"},
+		{"SELECT a FROM t WHERE (a + 1) * 2 = 3", "((t.a + 1) * 2) = 3"},
+		{"SELECT a FROM t WHERE d >= DATE '1995-01-01'", "t.d >= DATE '1995-01-01'"},
+		{"SELECT a FROM t WHERE a = -5", "t.a = (0 - 5)"},
+		{"SELECT a FROM t WHERE b = TRUE OR b = FALSE", "(t.b = TRUE OR t.b = FALSE)"},
+	}
+	for _, c := range cases {
+		// Parse and bind the where clause textually (resolution tested in
+		// bind_test; here only shape matters, so fake the qualifier).
+		q, err := ParseQuery(c.in)
+		if err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		got := expr.Transform(q.Where, func(n expr.Expr) expr.Expr {
+			if col, ok := n.(*expr.Col); ok && col.Table == "" {
+				return expr.NewCol("t", col.Name)
+			}
+			return n
+		}).String()
+		if got != c.out {
+			t.Errorf("%s:\n got %s\nwant %s", c.in, got, c.out)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM (SELECT b FROM u)",    // derived table needs alias
+		"SELECT a FROM t trailing garbage (", // trailing input
+		"SELECT SUM(*) FROM t",               // SUM(*) invalid
+		"SELECT a FROM t WHERE a LIKE 5",     // LIKE needs string
+		"SELECT a FROM t WHERE a IN 1",       // IN needs parens
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestParsePolicyBasic(t *testing.T) {
+	p, err := ParsePolicy("ship custkey, name from Customer C to Asia, Europe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsAggregate() {
+		t.Error("basic expression misclassified")
+	}
+	if len(p.Attrs) != 2 || p.Attrs[0] != "custkey" || p.Attrs[1] != "name" {
+		t.Errorf("attrs: %v", p.Attrs)
+	}
+	if p.Table != "customer" || p.DB != "" {
+		t.Errorf("table: %q db %q", p.Table, p.DB)
+	}
+	if len(p.To) != 2 || p.To[0] != "Asia" || p.To[1] != "Europe" {
+		t.Errorf("to: %v", p.To)
+	}
+}
+
+func TestParsePolicyWithWhere(t *testing.T) {
+	p, err := ParsePolicy("ship mktseg, region from Customer to Europe where mktseg = 'commercial'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Where == nil || !strings.Contains(p.Where.String(), "mktseg = 'commercial'") {
+		t.Errorf("where: %v", p.Where)
+	}
+}
+
+func TestParsePolicyAggregate(t *testing.T) {
+	p, err := ParsePolicy("ship acctbal as aggregates sum, avg from Customer C to * group by mktseg, region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsAggregate() {
+		t.Error("aggregate expression misclassified")
+	}
+	if len(p.AggFns) != 2 || p.AggFns[0] != expr.AggSum || p.AggFns[1] != expr.AggAvg {
+		t.Errorf("agg fns: %v", p.AggFns)
+	}
+	if !p.ToAll || len(p.To) != 0 {
+		t.Errorf("to *: %+v", p)
+	}
+	if len(p.GroupBy) != 2 || p.GroupBy[0] != "mktseg" {
+		t.Errorf("group by: %v", p.GroupBy)
+	}
+}
+
+func TestParsePolicyQualifiedAndWildcards(t *testing.T) {
+	p, err := ParsePolicy("ship * from db-5.nation to *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.AllAttrs || !p.ToAll {
+		t.Errorf("wildcards: %+v", p)
+	}
+	if p.DB != "db-5" || p.Table != "nation" {
+		t.Errorf("qualified table: db=%q table=%q", p.DB, p.Table)
+	}
+
+	// Table 3's e4: locations with hyphens, OR predicates.
+	p, err = ParsePolicy("ship partkey, mfgr, size, type, name from db-3.part to L4 where size > 40 OR type LIKE '%COPPER%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Attrs) != 5 || p.To[0] != "L4" {
+		t.Errorf("e4: %+v", p)
+	}
+	if _, ok := p.Where.(*expr.Or); !ok {
+		t.Errorf("e4 where: %v", p.Where)
+	}
+
+	// Table 3's e5: group by after to, no where.
+	p, err = ParsePolicy("ship extendedprice, discount as aggregates sum from db-4.lineitem to L1 group by suppkey, orderkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DB != "db-4" || len(p.GroupBy) != 2 || p.Where != nil {
+		t.Errorf("e5: %+v", p)
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"ship",
+		"ship a",
+		"ship a from t",
+		"ship * as aggregates sum from t to *", // * with aggregates
+		"ship a from t to * group by x",        // group by without aggregates
+		"ship a from t to * where a = 1 where b=2", // duplicate where
+		"ship a as aggregates median from t to *",  // unknown aggregate
+		"ship a from t to * garbage",
+	}
+	for _, src := range bad {
+		if _, err := ParsePolicy(src); err == nil {
+			t.Errorf("expected policy parse error for %q", src)
+		}
+	}
+}

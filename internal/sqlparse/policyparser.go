@@ -1,0 +1,182 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"cgdqp/internal/expr"
+)
+
+// ParsePolicy parses a policy expression (Section 4):
+//
+//	SHIP attr_list FROM table TO location_list [WHERE cond]           (basic)
+//	SHIP attr_list AS AGGREGATES fn_list FROM table TO location_list
+//	     [WHERE cond] [GROUP BY attr_list]                        (aggregate)
+//	DENY attr_list FROM table TO location_list                     (negative)
+//
+// attr_list and location_list may be `*`. The table may be qualified with
+// its database ("db-4.lineitem"). WHERE and GROUP BY may appear in either
+// order.
+func ParsePolicy(src string) (*PolicyStmt, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	stmt := &PolicyStmt{}
+	if p.acceptKeyword("deny") {
+		stmt.Deny = true
+	} else if err := p.expectKeyword("ship"); err != nil {
+		return nil, err
+	}
+	// Attribute list or *. Attributes may be alias-qualified for
+	// multi-table expressions ("c.custkey").
+	if p.acceptSymbol("*") {
+		stmt.AllAttrs = true
+	} else {
+		for {
+			a, err := p.parsePolicyAttr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Attrs = append(stmt.Attrs, a)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	// AS AGGREGATES fn_list.
+	if stmt.Deny && p.peekKeyword("as") {
+		return nil, fmt.Errorf("sqlparse: deny expressions cannot carry aggregates")
+	}
+	if p.acceptKeyword("as") {
+		if err := p.expectKeyword("aggregates"); err != nil {
+			return nil, err
+		}
+		if stmt.AllAttrs {
+			return nil, fmt.Errorf("sqlparse: aggregate policy expressions require explicit attributes, not *")
+		}
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fn, err := expr.ParseAggFn(name)
+			if err != nil {
+				return nil, err
+			}
+			stmt.AggFns = append(stmt.AggFns, fn)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	// FROM table list (footnote 4 allows joins of base tables from one
+	// database).
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.parseTableName()
+		if err != nil {
+			return nil, err
+		}
+		var db, table string
+		if dot := strings.IndexByte(name, '.'); dot >= 0 {
+			db, table = name[:dot], name[dot+1:]
+		} else {
+			table = name
+		}
+		if db != "" {
+			if stmt.DB != "" && !strings.EqualFold(stmt.DB, db) {
+				return nil, fmt.Errorf("sqlparse: policy expression spans databases %s and %s", stmt.DB, db)
+			}
+			stmt.DB = db
+		}
+		pt := PolicyTable{Name: strings.ToLower(table)}
+		// Optional table alias, as in the paper's "from Customer C".
+		if p.cur().kind == tokIdent && !isReserved(p.cur().text) {
+			pt.Alias = strings.ToLower(p.cur().text)
+			p.advance()
+		}
+		stmt.Tables = append(stmt.Tables, pt)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	stmt.Table = stmt.Tables[0].Name
+	if stmt.Deny && len(stmt.Tables) > 1 {
+		return nil, fmt.Errorf("sqlparse: denials cover a single table")
+	}
+	// TO locations.
+	if err := p.expectKeyword("to"); err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("*") {
+		stmt.ToAll = true
+	} else {
+		for {
+			l, err := p.parseHyphenIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.To = append(stmt.To, l)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	// WHERE / GROUP BY in either order.
+	for {
+		switch {
+		case p.acceptKeyword("where"):
+			if stmt.Where != nil {
+				return nil, fmt.Errorf("sqlparse: duplicate WHERE clause in policy expression")
+			}
+			w, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = w
+		case p.acceptKeyword("group"):
+			if err := p.expectKeyword("by"); err != nil {
+				return nil, err
+			}
+			if !stmt.IsAggregate() {
+				return nil, fmt.Errorf("sqlparse: GROUP BY is only valid in aggregate policy expressions")
+			}
+			for {
+				a, err := p.parsePolicyAttr()
+				if err != nil {
+					return nil, err
+				}
+				stmt.GroupBy = append(stmt.GroupBy, a)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+		default:
+			p.acceptSymbol(";")
+			if !p.atEOF() {
+				return nil, fmt.Errorf("sqlparse: trailing input in policy expression at offset %d: %q", p.cur().pos, p.cur().text)
+			}
+			return stmt, nil
+		}
+	}
+}
+
+// parsePolicyAttr parses an attribute reference in a policy expression:
+// a bare name or an alias-qualified "alias.name", lowercased.
+func (p *parser) parsePolicyAttr() (string, error) {
+	a, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.acceptSymbol(".") {
+		b, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		return strings.ToLower(a) + "." + strings.ToLower(b), nil
+	}
+	return strings.ToLower(a), nil
+}

@@ -1,0 +1,115 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// splitmix for deterministic mutation.
+type mutRng struct{ s uint64 }
+
+func (r *mutRng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mutate flips, deletes or inserts bytes in a seed string.
+func mutate(seed string, r *mutRng, edits int) string {
+	b := []byte(seed)
+	alphabet := []byte("abcdefgSELCTFROMWHR'()*,.<>=0123456789 \t\n%_-")
+	for i := 0; i < edits; i++ {
+		if len(b) == 0 {
+			b = append(b, alphabet[r.next()%uint64(len(alphabet))])
+			continue
+		}
+		pos := int(r.next() % uint64(len(b)))
+		switch r.next() % 3 {
+		case 0:
+			b[pos] = alphabet[r.next()%uint64(len(alphabet))]
+		case 1:
+			b = append(b[:pos], b[pos+1:]...)
+		default:
+			c := alphabet[r.next()%uint64(len(alphabet))]
+			b = append(b[:pos], append([]byte{c}, b[pos:]...)...)
+		}
+	}
+	return string(b)
+}
+
+var robustnessSeeds = []string{
+	"SELECT a, b FROM t WHERE a = 1 AND b LIKE 'x%' GROUP BY a ORDER BY b LIMIT 5",
+	"SELECT SUM(x.a) AS s FROM (SELECT t.a FROM t WHERE t.a IN (1,2,3)) x",
+	"SELECT DISTINCT a FROM t GROUP BY a HAVING COUNT(*) > 1",
+	"ship a, b as aggregates sum, avg from db-1.t to L1, L2 where a > 5 group by b",
+	"deny a from t to *",
+	"SELECT * FROM t JOIN u ON t.a = u.a WHERE t.b BETWEEN 1 AND 2 OR u.c IS NOT NULL",
+}
+
+// TestParserNeverPanics mutates valid inputs heavily and asserts the
+// parsers return errors instead of panicking or looping.
+func TestParserNeverPanics(t *testing.T) {
+	r := &mutRng{s: 7}
+	for i := 0; i < 3000; i++ {
+		seed := robustnessSeeds[i%len(robustnessSeeds)]
+		src := mutate(seed, r, 1+int(r.next()%8))
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on input %q: %v", src, p)
+				}
+			}()
+			_, _ = ParseQuery(src)
+			_, _ = ParsePolicy(src)
+		}()
+	}
+}
+
+// TestParserRandomBytes feeds fully random byte strings.
+func TestParserRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		src := string(data)
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("panic on %q: %v", src, p)
+			}
+		}()
+		_, _ = ParseQuery(src)
+		_, _ = ParsePolicy(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseRoundTripStability: a successfully parsed query re-renders
+// stable predicate text (String() of the parsed Where is itself
+// re-parseable inside a query shell).
+func TestParseRoundTripStability(t *testing.T) {
+	for _, src := range robustnessSeeds[:3] {
+		q, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("seed %q: %v", src, err)
+		}
+		if q.Where == nil {
+			continue
+		}
+		re := "SELECT a FROM t WHERE " + q.Where.String()
+		if _, err := ParseQuery(re); err != nil {
+			t.Errorf("re-parse of %q failed: %v", re, err)
+		}
+	}
+	// Policy round trip through the policy package is covered in
+	// internal/policy; here check the surface text survives a re-parse.
+	p, err := ParsePolicy(robustnessSeeds[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Attrs) != 2 || !strings.EqualFold(p.Table, "t") {
+		t.Errorf("policy parse: %+v", p)
+	}
+}

@@ -1,0 +1,99 @@
+// Package storage implements the per-site in-memory row store: each
+// geo-distributed location hosts one database holding the tables (or
+// table fragments) placed there.
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cgdqp/internal/expr"
+)
+
+// Table is an in-memory table (or fragment): a column list and rows.
+type Table struct {
+	Name    string
+	Columns []string
+
+	mu   sync.RWMutex
+	rows []expr.Row
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, columns []string) *Table {
+	return &Table{Name: name, Columns: append([]string(nil), columns...)}
+}
+
+// Insert appends rows. Each row must match the column count.
+func (t *Table) Insert(rows ...expr.Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range rows {
+		if len(r) != len(t.Columns) {
+			return fmt.Errorf("storage: row width %d does not match table %s (%d columns)", len(r), t.Name, len(t.Columns))
+		}
+		t.rows = append(t.rows, r)
+	}
+	return nil
+}
+
+// RowCount returns the number of stored rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Rows returns a snapshot slice of the stored rows. The rows themselves
+// are shared; callers must not mutate them.
+func (t *Table) Rows() []expr.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]expr.Row(nil), t.rows...)
+}
+
+// DB is one site's database: a set of tables.
+type DB struct {
+	Name string
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB(name string) *DB {
+	return &DB{Name: name, tables: map[string]*Table{}}
+}
+
+// CreateTable registers an empty table; it fails on duplicates.
+func (db *DB) CreateTable(name string, columns []string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := db.tables[key]; dup {
+		return nil, fmt.Errorf("storage: table %s already exists in %s", name, db.Name)
+	}
+	t := NewTable(name, columns)
+	db.tables[key] = t
+	return t, nil
+}
+
+// Table resolves a table by name (case-insensitive).
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns the table names, unsorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}

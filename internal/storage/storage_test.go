@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"cgdqp/internal/expr"
+)
+
+func TestTableInsertAndScan(t *testing.T) {
+	tab := NewTable("t", []string{"a", "b"})
+	if err := tab.Insert(expr.Row{expr.NewInt(1), expr.NewString("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(expr.Row{expr.NewInt(2), expr.NewString("y")}, expr.Row{expr.NewInt(3), expr.NewString("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.RowCount() != 3 {
+		t.Errorf("rows: %d", tab.RowCount())
+	}
+	rows := tab.Rows()
+	if len(rows) != 3 || rows[1][1].Str() != "y" {
+		t.Errorf("rows: %v", rows)
+	}
+	// Width mismatch rejected.
+	if err := tab.Insert(expr.Row{expr.NewInt(1)}); err == nil {
+		t.Error("width mismatch must fail")
+	}
+	// Rows() returns a snapshot: appending later does not grow it.
+	snap := tab.Rows()
+	_ = tab.Insert(expr.Row{expr.NewInt(4), expr.NewString("w")})
+	if len(snap) != 3 {
+		t.Error("snapshot grew")
+	}
+}
+
+func TestDBTables(t *testing.T) {
+	db := NewDB("db-1")
+	if _, err := db.CreateTable("T", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", []string{"a"}); err == nil {
+		t.Error("duplicate (case-insensitive) must fail")
+	}
+	tab, ok := db.Table("T")
+	if !ok || tab.Name != "T" {
+		t.Error("lookup")
+	}
+	if _, ok := db.Table("ghost"); ok {
+		t.Error("unknown table")
+	}
+	if names := db.Tables(); len(names) != 1 || names[0] != "T" {
+		t.Errorf("Tables: %v", names)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	tab := NewTable("t", []string{"a"})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = tab.Insert(expr.Row{expr.NewInt(int64(base*100 + j))})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tab.RowCount() != 800 {
+		t.Errorf("concurrent inserts: %d", tab.RowCount())
+	}
+}

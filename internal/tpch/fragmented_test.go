@@ -1,0 +1,78 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"cgdqp/internal/cluster"
+	"cgdqp/internal/executor"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
+	"cgdqp/internal/optimizer"
+	"cgdqp/internal/policy"
+	"cgdqp/internal/workload"
+)
+
+// TestFragmentedExecutionEquivalence runs Q3 and Q10 over the Section 7.5
+// deployment (Customer and Orders fragmented over three sites, rewritten
+// as unions and distributed through joins) and checks the results equal
+// the single-site-placement execution of the same data.
+func TestFragmentedExecutionEquivalence(t *testing.T) {
+	const sf = 0.001
+	runOn := func(nLocs int, qn string) []expr.Row {
+		cat := NewCatalogFragmented(sf, nLocs)
+		net := network.FiveRegionWAN(cat.Locations())
+		cl := cluster.New(cat, net)
+		if err := Generate(cat, cl); err != nil {
+			t.Fatal(err)
+		}
+		pc := policy.NewCatalog()
+		// Unrestricted: every fragment database ships everywhere.
+		gen := workload.NewPolicyGen(1, cat.Locations())
+		pc = gen.GenerateFor(cat, workload.SetT, 0)
+		opt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+		res, err := opt.OptimizeSQL(Queries[qn])
+		if err != nil {
+			t.Fatalf("%s over %d locations: %v", qn, nLocs, err)
+		}
+		if err := optimizer.ValidatePlan(res.Plan); err != nil {
+			t.Fatalf("%s over %d locations: %v", qn, nLocs, err)
+		}
+		rows, _, err := executor.Run(res.Plan, cl)
+		if err != nil {
+			t.Fatalf("%s over %d locations: run: %v\n%s", qn, nLocs, err, res.Plan.Format(true))
+		}
+		return rows
+	}
+	for _, qn := range []string{"Q3", "Q10"} {
+		base := canonQ(runOn(1, qn))
+		frag := canonQ(runOn(3, qn))
+		if len(base) != len(frag) {
+			t.Fatalf("%s: %d vs %d rows", qn, len(base), len(frag))
+		}
+		for i := range base {
+			if base[i] != frag[i] {
+				t.Fatalf("%s row %d: %s vs %s", qn, i, base[i], frag[i])
+			}
+		}
+	}
+}
+
+func canonQ(rows []expr.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			if !v.IsNull() && (v.T == expr.TFloat || v.T == expr.TInt) {
+				parts[j] = fmt.Sprintf("%.5g", v.Float())
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}

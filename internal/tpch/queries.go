@@ -1,0 +1,135 @@
+package tpch
+
+import "sort"
+
+// Queries are the six TPC-H queries the evaluation uses (Section 7.1),
+// adapted to the engine's SQL subset:
+//
+//   - Q3 and Q10 are low complexity (2 and 3 joins);
+//   - Q5 and Q9 are medium (5 joins each);
+//   - Q2 and Q8 are high (Q2's correlated MIN subquery is decorrelated
+//     into a derived table; Q8 and Q9 express their year extraction and
+//     Q8's CASE market share through derived tables).
+var Queries = map[string]string{
+	"Q2": `
+SELECT s.acctbal, s.name, n.name AS nation, p.partkey, p.mfgr
+FROM part p, supplier s, partsupp ps, nation n, region r,
+     (SELECT ps2.partkey AS pk, MIN(ps2.supplycost) AS mincost
+      FROM partsupp ps2, supplier s2, nation n2, region r2
+      WHERE s2.suppkey = ps2.suppkey
+        AND s2.nationkey = n2.nationkey
+        AND n2.regionkey = r2.regionkey
+        AND r2.name = 'EUROPE'
+      GROUP BY ps2.partkey) m
+WHERE p.partkey = ps.partkey
+  AND s.suppkey = ps.suppkey
+  AND p.size = 15
+  AND p.type LIKE '%BRASS'
+  AND s.nationkey = n.nationkey
+  AND n.regionkey = r.regionkey
+  AND r.name = 'EUROPE'
+  AND ps.supplycost = m.mincost
+  AND p.partkey = m.pk
+ORDER BY s.acctbal DESC, n.name, s.name, p.partkey
+LIMIT 100`,
+
+	"Q3": `
+SELECT l.orderkey, SUM(l.extendedprice * (1 - l.discount)) AS revenue,
+       o.orderdate, o.shippriority
+FROM customer c, orders o, lineitem l
+WHERE c.mktsegment = 'BUILDING'
+  AND c.custkey = o.custkey
+  AND l.orderkey = o.orderkey
+  AND o.orderdate < DATE '1995-03-15'
+  AND l.shipdate > DATE '1995-03-15'
+GROUP BY l.orderkey, o.orderdate, o.shippriority
+ORDER BY revenue DESC
+LIMIT 10`,
+
+	"Q5": `
+SELECT n.name, SUM(l.extendedprice * (1 - l.discount)) AS revenue
+FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+WHERE c.custkey = o.custkey
+  AND l.orderkey = o.orderkey
+  AND l.suppkey = s.suppkey
+  AND c.nationkey = s.nationkey
+  AND s.nationkey = n.nationkey
+  AND n.regionkey = r.regionkey
+  AND r.name = 'ASIA'
+  AND o.orderdate >= DATE '1994-01-01'
+  AND o.orderdate < DATE '1995-01-01'
+GROUP BY n.name
+ORDER BY revenue DESC`,
+
+	"Q8": `
+SELECT x.o_year,
+       SUM(CASE WHEN x.nation = 'BRAZIL' THEN x.volume ELSE 0 END) / SUM(x.volume) AS mkt_share
+FROM (SELECT YEAR(o.orderdate) AS o_year,
+             l.extendedprice * (1 - l.discount) AS volume,
+             n2.name AS nation
+      FROM part p, supplier s, lineitem l, orders o, customer c,
+           nation n1, nation n2, region r
+      WHERE p.partkey = l.partkey
+        AND s.suppkey = l.suppkey
+        AND l.orderkey = o.orderkey
+        AND o.custkey = c.custkey
+        AND c.nationkey = n1.nationkey
+        AND n1.regionkey = r.regionkey
+        AND r.name = 'AMERICA'
+        AND s.nationkey = n2.nationkey
+        AND o.orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+        AND p.type = 'ECONOMY ANODIZED STEEL') x
+GROUP BY x.o_year
+ORDER BY x.o_year`,
+
+	"Q9": `
+SELECT x.nation, x.o_year, SUM(x.amount) AS profit
+FROM (SELECT n.name AS nation,
+             YEAR(o.orderdate) AS o_year,
+             l.extendedprice * (1 - l.discount) - ps.supplycost * l.quantity AS amount
+      FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+      WHERE s.suppkey = l.suppkey
+        AND ps.suppkey = l.suppkey
+        AND ps.partkey = l.partkey
+        AND p.partkey = l.partkey
+        AND o.orderkey = l.orderkey
+        AND s.nationkey = n.nationkey
+        AND p.name LIKE '%green%') x
+GROUP BY x.nation, x.o_year
+ORDER BY x.nation, x.o_year DESC`,
+
+	"Q10": `
+SELECT c.custkey, c.name, SUM(l.extendedprice * (1 - l.discount)) AS revenue,
+       c.acctbal, n.name AS nation
+FROM customer c, orders o, lineitem l, nation n
+WHERE c.custkey = o.custkey
+  AND l.orderkey = o.orderkey
+  AND o.orderdate >= DATE '1993-10-01'
+  AND o.orderdate < DATE '1994-01-01'
+  AND l.returnflag = 'R'
+  AND c.nationkey = n.nationkey
+GROUP BY c.custkey, c.name, c.acctbal, n.name
+ORDER BY revenue DESC
+LIMIT 20`,
+}
+
+// QueryNames returns the query identifiers in evaluation order.
+func QueryNames() []string {
+	out := make([]string, 0, len(Queries))
+	for k := range Queries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric ordering: Q2, Q3, Q5, Q8, Q9, Q10.
+		return queryRank(out[i]) < queryRank(out[j])
+	})
+	return out
+}
+
+func queryRank(name string) int {
+	n := 0
+	for _, c := range name[1:] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

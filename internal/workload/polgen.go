@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"cgdqp/internal/policy"
+	"cgdqp/internal/schema"
+)
+
+// tableDB is the Table 2 database of each TPC-H table.
+var tableDB = map[string]string{
+	"customer": "db-1", "orders": "db-1",
+	"supplier": "db-2", "partsupp": "db-2",
+	"part": "db-3", "lineitem": "db-4",
+	"nation": "db-5", "region": "db-5",
+}
+
+// policyPredTemplates holds per-table predicates for row-restricted
+// policy expressions. They are deliberately *weaker* than (or disjoint
+// from) the query predicate templates, mirroring the property file the
+// paper's generator uses: some implications pass, many fail.
+var policyPredTemplates = map[string][]string{
+	"customer": {"mktsegment = 'BUILDING'", "acctbal > -1000", "nationkey < 20"},
+	"orders":   {"orderdate < DATE '1998-01-01'", "totalprice > 10000", "orderstatus = 'F'"},
+	"lineitem": {"shipdate > DATE '1993-01-01'", "quantity BETWEEN 1 AND 50", "returnflag = 'R'", "discount < 0.1"},
+	"part":     {"size > 5", "size > 40 OR type LIKE '%COPPER%'", "retailprice > 900"},
+	"supplier": {"acctbal > -1000", "nationkey < 25"},
+	"partsupp": {"supplycost < 900", "availqty > 0"},
+	"nation":   {"regionkey < 5"},
+	"region":   {"regionkey < 5"},
+}
+
+// groupableCols lists attributes policy expressions may allow as
+// grouping keys.
+var groupableCols = map[string][]string{
+	"customer": {"custkey", "nationkey", "mktsegment"},
+	"orders":   {"orderkey", "custkey", "orderdate"},
+	"lineitem": {"orderkey", "partkey", "suppkey", "returnflag", "shipdate"},
+	"part":     {"partkey", "mfgr", "type", "size"},
+	"supplier": {"suppkey", "nationkey"},
+	"partsupp": {"partkey", "suppkey"},
+	"nation":   {"nationkey", "regionkey", "name"},
+	"region":   {"regionkey", "name"},
+}
+
+// PolicyGen generates random policy-expression sets over the TPC-H
+// schema (the paper's policy expression generator, Section 7.1). Every
+// generated set embeds a *covering core* — for each table, one basic
+// expression shipping the generator's output columns to a common
+// location — so each generated query is guaranteed at least one
+// compliant plan (the paper notes all its expressions have this form).
+type PolicyGen struct {
+	r         *rng
+	locations []string
+}
+
+// NewPolicyGen builds a generator over the given location universe.
+func NewPolicyGen(seed uint64, locations []string) *PolicyGen {
+	return &PolicyGen{r: newRng(seed), locations: locations}
+}
+
+// Generate builds a policy set of the given template and size. Template
+// T ignores size and always produces eight whole-table expressions.
+func (g *PolicyGen) Generate(name SetName, size int) *policy.Catalog {
+	return g.generate(name, size, func(t string) []string { return []string{tableDB[t]} })
+}
+
+// GenerateFor builds a policy set against a catalog whose tables may be
+// fragmented across databases (Section 7.5): covering expressions are
+// emitted for every database hosting a fragment, so fragmented tables
+// remain shippable.
+func (g *PolicyGen) GenerateFor(cat *schema.Catalog, name SetName, size int) *policy.Catalog {
+	return g.generate(name, size, func(t string) []string {
+		tab, ok := cat.Table(t)
+		if !ok {
+			return []string{tableDB[t]}
+		}
+		seen := map[string]bool{}
+		var dbs []string
+		for _, f := range tab.Fragments {
+			if !seen[f.DB] {
+				seen[f.DB] = true
+				dbs = append(dbs, f.DB)
+			}
+		}
+		return dbs
+	})
+}
+
+func (g *PolicyGen) generate(name SetName, size int, dbsOf func(string) []string) *policy.Catalog {
+	pc := policy.NewCatalog()
+	common := g.locations[g.r.intn(len(g.locations))]
+	id := 0
+	add := func(src string) {
+		id++
+		e, err := policy.Parse(src, fmt.Sprintf("g%d", id), "")
+		if err != nil {
+			panic(fmt.Sprintf("workload: generated invalid policy %q: %v", src, err))
+		}
+		pc.Add(e)
+	}
+
+	if name == SetT {
+		for _, t := range allTables {
+			for _, db := range dbsOf(t) {
+				add(fmt.Sprintf("ship * from %s.%s to %s", db, t, g.destList(common)))
+			}
+		}
+		return pc
+	}
+
+	// Covering core: one expression per (table, fragment database) over
+	// all generated output columns, destinations always including the
+	// common location.
+	for _, t := range allTables {
+		for _, db := range dbsOf(t) {
+			add(fmt.Sprintf("ship %s from %s.%s to %s",
+				strings.Join(outputCols[t], ", "), db, t, g.destList(common)))
+		}
+	}
+	// Pad with random expressions according to the template.
+	for id < size {
+		t := allTables[g.r.intn(len(allTables))]
+		dbs := dbsOf(t)
+		db := dbs[g.r.intn(len(dbs))]
+		cols := g.someCols(outputCols[t])
+		switch name {
+		case SetC:
+			add(fmt.Sprintf("ship %s from %s.%s to %s", cols, db, t, g.destList("")))
+		case SetCR:
+			add(fmt.Sprintf("ship %s from %s.%s to %s where %s",
+				cols, db, t, g.destList(""), g.r.pick(policyPredTemplates[t])))
+		case SetCRA:
+			switch g.r.intn(3) {
+			case 0: // basic
+				add(fmt.Sprintf("ship %s from %s.%s to %s", cols, db, t, g.destList("")))
+			case 1: // basic with rows
+				add(fmt.Sprintf("ship %s from %s.%s to %s where %s",
+					cols, db, t, g.destList(""), g.r.pick(policyPredTemplates[t])))
+			default: // aggregate
+				if len(aggCols[t]) == 0 {
+					add(fmt.Sprintf("ship %s from %s.%s to %s", cols, db, t, g.destList("")))
+					continue
+				}
+				fns := []string{"sum", "sum, avg", "sum, min, max", "avg, count"}
+				add(fmt.Sprintf("ship %s as aggregates %s from %s.%s to %s group by %s",
+					g.someCols(aggCols[t]), g.r.pick(fns), db, t,
+					g.destList(""), g.someCols(groupableCols[t])))
+			}
+		}
+	}
+	return pc
+}
+
+// destList draws 1–3 destinations, always including the required
+// location when non-empty.
+func (g *PolicyGen) destList(require string) string {
+	n := 1 + g.r.intn(3)
+	seen := map[string]bool{}
+	var out []string
+	if require != "" {
+		seen[require] = true
+		out = append(out, require)
+	}
+	for len(out) < n {
+		l := g.locations[g.r.intn(len(g.locations))]
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, ", ")
+}
+
+// someCols draws a non-empty random subset (order-preserving).
+func (g *PolicyGen) someCols(cols []string) string {
+	var out []string
+	for _, c := range cols {
+		if g.r.pct(55) {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, cols[g.r.intn(len(cols))])
+	}
+	return strings.Join(out, ", ")
+}

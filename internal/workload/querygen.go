@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a deterministic splitmix64 generator (workload generation must
+// be reproducible).
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) pct(p int) bool { return r.intn(100) < p }
+
+func (r *rng) pick(list []string) string { return list[r.intn(len(list))] }
+
+// fkEdge is one PK–FK relationship of the TPC-H schema.
+type fkEdge struct {
+	childTable, childCol, parentTable, parentCol string
+}
+
+var fkEdges = []fkEdge{
+	{"orders", "custkey", "customer", "custkey"},
+	{"lineitem", "orderkey", "orders", "orderkey"},
+	{"lineitem", "partkey", "part", "partkey"},
+	{"lineitem", "suppkey", "supplier", "suppkey"},
+	{"partsupp", "partkey", "part", "partkey"},
+	{"partsupp", "suppkey", "supplier", "suppkey"},
+	{"customer", "nationkey", "nation", "nationkey"},
+	{"supplier", "nationkey", "nation", "nationkey"},
+	{"nation", "regionkey", "region", "regionkey"},
+}
+
+// tableLocation is the Table 2 placement (kept here so the generator can
+// enforce the "spans two or more locations" requirement without a
+// catalog).
+var tableLocation = map[string]string{
+	"customer": "L1", "orders": "L1",
+	"supplier": "L2", "partsupp": "L2",
+	"part": "L3", "lineitem": "L4",
+	"nation": "L5", "region": "L5",
+}
+
+// outputCols lists the columns the generator selects from (the columns
+// the policy generator also covers, so generated workloads always have
+// compliant plans under generated policy sets).
+var outputCols = map[string][]string{
+	"customer": {"custkey", "name", "nationkey", "mktsegment", "acctbal"},
+	"orders":   {"orderkey", "custkey", "orderdate", "totalprice", "shippriority"},
+	"lineitem": {"orderkey", "partkey", "suppkey", "quantity", "extendedprice", "discount", "shipdate", "returnflag"},
+	"part":     {"partkey", "name", "mfgr", "type", "size"},
+	"supplier": {"suppkey", "name", "nationkey", "acctbal"},
+	"partsupp": {"partkey", "suppkey", "supplycost", "availqty"},
+	"nation":   {"nationkey", "name", "regionkey"},
+	"region":   {"regionkey", "name"},
+}
+
+// aggCols lists numeric columns suitable for aggregation.
+var aggCols = map[string][]string{
+	"customer": {"acctbal"},
+	"orders":   {"totalprice"},
+	"lineitem": {"quantity", "extendedprice", "discount"},
+	"part":     {"size"},
+	"supplier": {"acctbal"},
+	"partsupp": {"supplycost", "availqty"},
+}
+
+// predTemplates holds per-table predicate templates; %s is the alias.
+var predTemplates = map[string][]string{
+	"customer": {"%s.mktsegment = 'BUILDING'", "%s.acctbal > 0", "%s.nationkey < 13"},
+	"orders":   {"%s.orderdate < DATE '1997-01-01'", "%s.orderdate >= DATE '1993-01-01'", "%s.totalprice > 50000"},
+	"lineitem": {"%s.quantity BETWEEN 5 AND 45", "%s.shipdate > DATE '1994-01-01'", "%s.returnflag = 'R'", "%s.discount < 0.08"},
+	"part":     {"%s.size > 10", "%s.type LIKE '%%STEEL'", "%s.mfgr = 'Manufacturer#1'"},
+	"supplier": {"%s.acctbal > 0", "%s.nationkey < 20"},
+	"partsupp": {"%s.supplycost < 500", "%s.availqty > 100"},
+	"nation":   {"%s.regionkey < 4"},
+	"region":   {"%s.name = 'EUROPE'"},
+}
+
+var allTables = []string{"customer", "orders", "lineitem", "part", "supplier", "partsupp", "nation", "region"}
+
+// QueryGen generates random ad-hoc queries as described in Section 7.1:
+// a random starting table joined with additional tables along PK–FK
+// edges so the query spans two or more locations; 55% of queries
+// reference two tables, 35% three and 10% four; about 30% aggregate;
+// each selects about four output columns and carries 3–4 predicates.
+type QueryGen struct {
+	r *rng
+}
+
+// NewQueryGen builds a generator with a deterministic seed.
+func NewQueryGen(seed uint64) *QueryGen { return &QueryGen{r: newRng(seed)} }
+
+// Generate produces n SQL query strings.
+func (g *QueryGen) Generate(n int) []string {
+	out := make([]string, 0, n)
+	for len(out) < n {
+		if q, ok := g.one(); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// one generates a single query (ok=false when the join walk failed to
+// span two locations and must be retried).
+func (g *QueryGen) one() (string, bool) {
+	// Number of tables: 55% two, 35% three, 10% four.
+	var target int
+	switch v := g.r.intn(100); {
+	case v < 55:
+		target = 2
+	case v < 90:
+		target = 3
+	default:
+		target = 4
+	}
+
+	// Grow a connected PK–FK join tree.
+	start := allTables[g.r.intn(len(allTables))]
+	tables := []string{start}
+	used := map[string]bool{start: true}
+	var joinConds []string
+	alias := map[string]string{start: "t1"}
+	for len(tables) < target {
+		// Candidate edges touching the current set and adding a new table.
+		var cands []fkEdge
+		for _, e := range fkEdges {
+			if used[e.childTable] && !used[e.parentTable] || used[e.parentTable] && !used[e.childTable] {
+				cands = append(cands, e)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		e := cands[g.r.intn(len(cands))]
+		newTable := e.parentTable
+		if used[newTable] {
+			newTable = e.childTable
+		}
+		used[newTable] = true
+		tables = append(tables, newTable)
+		alias[newTable] = fmt.Sprintf("t%d", len(tables))
+		joinConds = append(joinConds,
+			fmt.Sprintf("%s.%s = %s.%s", alias[e.childTable], e.childCol, alias[e.parentTable], e.parentCol))
+	}
+	if len(tables) < 2 {
+		return "", false
+	}
+	// The query must span at least two locations.
+	locs := map[string]bool{}
+	for _, t := range tables {
+		locs[tableLocation[t]] = true
+	}
+	if len(locs) < 2 {
+		return "", false
+	}
+
+	// FROM clause.
+	var from []string
+	for _, t := range tables {
+		from = append(from, t+" "+alias[t])
+	}
+
+	// Predicates: 3–4 including local filters.
+	var preds []string
+	preds = append(preds, joinConds...)
+	want := 3 + g.r.intn(2)
+	tries := 0
+	seen := map[string]bool{}
+	for len(preds)-len(joinConds) < want && tries < 20 {
+		tries++
+		t := tables[g.r.intn(len(tables))]
+		tmpl := predTemplates[t]
+		p := fmt.Sprintf(tmpl[g.r.intn(len(tmpl))], alias[t])
+		if !seen[p] {
+			seen[p] = true
+			preds = append(preds, p)
+		}
+	}
+
+	// Output: ~4 columns; 30% of queries aggregate.
+	aggregate := g.r.pct(30)
+	var items []string
+	var groupBy []string
+	if aggregate {
+		// 1–2 grouping columns plus 1–2 aggregates over numeric columns.
+		nGroups := 1 + g.r.intn(2)
+		for i := 0; i < nGroups; i++ {
+			t := tables[g.r.intn(len(tables))]
+			col := alias[t] + "." + g.r.pick(outputCols[t])
+			if !contains(groupBy, col) {
+				groupBy = append(groupBy, col)
+				items = append(items, col)
+			}
+		}
+		// Aggregates come from tables that have numeric columns.
+		var aggable []string
+		for _, t := range tables {
+			if len(aggCols[t]) > 0 {
+				aggable = append(aggable, t)
+			}
+		}
+		nAggs := 1 + g.r.intn(2)
+		fns := []string{"SUM", "SUM", "AVG", "MIN", "MAX"}
+		for i := 0; i < nAggs && len(aggable) > 0; i++ {
+			t := aggable[g.r.intn(len(aggable))]
+			col := alias[t] + "." + g.r.pick(aggCols[t])
+			items = append(items, fmt.Sprintf("%s(%s) AS agg%d", g.r.pick(fns), col, i+1))
+		}
+		if g.r.pct(25) {
+			items = append(items, fmt.Sprintf("COUNT(*) AS cnt"))
+		}
+	} else {
+		wantCols := 3 + g.r.intn(3)
+		seenCols := map[string]bool{}
+		for i := 0; i < wantCols*3 && len(items) < wantCols; i++ {
+			t := tables[g.r.intn(len(tables))]
+			col := alias[t] + "." + g.r.pick(outputCols[t])
+			if !seenCols[col] {
+				seenCols[col] = true
+				items = append(items, col)
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(from, ", "))
+	b.WriteString(" WHERE ")
+	b.WriteString(strings.Join(preds, " AND "))
+	if len(groupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(groupBy, ", "))
+	}
+	return b.String(), true
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+// Package workload generates the evaluation workloads of Section 7.1:
+// the four policy-expression template sets (T, C, CR, CR+A) over the
+// TPC-H schema, the Table 3 example expressions, random ad-hoc queries
+// (random PK–FK join trees spanning two or more locations), and random
+// policy-expression sets for the scalability experiments.
+package workload
+
+import (
+	"fmt"
+
+	"cgdqp/internal/policy"
+)
+
+// Table3Expressions returns the snippet of expressions shown in Table 3
+// of the paper.
+func Table3Expressions() []*policy.Expression {
+	return []*policy.Expression{
+		policy.MustParse("ship * from db-5.nation to *", "e1", ""),
+		policy.MustParse("ship * from db-5.region to *", "e2", ""),
+		policy.MustParse("ship partkey, suppkey, supplycost from db-2.partsupp to L3, L4", "e3", ""),
+		policy.MustParse("ship partkey, mfgr, size, type, name from db-3.part to L4 where size > 40 OR type LIKE '%COPPER%'", "e4", ""),
+		policy.MustParse("ship extendedprice, discount as aggregates sum from db-4.lineitem to L1 group by suppkey, orderkey", "e5", ""),
+	}
+}
+
+// SetName identifies one of the four expression template sets.
+type SetName string
+
+// The template sets of Section 7.1.
+const (
+	SetT   SetName = "T"    // whole-table restrictions
+	SetC   SetName = "C"    // column restrictions
+	SetCR  SetName = "CR"   // column + row restrictions
+	SetCRA SetName = "CR+A" // column + row + aggregate restrictions
+)
+
+// SetNames returns the sets in evaluation order.
+func SetNames() []SetName { return []SetName{SetT, SetC, SetCR, SetCRA} }
+
+// TPCHSet builds the hand-crafted TPC-H policy set for a template
+// (Section 7.2 uses T with 8 expressions and C/CR/CR+A with 10 each).
+// The sets are constructed so that every evaluation query has at least
+// one compliant plan, while the traditional optimizer's cost-based
+// placements violate them for some queries (most prominently Q2, whose
+// cheapest plan ships Part to L2 against the Table 3 e4 restriction).
+func TPCHSet(name SetName) *policy.Catalog {
+	pc := policy.NewCatalog()
+	id := 0
+	add := func(src string) {
+		id++
+		pc.Add(policy.MustParse(src, fmt.Sprintf("%s%d", name, id), ""))
+	}
+	switch name {
+	case SetT:
+		// Whole-table grants: eight expressions, one per table.
+		add("ship * from db-5.region to *")
+		add("ship * from db-5.nation to *")
+		add("ship * from db-2.supplier to L1, L3, L4, L5")
+		add("ship * from db-2.partsupp to L3, L4")
+		add("ship * from db-3.part to L4") // Part may only go to L4
+		add("ship * from db-1.customer to L4, L5")
+		add("ship * from db-1.orders to L4, L5")
+		add("ship * from db-4.lineitem to L1, L2")
+
+	case SetC:
+		// Column grants: same reachability as T for the benchmark
+		// columns, but sensitive columns (account balances, phones,
+		// addresses, comments) never leave their sites.
+		add("ship regionkey, name from db-5.region to *")
+		add("ship nationkey, name, regionkey from db-5.nation to *")
+		add("ship suppkey, name, nationkey from db-2.supplier to L1, L3, L4, L5")
+		add("ship acctbal from db-2.supplier to L3, L5")
+		add("ship partkey, suppkey, supplycost, availqty from db-2.partsupp to L3, L4")
+		add("ship partkey, mfgr, size, type, name, brand from db-3.part to L4")
+		add("ship custkey, name, nationkey, mktsegment, acctbal from db-1.customer to L4, L5")
+		add("ship orderkey, custkey, orderdate, shippriority, totalprice, orderstatus from db-1.orders to L4, L5")
+		add("ship orderkey, partkey, suppkey, quantity, extendedprice, discount, returnflag, shipdate from db-4.lineitem to L1, L2")
+		add("ship linenumber, tax, linestatus from db-4.lineitem to L2")
+
+	case SetCR:
+		// Column + row grants: Part adopts the Table 3 e4 restriction
+		// (size > 40 OR COPPER only), which the benchmark queries'
+		// predicates do not imply — the compliant optimizer must route
+		// around Part (joining at L3) instead of shipping it.
+		add("ship regionkey, name from db-5.region to *")
+		add("ship nationkey, name, regionkey from db-5.nation to *")
+		add("ship suppkey, name, nationkey, acctbal from db-2.supplier to L1, L3, L4, L5")
+		add("ship partkey, suppkey, supplycost, availqty from db-2.partsupp to L3, L4")
+		add("ship partkey, mfgr, size, type, name from db-3.part to L4 where size > 40 OR type LIKE '%COPPER%'")
+		add("ship custkey, name, nationkey, mktsegment, acctbal from db-1.customer to L3, L5")
+		add("ship custkey, name, phone from db-1.customer to L5 where mktsegment = 'BUILDING'")
+		add("ship orderkey, custkey, orderdate, shippriority, totalprice from db-1.orders to L3, L4, L5")
+		add("ship orderkey, partkey, suppkey, quantity, extendedprice, discount, returnflag, shipdate from db-4.lineitem to L1, L2, L3")
+		add("ship orderkey, extendedprice, discount from db-4.lineitem to L5 where shipdate > DATE '1998-01-01'")
+
+	case SetCRA:
+		// CR plus aggregate grants: raw lineitem may only reach L2; only
+		// per-order/per-supplier aggregates may reach L1 or L3 (the
+		// Table 3 e5 pattern), which forces the compliant optimizer into
+		// the aggregation-pushdown plans of Figure 5(e).
+		add("ship regionkey, name from db-5.region to *")
+		add("ship nationkey, name, regionkey from db-5.nation to *")
+		add("ship suppkey, name, nationkey, acctbal from db-2.supplier to L1, L3, L4, L5")
+		add("ship partkey, suppkey, supplycost, availqty from db-2.partsupp to L3, L4")
+		add("ship partkey, mfgr, size, type, name from db-3.part to L4 where size > 40 OR type LIKE '%COPPER%'")
+		add("ship partkey, name, type, mfgr from db-3.part to L2")
+		add("ship custkey, name, nationkey, mktsegment, acctbal from db-1.customer to L2, L3, L5")
+		add("ship orderkey, custkey, orderdate, shippriority, totalprice from db-1.orders to L2, L3, L4, L5")
+		add("ship orderkey, partkey, suppkey, quantity, extendedprice, discount, returnflag, shipdate from db-4.lineitem to L2")
+		add("ship extendedprice, discount, quantity as aggregates sum, avg from db-4.lineitem to L1, L3 group by suppkey, orderkey, partkey, shipdate, returnflag")
+	}
+	return pc
+}
+
+// UnrestrictedSet builds the Figure 6(b) minimal-overhead set: one
+// `ship * from t to *` expression per TPC-H table — policies that impose
+// no dataflow restriction, isolating the framework's fixed overhead.
+func UnrestrictedSet() *policy.Catalog {
+	pc := policy.NewCatalog()
+	tables := []struct{ db, t string }{
+		{"db-5", "region"}, {"db-5", "nation"},
+		{"db-2", "supplier"}, {"db-2", "partsupp"},
+		{"db-3", "part"}, {"db-1", "customer"},
+		{"db-1", "orders"}, {"db-4", "lineitem"},
+	}
+	for i, tt := range tables {
+		pc.Add(policy.MustParse(fmt.Sprintf("ship * from %s.%s to *", tt.db, tt.t), fmt.Sprintf("u%d", i+1), ""))
+	}
+	return pc
+}
+
+// WideSet builds the Figure 8 sets: `ship * from t to l1, ..., ln` for
+// every TPC-H table, where the destination list has n locations drawn
+// from the given universe.
+func WideSet(locations []string, n int) *policy.Catalog {
+	if n > len(locations) {
+		n = len(locations)
+	}
+	pc := policy.NewCatalog()
+	tables := []struct{ db, t string }{
+		{"db-5", "region"}, {"db-5", "nation"},
+		{"db-2", "supplier"}, {"db-2", "partsupp"},
+		{"db-3", "part"}, {"db-1", "customer"},
+		{"db-1", "orders"}, {"db-4", "lineitem"},
+	}
+	for i, tt := range tables {
+		list := ""
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				list += ", "
+			}
+			list += locations[j]
+		}
+		pc.Add(policy.MustParse(fmt.Sprintf("ship * from %s.%s to %s", tt.db, tt.t, list), fmt.Sprintf("w%d", i+1), ""))
+	}
+	return pc
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"cgdqp/internal/network"
+	"cgdqp/internal/optimizer"
+	"cgdqp/internal/sqlparse"
+	"cgdqp/internal/tpch"
+)
+
+func TestTable3Expressions(t *testing.T) {
+	es := Table3Expressions()
+	if len(es) != 5 {
+		t.Fatalf("Table 3 has 5 expressions, got %d", len(es))
+	}
+	if es[0].DB != "db-5" || !es[0].AllAttrs || !es[0].ToAll {
+		t.Errorf("e1: %+v", es[0])
+	}
+	if es[3].Where == nil {
+		t.Error("e4 must have a predicate")
+	}
+	if !es[4].IsAggregate() || len(es[4].GroupBy) != 2 {
+		t.Errorf("e5: %+v", es[4])
+	}
+}
+
+func TestTPCHSetsShape(t *testing.T) {
+	for _, name := range SetNames() {
+		pc := TPCHSet(name)
+		want := 10
+		if name == SetT {
+			want = 8
+		}
+		if pc.Len() != want {
+			t.Errorf("%s: %d expressions, want %d", name, pc.Len(), want)
+		}
+		// Each set covers all five databases.
+		if got := len(pc.Databases()); got != 5 {
+			t.Errorf("%s: %d databases", name, got)
+		}
+	}
+	if UnrestrictedSet().Len() != 8 {
+		t.Error("unrestricted set size")
+	}
+	ws := WideSet([]string{"L1", "L2", "L3", "L4", "L5"}, 3)
+	if ws.Len() != 8 {
+		t.Error("wide set size")
+	}
+	for _, e := range ws.ForDB("db-4") {
+		if len(e.To) != 3 {
+			t.Errorf("wide set destinations: %v", e.To)
+		}
+	}
+}
+
+func TestQueryGenProperties(t *testing.T) {
+	cat := tpch.NewCatalog(0.001)
+	g := NewQueryGen(7)
+	queries := g.Generate(120)
+	if len(queries) != 120 {
+		t.Fatalf("generated %d", len(queries))
+	}
+	counts := map[int]int{}
+	aggs := 0
+	for _, q := range queries {
+		// Every query parses and binds against the TPC-H catalog.
+		logical, err := sqlparse.ParseAndBind(q, cat)
+		if err != nil {
+			t.Fatalf("generated query does not bind: %v\n%s", err, q)
+		}
+		nTables := len(logical.Tables())
+		counts[nTables]++
+		if strings.Contains(q, "GROUP BY") {
+			aggs++
+		}
+		// Spans at least two locations.
+		locs := map[string]bool{}
+		for _, s := range logical.Tables() {
+			locs[s.Table.Location()] = true
+		}
+		if len(locs) < 2 {
+			t.Errorf("query spans one location: %s", q)
+		}
+	}
+	// 55/35/10 split within generous tolerance.
+	if counts[2] < 45 || counts[3] < 25 || counts[4] < 3 {
+		t.Errorf("table-count distribution: %v", counts)
+	}
+	// ~30% aggregation.
+	if aggs < 15 || aggs > 60 {
+		t.Errorf("aggregate fraction: %d/120", aggs)
+	}
+	// Determinism.
+	g2 := NewQueryGen(7)
+	q2 := g2.Generate(120)
+	for i := range queries {
+		if queries[i] != q2[i] {
+			t.Fatal("query generation not deterministic")
+		}
+	}
+}
+
+func TestPolicyGenShapes(t *testing.T) {
+	locs := tpch.Locations()
+	g := NewPolicyGen(11, locs)
+	pc := g.Generate(SetCRA, 50)
+	if pc.Len() != 50 {
+		t.Fatalf("CRA set size: %d", pc.Len())
+	}
+	hasAgg, hasWhere := false, false
+	for _, db := range pc.Databases() {
+		for _, e := range pc.ForDB(db) {
+			if e.IsAggregate() {
+				hasAgg = true
+			}
+			if e.Where != nil {
+				hasWhere = true
+			}
+		}
+	}
+	if !hasAgg || !hasWhere {
+		t.Errorf("CRA set should mix aggregate (%v) and row (%v) expressions", hasAgg, hasWhere)
+	}
+	if NewPolicyGen(11, locs).Generate(SetT, 99).Len() != 8 {
+		t.Error("T template is always 8 expressions")
+	}
+	if NewPolicyGen(3, locs).Generate(SetCR, 25).Len() != 25 {
+		t.Error("CR set size")
+	}
+}
+
+// TestGeneratedWorkloadAlwaysCompliant is the core guarantee of
+// Section 7.1: under every generated policy set, every generated query
+// has at least one compliant plan (the compliant optimizer never
+// rejects).
+func TestGeneratedWorkloadAlwaysCompliant(t *testing.T) {
+	cat := tpch.NewCatalog(0.001)
+	net := network.FiveRegionWAN(cat.Locations())
+	queries := NewQueryGen(23).Generate(25)
+	for _, setName := range SetNames() {
+		pc := NewPolicyGen(29, cat.Locations()).Generate(setName, 20)
+		opt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+		for _, q := range queries {
+			res, err := opt.OptimizeSQL(q)
+			if err != nil {
+				t.Fatalf("set %s: compliant optimizer rejected generated query: %v\n%s", setName, err, q)
+			}
+			if v := opt.Check(res.Plan); len(v) != 0 {
+				t.Fatalf("set %s: compliant plan violates policies: %v\n%s\n%s", setName, v, q, res.Plan.Format(true))
+			}
+		}
+	}
+}
+
+// TestTPCHSetsAdmitCompliantPlans checks the hand-crafted sets: every
+// benchmark query has a compliant plan under every set, and the
+// traditional optimizer produces at least one non-compliant plan
+// somewhere (the Figure 5a effect).
+func TestTPCHSetsAdmitCompliantPlans(t *testing.T) {
+	cat := tpch.NewCatalog(0.005)
+	net := network.FiveRegionWAN(cat.Locations())
+	anyNC := false
+	for _, setName := range SetNames() {
+		pc := TPCHSet(setName)
+		copt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+		topt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: false})
+		for _, qn := range tpch.QueryNames() {
+			res, err := copt.OptimizeSQL(tpch.Queries[qn])
+			if err != nil {
+				t.Fatalf("set %s %s: compliant rejected: %v", setName, qn, err)
+			}
+			if v := copt.Check(res.Plan); len(v) != 0 {
+				t.Fatalf("set %s %s: compliant plan violates: %v\n%s", setName, qn, v, res.Plan.Format(true))
+			}
+			tr, err := topt.OptimizeSQL(tpch.Queries[qn])
+			if err != nil {
+				t.Fatalf("set %s %s: traditional failed: %v", setName, qn, err)
+			}
+			if len(copt.Check(tr.Plan)) > 0 {
+				anyNC = true
+			}
+		}
+	}
+	if !anyNC {
+		t.Error("traditional optimizer should be non-compliant somewhere (Figure 5a)")
+	}
+}
