@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: verify build test vet race bench
+
+# Tier-1 verification gate: build, vet, full test suite, and the race
+# detector over the concurrent packages (parallel executor + cluster).
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/executor ./internal/cluster
+
+# Engine comparison benchmark (sequential vs batch-parallel executor).
+bench:
+	$(GO) test -run NONE -bench BenchmarkExecSeqVsParallel -benchtime 5x .

@@ -92,6 +92,11 @@ type Options struct {
 	// MaxAlts / MaxExprs bound the optimizer's search (0 = defaults).
 	MaxAlts  int
 	MaxExprs int
+	// Parallel executes plans with the batch-parallel engine: per-site
+	// plan fragments run on their own goroutines and exchange batches
+	// at SHIP boundaries. Results and shipping statistics are identical
+	// to the sequential engine; only wall-clock time differs.
+	Parallel bool
 }
 
 // System is a compliant geo-distributed query processing session: a
@@ -347,7 +352,11 @@ func (s *System) Query(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, stats, err := executor.Run(p.Root, s.Cluster())
+	run := executor.Run
+	if s.opts.Parallel {
+		run = executor.RunParallel
+	}
+	rows, stats, err := run(p.Root, s.Cluster())
 	if err != nil {
 		return nil, err
 	}

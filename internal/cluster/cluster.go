@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"cgdqp/internal/expr"
 	"cgdqp/internal/network"
@@ -20,11 +21,39 @@ type Site struct {
 	DB       *storage.DB
 }
 
-// Cluster is the set of sites plus the network between them.
+// Cluster is the set of sites plus the network between them. After
+// construction and loading, a cluster is safe for concurrent reads: the
+// site map is immutable, storage tables guard their rows with RWMutexes,
+// and the ledger serializes transfer accounting — which is what lets the
+// parallel executor run per-site plan fragments on separate goroutines.
 type Cluster struct {
 	sites  map[string]*Site
 	Net    *network.CostModel
 	Ledger *network.Ledger
+
+	// wireDelay scales simulated WAN cost (milliseconds, per the message
+	// cost model) into real wall-clock sleeps during execution. The
+	// default 0 keeps shipping instantaneous, as before; set it before
+	// executing (it is read concurrently by exchange producers).
+	wireDelay float64
+}
+
+// SetWireDelay makes SHIP transfers take wall-clock time: every shipment
+// sleeps its modeled cost (ms) multiplied by scale. scale 0 disables the
+// delay. Set it before execution starts; the geo-distributed benchmarks
+// use it so that overlapping transfers (what a parallel executor buys)
+// shows up in measured time, not just in the ledger.
+func (c *Cluster) SetWireDelay(scale float64) { c.wireDelay = scale }
+
+// WireDelay returns the current wire-delay scale.
+func (c *Cluster) WireDelay() float64 { return c.wireDelay }
+
+// SleepWire blocks for costMS (simulated ms) scaled by the wire delay.
+func (c *Cluster) SleepWire(costMS float64) {
+	if c.wireDelay <= 0 || costMS <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(costMS * c.wireDelay * float64(time.Millisecond)))
 }
 
 // New creates a cluster over the catalog's locations: each location gets

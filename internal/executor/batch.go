@@ -1,0 +1,61 @@
+package executor
+
+import (
+	"sync"
+
+	"cgdqp/internal/expr"
+)
+
+// BatchSize is the number of rows a batch carries: large enough to
+// amortize per-call overhead (channel sends, virtual dispatch) across
+// ~1k rows, small enough to stay cache- and memory-friendly.
+const BatchSize = 1024
+
+// Batch is a row vector: the unit of data flow in the parallel engine.
+// Operators pass whole batches instead of single rows, and exchange
+// operators ship one batch per channel send. The contained rows are
+// shared, immutable tuples; only the container is recycled.
+type Batch struct {
+	Rows []expr.Row
+}
+
+// batchPool recycles batch containers across operators and executions so
+// the hot path allocates row vectors only on first use.
+var batchPool = sync.Pool{
+	New: func() any { return &Batch{Rows: make([]expr.Row, 0, BatchSize)} },
+}
+
+// NewBatch takes an empty batch with BatchSize capacity from the pool.
+func NewBatch() *Batch { return batchPool.Get().(*Batch) }
+
+// Release resets the batch and returns it to the pool. The caller must
+// not touch the batch afterwards; rows extracted from it stay valid.
+func (b *Batch) Release() {
+	if b == nil {
+		return
+	}
+	clear(b.Rows)
+	b.Rows = b.Rows[:0]
+	batchPool.Put(b)
+}
+
+// Bytes returns the summed encoded width of the batch's rows — what a
+// shipment of this batch is billed for.
+func (b *Batch) Bytes() int64 {
+	var n int64
+	for _, r := range b.Rows {
+		n += int64(r.Width())
+	}
+	return n
+}
+
+// BatchOperator is the batch-at-a-time iterator contract of the parallel
+// engine: Open prepares the operator, NextBatch returns the next row
+// vector (nil at end of stream), Close releases resources. Ownership of
+// a returned batch transfers to the caller, which must Release it (or
+// hand it on) exactly once.
+type BatchOperator interface {
+	Open() error
+	NextBatch() (*Batch, error)
+	Close() error
+}

@@ -34,10 +34,13 @@ type RunStats struct {
 	ShipCost float64
 }
 
-// Run executes a located physical plan and materializes its result.
+// Run executes a located physical plan sequentially (one goroutine,
+// row at a time) and materializes its result. RunParallel is the
+// batch-parallel equivalent with identical results and statistics.
 func Run(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
 	before := c.Ledger.TotalBytes()
 	beforeCost := c.Ledger.TotalCost()
+	beforeRows := c.Ledger.TotalRows()
 	op, err := Build(p, c)
 	if err != nil {
 		return nil, nil, err
@@ -48,11 +51,9 @@ func Run(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
 	}
 	stats := &RunStats{
 		RowsOut:      int64(len(rows)),
+		ShippedRows:  c.Ledger.TotalRows() - beforeRows,
 		ShippedBytes: c.Ledger.TotalBytes() - before,
 		ShipCost:     c.Ledger.TotalCost() - beforeCost,
-	}
-	for _, t := range c.Ledger.Transfers() {
-		stats.ShippedRows += t.Rows
 	}
 	return rows, stats, nil
 }
@@ -252,6 +253,10 @@ type hashJoinOp struct {
 	matches []expr.Row
 	current expr.Row
 	mi      int
+	// pending buffers the probe row peeked at Open (to detect an empty
+	// probe side before paying for the hash-table build).
+	pending    expr.Row
+	hasPending bool
 }
 
 func newHashJoin(n *plan.Node, left, right Operator) (Operator, error) {
@@ -314,30 +319,57 @@ func hashKey(keys []expr.Expr, row expr.Row) (uint64, bool, error) {
 }
 
 func (j *hashJoinOp) Open() error {
+	// Peek one probe row first: when the probe side is provably empty,
+	// the join produces nothing and the hash-table build is wasted
+	// work. The build side is still opened and closed (Ship inputs
+	// materialize at Open, so transfer accounting is unchanged); only
+	// the hashing and insertion are skipped.
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	row, ok, err := j.left.Next()
+	if err != nil {
+		return err
+	}
+	j.pending, j.hasPending = row, ok
 	if err := j.right.Open(); err != nil {
 		return err
 	}
-	j.table = map[uint64][]expr.Row{}
-	for {
-		row, ok, err := j.right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		h, valid, err := hashKey(j.rightKeys, row)
-		if err != nil {
-			return err
-		}
-		if valid {
-			j.table[h] = append(j.table[h], row)
+	j.table = make(map[uint64][]expr.Row, j.buildSizeHint())
+	if ok {
+		for {
+			row, ok, err := j.right.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			h, valid, err := hashKey(j.rightKeys, row)
+			if err != nil {
+				return err
+			}
+			if valid {
+				j.table[h] = append(j.table[h], row)
+			}
 		}
 	}
-	if err := j.right.Close(); err != nil {
-		return err
+	return j.right.Close()
+}
+
+// buildSizeHint pre-sizes the hash table from the build child's
+// cardinality estimate, capped to keep a wild estimate from allocating
+// an outsized table up front.
+func (j *hashJoinOp) buildSizeHint() int {
+	const maxHint = 1 << 20
+	card := j.node.Children[1].Card
+	switch {
+	case card <= 0:
+		return 0
+	case card >= maxHint:
+		return maxHint
 	}
-	return j.left.Open()
+	return int(card)
 }
 
 func (j *hashJoinOp) Next() (expr.Row, bool, error) {
@@ -367,7 +399,7 @@ func (j *hashJoinOp) Next() (expr.Row, bool, error) {
 			}
 			return out, true, nil
 		}
-		row, ok, err := j.left.Next()
+		row, ok, err := j.nextProbe()
 		if err != nil || !ok {
 			return nil, false, err
 		}
@@ -382,6 +414,17 @@ func (j *hashJoinOp) Next() (expr.Row, bool, error) {
 		j.matches = j.table[h]
 		j.mi = 0
 	}
+}
+
+// nextProbe returns the next probe-side row, honoring the row peeked at
+// Open.
+func (j *hashJoinOp) nextProbe() (expr.Row, bool, error) {
+	if j.hasPending {
+		row := j.pending
+		j.pending, j.hasPending = nil, false
+		return row, true, nil
+	}
+	return j.left.Next()
 }
 
 func (j *hashJoinOp) keysEqual(l, r expr.Row) (bool, error) {
@@ -868,7 +911,10 @@ func (s *shipOp) Open() error {
 	for _, r := range rows {
 		bytes += int64(r.Width())
 	}
-	s.c.Ledger.Record(s.node.FromLoc, s.node.ToLoc, int64(len(rows)), bytes)
+	cost := s.c.Ledger.Record(s.node.FromLoc, s.node.ToLoc, int64(len(rows)), bytes)
+	// Under a wire delay, the sequential engine pays the whole transfer
+	// time here, in line; the parallel engine overlaps it.
+	s.c.SleepWire(cost)
 	s.rows = rows
 	s.pos = 0
 	return nil

@@ -1,0 +1,540 @@
+package executor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cgdqp/internal/cluster"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+)
+
+// This file implements the parallel, batch-oriented execution engine.
+//
+// A located plan is split at Ship boundaries into per-site fragments
+// (see plan.SplitFragments): every Ship operator becomes an exchange —
+// a bounded channel of batches — and the subtree below it runs as a
+// producer on its own goroutine. Within a fragment, streaming operators
+// (scan, filter, project, limit, union) are vectorized over batches;
+// blocking operators (joins, aggregates, sorts) reuse the row-at-a-time
+// implementations through thin adapters, so their semantics stay
+// single-sourced with the sequential engine.
+//
+// Determinism: every exchange has exactly one producer and preserves its
+// order, and consumers drain inputs in the same order as the sequential
+// engine, so the parallel engine emits the same rows in the same order
+// — and charges the ledger the same ShippedRows/ShippedBytes/ShipCost —
+// as Run. Only wall-clock time differs: independent fragments overlap.
+
+// exchangeDepth bounds the batches buffered per exchange; producers run
+// at most exchangeDepth×BatchSize rows ahead of their consumer.
+const exchangeDepth = 4
+
+// RunParallel executes a located physical plan with the parallel engine
+// and materializes its result. It is a drop-in replacement for Run:
+// same rows (in the same order) and identical shipping statistics.
+func RunParallel(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := &parallelEngine{c: c, ctx: ctx}
+	beforeBytes := c.Ledger.TotalBytes()
+	beforeCost := c.Ledger.TotalCost()
+	beforeRows := c.Ledger.TotalRows()
+	root, err := buildParallel(p, eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng.start()
+	rows, err := CollectBatches(root)
+	// Closing the root drained every exchange, so producers have either
+	// finished or (on error) are observing the cancelled context.
+	cancel()
+	eng.wg.Wait()
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &RunStats{
+		RowsOut:      int64(len(rows)),
+		ShippedRows:  c.Ledger.TotalRows() - beforeRows,
+		ShippedBytes: c.Ledger.TotalBytes() - beforeBytes,
+		ShipCost:     c.Ledger.TotalCost() - beforeCost,
+	}
+	return rows, stats, nil
+}
+
+// CollectBatches drains a batch operator into a row slice.
+func CollectBatches(op BatchOperator) ([]expr.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []expr.Row
+	for {
+		b, err := op.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b.Rows...)
+		b.Release()
+	}
+}
+
+// parallelEngine carries the per-execution state shared by fragments.
+type parallelEngine struct {
+	c         *cluster.Cluster
+	ctx       context.Context
+	wg        sync.WaitGroup
+	producers []*exchangeProducer
+}
+
+// start launches every fragment producer. Producers begin executing
+// immediately — like the sequential engine, which materializes each
+// Ship's input fully at Open, every fragment runs exactly once and to
+// completion, so eager start changes overlap, not semantics.
+func (e *parallelEngine) start() {
+	for _, p := range e.producers {
+		e.wg.Add(1)
+		go func(p *exchangeProducer) {
+			defer e.wg.Done()
+			p.run()
+		}(p)
+	}
+}
+
+// buildParallel compiles a plan node into a batch operator tree,
+// registering one exchange producer per Ship boundary. Expression
+// binding happens here, on the building goroutine, before any producer
+// starts — bound expressions are only read during execution.
+func buildParallel(n *plan.Node, eng *parallelEngine) (BatchOperator, error) {
+	switch n.Kind {
+	case plan.Ship:
+		src, err := buildParallel(n.Children[0], eng)
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan exchangeMsg, exchangeDepth)
+		eng.producers = append(eng.producers, &exchangeProducer{
+			node: n, src: src, ch: ch, c: eng.c, ctx: eng.ctx,
+		})
+		return &exchangeOp{ch: ch}, nil
+	case plan.TableScan, plan.Scan:
+		op, err := newScan(n, eng.c)
+		if err != nil {
+			return nil, err
+		}
+		return &batchScanOp{scan: op.(*scanOp)}, nil
+	case plan.FilterExec, plan.Filter:
+		src, err := buildParallel(n.Children[0], eng)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := expr.Bind(n.Pred, resolver(n.Children[0]))
+		if err != nil {
+			return nil, fmt.Errorf("executor: filter bind: %w", err)
+		}
+		return &batchFilterOp{src: src, pred: pred}, nil
+	case plan.ProjectExec, plan.Project:
+		src, err := buildParallel(n.Children[0], eng)
+		if err != nil {
+			return nil, err
+		}
+		res := resolver(n.Children[0])
+		exprs := make([]expr.Expr, len(n.Projs))
+		for i, p := range n.Projs {
+			bound, err := expr.Bind(p.E, res)
+			if err != nil {
+				return nil, fmt.Errorf("executor: project bind %s: %w", p.E, err)
+			}
+			exprs[i] = bound
+		}
+		return &batchProjectOp{src: src, exprs: exprs}, nil
+	case plan.LimitExec, plan.Limit:
+		src, err := buildParallel(n.Children[0], eng)
+		if err != nil {
+			return nil, err
+		}
+		return &batchLimitOp{src: src, n: n.LimitN}, nil
+	case plan.UnionAll, plan.Union:
+		children := make([]BatchOperator, len(n.Children))
+		for i, ch := range n.Children {
+			op, err := buildParallel(ch, eng)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = op
+		}
+		return &batchUnionOp{children: children}, nil
+	}
+	// Blocking operators (joins, aggregates, sorts) materialize their
+	// inputs anyway; they reuse the row implementations via adapters.
+	children := make([]Operator, len(n.Children))
+	for i, ch := range n.Children {
+		src, err := buildParallel(ch, eng)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = &batchesToRows{src: src}
+	}
+	var op Operator
+	var err error
+	switch n.Kind {
+	case plan.HashJoin:
+		op, err = newHashJoin(n, children[0], children[1])
+	case plan.MergeJoin:
+		op, err = newMergeJoin(n, children[0], children[1])
+	case plan.NLJoin, plan.Join:
+		op, err = newNLJoin(n, children[0], children[1])
+	case plan.HashAgg, plan.Aggregate:
+		op, err = newHashAgg(n, children[0])
+	case plan.SortExec, plan.Sort:
+		op, err = newSort(n, children[0])
+	default:
+		return nil, fmt.Errorf("executor: unsupported operator %s", n.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &rowsToBatches{op: op}, nil
+}
+
+// --- exchange ------------------------------------------------------------
+
+// exchangeMsg is one hop over an exchange: a batch or a terminal error.
+type exchangeMsg struct {
+	batch *Batch
+	err   error
+}
+
+// exchangeProducer runs one plan fragment on its own goroutine, feeding
+// its Ship boundary: it drives the fragment's operator tree batch by
+// batch, charges the cluster ledger once per batch (totals identical to
+// the sequential engine's one-shot accounting), applies the simulated
+// wire delay, and sends batches downstream in order.
+type exchangeProducer struct {
+	node *plan.Node
+	src  BatchOperator
+	ch   chan exchangeMsg
+	c    *cluster.Cluster
+	ctx  context.Context
+}
+
+func (p *exchangeProducer) run() {
+	defer close(p.ch)
+	if err := p.produce(); err != nil {
+		select {
+		case p.ch <- exchangeMsg{err: err}:
+		case <-p.ctx.Done():
+		}
+	}
+}
+
+func (p *exchangeProducer) produce() error {
+	if err := p.src.Open(); err != nil {
+		return err
+	}
+	defer p.src.Close()
+	ship := p.c.Ledger.OpenShipment(p.node.FromLoc, p.node.ToLoc)
+	// The start-up cost α (one round trip) is paid when the connection
+	// opens; per-batch sends below pay the bandwidth part.
+	p.c.SleepWire(p.c.Net.Alpha(p.node.FromLoc, p.node.ToLoc))
+	for {
+		b, err := p.src.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		delta := ship.Add(int64(len(b.Rows)), b.Bytes())
+		p.c.SleepWire(delta)
+		select {
+		case p.ch <- exchangeMsg{batch: b}:
+		case <-p.ctx.Done():
+			b.Release()
+			return p.ctx.Err()
+		}
+	}
+}
+
+// exchangeOp is the consuming side of an exchange: a batch operator
+// replaying the producer's stream in order at the destination site.
+type exchangeOp struct {
+	ch   <-chan exchangeMsg
+	done bool
+}
+
+func (e *exchangeOp) Open() error { return nil }
+
+func (e *exchangeOp) NextBatch() (*Batch, error) {
+	if e.done {
+		return nil, nil
+	}
+	msg, ok := <-e.ch
+	if !ok {
+		e.done = true
+		return nil, nil
+	}
+	if msg.err != nil {
+		e.done = true
+		return nil, msg.err
+	}
+	return msg.batch, nil
+}
+
+// Close drains the remaining stream so an abandoned producer (e.g.
+// under a LIMIT) still runs to completion and its shipment accounting
+// matches the sequential engine, which always materializes Ship inputs
+// fully.
+func (e *exchangeOp) Close() error {
+	for msg := range e.ch {
+		msg.batch.Release()
+	}
+	e.done = true
+	return nil
+}
+
+// --- adapters ------------------------------------------------------------
+
+// rowsToBatches lifts a row operator into the batch engine by gathering
+// its output into BatchSize vectors.
+type rowsToBatches struct {
+	op Operator
+}
+
+func (r *rowsToBatches) Open() error { return r.op.Open() }
+
+func (r *rowsToBatches) NextBatch() (*Batch, error) {
+	b := NewBatch()
+	for len(b.Rows) < cap(b.Rows) {
+		row, ok, err := r.op.Next()
+		if err != nil {
+			b.Release()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	if len(b.Rows) == 0 {
+		b.Release()
+		return nil, nil
+	}
+	return b, nil
+}
+
+func (r *rowsToBatches) Close() error { return r.op.Close() }
+
+// batchesToRows lowers a batch operator to the row interface for the
+// blocking operators that consume rows one at a time.
+type batchesToRows struct {
+	src BatchOperator
+	cur *Batch
+	pos int
+}
+
+func (b *batchesToRows) Open() error { return b.src.Open() }
+
+func (b *batchesToRows) Next() (expr.Row, bool, error) {
+	for {
+		if b.cur != nil && b.pos < len(b.cur.Rows) {
+			row := b.cur.Rows[b.pos]
+			b.pos++
+			return row, true, nil
+		}
+		b.cur.Release()
+		b.cur = nil
+		next, err := b.src.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if next == nil {
+			return nil, false, nil
+		}
+		b.cur = next
+		b.pos = 0
+	}
+}
+
+func (b *batchesToRows) Close() error {
+	b.cur.Release()
+	b.cur = nil
+	return b.src.Close()
+}
+
+// --- vectorized streaming operators --------------------------------------
+
+// batchScanOp emits a table fragment's rows as batches.
+type batchScanOp struct {
+	scan *scanOp
+	pos  int
+}
+
+func (s *batchScanOp) Open() error {
+	s.pos = 0
+	return s.scan.Open()
+}
+
+func (s *batchScanOp) NextBatch() (*Batch, error) {
+	rows := s.scan.rows
+	if s.pos >= len(rows) {
+		return nil, nil
+	}
+	end := s.pos + BatchSize
+	if end > len(rows) {
+		end = len(rows)
+	}
+	b := NewBatch()
+	b.Rows = append(b.Rows, rows[s.pos:end]...)
+	s.pos = end
+	return b, nil
+}
+
+func (s *batchScanOp) Close() error { return s.scan.Close() }
+
+// batchFilterOp compacts each batch in place, keeping qualifying rows.
+type batchFilterOp struct {
+	src  BatchOperator
+	pred expr.Expr
+}
+
+func (f *batchFilterOp) Open() error { return f.src.Open() }
+
+func (f *batchFilterOp) NextBatch() (*Batch, error) {
+	for {
+		b, err := f.src.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		kept := b.Rows[:0]
+		for _, row := range b.Rows {
+			keep, err := expr.EvalBool(f.pred, row)
+			if err != nil {
+				b.Release()
+				return nil, err
+			}
+			if keep {
+				kept = append(kept, row)
+			}
+		}
+		// Clear the tail so released batches don't pin dropped rows.
+		clear(b.Rows[len(kept):])
+		b.Rows = kept
+		if len(b.Rows) > 0 {
+			return b, nil
+		}
+		b.Release()
+	}
+}
+
+func (f *batchFilterOp) Close() error { return f.src.Close() }
+
+// batchProjectOp evaluates the projection over each input batch.
+type batchProjectOp struct {
+	src   BatchOperator
+	exprs []expr.Expr
+}
+
+func (p *batchProjectOp) Open() error { return p.src.Open() }
+
+func (p *batchProjectOp) NextBatch() (*Batch, error) {
+	in, err := p.src.NextBatch()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	out := NewBatch()
+	for _, row := range in.Rows {
+		proj := make(expr.Row, len(p.exprs))
+		for i, e := range p.exprs {
+			v, err := expr.Eval(e, row)
+			if err != nil {
+				in.Release()
+				out.Release()
+				return nil, err
+			}
+			proj[i] = v
+		}
+		out.Rows = append(out.Rows, proj)
+	}
+	in.Release()
+	return out, nil
+}
+
+func (p *batchProjectOp) Close() error { return p.src.Close() }
+
+// batchLimitOp truncates the stream after n rows.
+type batchLimitOp struct {
+	src  BatchOperator
+	n    int64
+	seen int64
+}
+
+func (l *batchLimitOp) Open() error {
+	l.seen = 0
+	return l.src.Open()
+}
+
+func (l *batchLimitOp) NextBatch() (*Batch, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	b, err := l.src.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if remain := l.n - l.seen; int64(len(b.Rows)) > remain {
+		clear(b.Rows[remain:])
+		b.Rows = b.Rows[:remain]
+	}
+	l.seen += int64(len(b.Rows))
+	return b, nil
+}
+
+func (l *batchLimitOp) Close() error { return l.src.Close() }
+
+// batchUnionOp concatenates its children's streams in order. All
+// children are opened up front — matching the sequential engine — so
+// exchange inputs of later branches fill their buffers while earlier
+// branches drain.
+type batchUnionOp struct {
+	children []BatchOperator
+	idx      int
+}
+
+func (u *batchUnionOp) Open() error {
+	u.idx = 0
+	for _, c := range u.children {
+		if err := c.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (u *batchUnionOp) NextBatch() (*Batch, error) {
+	for u.idx < len(u.children) {
+		b, err := u.children[u.idx].NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		u.idx++
+	}
+	return nil, nil
+}
+
+func (u *batchUnionOp) Close() error {
+	var firstErr error
+	for _, c := range u.children {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,268 @@
+package executor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cgdqp/internal/cluster"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/optimizer"
+	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
+)
+
+// runBoth executes the plan with the sequential and the parallel engine
+// (resetting the ledger in between) and checks rows and shipping stats
+// are identical. The parallel engine must preserve order, so rows are
+// compared positionally, not as multisets.
+func runBoth(t *testing.T, p *plan.Node, cl *cluster.Cluster, label string) ([]expr.Row, *RunStats) {
+	t.Helper()
+	cl.Ledger.Reset()
+	seqRows, seqStats, err := Run(p, cl)
+	if err != nil {
+		t.Fatalf("%s: sequential run: %v\n%s", label, err, p.Format(true))
+	}
+	cl.Ledger.Reset()
+	parRows, parStats, err := RunParallel(p, cl)
+	if err != nil {
+		t.Fatalf("%s: parallel run: %v\n%s", label, err, p.Format(true))
+	}
+	if len(seqRows) != len(parRows) {
+		t.Fatalf("%s: row counts differ: sequential %d, parallel %d", label, len(seqRows), len(parRows))
+	}
+	sc, pc := canon(seqRows), canon(parRows)
+	for i := range sc {
+		if sc[i] != pc[i] {
+			t.Fatalf("%s: row %d differs:\nsequential %s\nparallel   %s", label, i, sc[i], pc[i])
+		}
+	}
+	if *seqStats != *parStats {
+		t.Fatalf("%s: stats differ:\nsequential %+v\nparallel   %+v", label, seqStats, parStats)
+	}
+	return parRows, parStats
+}
+
+func TestParallelMatchesSequentialOperators(t *testing.T) {
+	cat, cl := carco(t)
+	c := scanNode(t, cat, "Customer", "C")
+	o := scanNode(t, cat, "Orders", "O")
+	s := scanNode(t, cat, "Supply", "S")
+
+	filter := plan.NewFilter(c, expr.NewCmp(expr.GE, expr.NewCol("C", "acctbal"), expr.NewConst(expr.NewFloat(200))))
+	project := plan.NewProject(filter, []plan.NamedExpr{
+		{E: expr.NewCol("C", "name")},
+		{E: expr.NewArith(expr.Mul, expr.NewCol("C", "acctbal"), expr.NewConst(expr.NewInt(3))), Name: "tri"},
+	})
+	join := plan.NewJoin(c, o, expr.NewCmp(expr.EQ, expr.NewCol("C", "custkey"), expr.NewCol("O", "custkey")))
+	join.Kind = plan.HashJoin
+	agg := plan.NewAggregate(o,
+		[]*expr.Col{expr.NewCol("O", "custkey")},
+		[]plan.NamedAgg{{Fn: expr.AggSum, Arg: expr.NewCol("O", "totprice"), Name: "total"}})
+	agg.Kind = plan.HashAgg
+	sorted := plan.NewSort(s, []plan.SortKey{{E: expr.NewCol("S", "ordkey"), Desc: true}})
+	limited := plan.NewLimit(sorted, 7)
+	union := plan.NewUnion(c, c)
+
+	cases := []struct {
+		label string
+		root  *plan.Node
+	}{
+		{"scan", c},
+		{"filter", filter},
+		{"project", project},
+		{"hash join", join},
+		{"hash agg", agg},
+		{"sort+limit", limited},
+		{"union", union},
+	}
+	for _, tc := range cases {
+		runBoth(t, tc.root, cl, tc.label)
+	}
+}
+
+func TestParallelMatchesSequentialWithShips(t *testing.T) {
+	cat, cl := carco(t)
+	c := scanNode(t, cat, "Customer", "C")
+	o := scanNode(t, cat, "Orders", "O")
+	s := scanNode(t, cat, "Supply", "S")
+
+	// Two independent leaf fragments (Customer at N, the Supply
+	// aggregation at A) ship into the join fragment at E; the joined
+	// result ships onward to N: three SHIP boundaries, four fragments.
+	shipC := plan.NewShip(c, "N", "E")
+	sAgg := plan.NewAggregate(s,
+		[]*expr.Col{expr.NewCol("S", "ordkey")},
+		[]plan.NamedAgg{{Fn: expr.AggSum, Arg: expr.NewCol("S", "quantity"), Name: "qty"}})
+	sAgg.Kind = plan.HashAgg
+	shipS := plan.NewShip(sAgg, "A", "E")
+
+	join1 := plan.NewJoin(shipC, o, expr.NewCmp(expr.EQ, expr.NewCol("C", "custkey"), expr.NewCol("O", "custkey")))
+	join1.Kind = plan.HashJoin
+	join2 := plan.NewJoin(join1, shipS, expr.NewCmp(expr.EQ, expr.NewCol("O", "ordkey"), expr.NewCol("S", "ordkey")))
+	join2.Kind = plan.HashJoin
+	root := plan.NewShip(join2, "E", "N")
+
+	frags := plan.SplitFragments(root)
+	if len(frags) != 4 {
+		t.Fatalf("fragments: got %d, want 4\n%s", len(frags), root.Format(true))
+	}
+	leaves := 0
+	for _, f := range frags {
+		if f.Leaf() {
+			leaves++
+		}
+	}
+	if leaves != 2 {
+		t.Fatalf("leaf fragments: got %d, want 2", leaves)
+	}
+	rows, stats := runBoth(t, root, cl, "multi-ship join")
+	if len(rows) != 200 {
+		t.Errorf("rows: %d, want 200", len(rows))
+	}
+	if stats.ShippedRows == 0 || stats.ShipCost <= 0 {
+		t.Errorf("ship stats not recorded: %+v", stats)
+	}
+}
+
+// TestParallelLimitOverShip checks the accounting-parity corner: a LIMIT
+// above an exchange abandons the stream early, but the producer must
+// still run to completion (the sequential engine materializes Ship
+// inputs fully at Open), so shipped rows/bytes/cost stay identical.
+func TestParallelLimitOverShip(t *testing.T) {
+	cat, cl := carco(t)
+	o := scanNode(t, cat, "Orders", "O")
+	ship := plan.NewShip(o, "E", "N")
+	root := plan.NewLimit(ship, 5)
+	rows, stats := runBoth(t, root, cl, "limit over ship")
+	if len(rows) != 5 {
+		t.Errorf("rows: %d, want 5", len(rows))
+	}
+	if stats.ShippedRows != 200 {
+		t.Errorf("producer must ship all 200 rows despite the limit, got %d", stats.ShippedRows)
+	}
+}
+
+// TestParallelEmptyShip checks a producer with zero rows still records
+// its (start-up-priced) transfer, like the sequential engine.
+func TestParallelEmptyShip(t *testing.T) {
+	cat, cl := carco(t)
+	c := scanNode(t, cat, "Customer", "C")
+	empty := plan.NewFilter(c, expr.NewCmp(expr.LT, expr.NewCol("C", "acctbal"), expr.NewConst(expr.NewFloat(-10))))
+	root := plan.NewShip(empty, "N", "E")
+	rows, stats := runBoth(t, root, cl, "empty ship")
+	if len(rows) != 0 {
+		t.Errorf("rows: %d, want 0", len(rows))
+	}
+	if stats.ShipCost <= 0 {
+		t.Errorf("empty inter-site ship must still pay the start-up cost, got %+v", stats)
+	}
+}
+
+// TestParallelOptimizedPlansAgree runs the optimizer end-to-end (the
+// executor package's e2e queries) under both engines.
+func TestParallelOptimizedPlansAgree(t *testing.T) {
+	cat, cl := carco(t)
+	queries := []string{
+		`SELECT C.name, SUM(O.totprice) AS total, SUM(S.quantity) AS qty
+		 FROM Customer C, Orders O, Supply S
+		 WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey GROUP BY C.name`,
+		`SELECT C.name, COUNT(*) AS cnt
+		 FROM Customer C, Orders O WHERE C.custkey = O.custkey GROUP BY C.name`,
+		`SELECT SUM(S.quantity) AS q FROM Orders O, Supply S WHERE O.ordkey = S.ordkey`,
+	}
+	for _, compliant := range []bool{true, false} {
+		opt := optimizer.New(cat, carcoPolicyCatalog(), cl.Net, optimizer.Options{Compliant: compliant})
+		for i, q := range queries {
+			res, err := opt.OptimizeSQL(q)
+			if err != nil {
+				t.Fatalf("optimize q%d (compliant=%v): %v", i, compliant, err)
+			}
+			runBoth(t, res.Plan, cl, fmt.Sprintf("optimized q%d compliant=%v", i, compliant))
+		}
+	}
+}
+
+// TestParallelPermissivePlansAgree covers plans optimized under
+// permissive policies (wider operator variety: merge joins, sorts).
+func TestParallelPermissivePlansAgree(t *testing.T) {
+	cat, cl := carco(t)
+	pc := policy.NewCatalog()
+	pc.AddAll(
+		policy.MustParse("ship * from Customer to *", "p1", "db-n"),
+		policy.MustParse("ship * from Orders to *", "p2", "db-e"),
+		policy.MustParse("ship * from Supply to *", "p3", "db-a"),
+	)
+	queries := []string{
+		`SELECT C.name, O.totprice FROM Customer C, Orders O
+		 WHERE C.custkey = O.custkey AND O.totprice > 220
+		 ORDER BY O.totprice DESC LIMIT 10`,
+		`SELECT O.custkey, COUNT(*) AS cnt FROM Orders O, Supply S
+		 WHERE O.ordkey = S.ordkey GROUP BY O.custkey`,
+	}
+	opt := optimizer.New(cat, pc, cl.Net, optimizer.Options{Compliant: true})
+	for i, q := range queries {
+		res, err := opt.OptimizeSQL(q)
+		if err != nil {
+			t.Fatalf("optimize q%d: %v", i, err)
+		}
+		runBoth(t, res.Plan, cl, fmt.Sprintf("permissive q%d", i))
+	}
+}
+
+// TestParallelConcurrentExecutions is the race regression test: several
+// goroutines execute multi-SHIP plans against one shared cluster (one
+// ledger, one storage layer) concurrently. Run with -race.
+func TestParallelConcurrentExecutions(t *testing.T) {
+	cat, cl := carco(t)
+	query := `SELECT C.name, SUM(O.totprice) AS total, SUM(S.quantity) AS qty
+	          FROM Customer C, Orders O, Supply S
+	          WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey GROUP BY C.name`
+	opt := optimizer.New(cat, carcoPolicyCatalog(), cl.Net, optimizer.Options{Compliant: true})
+	res, err := opt.OptimizeSQL(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, _, err := RunParallel(res.Plan, cl)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(rows) != 50 {
+				errs <- fmt.Errorf("concurrent run returned %d rows, want 50", len(rows))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestHashJoinEmptyProbeShortCircuit: an empty probe side skips the
+// hash-table build but keeps results and ship accounting intact.
+func TestHashJoinEmptyProbeShortCircuit(t *testing.T) {
+	cat, cl := carco(t)
+	c := scanNode(t, cat, "Customer", "C")
+	o := scanNode(t, cat, "Orders", "O")
+	noC := plan.NewFilter(c, expr.NewCmp(expr.LT, expr.NewCol("C", "acctbal"), expr.NewConst(expr.NewFloat(-10))))
+	buildShip := plan.NewShip(o, "E", "N")
+	join := plan.NewJoin(noC, buildShip, expr.NewCmp(expr.EQ, expr.NewCol("C", "custkey"), expr.NewCol("O", "custkey")))
+	join.Kind = plan.HashJoin
+	rows, stats := runBoth(t, join, cl, "empty probe")
+	if len(rows) != 0 {
+		t.Errorf("rows: %d, want 0", len(rows))
+	}
+	// The build side is a Ship: it must still account its transfer even
+	// though the build was skipped.
+	if stats.ShippedRows != 200 {
+		t.Errorf("build-side ship rows: %d, want 200", stats.ShippedRows)
+	}
+}

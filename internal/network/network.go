@@ -155,13 +155,67 @@ func (l *Ledger) Record(from, to string, rows, bytes int64) float64 {
 	return cost
 }
 
-// TotalCost returns the summed cost of all recorded transfers.
-func (l *Ledger) TotalCost() float64 {
+// Shipment is an in-progress transfer recorded incrementally, batch by
+// batch, by the parallel executor's exchange operators. All batches of
+// one shipment accumulate into a single Transfer entry, and the cost is
+// kept equal to ShipCost(from, to, totalBytes) — affine in bytes — so a
+// shipment split into N batches prices identically to the same bytes
+// recorded in one Record call (the start-up cost α is paid once, not N
+// times). Safe for concurrent use with all other ledger methods.
+type Shipment struct {
+	l        *Ledger
+	idx      int
+	from, to string
+}
+
+// OpenShipment starts an incremental transfer and returns its handle.
+// The entry is recorded immediately with zero rows/bytes (cost α, as an
+// empty Record would be).
+func (l *Ledger) OpenShipment(from, to string) *Shipment {
+	cost := l.model.ShipCost(from, to, 0)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.transfers = append(l.transfers, Transfer{From: from, To: to, Cost: cost})
+	return &Shipment{l: l, idx: len(l.transfers) - 1, from: from, to: to}
+}
+
+// Add accounts one batch of the shipment and returns the incremental
+// cost of shipping it (the β·bytes part, plus α on the first bytes).
+func (s *Shipment) Add(rows, bytes int64) float64 {
+	s.l.mu.Lock()
+	defer s.l.mu.Unlock()
+	if s.idx >= len(s.l.transfers) {
+		// The ledger was Reset while this shipment was in flight:
+		// re-open an entry so the remaining batches are still recorded.
+		s.l.transfers = append(s.l.transfers, Transfer{From: s.from, To: s.to,
+			Cost: s.l.model.ShipCost(s.from, s.to, 0)})
+		s.idx = len(s.l.transfers) - 1
+	}
+	t := &s.l.transfers[s.idx]
+	t.Rows += rows
+	t.Bytes += bytes
+	cost := s.l.model.ShipCost(t.From, t.To, float64(t.Bytes))
+	delta := cost - t.Cost
+	t.Cost = cost
+	return delta
+}
+
+// TotalCost returns the summed cost of all recorded transfers. The
+// per-transfer costs are summed in sorted order so the total depends
+// only on the multiset of transfers, not on the order they were
+// recorded in — concurrent executions that perform the same transfers
+// report bit-identical totals.
+func (l *Ledger) TotalCost() float64 {
+	l.mu.Lock()
+	costs := make([]float64, len(l.transfers))
+	for i, t := range l.transfers {
+		costs[i] = t.Cost
+	}
+	l.mu.Unlock()
+	sort.Float64s(costs)
 	total := 0.0
-	for _, t := range l.transfers {
-		total += t.Cost
+	for _, c := range costs {
+		total += c
 	}
 	return total
 }
@@ -173,6 +227,17 @@ func (l *Ledger) TotalBytes() int64 {
 	var total int64
 	for _, t := range l.transfers {
 		total += t.Bytes
+	}
+	return total
+}
+
+// TotalRows returns the summed rows of all recorded transfers.
+func (l *Ledger) TotalRows() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, t := range l.transfers {
+		total += t.Rows
 	}
 	return total
 }

@@ -94,6 +94,50 @@ func TestLedger(t *testing.T) {
 	}
 }
 
+// TestShipmentMatchesRecord: a shipment split into batches must price
+// and account identically to one Record of the same totals — the parity
+// the parallel executor's per-batch exchange accounting depends on.
+func TestShipmentMatchesRecord(t *testing.T) {
+	m := UniformWAN(10, 0.5)
+	one := NewLedger(m)
+	one.Record("A", "B", 30, 300)
+
+	batched := NewLedger(m)
+	s := batched.OpenShipment("A", "B")
+	var incr float64
+	incr += s.Add(10, 100)
+	incr += s.Add(15, 150)
+	incr += s.Add(5, 50)
+	if batched.TotalBytes() != one.TotalBytes() || batched.TotalRows() != one.TotalRows() {
+		t.Errorf("bytes/rows: batched %d/%d, one-shot %d/%d",
+			batched.TotalBytes(), batched.TotalRows(), one.TotalBytes(), one.TotalRows())
+	}
+	if batched.TotalCost() != one.TotalCost() {
+		t.Errorf("cost: batched %v, one-shot %v", batched.TotalCost(), one.TotalCost())
+	}
+	// α is paid once (at open), the increments carry only β·bytes.
+	if alpha := batched.TotalCost() - incr; alpha != 10 {
+		t.Errorf("start-up share: %v, want 10", alpha)
+	}
+	// All batches merged into a single transfer entry.
+	if got := len(batched.Transfers()); got != 1 {
+		t.Errorf("transfers: %d, want 1", got)
+	}
+	// An empty shipment still pays the start-up cost, like Record.
+	empty := NewLedger(m)
+	empty.OpenShipment("A", "B")
+	if empty.TotalCost() != 10 {
+		t.Errorf("empty shipment cost: %v, want 10", empty.TotalCost())
+	}
+	// Intra-site shipments stay free.
+	free := NewLedger(m)
+	fs := free.OpenShipment("A", "A")
+	fs.Add(10, 100)
+	if free.TotalCost() != 0 {
+		t.Errorf("intra-site shipment cost: %v", free.TotalCost())
+	}
+}
+
 // Property: ship cost is monotone in bytes.
 func TestShipCostMonotoneProperty(t *testing.T) {
 	m := FiveRegionWAN([]string{"L1", "L2", "L3"})
