@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race bench
+.PHONY: verify build test vet race bench fuzz
 
 # Tier-1 verification gate: build, vet, full test suite, and the race
 # detector over the concurrent packages (parallel executor + cluster).
@@ -16,8 +16,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executor ./internal/cluster
+	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan
 
 # Engine comparison benchmark (sequential vs batch-parallel executor).
 bench:
 	$(GO) test -run NONE -bench BenchmarkExecSeqVsParallel -benchtime 5x .
+
+# Short fuzzing pass over the SQL and policy parsers (10s per target).
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzParseSQL -fuzztime 10s ./internal/sqlparse
+	$(GO) test -run NONE -fuzz FuzzParsePolicy -fuzztime 10s ./internal/sqlparse

@@ -82,6 +82,34 @@ func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
 // under the registered policies.
 var ErrNoCompliantPlan = optimizer.ErrNoCompliantPlan
 
+// Fault-injection types re-exported for chaos configuration: a
+// FaultPlan (Options.Faults) makes the simulated WAN misbehave
+// deterministically under a seed, and a RetryPolicy (Options.Retry)
+// governs how the shipping layer retries. See package network for the
+// full semantics.
+type (
+	FaultPlan   = network.FaultPlan
+	EdgeFaults  = network.EdgeFaults
+	RetryPolicy = network.RetryPolicy
+	ShipError   = network.ShipError
+)
+
+// NewFaultPlan returns an empty fault plan under the given seed.
+var NewFaultPlan = network.NewFaultPlan
+
+// DefaultRetryPolicy is the retry configuration used when faults are
+// installed without an explicit policy.
+var DefaultRetryPolicy = network.DefaultRetryPolicy
+
+// Typed shipping failures: a failed execution under faults wraps one of
+// these in a *ShipError (match with errors.Is / errors.As).
+var (
+	ErrPartitioned  = network.ErrPartitioned
+	ErrBatchDropped = network.ErrBatchDropped
+	ErrTransient    = network.ErrTransient
+	ErrShipTimeout  = network.ErrShipTimeout
+)
+
 // Options tune the system.
 type Options struct {
 	// ResultLocation pins where query results must be delivered
@@ -97,6 +125,15 @@ type Options struct {
 	// at SHIP boundaries. Results and shipping statistics are identical
 	// to the sequential engine; only wall-clock time differs.
 	Parallel bool
+	// Faults installs a deterministic fault plan on the simulated WAN:
+	// shipments may be dropped, delayed, rejected or partitioned per
+	// the plan, and the shipping layer retries under Retry. A query
+	// either succeeds with results (and shipping statistics) identical
+	// to a fault-free run, or fails with a typed *ShipError.
+	Faults *FaultPlan
+	// Retry overrides the shipment retry policy (nil with Faults set
+	// means DefaultRetryPolicy).
+	Retry *RetryPolicy
 }
 
 // System is a compliant geo-distributed query processing session: a
@@ -268,6 +305,12 @@ func (s *System) Analyze() error {
 func (s *System) Cluster() *cluster.Cluster {
 	if s.cl == nil {
 		s.cl = cluster.New(s.Schema, s.network())
+		if s.opts.Faults != nil {
+			s.cl.SetFaults(s.opts.Faults)
+		}
+		if s.opts.Retry != nil {
+			s.cl.SetRetry(*s.opts.Retry)
+		}
 	}
 	return s.cl
 }
@@ -343,6 +386,9 @@ type Result struct {
 	// execution performed (simulated WAN time in milliseconds).
 	ShippedBytes int64
 	ShipCost     float64
+	// Retries counts send attempts the shipping layer had to repeat
+	// under an installed fault plan (0 in fault-free runs).
+	Retries int64
 }
 
 // Query optimizes and executes a SQL query over the loaded data,
@@ -366,6 +412,7 @@ func (s *System) Query(sql string) (*Result, error) {
 		Columns:      p.Columns,
 		ShippedBytes: stats.ShippedBytes,
 		ShipCost:     stats.ShipCost,
+		Retries:      stats.Retries,
 	}, nil
 }
 

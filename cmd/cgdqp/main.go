@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,11 @@ func main() {
 	query := flag.String("q", "", "run one query and exit")
 	explainOnly := flag.Bool("explain", false, "print the plan without executing")
 	resultLoc := flag.String("at", "", "pin the result location (L1..L5)")
+	parallel := flag.Bool("parallel", false, "execute with the batch-parallel engine")
+	chaosSeed := flag.Int64("chaos-seed", 0, "inject deterministic WAN faults under this seed (0 = off); the same seed replays the same failures")
+	chaosDrop := flag.Float64("chaos-drop", 0.05, "per-batch drop probability under -chaos-seed")
+	chaosError := flag.Float64("chaos-error", 0.05, "per-send transient-error probability under -chaos-seed")
+	chaosDelay := flag.Float64("chaos-delay", 0.10, "per-send delay probability under -chaos-seed")
 	flag.Parse()
 
 	var pc *policy.Catalog
@@ -66,6 +72,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "load: %v\n", err)
 		os.Exit(1)
 	}
+	if *chaosSeed != 0 {
+		faults := network.NewFaultPlan(*chaosSeed).SetDefault(network.EdgeFaults{
+			DropProb:      *chaosDrop,
+			TransientProb: *chaosError,
+			DelayProb:     *chaosDelay,
+			DelayMS:       50,
+		})
+		cl.SetFaults(faults)
+		fmt.Fprintf(os.Stderr, "chaos: injecting WAN faults (seed %d, drop %.0f%%, error %.0f%%, delay %.0f%%; retry %d attempts)\n",
+			*chaosSeed, *chaosDrop*100, *chaosError*100, *chaosDelay*100, cl.Retry().Attempts())
+	}
 	opt := optimizer.New(cat, pc, net, optimizer.Options{
 		Compliant:      true,
 		ResultLocation: *resultLoc,
@@ -83,9 +100,18 @@ func main() {
 				res.Stats.TotalTime, res.ShipCost)
 			return
 		}
-		rows, stats, err := executor.Run(res.Plan, cl)
+		run := executor.Run
+		if *parallel {
+			run = executor.RunParallel
+		}
+		rows, stats, err := run(res.Plan, cl)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "execution error: %v\n", err)
+			var shipErr *network.ShipError
+			if errors.As(err, &shipErr) {
+				fmt.Fprintf(os.Stderr, "shipping failure: %v\n", shipErr)
+			} else {
+				fmt.Fprintf(os.Stderr, "execution error: %v\n", err)
+			}
 			return
 		}
 		for i, r := range rows {
@@ -99,8 +125,12 @@ func main() {
 			}
 			fmt.Println(strings.Join(parts, " | "))
 		}
-		fmt.Printf("-- %d rows; shipped %d bytes across borders (%.2f ms simulated)\n",
-			stats.RowsOut, stats.ShippedBytes, stats.ShipCost)
+		retryNote := ""
+		if stats.Retries > 0 {
+			retryNote = fmt.Sprintf("; %d send attempt(s) retried", stats.Retries)
+		}
+		fmt.Printf("-- %d rows; shipped %d bytes across borders (%.2f ms simulated)%s\n",
+			stats.RowsOut, stats.ShippedBytes, stats.ShipCost, retryNote)
 	}
 
 	if *query != "" {

@@ -1,0 +1,52 @@
+package cgdqp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cgdqp/internal/network"
+	"cgdqp/internal/optimizer"
+	"cgdqp/internal/tpch"
+	"cgdqp/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/plans/*.golden from current optimizer output")
+
+// TestGoldenPlans snapshots the compliant plan the optimizer picks for
+// every TPC-H evaluation query under the CR policy set. The shapes are
+// load-bearing — a ship pushed to the wrong side of a join changes both
+// cost and compliance — so any drift must be reviewed, then blessed
+// with `go test -run TestGoldenPlans -update .`.
+func TestGoldenPlans(t *testing.T) {
+	cat := tpch.NewCatalog(0.01)
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := workload.TPCHSet(workload.SetCR)
+	opt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+
+	for _, name := range tpch.QueryNames() {
+		res, err := opt.OptimizeSQL(tpch.Queries[name])
+		if err != nil {
+			t.Fatalf("%s: optimize: %v", name, err)
+		}
+		got := res.Plan.Format(true)
+		path := filepath.Join("testdata", "plans", name+".golden")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create the snapshot)", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: plan drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", name, path, got, want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cgdqp/internal/expr"
@@ -36,6 +37,14 @@ type Cluster struct {
 	// default 0 keeps shipping instantaneous, as before; set it before
 	// executing (it is read concurrently by exchange producers).
 	wireDelay float64
+
+	// faults/retry drive the resilient shipping path (see ship.go):
+	// nil faults means every send succeeds first try, as before. Both
+	// are set before execution and read concurrently by producers.
+	faults *network.FaultPlan
+	retry  network.RetryPolicy
+	// retries counts failed send attempts across all executions.
+	retries atomic.Int64
 }
 
 // SetWireDelay makes SHIP transfers take wall-clock time: every shipment

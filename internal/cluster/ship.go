@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"cgdqp/internal/network"
+)
+
+// This file is the cluster's resilient shipping path: both executors
+// move rows between sites through it. Without a fault plan it degrades
+// to the original behaviour (account the transfer, sleep the simulated
+// wire time). With one, every send attempt consults the plan, failed
+// attempts are retried under the cluster's RetryPolicy (capped
+// exponential backoff with deterministic jitter, per-attempt simulated
+// timeout), and the transfer ledger is charged only when a batch
+// actually arrives — so a run that succeeds after retries accounts
+// exactly what a fault-free run would, and stats parity between the
+// engines is preserved.
+
+// SetFaults installs a fault plan on the WAN (nil removes it). If no
+// retry policy was set yet, the default one is installed alongside.
+// Configure before execution starts.
+func (c *Cluster) SetFaults(p *network.FaultPlan) {
+	c.faults = p
+	if p != nil && c.retry.MaxAttempts == 0 {
+		c.retry = network.DefaultRetryPolicy()
+	}
+}
+
+// Faults returns the installed fault plan (nil = none).
+func (c *Cluster) Faults() *network.FaultPlan { return c.faults }
+
+// SetRetry installs the shipment retry policy.
+func (c *Cluster) SetRetry(r network.RetryPolicy) { c.retry = r }
+
+// Retry returns the shipment retry policy in effect.
+func (c *Cluster) Retry() network.RetryPolicy { return c.retry }
+
+// TotalRetries returns the monotone count of re-sent attempts; callers
+// diff it around an execution, like the ledger totals.
+func (c *Cluster) TotalRetries() int64 { return c.retries.Load() }
+
+// ShipBatch delivers one batch of an open shipment across the edge,
+// injecting faults and retrying under the cluster's retry policy. The
+// shipment is charged only when the batch arrives, so the ledger ends
+// bit-identical to a fault-free run. The returned error is nil,
+// ctx.Err(), or a typed *network.ShipError.
+func (c *Cluster) ShipBatch(ctx context.Context, ship *network.Shipment, from, to string, batch int, rows, bytes int64) error {
+	return c.send(ctx, from, to, batch, bytes, func(extraMS float64) {
+		delta := ship.Add(rows, bytes)
+		c.SleepWire(delta + extraMS)
+	})
+}
+
+// ShipWhole delivers a full materialized transfer (the sequential
+// engine's SHIP) across the edge with the same fault/retry semantics as
+// ShipBatch, recording it as one ledger entry on success.
+func (c *Cluster) ShipWhole(ctx context.Context, from, to string, rows, bytes int64) error {
+	return c.send(ctx, from, to, 0, bytes, func(extraMS float64) {
+		cost := c.Ledger.Record(from, to, rows, bytes)
+		c.SleepWire(cost + extraMS)
+	})
+}
+
+// send runs the attempt loop: decide the fault verdict, model the wire
+// time of failed attempts, back off, and invoke deliver exactly once on
+// success. bytes only sizes the simulated attempt cost; accounting is
+// deliver's job.
+func (c *Cluster) send(ctx context.Context, from, to string, batch int, bytes int64, deliver func(extraMS float64)) error {
+	faults := c.faults
+	if faults == nil || from == to {
+		deliver(0)
+		return nil
+	}
+	attempts := c.retry.Attempts()
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		v := faults.Decide(from, to, batch, attempt)
+		if v.Partitioned {
+			// A partition outlives any retry budget: fail fast.
+			return &network.ShipError{From: from, To: to, Attempts: attempt, Err: network.ErrPartitioned}
+		}
+		// Simulated duration of this attempt: bandwidth time plus any
+		// injected congestion delay (the start-up α is paid once, when
+		// the shipment opens).
+		attemptMS := c.Net.Beta(from, to)*float64(bytes) + v.ExtraDelayMS
+		if timeout := c.retry.TimeoutMS; timeout > 0 && attemptMS > timeout {
+			// The receiver gives up at the budget; the time until then
+			// is still spent on the wire.
+			c.SleepWire(timeout)
+			lastErr = network.ErrShipTimeout
+		} else if err := v.Err(); err != nil {
+			if err == network.ErrBatchDropped {
+				// The batch travelled and was lost: wire time is spent.
+				c.SleepWire(attemptMS)
+			}
+			lastErr = err
+		} else {
+			deliver(v.ExtraDelayMS)
+			return nil
+		}
+		c.retries.Add(1)
+		if attempt < attempts {
+			if err := sleepCtx(ctx, c.retry.Backoff(attempt, faults.Jitter(from, to, batch, attempt))); err != nil {
+				return err
+			}
+		}
+	}
+	return &network.ShipError{From: from, To: to, Attempts: attempts, Err: lastErr}
+}
+
+// sleepCtx waits for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -7,6 +7,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,6 +33,10 @@ type RunStats struct {
 	// ShipCost is the simulated communication cost (ms) of all SHIP
 	// operators, priced by the cluster's message cost model.
 	ShipCost float64
+	// Retries counts failed send attempts that the shipping path
+	// recovered (or gave up on) under the cluster's fault plan; always
+	// 0 when no faults are injected.
+	Retries int64
 }
 
 // Run executes a located physical plan sequentially (one goroutine,
@@ -41,6 +46,7 @@ func Run(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
 	before := c.Ledger.TotalBytes()
 	beforeCost := c.Ledger.TotalCost()
 	beforeRows := c.Ledger.TotalRows()
+	beforeRetries := c.TotalRetries()
 	op, err := Build(p, c)
 	if err != nil {
 		return nil, nil, err
@@ -54,6 +60,7 @@ func Run(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
 		ShippedRows:  c.Ledger.TotalRows() - beforeRows,
 		ShippedBytes: c.Ledger.TotalBytes() - before,
 		ShipCost:     c.Ledger.TotalCost() - beforeCost,
+		Retries:      c.TotalRetries() - beforeRetries,
 	}
 	return rows, stats, nil
 }
@@ -911,10 +918,14 @@ func (s *shipOp) Open() error {
 	for _, r := range rows {
 		bytes += int64(r.Width())
 	}
-	cost := s.c.Ledger.Record(s.node.FromLoc, s.node.ToLoc, int64(len(rows)), bytes)
-	// Under a wire delay, the sequential engine pays the whole transfer
-	// time here, in line; the parallel engine overlaps it.
-	s.c.SleepWire(cost)
+	// The resilient shipping path records the transfer and sleeps the
+	// wire time on success; under an installed fault plan it may retry
+	// with backoff or fail with a typed *network.ShipError. The
+	// sequential engine has no fragment goroutines to tear down, so it
+	// runs under the background context.
+	if err := s.c.ShipWhole(context.Background(), s.node.FromLoc, s.node.ToLoc, int64(len(rows)), bytes); err != nil {
+		return err
+	}
 	s.rows = rows
 	s.pos = 0
 	return nil

@@ -35,12 +35,23 @@ const exchangeDepth = 4
 // and materializes its result. It is a drop-in replacement for Run:
 // same rows (in the same order) and identical shipping statistics.
 func RunParallel(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
-	ctx, cancel := context.WithCancel(context.Background())
+	return RunParallelContext(context.Background(), p, c)
+}
+
+// RunParallelContext is RunParallel under a caller context: cancelling
+// it (or hitting its deadline) tears down every fragment goroutine —
+// producers observe the cancellation at their next channel send, retry
+// backoff, or batch boundary — and the call returns only after all of
+// them have exited, so no goroutine or ledger entry is left dangling.
+func RunParallelContext(ctx context.Context, p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	eng := &parallelEngine{c: c, ctx: ctx}
 	beforeBytes := c.Ledger.TotalBytes()
 	beforeCost := c.Ledger.TotalCost()
 	beforeRows := c.Ledger.TotalRows()
+	beforeRetries := c.TotalRetries()
 	root, err := buildParallel(p, eng)
 	if err != nil {
 		return nil, nil, err
@@ -54,11 +65,19 @@ func RunParallel(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := parent.Err(); err != nil {
+		// The caller cancelled (or timed out) while producers were
+		// winding down: their closed exchanges look like clean ends of
+		// stream, so guard against returning a partial result as
+		// success.
+		return nil, nil, err
+	}
 	stats := &RunStats{
 		RowsOut:      int64(len(rows)),
 		ShippedRows:  c.Ledger.TotalRows() - beforeRows,
 		ShippedBytes: c.Ledger.TotalBytes() - beforeBytes,
 		ShipCost:     c.Ledger.TotalCost() - beforeCost,
+		Retries:      c.TotalRetries() - beforeRetries,
 	}
 	return rows, stats, nil
 }
@@ -241,7 +260,7 @@ func (p *exchangeProducer) produce() error {
 	// The start-up cost α (one round trip) is paid when the connection
 	// opens; per-batch sends below pay the bandwidth part.
 	p.c.SleepWire(p.c.Net.Alpha(p.node.FromLoc, p.node.ToLoc))
-	for {
+	for batch := 0; ; batch++ {
 		b, err := p.src.NextBatch()
 		if err != nil {
 			return err
@@ -249,8 +268,13 @@ func (p *exchangeProducer) produce() error {
 		if b == nil {
 			return nil
 		}
-		delta := ship.Add(int64(len(b.Rows)), b.Bytes())
-		p.c.SleepWire(delta)
+		// The resilient shipping path injects faults, retries with
+		// backoff, and charges the shipment only when the batch lands,
+		// so retried runs keep ledger parity with a fault-free one.
+		if err := p.c.ShipBatch(p.ctx, ship, p.node.FromLoc, p.node.ToLoc, batch, int64(len(b.Rows)), b.Bytes()); err != nil {
+			b.Release()
+			return err
+		}
 		select {
 		case p.ch <- exchangeMsg{batch: b}:
 		case <-p.ctx.Done():

@@ -1,0 +1,189 @@
+package network
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFaultPlanDeterminism: decisions are a pure function of (seed,
+// edge, batch, attempt) — two plans with the same seed agree on every
+// coordinate, regardless of query order or goroutine interleaving.
+func TestFaultPlanDeterminism(t *testing.T) {
+	faults := EdgeFaults{DropProb: 0.3, TransientProb: 0.2, DelayProb: 0.3, DelayMS: 25}
+	a := NewFaultPlan(42).SetDefault(faults)
+	b := NewFaultPlan(42).SetDefault(faults)
+	edges := [][2]string{{"EU", "AS"}, {"AS", "EU"}, {"NA", "EU"}}
+	// Query b in reverse order to prove order-independence.
+	type coord struct {
+		e              [2]string
+		batch, attempt int
+	}
+	var coords []coord
+	for _, e := range edges {
+		for batch := 0; batch < 50; batch++ {
+			for attempt := 1; attempt <= 3; attempt++ {
+				coords = append(coords, coord{e, batch, attempt})
+			}
+		}
+	}
+	want := make([]Verdict, len(coords))
+	for i, c := range coords {
+		want[i] = a.Decide(c.e[0], c.e[1], c.batch, c.attempt)
+	}
+	for i := len(coords) - 1; i >= 0; i-- {
+		c := coords[i]
+		if got := b.Decide(c.e[0], c.e[1], c.batch, c.attempt); got != want[i] {
+			t.Fatalf("decision for %v diverged: %+v vs %+v", c, got, want[i])
+		}
+	}
+	// A different seed must not replay the same fault pattern.
+	c := NewFaultPlan(43).SetDefault(faults)
+	same := true
+	for i, co := range coords {
+		if c.Decide(co.e[0], co.e[1], co.batch, co.attempt) != want[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fault patterns")
+	}
+}
+
+// TestFaultPlanRates: injected fault frequencies track the configured
+// probabilities, and intra-site sends never fault.
+func TestFaultPlanRates(t *testing.T) {
+	p := NewFaultPlan(7).SetDefault(EdgeFaults{DropProb: 0.2, TransientProb: 0.1, DelayProb: 0.25, DelayMS: 5})
+	const n = 20000
+	var drops, transients, delays int
+	for batch := 0; batch < n; batch++ {
+		v := p.Decide("EU", "AS", batch, 1)
+		switch {
+		case v.Drop:
+			drops++
+		case v.Transient:
+			transients++
+		case v.ExtraDelayMS > 0:
+			delays++
+		}
+	}
+	// Transient is checked first (10%), then drop (20% of the rest),
+	// then delay (25% of the rest); allow generous tolerance.
+	checkRate := func(name string, got int, lo, hi float64) {
+		r := float64(got) / n
+		if r < lo || r > hi {
+			t.Errorf("%s rate %.3f outside [%.3f, %.3f]", name, r, lo, hi)
+		}
+	}
+	checkRate("transient", transients, 0.08, 0.12)
+	checkRate("drop", drops, 0.15, 0.21)
+	checkRate("delay", delays, 0.14, 0.21)
+	if v := p.Decide("EU", "EU", 0, 1); v != (Verdict{}) {
+		t.Errorf("intra-site send faulted: %+v", v)
+	}
+	var nilPlan *FaultPlan
+	if v := nilPlan.Decide("EU", "AS", 0, 1); v != (Verdict{}) {
+		t.Errorf("nil plan faulted: %+v", v)
+	}
+}
+
+func TestFaultPlanPartitionAndEdgeOverride(t *testing.T) {
+	p := NewFaultPlan(1).SetEdge("EU", "AS", EdgeFaults{Partitioned: true})
+	v := p.Decide("EU", "AS", 0, 1)
+	if !v.Partitioned {
+		t.Fatal("configured partition not reported")
+	}
+	if !errors.Is(v.Err(), ErrPartitioned) {
+		t.Fatalf("verdict error = %v, want ErrPartitioned", v.Err())
+	}
+	// The reverse direction is unconfigured and must pass.
+	if v := p.Decide("AS", "EU", 0, 1); v != (Verdict{}) {
+		t.Errorf("unconfigured edge faulted: %+v", v)
+	}
+	_, _, _, partitions := p.Counts()
+	if partitions == 0 {
+		t.Error("partition not counted")
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	r := RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Multiplier: 2}
+	for i, want := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond} {
+		if got := r.Backoff(i+1, 0); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	// Jitter spreads by ±frac around the schedule.
+	j := RetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, Multiplier: 2, JitterFrac: 0.5}
+	lo, hi := j.Backoff(1, 0), j.Backoff(1, 0.999)
+	if lo < 4*time.Millisecond || lo > 6*time.Millisecond {
+		t.Errorf("low-jitter backoff %v outside [5ms±1ms]", lo)
+	}
+	if hi < 14*time.Millisecond || hi > 16*time.Millisecond {
+		t.Errorf("high-jitter backoff %v outside [15ms±1ms]", hi)
+	}
+	if (RetryPolicy{}).Attempts() != 1 {
+		t.Error("zero policy should allow exactly one attempt")
+	}
+}
+
+func TestShipErrorUnwrap(t *testing.T) {
+	err := error(&ShipError{From: "EU", To: "AS", Attempts: 4, Err: ErrBatchDropped})
+	if !errors.Is(err, ErrBatchDropped) {
+		t.Error("ShipError should unwrap to its cause")
+	}
+	var se *ShipError
+	if !errors.As(err, &se) || se.Attempts != 4 {
+		t.Errorf("errors.As failed: %+v", se)
+	}
+}
+
+// TestCostModelConcurrentAccess hammers SetEdge against the getters so
+// `go test -race ./internal/network` proves the cost model's locking
+// (the getters used to read the maps unlocked).
+func TestCostModelConcurrentAccess(t *testing.T) {
+	m := NewCostModel(10, 0.001)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.SetEdge("EU", "AS", float64(i), 0.002)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				_ = m.Alpha("EU", "AS")
+				_ = m.Beta("EU", "AS")
+				_ = m.ShipCost("EU", "AS", 128)
+			}
+		}()
+	}
+	// Concurrent fault decisions share the readers' race scope.
+	p := NewFaultPlan(3).SetDefault(EdgeFaults{DropProb: 0.5})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				p.Decide("EU", "AS", i, 1)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -13,11 +13,18 @@ import (
 )
 
 // CostModel prices inter-site transfers. Costs are in milliseconds.
+// SetEdge and the getters may be called concurrently (the parallel
+// executor prices shipments from many goroutines while tooling reshapes
+// the network); the edge maps are guarded by an RWMutex. The exported
+// default fields are read without the lock: set them before sharing the
+// model.
 type CostModel struct {
+	mu    sync.RWMutex
 	alpha map[string]float64 // "from>to" -> startup ms
 	beta  map[string]float64 // "from>to" -> ms per byte
 
-	// Defaults apply to unknown edges.
+	// Defaults apply to unknown edges. Single-writer: assign them
+	// before the model is shared across goroutines.
 	DefaultAlpha float64
 	DefaultBeta  float64
 }
@@ -36,6 +43,8 @@ func edgeKey(from, to string) string { return from + ">" + to }
 
 // SetEdge records α and β for a directed edge.
 func (m *CostModel) SetEdge(from, to string, alpha, beta float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.alpha[edgeKey(from, to)] = alpha
 	m.beta[edgeKey(from, to)] = beta
 }
@@ -45,6 +54,8 @@ func (m *CostModel) Alpha(from, to string) float64 {
 	if from == to {
 		return 0
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if a, ok := m.alpha[edgeKey(from, to)]; ok {
 		return a
 	}
@@ -56,6 +67,8 @@ func (m *CostModel) Beta(from, to string) float64 {
 	if from == to {
 		return 0
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if b, ok := m.beta[edgeKey(from, to)]; ok {
 		return b
 	}

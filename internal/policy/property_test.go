@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+)
+
+// Property-based tests for Algorithm 1. Expressions and query
+// descriptors are generated from seeded math/rand streams, so a failure
+// reports its seed and replays exactly.
+
+var (
+	propLocations = []string{"NA", "EU", "AS", "AF", "OC"}
+	propTables    = []string{"customer", "orders", "lineitem"}
+	propAttrs     = map[string][]string{
+		"customer": {"custkey", "name", "acctbal", "mktseg"},
+		"orders":   {"orderkey", "custkey", "totprice", "odate"},
+		"lineitem": {"orderkey", "qty", "price", "discount"},
+	}
+	propAggs = []expr.AggFn{expr.AggSum, expr.AggMin, expr.AggMax, expr.AggCount, expr.AggAvg}
+)
+
+func randSubset(rng *rand.Rand, pool []string) []string {
+	var out []string
+	for _, s := range pool {
+		if rng.Intn(2) == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func randExpression(rng *rand.Rand, id int) *Expression {
+	table := propTables[rng.Intn(len(propTables))]
+	e := &Expression{
+		ID:     fmt.Sprintf("p%d", id),
+		DB:     "db-test",
+		Tables: []string{table},
+	}
+	if rng.Intn(4) == 0 {
+		e.AllAttrs = true
+	} else {
+		for _, a := range randSubset(rng, propAttrs[table]) {
+			e.Attrs = append(e.Attrs, Attr{Table: table, Name: a})
+		}
+	}
+	if rng.Intn(3) == 0 { // aggregate expression
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			e.AggFns = append(e.AggFns, propAggs[rng.Intn(len(propAggs))])
+		}
+		for _, a := range randSubset(rng, propAttrs[table]) {
+			e.GroupBy = append(e.GroupBy, Attr{Table: table, Name: a})
+		}
+	}
+	if rng.Intn(4) == 0 {
+		e.ToAll = true
+	} else {
+		e.To = randSubset(rng, propLocations)
+	}
+	return e
+}
+
+func randQuery(rng *rand.Rand) *Query {
+	q := &Query{
+		DB:   "db-test",
+		Home: propLocations[rng.Intn(len(propLocations))],
+	}
+	aggregated := rng.Intn(2) == 0
+	q.Aggregated = aggregated
+	nOut := 1 + rng.Intn(4)
+	for i := 0; i < nOut; i++ {
+		table := propTables[rng.Intn(len(propTables))]
+		names := propAttrs[table]
+		a := Attr{Table: table, Name: names[rng.Intn(len(names))]}
+		oa := OutAttr{Attr: a}
+		if aggregated && rng.Intn(2) == 0 {
+			oa.HasAgg = true
+			oa.Agg = propAggs[rng.Intn(len(propAggs))]
+		}
+		q.OutAttrs = append(q.OutAttrs, oa)
+	}
+	if aggregated {
+		// Non-aggregated output attributes double as grouping attributes
+		// (mirrors how Describe builds descriptors from plans).
+		for _, oa := range q.OutAttrs {
+			if !oa.HasAgg {
+				q.GroupBy = append(q.GroupBy, oa.Attr)
+			}
+		}
+	}
+	return q
+}
+
+func evalWith(exprs []*Expression, q *Query) plan.SiteSet {
+	cat := NewCatalog()
+	cat.AddAll(exprs...)
+	return NewEvaluator(cat, propLocations).Evaluate(q)
+}
+
+// TestPropertyEvaluateSoundness: for any policy set and any query, every
+// legal destination is either the query's home location or was granted
+// by at least one expression's TO clause. The evaluator must never
+// invent a destination no policy mentions.
+func TestPropertyEvaluateSoundness(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var exprs []*Expression
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			exprs = append(exprs, randExpression(rng, i))
+		}
+		granted := map[string]bool{}
+		for _, e := range exprs {
+			for _, l := range e.Destinations(propLocations) {
+				granted[l] = true
+			}
+		}
+		for qi := 0; qi < 25; qi++ {
+			q := randQuery(rng)
+			res := evalWith(exprs, q)
+			for _, loc := range res.Slice() {
+				if loc != q.Home && !granted[loc] {
+					t.Fatalf("seed %d query %d: destination %q allowed but no policy grants it (home %q, %d exprs)",
+						seed, qi, loc, q.Home, len(exprs))
+				}
+			}
+			if q.Home != "" && !res.Contains(q.Home) {
+				t.Fatalf("seed %d query %d: home %q missing from result %v", seed, qi, q.Home, res.Slice())
+			}
+		}
+	}
+}
+
+// TestPropertyEvaluateMonotone: policies only ever grant. Removing any
+// single expression from the set can shrink the legal destinations but
+// never grow them — i.e. Evaluate is monotone in the policy set.
+func TestPropertyEvaluateMonotone(t *testing.T) {
+	for seed := int64(100); seed < 125; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var exprs []*Expression
+		for i, n := 0, 2+rng.Intn(5); i < n; i++ {
+			exprs = append(exprs, randExpression(rng, i))
+		}
+		for qi := 0; qi < 15; qi++ {
+			q := randQuery(rng)
+			full := evalWith(exprs, q)
+			for drop := range exprs {
+				reduced := make([]*Expression, 0, len(exprs)-1)
+				reduced = append(reduced, exprs[:drop]...)
+				reduced = append(reduced, exprs[drop+1:]...)
+				sub := evalWith(reduced, q)
+				if !full.SupersetOf(sub) {
+					t.Fatalf("seed %d query %d: dropping %s GREW the result: %v -> %v",
+						seed, qi, exprs[drop].ID, full.Slice(), sub.Slice())
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyEvaluateDeterministic: the result depends only on the
+// descriptor, not on catalog insertion order or evaluator instance.
+func TestPropertyEvaluateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var exprs []*Expression
+	for i := 0; i < 6; i++ {
+		exprs = append(exprs, randExpression(rng, i))
+	}
+	reversed := make([]*Expression, len(exprs))
+	for i, e := range exprs {
+		reversed[len(exprs)-1-i] = e
+	}
+	for qi := 0; qi < 30; qi++ {
+		q := randQuery(rng)
+		a, b := evalWith(exprs, q), evalWith(reversed, q)
+		if !a.Equal(b) {
+			t.Fatalf("query %d: insertion order changed the result: %v vs %v", qi, a.Slice(), b.Slice())
+		}
+	}
+}

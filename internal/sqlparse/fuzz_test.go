@@ -1,0 +1,86 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// Fuzz targets for the two hand-written recursive-descent parsers. The
+// contract under fuzzing is narrow but absolute: any input — arbitrary
+// bytes, truncated statements, deeply nested expressions — must come
+// back as (stmt, nil) or (nil, error). Never a panic, never both nil.
+
+var fuzzQuerySeeds = []string{
+	"",
+	"SELECT",
+	"SELECT *",
+	"SELECT * FROM Customer",
+	"SELECT C.name, C.acctbal FROM Customer AS C WHERE C.acctbal > 100 AND C.name LIKE 'A%'",
+	"SELECT * FROM Customer C JOIN Orders O ON C.custkey = O.custkey INNER JOIN Lineitem L ON O.orderkey = L.orderkey",
+	"SELECT X.total FROM (SELECT SUM(totprice) AS total FROM Orders GROUP BY custkey) AS X WHERE X.total > 5",
+	"SELECT n.name, SUM(l.extendedprice * (1 - l.discount)) AS revenue FROM customer c, orders o WHERE c.custkey = o.custkey GROUP BY n.name ORDER BY revenue DESC",
+	"SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+	"SELECT a FROM t HAVING SUM(b) > 10",
+	"SELECT a FROM t WHERE d >= DATE '1994-01-01' AND d < DATE '1995-01-01'",
+	"SELECT a FROM t WHERE x IN (1, 2, 3) OR NOT (y BETWEEN 2 AND 7)",
+	"select\t*\nfrom t where s like '%_\\%'",
+	"SELECT ((((((1))))))",
+	"SELECT 'unterminated",
+	"SELECT a FROM t WHERE (",
+	"SELECT \xff\xfe FROM t",
+}
+
+var fuzzPolicySeeds = []string{
+	"",
+	"ship",
+	"ship * from Customer to *",
+	"ship custkey, name from Customer C to Asia, Europe",
+	"ship mktseg, region from Customer to Europe where mktseg = 'commercial'",
+	"ship acctbal as aggregates sum, avg from Customer C to * group by mktseg, region",
+	"ship * from db-5.nation to *",
+	"ship partkey, mfgr, size, type, name from db-3.part to L4 where size > 40 OR type LIKE '%COPPER%'",
+	"ship extendedprice, discount as aggregates sum from db-4.lineitem to L1 group by suppkey, orderkey",
+	"ship a from t to",
+	"ship a as aggregates from t to *",
+	"ship 'quote from t to *",
+	"ship \x00 from \xff to *",
+}
+
+func FuzzParseSQL(f *testing.F) {
+	for _, s := range fuzzQuerySeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := ParseQuery(src)
+		if err == nil && stmt == nil {
+			t.Fatalf("ParseQuery(%q) returned nil, nil", src)
+		}
+		if err != nil && stmt != nil {
+			t.Fatalf("ParseQuery(%q) returned both a statement and %v", src, err)
+		}
+		// Error text must stay printable context, not raw input echo of
+		// invalid UTF-8 (it ends up in user-facing diagnostics).
+		if err != nil && utf8.ValidString(src) && !utf8.ValidString(err.Error()) {
+			t.Fatalf("ParseQuery(%q) produced invalid UTF-8 error: %q", src, err.Error())
+		}
+	})
+}
+
+func FuzzParsePolicy(f *testing.F) {
+	for _, s := range fuzzPolicySeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := ParsePolicy(src)
+		if err == nil && stmt == nil {
+			t.Fatalf("ParsePolicy(%q) returned nil, nil", src)
+		}
+		if err != nil && stmt != nil {
+			t.Fatalf("ParsePolicy(%q) returned both a statement and %v", src, err)
+		}
+		if err == nil && strings.TrimSpace(src) == "" {
+			t.Fatalf("ParsePolicy accepted blank input %q", src)
+		}
+	})
+}
