@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: verify build test vet race bench fuzz
+.PHONY: verify build test vet race bench benchsmoke fuzz
 
-# Tier-1 verification gate: build, vet, full test suite, and the race
-# detector over the concurrent packages (parallel executor + cluster).
-verify: build vet test race
+# Tier-1 verification gate: build, vet, full test suite, the race
+# detector over the concurrent packages (parallel executor + cluster +
+# the concurrent optimizer front-end), and a 1-iteration pass over the
+# optimizer benchmarks so they cannot rot.
+verify: build vet test race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -16,10 +18,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan
+	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer
 
-# Engine comparison benchmark (sequential vs batch-parallel executor).
+benchsmoke:
+	$(GO) test -run NONE -bench Optimize -benchtime 1x .
+
+# Optimizer + engine benchmarks. The first step measures every golden
+# TPC-H query (cold, warm-policy-cache and plan-cache-hit paths, η,
+# evaluator calls, allocs/op) and rewrites BENCH_optimizer.json; the
+# rest print per-query numbers.
 bench:
+	$(GO) test -run TestOptimizerBenchReport -bench-report .
+	$(GO) test -run NONE -bench BenchmarkOptimizeTPCH -benchtime 3x -benchmem .
 	$(GO) test -run NONE -bench BenchmarkExecSeqVsParallel -benchtime 5x .
 
 # Short fuzzing pass over the SQL and policy parsers (10s per target).

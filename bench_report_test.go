@@ -1,0 +1,157 @@
+package cgdqp
+
+// A committable optimizer-performance report: `make bench` runs this
+// harness with -bench-report, which measures every golden TPC-H query
+// and rewrites BENCH_optimizer.json. The JSON deliberately carries no
+// timestamp so re-runs with unchanged performance produce stable diffs.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"cgdqp/internal/network"
+	"cgdqp/internal/optimizer"
+	"cgdqp/internal/tpch"
+	"cgdqp/internal/workload"
+)
+
+var benchReport = flag.Bool("bench-report", false, "measure optimizer performance and rewrite BENCH_optimizer.json")
+
+type optBenchRow struct {
+	Query string `json:"query"`
+	// ColdNS is a fresh-optimizer optimization (empty policy cache, no
+	// plan cache) — the headline per-query optimization time.
+	ColdNS int64 `json:"cold_optimize_ns"`
+	// WarmPolicyNS reuses the optimizer (sharded policy cache warm) but
+	// still runs the full explore/implement/place pipeline.
+	WarmPolicyNS int64 `json:"warm_policy_cache_ns"`
+	// WarmPlanNS is a whole-plan cache hit: normalize + digest + clone.
+	WarmPlanNS int64 `json:"warm_plan_cache_ns"`
+	// PlanCacheSpeedup = ColdNS / WarmPlanNS.
+	PlanCacheSpeedup float64 `json:"plan_cache_speedup"`
+	// Eta and EvalCalls are the cold run's Figure-7 metrics: policy
+	// expressions considered (η) and evaluator invocations (𝒜 calls).
+	Eta       int64 `json:"eta"`
+	EvalCalls int64 `json:"eval_calls"`
+	// AllocsPerOp counts heap allocations of one cold optimization.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Groups      int     `json:"memo_groups"`
+	Exprs       int     `json:"memo_exprs"`
+}
+
+type optBenchReport struct {
+	Tool      string        `json:"tool"`
+	GoVersion string        `json:"go_version"`
+	PolicySet string        `json:"policy_set"`
+	SF        float64       `json:"scale_factor"`
+	Queries   []optBenchRow `json:"queries"`
+}
+
+func medianNS(samples []time.Duration) int64 {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2].Nanoseconds()
+}
+
+// TestOptimizerBenchReport is skipped unless -bench-report is given (it
+// is a measurement pass, not a correctness test).
+func TestOptimizerBenchReport(t *testing.T) {
+	if !*benchReport {
+		t.Skip("run with -bench-report to rewrite BENCH_optimizer.json")
+	}
+	cat := tpch.NewCatalog(benchCfg.SF)
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := workload.TPCHSet(workload.SetCRA)
+
+	report := optBenchReport{
+		Tool:      "go test -run TestOptimizerBenchReport -bench-report .",
+		GoVersion: runtime.Version(),
+		PolicySet: "CR+A",
+		SF:        benchCfg.SF,
+	}
+
+	for _, qn := range tpch.QueryNames() {
+		sql := tpch.Queries[qn]
+		row := optBenchRow{Query: qn}
+
+		const reps = 3
+		coldSamples := make([]time.Duration, 0, reps)
+		for r := 0; r < reps; r++ {
+			opt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+			start := time.Now()
+			res, err := opt.OptimizeSQL(sql)
+			if err != nil {
+				t.Fatalf("%s: %v", qn, err)
+			}
+			coldSamples = append(coldSamples, time.Since(start))
+			if r == 0 {
+				row.Eta = res.Stats.Eta
+				row.EvalCalls = res.Stats.ACalls
+				row.Groups = res.Stats.Groups
+				row.Exprs = res.Stats.Exprs
+			}
+		}
+		row.ColdNS = medianNS(coldSamples)
+
+		row.AllocsPerOp = testing.AllocsPerRun(reps, func() {
+			opt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+			if _, err := opt.OptimizeSQL(sql); err != nil {
+				t.Fatal(err)
+			}
+		})
+
+		warmOpt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+		if _, err := warmOpt.OptimizeSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+		warmSamples := make([]time.Duration, 0, reps)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := warmOpt.OptimizeSQL(sql); err != nil {
+				t.Fatal(err)
+			}
+			warmSamples = append(warmSamples, time.Since(start))
+		}
+		row.WarmPolicyNS = medianNS(warmSamples)
+
+		planOpt := optimizer.New(cat, pc, net, optimizer.Options{
+			Compliant: true, PlanCacheSize: optimizer.DefaultPlanCacheSize})
+		if _, err := planOpt.OptimizeSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+		const hitReps = 25
+		hitSamples := make([]time.Duration, 0, hitReps)
+		for r := 0; r < hitReps; r++ {
+			start := time.Now()
+			res, err := planOpt.OptimizeSQL(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Stats.PlanCacheHit {
+				t.Fatalf("%s: expected a plan-cache hit", qn)
+			}
+			hitSamples = append(hitSamples, time.Since(start))
+		}
+		row.WarmPlanNS = medianNS(hitSamples)
+		if row.WarmPlanNS > 0 {
+			row.PlanCacheSpeedup = float64(row.ColdNS) / float64(row.WarmPlanNS)
+		}
+
+		report.Queries = append(report.Queries, row)
+		t.Logf("%s: cold %.2fms, warm-policy %.2fms, plan-hit %.3fms (%.0fx), η=%d, 𝒜=%d, allocs=%.0f",
+			qn, float64(row.ColdNS)/1e6, float64(row.WarmPolicyNS)/1e6,
+			float64(row.WarmPlanNS)/1e6, row.PlanCacheSpeedup, row.Eta, row.EvalCalls, row.AllocsPerOp)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_optimizer.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -530,13 +530,16 @@ func BenchmarkExecSeqVsParallel(b *testing.B) {
 // --- per-query optimization micro-benchmarks -----------------------------
 
 // BenchmarkOptimizeTPCH measures per-query compliant optimization time
-// under CR+A (the headline optimization-overhead numbers).
+// under CR+A (the headline optimization-overhead numbers). Each
+// iteration builds a fresh optimizer, so this is the cold path: empty
+// policy cache, no plan cache.
 func BenchmarkOptimizeTPCH(b *testing.B) {
 	cat := tpch.NewCatalog(benchCfg.SF)
 	net := network.FiveRegionWAN(cat.Locations())
 	pc := workload.TPCHSet(workload.SetCRA)
 	for _, qn := range tpch.QueryNames() {
 		b.Run(qn, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				opt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
 				if _, err := opt.OptimizeSQL(tpch.Queries[qn]); err != nil {
@@ -545,4 +548,87 @@ func BenchmarkOptimizeTPCH(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkOptimizeTPCHWarmPolicy shares one optimizer across
+// iterations: the sharded policy-evaluator cache is warm, but every
+// iteration still explores, implements and places the plan (no plan
+// cache). The gap to BenchmarkOptimizeTPCH is what policy memoization
+// buys; the gap to .../WarmPlan is what full optimization still costs.
+func BenchmarkOptimizeTPCHWarmPolicy(b *testing.B) {
+	cat := tpch.NewCatalog(benchCfg.SF)
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := workload.TPCHSet(workload.SetCRA)
+	for _, qn := range tpch.QueryNames() {
+		b.Run(qn, func(b *testing.B) {
+			b.ReportAllocs()
+			opt := optimizer.New(cat, pc, net, optimizer.Options{Compliant: true})
+			if _, err := opt.OptimizeSQL(tpch.Queries[qn]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.OptimizeSQL(tpch.Queries[qn]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizeTPCHWarmPlan measures the whole-plan cache hit path:
+// normalize + digest + deep clone of the cached result.
+func BenchmarkOptimizeTPCHWarmPlan(b *testing.B) {
+	cat := tpch.NewCatalog(benchCfg.SF)
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := workload.TPCHSet(workload.SetCRA)
+	for _, qn := range tpch.QueryNames() {
+		b.Run(qn, func(b *testing.B) {
+			b.ReportAllocs()
+			opt := optimizer.New(cat, pc, net, optimizer.Options{
+				Compliant: true, PlanCacheSize: optimizer.DefaultPlanCacheSize})
+			if _, err := opt.OptimizeSQL(tpch.Queries[qn]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := opt.OptimizeSQL(tpch.Queries[qn])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Stats.PlanCacheHit {
+					b.Fatal("expected a plan-cache hit")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizeTPCHParallel drives one shared optimizer from
+// GOMAXPROCS goroutines round-robining over all queries (plan cache on):
+// the concurrent front-end under contention.
+func BenchmarkOptimizeTPCHParallel(b *testing.B) {
+	cat := tpch.NewCatalog(benchCfg.SF)
+	net := network.FiveRegionWAN(cat.Locations())
+	pc := workload.TPCHSet(workload.SetCRA)
+	opt := optimizer.New(cat, pc, net, optimizer.Options{
+		Compliant: true, PlanCacheSize: optimizer.DefaultPlanCacheSize})
+	names := tpch.QueryNames()
+	for _, qn := range names {
+		if _, err := opt.OptimizeSQL(tpch.Queries[qn]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			qn := names[i%len(names)]
+			i++
+			if _, err := opt.OptimizeSQL(tpch.Queries[qn]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

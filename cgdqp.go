@@ -134,6 +134,10 @@ type Options struct {
 	// Retry overrides the shipment retry policy (nil with Faults set
 	// means DefaultRetryPolicy).
 	Retry *RetryPolicy
+	// PlanCacheSize bounds the optimizer's whole-plan LRU cache (entries).
+	// 0 uses optimizer.DefaultPlanCacheSize; negative disables caching.
+	// Schema or policy changes invalidate cached plans automatically.
+	PlanCacheSize int
 }
 
 // System is a compliant geo-distributed query processing session: a
@@ -333,14 +337,27 @@ func (s *System) invalidate() { s.opt = nil }
 // catalogs.
 func (s *System) Optimizer() *optimizer.Optimizer {
 	if s.opt == nil {
+		pcs := s.opts.PlanCacheSize
+		switch {
+		case pcs == 0:
+			pcs = optimizer.DefaultPlanCacheSize
+		case pcs < 0:
+			pcs = 0
+		}
 		s.opt = optimizer.New(s.Schema, s.Policies, s.network(), optimizer.Options{
 			Compliant:      true,
 			ResultLocation: s.opts.ResultLocation,
 			MaxAlts:        s.opts.MaxAlts,
 			MaxExprs:       s.opts.MaxExprs,
+			PlanCacheSize:  pcs,
 		})
 	}
 	return s.opt
+}
+
+// PlanCacheStats reports the optimizer's plan-cache effectiveness.
+func (s *System) PlanCacheStats() optimizer.PlanCacheStats {
+	return s.Optimizer().PlanCacheStats()
 }
 
 // Plan is a located, compliant query execution plan.

@@ -45,6 +45,7 @@ func main() {
 	chaosDrop := flag.Float64("chaos-drop", 0.05, "per-batch drop probability under -chaos-seed")
 	chaosError := flag.Float64("chaos-error", 0.05, "per-send transient-error probability under -chaos-seed")
 	chaosDelay := flag.Float64("chaos-delay", 0.10, "per-send delay probability under -chaos-seed")
+	planCache := flag.Int("plan-cache", optimizer.DefaultPlanCacheSize, "optimized-plan LRU cache size (0 = off); repeated queries skip optimization")
 	flag.Parse()
 
 	var pc *policy.Catalog
@@ -86,6 +87,7 @@ func main() {
 	opt := optimizer.New(cat, pc, net, optimizer.Options{
 		Compliant:      true,
 		ResultLocation: *resultLoc,
+		PlanCacheSize:  *planCache,
 	})
 
 	runOne := func(sql string) {
@@ -96,8 +98,15 @@ func main() {
 		}
 		fmt.Println(res.Plan.Format(true))
 		if *explainOnly {
-			fmt.Printf("-- optimization: %v, estimated ship cost: %.2f ms\n",
-				res.Stats.TotalTime, res.ShipCost)
+			cacheNote := ""
+			if res.Stats.PlanCacheHit {
+				cacheNote = " [plan cache hit]"
+			} else if pcs := opt.PlanCacheStats(); pcs.Hits+pcs.Misses > 0 {
+				cacheNote = fmt.Sprintf(" [plan cache %d/%d hits]", pcs.Hits, pcs.Hits+pcs.Misses)
+			}
+			fmt.Printf("-- optimization: %v, estimated ship cost: %.2f ms; η=%d, 𝒜 calls=%d (cache hits %d)%s\n",
+				res.Stats.TotalTime, res.ShipCost,
+				res.Stats.Eta, res.Stats.ACalls, res.Stats.AHits, cacheNote)
 			return
 		}
 		run := executor.Run
@@ -182,6 +191,7 @@ func main() {
 				opt = optimizer.New(cat, pc, net, optimizer.Options{
 					Compliant:      true,
 					ResultLocation: *resultLoc,
+					PlanCacheSize:  *planCache,
 				})
 			}
 			prompt()

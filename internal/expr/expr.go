@@ -221,7 +221,7 @@ type Cmp struct {
 func NewCmp(op CmpOp, l, r Expr) *Cmp { return &Cmp{Op: op, L: l, R: r} }
 
 // String renders the comparison.
-func (c *Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+func (c *Cmp) String() string { return c.L.String() + " " + c.Op.String() + " " + c.R.String() }
 
 // Children returns both operands.
 func (c *Cmp) Children() []Expr { return []Expr{c.L, c.R} }
@@ -239,7 +239,7 @@ type And struct{ L, R Expr }
 func NewAnd(l, r Expr) *And { return &And{L: l, R: r} }
 
 // String renders the conjunction.
-func (a *And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+func (a *And) String() string { return "(" + a.L.String() + " AND " + a.R.String() + ")" }
 
 // Children returns both conjuncts.
 func (a *And) Children() []Expr { return []Expr{a.L, a.R} }

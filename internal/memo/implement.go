@@ -47,9 +47,45 @@ type ImplConfig struct {
 	// query contains an ORDER BY; otherwise orderings cannot pay off and
 	// tracking them would only widen the alternative fronts).
 	TrackOrder bool
+	// Stats receives per-optimization evaluator statistics (η, calls,
+	// hits). The evaluator itself may be shared across concurrent
+	// optimizations; this handle is owned by one Implement pass.
+	Stats *policy.EvalStats
 
 	// analyzer caches local-query analysis across alternatives.
 	analyzer *policy.Analyzer
+	// equiConds caches, per join predicate, its equi-join conjuncts
+	// (Col = Col); predicates are shared across memo expressions, so the
+	// conjunct split would otherwise be recomputed for every alternative.
+	equiConds map[expr.Expr][]*expr.Cmp
+	// allSites is NewSiteSet(AllLocations...), built once per pass.
+	allSites plan.SiteSet
+}
+
+// equiCmps returns the equi-join conjuncts (Col = Col) of a join
+// predicate, cached per predicate pointer.
+func (cfg *ImplConfig) equiCmps(pred expr.Expr) []*expr.Cmp {
+	if pred == nil {
+		return nil
+	}
+	if cs, ok := cfg.equiConds[pred]; ok {
+		return cs
+	}
+	var cs []*expr.Cmp
+	for _, c := range expr.Conjuncts(pred) {
+		if cmp, ok := c.(*expr.Cmp); ok && cmp.Op == expr.EQ {
+			if _, lok := cmp.L.(*expr.Col); lok {
+				if _, rok := cmp.R.(*expr.Col); rok {
+					cs = append(cs, cmp)
+				}
+			}
+		}
+	}
+	if cfg.equiConds == nil {
+		cfg.equiConds = map[expr.Expr][]*expr.Cmp{}
+	}
+	cfg.equiConds[pred] = cs
+	return cs
 }
 
 // Implement computes the physical alternatives of a group bottom-up,
@@ -62,6 +98,7 @@ func (m *Memo) Implement(g *Group, cfg *ImplConfig) []*Alt {
 	g.implemented = true // set first; the memo DAG is acyclic by construction
 	if cfg.analyzer == nil {
 		cfg.analyzer = policy.NewAnalyzer()
+		cfg.allSites = plan.NewSiteSet(cfg.AllLocations...)
 	}
 	maxAlts := cfg.MaxAlts
 	if maxAlts <= 0 {
@@ -85,9 +122,24 @@ func (m *Memo) Implement(g *Group, cfg *ImplConfig) []*Alt {
 		if !feasible {
 			continue
 		}
-		for _, phys := range physicalKinds(e.Op) {
+		// The output schema depends on the expression alone, not on the
+		// chosen physical kind or child combination; hoist it out of the
+		// per-alternative loop (alternatives share the slice, plans never
+		// mutate their Cols). The merge-join key columns likewise: every
+		// child alternative is canonicalized to its group's schema, so
+		// resolving the equi keys against the group columns once is
+		// equivalent to resolving them per combination.
+		eCols := outputCols(e.Op, e.Children)
+		kinds := physicalKinds(e.Op, cfg)
+		var mjLk, mjRk []string
+		for _, phys := range kinds {
+			if phys == plan.MergeJoin {
+				mjLk, mjRk = equiKeyCols(cfg.equiCmps(e.Op.Pred), e.Children[0].Cols, e.Children[1].Cols)
+			}
+		}
+		for _, phys := range kinds {
 			forEachCombo(childAlts, func(combo []*Alt) {
-				alt := m.buildAlt(e, phys, combo, cfg)
+				alt := m.buildAlt(e, phys, eCols, mjLk, mjRk, combo, cfg)
 				if alt != nil {
 					alts = insertAlt(alts, alt, maxAlts, cfg)
 				}
@@ -109,59 +161,118 @@ func (m *Memo) Implement(g *Group, cfg *ImplConfig) []*Alt {
 	return alts
 }
 
+// Static physical-kind slices: physicalKinds is called once per memo
+// expression and must not allocate.
+var (
+	kindsScan     = []plan.Kind{plan.TableScan}
+	kindsFilter   = []plan.Kind{plan.FilterExec}
+	kindsProject  = []plan.Kind{plan.ProjectExec}
+	kindsEquiJoin = []plan.Kind{plan.HashJoin, plan.MergeJoin, plan.NLJoin}
+	kindsNLJoin   = []plan.Kind{plan.NLJoin}
+	kindsAgg      = []plan.Kind{plan.HashAgg}
+	kindsSort     = []plan.Kind{plan.SortExec}
+	kindsLimit    = []plan.Kind{plan.LimitExec}
+	kindsUnion    = []plan.Kind{plan.UnionAll}
+)
+
 // physicalKinds maps a logical operator to its physical implementations.
-func physicalKinds(op *plan.Node) []plan.Kind {
+func physicalKinds(op *plan.Node, cfg *ImplConfig) []plan.Kind {
 	switch op.Kind {
 	case plan.Scan:
-		return []plan.Kind{plan.TableScan}
+		return kindsScan
 	case plan.Filter:
-		return []plan.Kind{plan.FilterExec}
+		return kindsFilter
 	case plan.Project:
-		return []plan.Kind{plan.ProjectExec}
+		return kindsProject
 	case plan.Join:
-		if hasEquiCond(op.Pred) {
-			return []plan.Kind{plan.HashJoin, plan.MergeJoin, plan.NLJoin}
+		if len(cfg.equiCmps(op.Pred)) > 0 {
+			return kindsEquiJoin
 		}
-		return []plan.Kind{plan.NLJoin}
+		return kindsNLJoin
 	case plan.Aggregate:
-		return []plan.Kind{plan.HashAgg}
+		return kindsAgg
 	case plan.Sort:
-		return []plan.Kind{plan.SortExec}
+		return kindsSort
 	case plan.Limit:
-		return []plan.Kind{plan.LimitExec}
+		return kindsLimit
 	case plan.Union:
-		return []plan.Kind{plan.UnionAll}
+		return kindsUnion
 	}
 	// Already physical (should not happen for logical exploration).
 	return []plan.Kind{op.Kind}
 }
 
-func hasEquiCond(cond expr.Expr) bool {
-	for _, c := range expr.Conjuncts(cond) {
-		if cmp, ok := c.(*expr.Cmp); ok && cmp.Op == expr.EQ {
-			if _, lok := cmp.L.(*expr.Col); lok {
-				if _, rok := cmp.R.(*expr.Col); rok {
-					return true
-				}
-			}
-		}
-	}
-	return false
+// altBlock fuses the three allocations an alternative needs — the Alt,
+// its operator node and the (≤2-ary) child pointer slice — into one.
+type altBlock struct {
+	alt  Alt
+	node plan.Node
+	kids [2]*plan.Node
 }
 
 // buildAlt constructs one physical alternative and derives its traits.
 // It returns nil when the alternative is infeasible (empty execution
 // trait in compliant mode — the infinite-cost rule).
-func (m *Memo) buildAlt(e *MExpr, phys plan.Kind, combo []*Alt, cfg *ImplConfig) *Alt {
-	node := *e.Op
+func (m *Memo) buildAlt(e *MExpr, phys plan.Kind, eCols []plan.ColRef, mjLk, mjRk []string, combo []*Alt, cfg *ImplConfig) *Alt {
+	// Merge join is only worth enumerating with usable equi keys and when
+	// at least one input already delivers its key order (otherwise two
+	// sorts never beat a hash join); check before building anything.
+	lOrdered, rOrdered := false, false
+	if phys == plan.MergeJoin {
+		if len(mjLk) == 0 {
+			return nil // no usable equi keys after child resolution
+		}
+		lOrdered = prefixCovered(combo[0].Order, mjLk)
+		rOrdered = prefixCovered(combo[1].Order, mjRk)
+		if !lOrdered && !rOrdered {
+			return nil
+		}
+	}
+	// Derive the execution trait up front (AR1/AR2): infeasible
+	// alternatives — empty trait, the infinite-cost rule — are discarded
+	// before anything is allocated. SiteSet algebra is allocation-free.
+	var exec plan.SiteSet
+	switch {
+	case phys == plan.TableScan:
+		// AR1: a tablescan executes at its table's source location.
+		exec = plan.NewSiteSet(scanLocation(e.Op))
+	case !cfg.Compliant:
+		// Traditional mode: anything but a leaf may run anywhere.
+		exec = cfg.allSites
+	default:
+		// AR2: an operator may execute wherever every input may legally
+		// be shipped.
+		exec = combo[0].Ship
+		for _, c := range combo[1:] {
+			exec = exec.Intersect(c.Ship)
+		}
+		if exec.Empty() {
+			return nil
+		}
+	}
+
+	blk := &altBlock{node: *e.Op}
+	node := &blk.node
 	node.Kind = phys
 	// Schema comes from this expression's own children (a commuted join
 	// orders its output columns differently from the group canon; upstream
 	// operators resolve columns by name, so order is a per-tree detail).
-	node.Cols = outputCols(e.Op, e.Children)
+	node.Cols = eCols
 	node.Card = e.Group.Card
-	node.Children = make([]*plan.Node, len(combo))
-	inCards := make([]float64, len(combo))
+	node.Exec = exec
+	if len(combo) <= len(blk.kids) {
+		node.Children = blk.kids[:len(combo):len(combo)]
+	} else {
+		node.Children = make([]*plan.Node, len(combo))
+	}
+	// Input cardinalities stay on the stack for the common arities.
+	var inCardsBuf [2]float64
+	inCards := inCardsBuf[:]
+	if len(combo) > len(inCardsBuf) {
+		inCards = make([]float64, len(combo))
+	} else {
+		inCards = inCards[:len(combo)]
+	}
 	childCost := 0.0
 	for i, c := range combo {
 		node.Children[i] = c.Tree
@@ -174,25 +285,13 @@ func (m *Memo) buildAlt(e *MExpr, phys plan.Kind, combo []*Alt, cfg *ImplConfig)
 	var order []string
 	switch phys {
 	case plan.MergeJoin:
-		lk, rk := equiKeyCols(node.Pred, node.Children[0].Cols, node.Children[1].Cols)
-		if len(lk) == 0 {
-			return nil // no usable equi keys after child resolution
-		}
-		lOrdered := prefixCovered(combo[0].Order, lk)
-		rOrdered := prefixCovered(combo[1].Order, rk)
-		// Merge join is only worth enumerating when at least one input
-		// already delivers its key order (otherwise two sorts never beat
-		// a hash join).
-		if !lOrdered && !rOrdered {
-			return nil
-		}
 		if !lOrdered {
 			opCost += cost.SortCost(inCards[0])
 		}
 		if !rOrdered {
 			opCost += cost.SortCost(inCards[1])
 		}
-		order = lk
+		order = mjLk
 	case plan.TableScan:
 		// Scans of physically sorted tables deliver that order.
 		if node.Table != nil {
@@ -218,40 +317,21 @@ func (m *Memo) buildAlt(e *MExpr, phys plan.Kind, combo []*Alt, cfg *ImplConfig)
 	total := childCost + opCost
 	node.Cost = total
 
-	alt := &Alt{Tree: &node, Cost: total, Order: order}
+	alt := &blk.alt
+	alt.Tree = node
+	alt.Cost = total
+	alt.Order = order
 	if !cfg.Compliant {
-		// Traditional mode: leaves execute at the table's site; anything
-		// else anywhere. Traits carry only what the site selector needs.
-		if phys == plan.TableScan {
-			node.Exec = plan.NewSiteSet(scanLocation(&node))
-		} else {
-			node.Exec = plan.NewSiteSet(cfg.AllLocations...)
-		}
+		// Traditional mode: traits carry only what the site selector needs.
 		return canonicalizeAlt(alt, e.Group)
 	}
 
-	// AR1: a tablescan executes at its table's source location.
-	if phys == plan.TableScan {
-		node.Exec = plan.NewSiteSet(scanLocation(&node))
-	} else {
-		// AR2: an operator may execute wherever every input may legally
-		// be shipped.
-		exec := combo[0].Ship
-		for _, c := range combo[1:] {
-			exec = exec.Intersect(c.Ship)
-		}
-		node.Exec = exec
-	}
-	if node.Exec.Empty() {
-		// Compliance-based cost function: infinite cost; discard.
-		return nil
-	}
 	// AR3: output can ship wherever the operator can execute.
-	ship := node.Exec
+	ship := exec
 	// AR4: when the subtree is a local query over a single database,
 	// the policy evaluator contributes destinations.
-	if q, ok := cfg.analyzer.Describe(&node); ok {
-		ship = ship.Union(cfg.Evaluator.Evaluate(q))
+	if q, ok := cfg.analyzer.Describe(node); ok {
+		ship = ship.Union(cfg.Evaluator.EvaluateWith(q, cfg.Stats))
 		alt.DescKey = q.Digest()
 	}
 	node.ShipT = ship
@@ -270,25 +350,33 @@ func canonicalizeAlt(alt *Alt, g *Group) *Alt {
 	if sameColKeys(node.Cols, g.Cols) {
 		return alt
 	}
-	projs := make([]plan.NamedExpr, len(g.Cols))
-	for i, c := range g.Cols {
-		projs[i] = plan.NamedExpr{E: c.Col(), Name: c.Name, Type: c.Type}
+	// The reorder projection list depends only on the group schema; cache
+	// it on the group — every mis-ordered alternative shares it (plan
+	// trees never mutate their Projs).
+	if g.canonProjs == nil {
+		projs := make([]plan.NamedExpr, len(g.Cols))
+		for i, c := range g.Cols {
+			projs[i] = plan.NamedExpr{E: c.Col(), Name: c.Name, Type: c.Type}
+		}
+		g.canonProjs = projs
 	}
-	reorder := &plan.Node{
+	blk := &altBlock{alt: *alt}
+	blk.kids[0] = node
+	blk.node = plan.Node{
 		Kind:     plan.ProjectExec,
-		Children: []*plan.Node{node},
-		Cols:     append([]plan.ColRef(nil), g.Cols...),
-		Projs:    projs,
+		Children: blk.kids[:1:1],
+		Cols:     g.Cols,
+		Projs:    g.canonProjs,
 		Card:     node.Card,
 		Cost:     node.Cost + cost.OperatorCost(plan.ProjectExec, node.Card, node.Card),
 		Exec:     node.Exec,
 		ShipT:    node.ShipT,
 	}
-	out := *alt
-	out.Tree = reorder
-	out.Cost = reorder.Cost
+	out := &blk.alt
+	out.Tree = &blk.node
+	out.Cost = blk.node.Cost
 	// A pure reorder keeps every column; the ordering property survives.
-	return &out
+	return out
 }
 
 func sameColKeys(a, b []plan.ColRef) bool {
@@ -296,7 +384,8 @@ func sameColKeys(a, b []plan.ColRef) bool {
 		return false
 	}
 	for i := range a {
-		if a[i].Key() != b[i].Key() {
+		// Field-wise comparison of what Key() concatenates (no allocation).
+		if a[i].Table != b[i].Table || a[i].Name != b[i].Name {
 			return false
 		}
 	}
@@ -422,7 +511,7 @@ func orderThroughSchema(order []string, cols []plan.ColRef) []string {
 // equiKeyCols extracts, per equi-join conjunct, the (left, right) column
 // keys resolved against the child schemas; conjuncts whose sides do not
 // split cleanly are skipped.
-func equiKeyCols(pred expr.Expr, leftCols, rightCols []plan.ColRef) (lk, rk []string) {
+func equiKeyCols(cmps []*expr.Cmp, leftCols, rightCols []plan.ColRef) (lk, rk []string) {
 	inCols := func(c *expr.Col, cols []plan.ColRef) (string, bool) {
 		for _, cr := range cols {
 			if strings.EqualFold(cr.Name, c.Name) && (c.Table == "" || strings.EqualFold(cr.Table, c.Table)) {
@@ -431,16 +520,9 @@ func equiKeyCols(pred expr.Expr, leftCols, rightCols []plan.ColRef) (lk, rk []st
 		}
 		return "", false
 	}
-	for _, c := range expr.Conjuncts(pred) {
-		cmp, ok := c.(*expr.Cmp)
-		if !ok || cmp.Op != expr.EQ {
-			continue
-		}
-		a, aok := cmp.L.(*expr.Col)
-		b, bok := cmp.R.(*expr.Col)
-		if !aok || !bok {
-			continue
-		}
+	for _, cmp := range cmps {
+		a := cmp.L.(*expr.Col)
+		b := cmp.R.(*expr.Col)
 		if la, ok1 := inCols(a, leftCols); ok1 {
 			if rb, ok2 := inCols(b, rightCols); ok2 {
 				lk = append(lk, la)
@@ -459,6 +541,8 @@ func equiKeyCols(pred expr.Expr, leftCols, rightCols []plan.ColRef) (lk, rk []st
 }
 
 // forEachCombo enumerates the cartesian product of child alternatives.
+// The combo slice is reused across invocations; fn must copy anything it
+// retains (buildAlt copies the members into the node's Children).
 func forEachCombo(childAlts [][]*Alt, fn func([]*Alt)) {
 	if len(childAlts) == 0 {
 		fn(nil)
@@ -468,9 +552,7 @@ func forEachCombo(childAlts [][]*Alt, fn func([]*Alt)) {
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(childAlts) {
-			cp := make([]*Alt, len(combo))
-			copy(cp, combo)
-			fn(cp)
+			fn(combo)
 			return
 		}
 		for _, a := range childAlts[i] {

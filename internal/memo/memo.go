@@ -9,9 +9,11 @@ package memo
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"cgdqp/internal/cost"
+	"cgdqp/internal/expr"
 	"cgdqp/internal/plan"
 )
 
@@ -21,6 +23,15 @@ type Memo struct {
 
 	byDigest map[string]*MExpr // expression digest -> canonical expression
 	est      *cost.Estimator
+	// predStrs caches predicate renderings by pointer: rules share
+	// predicate expressions across the alternatives they derive, and the
+	// recursive String() inside OpDigest dominates digest cost.
+	predStrs map[expr.Expr]string
+	// conjs and exprCols cache per-predicate conjunct splits and column
+	// references for the rule engine, which re-derives them on every
+	// rule application otherwise.
+	conjs    map[expr.Expr][]expr.Expr
+	exprCols map[expr.Expr][]*expr.Col
 
 	// MaxExprs bounds the number of logical expressions created during
 	// exploration (a safety valve for very large join graphs).
@@ -44,6 +55,9 @@ type Group struct {
 	// Implementation results (set by Implement).
 	Alts        []*Alt
 	implemented bool
+	// canonProjs caches the reorder projection list over Cols (built on
+	// first use by canonicalizeAlt; shared by every reordered alternative).
+	canonProjs []plan.NamedExpr
 }
 
 // MExpr is one logical expression: an operator whose children are groups.
@@ -81,7 +95,94 @@ func (e *MExpr) Digest() string {
 
 // New creates an empty memo using the estimator for group cardinalities.
 func New(est *cost.Estimator) *Memo {
-	return &Memo{byDigest: map[string]*MExpr{}, est: est, MaxExprs: 200000}
+	return &Memo{
+		byDigest: map[string]*MExpr{},
+		predStrs: map[expr.Expr]string{},
+		conjs:    map[expr.Expr][]expr.Expr{},
+		exprCols: map[expr.Expr][]*expr.Col{},
+		est:      est,
+		MaxExprs: 200000,
+	}
+}
+
+// Conjuncts returns expr.Conjuncts(e) cached per expression pointer.
+// Callers must treat the result as read-only (copy before appending).
+func (m *Memo) Conjuncts(e expr.Expr) []expr.Expr {
+	if e == nil {
+		return nil
+	}
+	if cs, ok := m.conjs[e]; ok {
+		return cs
+	}
+	cs := expr.Conjuncts(e)
+	// Clamp capacity so an append by a careless caller cannot scribble
+	// over the cached backing array.
+	cs = cs[:len(cs):len(cs)]
+	m.conjs[e] = cs
+	return cs
+}
+
+// ColsOf returns the column references appearing in e, cached per
+// expression pointer. Callers must treat the result as read-only.
+func (m *Memo) ColsOf(e expr.Expr) []*expr.Col {
+	if e == nil {
+		return nil
+	}
+	if cols, ok := m.exprCols[e]; ok {
+		return cols
+	}
+	var cols []*expr.Col
+	expr.Walk(e, func(n expr.Expr) bool {
+		if c, ok := n.(*expr.Col); ok {
+			cols = append(cols, c)
+		}
+		return true
+	})
+	cols = cols[:len(cols):len(cols)]
+	m.exprCols[e] = cols
+	return cols
+}
+
+// exprDigest is MExpr.Digest with the predicate renderings memoized on
+// the memo (predicates are shared by pointer across derived expressions,
+// and rule re-application recomputes digests of mostly-known
+// expressions, so the rendering dominates insert cost).
+func (m *Memo) exprDigest(e *MExpr) string {
+	var b strings.Builder
+	b.Grow(64)
+	switch e.Op.Kind {
+	case plan.Filter, plan.FilterExec, plan.Join, plan.HashJoin, plan.NLJoin, plan.MergeJoin:
+		b.WriteString(e.Op.Kind.String())
+		b.WriteByte(':')
+		if e.Op.Pred != nil {
+			b.WriteString(m.predString(e.Op.Pred))
+		}
+	default:
+		b.WriteString(e.Op.OpDigest())
+	}
+	for _, c := range e.Children {
+		b.WriteByte('[')
+		b.WriteString(strconv.Itoa(c.ID))
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+func (m *Memo) predString(e expr.Expr) string {
+	if s, ok := m.predStrs[e]; ok {
+		return s
+	}
+	var s string
+	if a, ok := e.(*expr.And); ok {
+		// Recurse through conjunctions so freshly rebuilt And chains
+		// (rules recombine conjuncts on every application) reuse the
+		// cached renderings of their stable leaves. Mirrors And.String.
+		s = "(" + m.predString(a.L) + " AND " + m.predString(a.R) + ")"
+	} else {
+		s = e.String()
+	}
+	m.predStrs[e] = s
+	return s
 }
 
 // Budget reports whether the exploration budget is exhausted.
@@ -122,7 +223,7 @@ func stripChildren(n *plan.Node) *plan.Node {
 // a new expression was created.
 func (m *Memo) InsertExpr(op *plan.Node, children []*Group, target *Group) (*MExpr, bool) {
 	e := &MExpr{Op: op, Children: children}
-	d := e.Digest()
+	d := m.exprDigest(e)
 	if existing, ok := m.byDigest[d]; ok {
 		if target != nil && existing.Group != target {
 			m.DigestConflicts++

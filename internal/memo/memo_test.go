@@ -274,17 +274,22 @@ func TestEquiKeyCols(t *testing.T) {
 	pred := expr.NewAnd(
 		expr.NewCmp(expr.EQ, expr.NewCol("a", "k"), expr.NewCol("b", "k")),
 		expr.NewCmp(expr.GT, expr.NewCol("a", "j"), expr.NewConst(expr.NewInt(1))))
-	lk, rk := equiKeyCols(pred, lcols, rcols)
+	cfg := &ImplConfig{}
+	lk, rk := equiKeyCols(cfg.equiCmps(pred), lcols, rcols)
 	if len(lk) != 1 || lk[0] != "a.k" || rk[0] != "b.k" {
 		t.Errorf("keys: %v %v", lk, rk)
 	}
+	// The conjunct split is cached per predicate pointer.
+	if got := cfg.equiCmps(pred); len(got) != 1 || got[0].Op != expr.EQ {
+		t.Errorf("cached equi conjuncts: %v", got)
+	}
 	// Reversed sides resolve too.
-	lk2, rk2 := equiKeyCols(expr.NewCmp(expr.EQ, expr.NewCol("b", "k"), expr.NewCol("a", "k")), lcols, rcols)
+	lk2, rk2 := equiKeyCols(cfg.equiCmps(expr.NewCmp(expr.EQ, expr.NewCol("b", "k"), expr.NewCol("a", "k"))), lcols, rcols)
 	if len(lk2) != 1 || lk2[0] != "a.k" || rk2[0] != "b.k" {
 		t.Errorf("reversed keys: %v %v", lk2, rk2)
 	}
-	// Same-side equality yields nothing.
-	lk3, _ := equiKeyCols(expr.NewCmp(expr.EQ, expr.NewCol("a", "k"), expr.NewCol("a", "j")), lcols, rcols)
+	// Same-side equality still splits as Col=Col; key resolution rejects it.
+	lk3, _ := equiKeyCols(cfg.equiCmps(expr.NewCmp(expr.EQ, expr.NewCol("a", "k"), expr.NewCol("a", "j"))), lcols, rcols)
 	if len(lk3) != 0 {
 		t.Errorf("same-side keys: %v", lk3)
 	}

@@ -3,6 +3,7 @@ package optimizer
 import (
 	"cgdqp/internal/expr"
 	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
 )
 
 // mergeProjections collapses adjacent ProjectExec pairs by composing the
@@ -15,9 +16,9 @@ import (
 // projection's input directly, so its execution trait is the lower one
 // (AR2 over the same inputs), and its shipping trait is recomputed via
 // AR3 ∪ AR4 on the merged subtree.
-func (o *Optimizer) mergeProjections(n *plan.Node) *plan.Node {
+func (o *Optimizer) mergeProjections(n *plan.Node, st *policy.EvalStats) *plan.Node {
 	for i, c := range n.Children {
-		n.Children[i] = o.mergeProjections(c)
+		n.Children[i] = o.mergeProjections(c, st)
 	}
 	if n.Kind != plan.ProjectExec || len(n.Children) != 1 {
 		return n
@@ -52,11 +53,11 @@ func (o *Optimizer) mergeProjections(n *plan.Node) *plan.Node {
 	merged.Exec = lower.Exec
 	if o.Opts.Compliant {
 		ship := lower.Exec
-		if s, found := o.Evaluator.EvaluateSubtree(&merged); found {
+		if s, found := o.Evaluator.EvaluateSubtreeWith(&merged, st); found {
 			ship = ship.Union(s)
 		}
 		merged.ShipT = ship
 	}
 	// The merge may expose another adjacent pair.
-	return o.mergeProjections(&merged)
+	return o.mergeProjections(&merged, st)
 }

@@ -3,8 +3,11 @@ package optimizer
 import (
 	"testing"
 
+	"cgdqp/internal/expr"
 	"cgdqp/internal/network"
 	"cgdqp/internal/plan"
+	"cgdqp/internal/policy"
+	"cgdqp/internal/schema"
 )
 
 // TestProjectionMerging: compliant plans must not contain adjacent
@@ -28,5 +31,153 @@ func TestProjectionMerging(t *testing.T) {
 	}
 	if v := opt.Check(res.Plan); len(v) != 0 {
 		t.Errorf("violations after merging: %v", v)
+	}
+}
+
+// --- mergeProjections unit tests -----------------------------------------
+
+func projScanFixture() *plan.Node {
+	t := schema.NewTable("t", "db-1", "L1", 100,
+		schema.Column{Name: "a", Type: expr.TInt},
+		schema.Column{Name: "b", Type: expr.TInt},
+		schema.Column{Name: "c", Type: expr.TInt})
+	scan := plan.NewScan(t, "t", -1)
+	scan.Kind = plan.TableScan
+	scan.Exec = plan.NewSiteSet("L1")
+	return scan
+}
+
+func projExec(child *plan.Node, projs []plan.NamedExpr) *plan.Node {
+	n := plan.NewProject(child, projs)
+	n.Kind = plan.ProjectExec
+	n.Exec = child.Exec
+	return n
+}
+
+// TestMergeProjectionsComposes checks the classic case: an upper
+// projection over a lower projection composes into one ProjectExec whose
+// expressions are the upper ones rewritten over the lower's.
+func TestMergeProjectionsComposes(t *testing.T) {
+	scan := projScanFixture()
+	lower := projExec(scan, []plan.NamedExpr{
+		{E: expr.NewArith(expr.Add, expr.NewCol("t", "a"), expr.NewCol("t", "b")), Name: "s"},
+		{E: expr.NewCol("t", "a"), Name: "a"},
+	})
+	upper := projExec(lower, []plan.NamedExpr{
+		{E: expr.NewArith(expr.Mul, expr.NewCol("", "s"), expr.NewConst(expr.NewInt(2))), Name: "d"},
+	})
+
+	o := &Optimizer{Opts: Options{Compliant: false}}
+	var st policy.EvalStats
+	got := o.mergeProjections(upper, &st)
+
+	if got.Kind != plan.ProjectExec {
+		t.Fatalf("merged kind = %v, want ProjectExec", got.Kind)
+	}
+	if len(got.Children) != 1 || got.Children[0] != scan {
+		t.Fatalf("merged projection must read the scan directly, got child %v", got.Children[0].Kind)
+	}
+	if len(got.Projs) != 1 || got.Projs[0].Name != "d" {
+		t.Fatalf("merged projs = %v", got.Projs)
+	}
+	want := expr.NewArith(expr.Mul,
+		expr.NewArith(expr.Add, expr.NewCol("t", "a"), expr.NewCol("t", "b")),
+		expr.NewConst(expr.NewInt(2))).String()
+	if s := got.Projs[0].E.String(); s != want {
+		t.Fatalf("composed expression = %s, want %s", s, want)
+	}
+}
+
+// TestMergeProjectionsStack checks that a triple stack collapses to a
+// single projection (the merge re-examines its own output).
+func TestMergeProjectionsStack(t *testing.T) {
+	scan := projScanFixture()
+	p1 := projExec(scan, []plan.NamedExpr{{E: expr.NewCol("t", "a"), Name: "x"}})
+	p2 := projExec(p1, []plan.NamedExpr{{E: expr.NewCol("", "x"), Name: "y"}})
+	p3 := projExec(p2, []plan.NamedExpr{{E: expr.NewCol("", "y"), Name: "z"}})
+
+	o := &Optimizer{Opts: Options{Compliant: false}}
+	var st policy.EvalStats
+	got := o.mergeProjections(p3, &st)
+	if got.Children[0] != scan {
+		t.Fatalf("triple stack did not collapse: child is %v", got.Children[0].Kind)
+	}
+	if got.Projs[0].E.String() != "t.a" || got.Projs[0].Name != "z" {
+		t.Fatalf("collapsed projection = %s AS %s", got.Projs[0].E, got.Projs[0].Name)
+	}
+}
+
+// TestMergeProjectionsBlockedByFilter checks that non-adjacent
+// projections (an intervening operator) are left alone.
+func TestMergeProjectionsBlockedByFilter(t *testing.T) {
+	scan := projScanFixture()
+	lower := projExec(scan, []plan.NamedExpr{{E: expr.NewCol("t", "a"), Name: "x"}})
+	fil := plan.NewFilter(lower, expr.NewCmp(expr.GT, expr.NewCol("", "x"), expr.NewConst(expr.NewInt(1))))
+	fil.Kind = plan.FilterExec
+	fil.Exec = lower.Exec
+	upper := projExec(fil, []plan.NamedExpr{{E: expr.NewCol("", "x"), Name: "y"}})
+
+	o := &Optimizer{Opts: Options{Compliant: false}}
+	var st policy.EvalStats
+	got := o.mergeProjections(upper, &st)
+	if got.Children[0].Kind != plan.FilterExec {
+		t.Fatalf("merge must not cross a filter; child = %v", got.Children[0].Kind)
+	}
+	if got.Children[0].Children[0].Children[0] != scan {
+		t.Fatal("subtree below the filter was restructured")
+	}
+}
+
+// TestMergeProjectionsUnresolvedColumn checks the bail-out: when an upper
+// expression references a column the lower projection does not produce,
+// the pair is left unmerged rather than mis-rewritten.
+func TestMergeProjectionsUnresolvedColumn(t *testing.T) {
+	scan := projScanFixture()
+	lower := projExec(scan, []plan.NamedExpr{{E: expr.NewCol("t", "a"), Name: "x"}})
+	upper := projExec(lower, []plan.NamedExpr{{E: expr.NewCol("", "zz"), Name: "y"}})
+
+	o := &Optimizer{Opts: Options{Compliant: false}}
+	var st policy.EvalStats
+	got := o.mergeProjections(upper, &st)
+	if got.Children[0] != lower {
+		t.Fatalf("merge with unresolved column must be a no-op; child = %v", got.Children[0].Kind)
+	}
+}
+
+// TestMergeProjectionsCompliantTraits checks AR2/AR3∪AR4 on the merged
+// operator: the execution trait is inherited from the lower projection
+// and the shipping trait is re-derived from the policy evaluator over
+// the merged subtree.
+func TestMergeProjectionsCompliantTraits(t *testing.T) {
+	scan := projScanFixture()
+	lower := projExec(scan, []plan.NamedExpr{
+		{E: expr.NewCol("t", "a"), Name: "a"},
+		{E: expr.NewCol("t", "b"), Name: "b"},
+	})
+	upper := projExec(lower, []plan.NamedExpr{{E: expr.NewCol("", "a"), Name: "a"}})
+
+	pc := policy.NewCatalog()
+	pc.AddAll(policy.MustParse("ship a from t to L1, L2", "p1", "db-1"))
+	ev := policy.NewEvaluator(pc, []string{"L1", "L2", "L3"})
+	o := &Optimizer{Opts: Options{Compliant: true}, Evaluator: ev}
+	var st policy.EvalStats
+	got := o.mergeProjections(upper, &st)
+
+	if got.Children[0] != scan {
+		t.Fatalf("projections did not merge; child = %v", got.Children[0].Kind)
+	}
+	if !got.Exec.Equal(lower.Exec) {
+		t.Fatalf("merged Exec = %s, want lower's %s", got.Exec, lower.Exec)
+	}
+	for _, loc := range []string{"L1", "L2"} {
+		if !got.ShipT.Contains(loc) {
+			t.Errorf("merged ShipT %s must contain %s (granted by p1 ∪ AR3)", got.ShipT, loc)
+		}
+	}
+	if got.ShipT.Contains("L3") {
+		t.Errorf("merged ShipT %s must not contain ungranted L3", got.ShipT)
+	}
+	if st.Calls == 0 {
+		t.Error("trait re-derivation must be attributed to the EvalStats handle")
 	}
 }

@@ -21,6 +21,10 @@ import (
 // Figure 2's "legal?" gate.
 var ErrNoCompliantPlan = errors.New("optimizer: query has no compliant execution plan under the current dataflow policies")
 
+// DefaultPlanCacheSize is the plan-cache capacity production embedders
+// (cgdqp.System, the CLI shell) use unless configured otherwise.
+const DefaultPlanCacheSize = 256
+
 // Options configure an optimizer instance.
 type Options struct {
 	// Compliant selects the compliance-based optimizer; false gives the
@@ -52,6 +56,21 @@ type Options struct {
 	// NoPolicyCache disables the policy evaluator's memoization (the
 	// paper's evaluator re-ran per operator; see Figure 6(c–f)).
 	NoPolicyCache bool
+	// PlanCacheSize enables a whole-plan LRU cache holding that many
+	// optimized plans, keyed by (normalized-plan digest, policy epoch,
+	// options). 0 disables it — the default, so the paper's
+	// optimization-time experiments measure real optimizer work.
+	PlanCacheSize int
+}
+
+// fingerprint renders every option that shapes the optimizer's output
+// (PlanCacheSize only changes caching, not plans) for plan-cache keys.
+func (o Options) fingerprint() string {
+	return fmt.Sprintf("c=%t;im=%d;ma=%d;me=%d;ap=%t;jr=%t;gs=%t;rt=%t;rl=%s;npc=%t",
+		o.Compliant, o.ImplicationMode, o.MaxAlts, o.MaxExprs,
+		o.DisableAggPushdown, o.DisableJoinReorder,
+		o.GreedySiteSelection, o.ResponseTimeObjective,
+		o.ResultLocation, o.NoPolicyCache)
 }
 
 // Optimizer turns bound logical plans into located, compliant QEPs.
@@ -62,16 +81,41 @@ type Optimizer struct {
 	Opts     Options
 
 	// Evaluator is shared across optimizations so that the policy cache
-	// persists (its η/call counters are reset per Optimize call).
+	// persists; per-Optimize η/call counts are attributed through a
+	// policy.EvalStats handle, so concurrent optimizations do not race.
 	Evaluator *policy.Evaluator
+
+	// planCache (optional) memoizes whole optimization results; see
+	// Options.PlanCacheSize. sqlDigests lets OptimizeSQL reach it
+	// without re-parsing known query text.
+	planCache  *planCache
+	sqlDigests *sqlDigestCache
+	optsFP     string
 }
 
 // New builds an optimizer over the given catalogs and network model.
 func New(sc *schema.Catalog, pc *policy.Catalog, net *network.CostModel, opts Options) *Optimizer {
+	// Pre-intern the location universe so SiteSet construction during
+	// optimization is pure bit-twiddling on a stable read-only snapshot.
+	plan.Universe().Intern(sc.Locations()...)
 	ev := policy.NewEvaluator(pc, sc.Locations())
 	ev.Mode = opts.ImplicationMode
 	ev.NoCache = opts.NoPolicyCache
-	return &Optimizer{Schema: sc, Policies: pc, Net: net, Opts: opts, Evaluator: ev}
+	o := &Optimizer{Schema: sc, Policies: pc, Net: net, Opts: opts, Evaluator: ev, optsFP: opts.fingerprint()}
+	if opts.PlanCacheSize > 0 {
+		o.planCache = newPlanCache(opts.PlanCacheSize)
+		o.sqlDigests = newSQLDigestCache(4 * opts.PlanCacheSize)
+	}
+	return o
+}
+
+// PlanCacheStats reports plan-cache effectiveness (zero value when the
+// cache is disabled).
+func (o *Optimizer) PlanCacheStats() PlanCacheStats {
+	if o.planCache == nil {
+		return PlanCacheStats{}
+	}
+	return o.planCache.stats()
 }
 
 // Stats reports what one optimization did.
@@ -86,6 +130,11 @@ type Stats struct {
 	Exprs  int
 	Eta    int64 // policy expressions considered (Fig 7's η)
 	ACalls int64 // policy evaluator invocations
+	AHits  int64 // policy evaluator cache hits
+
+	// PlanCacheHit marks a result served from the whole-plan cache; the
+	// counts above then describe the original (cached) optimization.
+	PlanCacheHit bool
 }
 
 // Result is the outcome of one optimization.
@@ -102,19 +151,57 @@ type Result struct {
 	Stats    Stats
 }
 
+// cachedResult turns a plan-cache entry into a Result.
+func cachedResult(e *planCacheEntry, normTime time.Duration, start time.Time) *Result {
+	return &Result{
+		Plan:      e.located,
+		Annotated: e.annotated,
+		PlanCost:  e.planCost,
+		ShipCost:  e.shipCost,
+		Stats: Stats{
+			NormalizeTime: normTime,
+			TotalTime:     time.Since(start),
+			Groups:        e.groups,
+			Exprs:         e.exprs,
+			Eta:           e.eta,
+			ACalls:        e.aCalls,
+			PlanCacheHit:  true,
+		},
+	}
+}
+
 // Optimize runs the two-phase compliance-based optimization on a bound
 // logical plan.
 func (o *Optimizer) Optimize(logical *plan.Node) (*Result, error) {
+	res, _, err := o.optimize(logical)
+	return res, err
+}
+
+// optimize additionally returns the normalized-plan digest (when the
+// plan cache is on) so OptimizeSQL can index its query-text shortcut.
+func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 	start := time.Now()
-	o.Evaluator.ResetStats()
+	var evStats policy.EvalStats
 
 	t0 := time.Now()
 	norm := Normalize(logical.Clone())
-	est := cost.NewEstimator(norm)
 	normTime := time.Since(t0)
+
+	var cacheKey planCacheKey
+	if o.planCache != nil {
+		cacheKey = planCacheKey{
+			planDigest: norm.Digest(),
+			epoch:      o.Evaluator.Epoch(),
+			optsFP:     o.optsFP,
+		}
+		if e, ok := o.planCache.get(cacheKey); ok {
+			return cachedResult(e, normTime, start), cacheKey.planDigest, nil
+		}
+	}
 
 	// Phase 1: plan annotator.
 	t1 := time.Now()
+	est := cost.NewEstimator(norm)
 	m := memo.New(est)
 	if o.Opts.MaxExprs > 0 {
 		m.MaxExprs = o.Opts.MaxExprs
@@ -143,12 +230,13 @@ func (o *Optimizer) Optimize(logical *plan.Node) (*Result, error) {
 		AllLocations: o.Schema.Locations(),
 		MaxAlts:      o.Opts.MaxAlts,
 		TrackOrder:   trackOrder,
+		Stats:        &evStats,
 	}
 	m.Implement(root, cfg)
 	best := memo.Best(root, o.Opts.Compliant, o.Opts.ResultLocation)
 	implementTime := time.Since(t2)
 	if best == nil {
-		return nil, ErrNoCompliantPlan
+		return nil, "", ErrNoCompliantPlan
 	}
 	annotated := best.Tree
 
@@ -156,7 +244,7 @@ func (o *Optimizer) Optimize(logical *plan.Node) (*Result, error) {
 	// (memo alternatives share subtrees). Adjacent projections are
 	// merged first.
 	t3 := time.Now()
-	located := o.mergeProjections(annotated.Clone())
+	located := o.mergeProjections(annotated.Clone(), &evStats)
 	var shipCost float64
 	var err error
 	switch {
@@ -170,9 +258,22 @@ func (o *Optimizer) Optimize(logical *plan.Node) (*Result, error) {
 	siteTime := time.Since(t3)
 	if err != nil {
 		if o.Opts.Compliant {
-			return nil, fmt.Errorf("%w: %v", ErrNoCompliantPlan, err)
+			return nil, "", fmt.Errorf("%w: %v", ErrNoCompliantPlan, err)
 		}
-		return nil, err
+		return nil, "", err
+	}
+
+	if o.planCache != nil {
+		o.planCache.put(cacheKey, &planCacheEntry{
+			located:   located,
+			annotated: annotated,
+			planCost:  best.Cost,
+			shipCost:  shipCost,
+			groups:    len(m.Groups),
+			exprs:     m.ExprCount(),
+			eta:       evStats.Eta,
+			aCalls:    evStats.Calls,
+		})
 	}
 
 	return &Result{
@@ -188,19 +289,37 @@ func (o *Optimizer) Optimize(logical *plan.Node) (*Result, error) {
 			TotalTime:     time.Since(start),
 			Groups:        len(m.Groups),
 			Exprs:         m.ExprCount(),
-			Eta:           o.Evaluator.Eta,
-			ACalls:        o.Evaluator.Calls,
+			Eta:           evStats.Eta,
+			ACalls:        evStats.Calls,
+			AHits:         evStats.Hits,
 		},
-	}, nil
+	}, cacheKey.planDigest, nil
 }
 
-// OptimizeSQL parses, binds and optimizes a SQL string.
+// OptimizeSQL parses, binds and optimizes a SQL string. With the plan
+// cache on, query text seen before skips parsing, binding and
+// normalization entirely: the remembered normalized-plan digest reaches
+// straight into the plan cache (the epoch in the key still fences off
+// stale policy state).
 func (o *Optimizer) OptimizeSQL(sql string) (*Result, error) {
+	if o.planCache != nil {
+		start := time.Now()
+		if d, ok := o.sqlDigests.get(sql); ok {
+			key := planCacheKey{planDigest: d, epoch: o.Evaluator.Epoch(), optsFP: o.optsFP}
+			if e, ok := o.planCache.get(key); ok {
+				return cachedResult(e, 0, start), nil
+			}
+		}
+	}
 	logical, err := sqlparse.ParseAndBind(sql, o.Schema)
 	if err != nil {
 		return nil, err
 	}
-	return o.Optimize(logical)
+	res, digest, err := o.optimize(logical)
+	if err == nil && o.planCache != nil && digest != "" {
+		o.sqlDigests.put(sql, digest)
+	}
+	return res, err
 }
 
 // Check validates a located plan against Definition 1 using this

@@ -1,0 +1,158 @@
+package optimizer
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"cgdqp/internal/plan"
+)
+
+// planCacheKey identifies one optimization outcome: the normalized
+// logical plan (its digest covers operators, predicates, projections and
+// fragment bindings), the policy-catalog epoch (a policy change bumps the
+// evaluator epoch, so stale plans can never be replayed), and the
+// optimizer options that shape the output.
+type planCacheKey struct {
+	planDigest string
+	epoch      uint64
+	optsFP     string
+}
+
+// planCacheEntry records everything Optimize would recompute. Trees are
+// stored privately and deep-cloned on every hit; phase timings are not
+// recorded (a hit costs none of them).
+type planCacheEntry struct {
+	located   *plan.Node
+	annotated *plan.Node
+	planCost  float64
+	shipCost  float64
+	groups    int
+	exprs     int
+	eta       int64
+	aCalls    int64
+}
+
+// PlanCacheStats is a snapshot of plan-cache effectiveness counters.
+type PlanCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Len       int
+}
+
+// planCache is a mutex-guarded LRU over optimization results. One cache
+// belongs to one Optimizer, which is in turn bound to fixed schema and
+// policy catalogs; policy changes are versioned by the evaluator epoch
+// inside the key, and schema changes must drop the optimizer (as
+// cgdqp.System does).
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[planCacheKey]*list.Element
+	lru     *list.List // front = most recent; values are *planCacheItem
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type planCacheItem struct {
+	key   planCacheKey
+	entry *planCacheEntry
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{
+		max:     max,
+		entries: map[planCacheKey]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// get returns a deep-cloned copy of the cached entry's trees so callers
+// may freely mutate (the executor rewrites locations in place).
+func (c *planCache) get(key planCacheKey) (*planCacheEntry, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*planCacheItem).entry
+	out := *e
+	c.mu.Unlock()
+	c.hits.Add(1)
+	out.located = e.located.Clone()
+	out.annotated = e.annotated.Clone()
+	return &out, true
+}
+
+// put stores private clones of the trees under the key.
+func (c *planCache) put(key planCacheKey, e *planCacheEntry) {
+	stored := *e
+	stored.located = e.located.Clone()
+	stored.annotated = e.annotated.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planCacheItem).entry = &stored
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&planCacheItem{key: key, entry: &stored})
+	for c.lru.Len() > c.max {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*planCacheItem).key)
+		c.evictions.Add(1)
+	}
+}
+
+// sqlDigestCache memoizes sql text → normalized-plan digest so repeated
+// OptimizeSQL calls can consult the plan cache without re-parsing,
+// re-binding and re-normalizing. Valid because an Optimizer is bound to
+// a fixed schema catalog: the same SQL always binds to the same logical
+// plan. Policy changes are handled downstream (the digest is only a key
+// component; the epoch still gates the plan-cache entry). The map is
+// cleared wholesale when full — repeated workloads refill it in one
+// pass, and ad-hoc floods cannot grow it without bound.
+type sqlDigestCache struct {
+	mu  sync.RWMutex
+	max int
+	m   map[string]string
+}
+
+func newSQLDigestCache(max int) *sqlDigestCache {
+	return &sqlDigestCache{max: max, m: map[string]string{}}
+}
+
+func (c *sqlDigestCache) get(sql string) (string, bool) {
+	c.mu.RLock()
+	d, ok := c.m[sql]
+	c.mu.RUnlock()
+	return d, ok
+}
+
+func (c *sqlDigestCache) put(sql, digest string) {
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		c.m = map[string]string{}
+	}
+	c.m[sql] = digest
+	c.mu.Unlock()
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Len:       n,
+	}
+}

@@ -1,88 +1,181 @@
 package plan
 
 import (
+	"math/bits"
 	"sort"
 	"strings"
 )
+
+// siteSetWords is the number of inline bitset words: deployments of up
+// to 256 distinct locations need no per-set heap allocation. Larger
+// universes spill the extra bits into an overflow slice.
+const siteSetWords = 4
 
 // SiteSet is an immutable set of location names. It implements the
 // execution traits (ℰ) and shipping traits (𝒮) of Section 6.1: an
 // execution trait lists the sites where an operator may legally run, a
 // shipping trait the sites its output may legally be shipped to.
 // The zero value is the empty set.
+//
+// Sets are backed by bitsets over the process-wide location interner
+// (see SiteUniverse), so the set algebra the memo churns through during
+// trait annotation (AR1–AR4) — Intersect, Union, SupersetOf — compiles
+// down to word operations and allocates nothing for universes of up to
+// 256 locations.
 type SiteSet struct {
-	sites []string // sorted, deduplicated
+	bits [siteSetWords]uint64
+	// ext holds bits ≥ 64*siteSetWords. Invariant: no trailing zero
+	// words, so structural comparison of equal sets is well defined.
+	// ext may be shared between sets and is never mutated after the
+	// owning set is built.
+	ext []uint64
 }
 
 // NewSiteSet builds a set from the given locations.
 func NewSiteSet(locs ...string) SiteSet {
-	if len(locs) == 0 {
-		return SiteSet{}
+	var s SiteSet
+	for _, l := range locs {
+		s.setBit(defaultUniverse.intern(l))
 	}
-	cp := append([]string(nil), locs...)
-	sort.Strings(cp)
-	out := cp[:0]
-	for i, s := range cp {
-		if i == 0 || cp[i-1] != s {
-			out = append(out, s)
-		}
+	return s
+}
+
+// setBit is only used while constructing a fresh set.
+func (s *SiteSet) setBit(b int) {
+	w, off := b/64, uint(b%64)
+	if w < siteSetWords {
+		s.bits[w] |= 1 << off
+		return
 	}
-	return SiteSet{sites: out}
+	w -= siteSetWords
+	for len(s.ext) <= w {
+		s.ext = append(s.ext, 0)
+	}
+	s.ext[w] |= 1 << off
+}
+
+// word returns the i-th 64-bit word of the set (0 beyond the end).
+func (s SiteSet) word(i int) uint64 {
+	if i < siteSetWords {
+		return s.bits[i]
+	}
+	if j := i - siteSetWords; j < len(s.ext) {
+		return s.ext[j]
+	}
+	return 0
 }
 
 // Empty reports whether the set has no members.
-func (s SiteSet) Empty() bool { return len(s.sites) == 0 }
+func (s SiteSet) Empty() bool {
+	if s.bits != [siteSetWords]uint64{} {
+		return false
+	}
+	return len(s.ext) == 0 // invariant: last ext word non-zero
+}
 
 // Len returns the number of members.
-func (s SiteSet) Len() int { return len(s.sites) }
+func (s SiteSet) Len() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	for _, w := range s.ext {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // Contains reports membership.
 func (s SiteSet) Contains(loc string) bool {
-	i := sort.SearchStrings(s.sites, loc)
-	return i < len(s.sites) && s.sites[i] == loc
+	id, ok := defaultUniverse.Lookup(loc)
+	if !ok {
+		return false
+	}
+	return s.word(id/64)&(1<<uint(id%64)) != 0
 }
 
-// Slice returns the members in sorted order (a copy).
-func (s SiteSet) Slice() []string { return append([]string(nil), s.sites...) }
+// Slice returns the members in sorted order (a fresh slice).
+func (s SiteSet) Slice() []string {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	names := defaultUniverse.state.Load().names
+	out := make([]string, 0, n)
+	total := siteSetWords + len(s.ext)
+	for wi := 0; wi < total; wi++ {
+		w := s.word(wi)
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, names[wi*64+b])
+			w &= w - 1
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Union returns s ∪ o.
 func (s SiteSet) Union(o SiteSet) SiteSet {
-	if s.Empty() {
-		return o
+	out := s
+	for i := range out.bits {
+		out.bits[i] |= o.bits[i]
 	}
-	if o.Empty() {
-		return s
+	switch {
+	case len(o.ext) == 0:
+		// out.ext shares s.ext; sets are immutable, sharing is safe.
+	case len(s.ext) == 0:
+		out.ext = o.ext
+	default:
+		long, short := s.ext, o.ext
+		if len(o.ext) > len(long) {
+			long, short = o.ext, s.ext
+		}
+		ext := append(make([]uint64, 0, len(long)), long...)
+		for i, w := range short {
+			ext[i] |= w
+		}
+		out.ext = ext
 	}
-	return NewSiteSet(append(s.Slice(), o.sites...)...)
+	return out
 }
 
 // Intersect returns s ∩ o.
 func (s SiteSet) Intersect(o SiteSet) SiteSet {
-	var out []string
-	i, j := 0, 0
-	for i < len(s.sites) && j < len(o.sites) {
-		switch {
-		case s.sites[i] == o.sites[j]:
-			out = append(out, s.sites[i])
-			i++
-			j++
-		case s.sites[i] < o.sites[j]:
-			i++
-		default:
-			j++
-		}
+	var out SiteSet
+	for i := range out.bits {
+		out.bits[i] = s.bits[i] & o.bits[i]
 	}
-	return SiteSet{sites: out}
+	n := len(s.ext)
+	if len(o.ext) < n {
+		n = len(o.ext)
+	}
+	for n > 0 && s.ext[n-1]&o.ext[n-1] == 0 {
+		n--
+	}
+	if n > 0 {
+		ext := make([]uint64, n)
+		for i := range ext {
+			ext[i] = s.ext[i] & o.ext[i]
+		}
+		out.ext = ext
+	}
+	return out
 }
 
 // SupersetOf reports whether s ⊇ o.
 func (s SiteSet) SupersetOf(o SiteSet) bool {
-	i := 0
-	for _, x := range o.sites {
-		for i < len(s.sites) && s.sites[i] < x {
-			i++
+	for i := range o.bits {
+		if o.bits[i]&^s.bits[i] != 0 {
+			return false
 		}
-		if i >= len(s.sites) || s.sites[i] != x {
+	}
+	for i, w := range o.ext {
+		var sw uint64
+		if i < len(s.ext) {
+			sw = s.ext[i]
+		}
+		if w&^sw != 0 {
 			return false
 		}
 	}
@@ -91,11 +184,11 @@ func (s SiteSet) SupersetOf(o SiteSet) bool {
 
 // Equal reports set equality.
 func (s SiteSet) Equal(o SiteSet) bool {
-	if len(s.sites) != len(o.sites) {
+	if s.bits != o.bits || len(s.ext) != len(o.ext) {
 		return false
 	}
-	for i := range s.sites {
-		if s.sites[i] != o.sites[i] {
+	for i := range s.ext {
+		if s.ext[i] != o.ext[i] {
 			return false
 		}
 	}
@@ -103,12 +196,12 @@ func (s SiteSet) Equal(o SiteSet) bool {
 }
 
 // Key returns a canonical string usable as a map key.
-func (s SiteSet) Key() string { return strings.Join(s.sites, ",") }
+func (s SiteSet) Key() string { return strings.Join(s.Slice(), ",") }
 
 // String renders the set like {A, B}.
 func (s SiteSet) String() string {
 	if s.Empty() {
 		return "{}"
 	}
-	return "{" + strings.Join(s.sites, ", ") + "}"
+	return "{" + strings.Join(s.Slice(), ", ") + "}"
 }

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SiteUniverse interns location names into dense bit positions so that
+// SiteSet can represent execution and shipping traits as bitsets. The
+// deployment's location universe is fixed for the lifetime of a catalog
+// (Section 3 assumes a known set of sites), so interning is append-only:
+// a name, once assigned a bit, keeps it for the life of the process.
+//
+// Reads are lock-free (an atomically swapped immutable state); interning
+// a new name copies the state under a mutex. Optimizers intern their
+// catalog's locations up front, so the hot path — trait algebra inside
+// the memo — never takes the write path.
+type SiteUniverse struct {
+	mu    sync.Mutex // serializes interning
+	state atomic.Pointer[universeState]
+}
+
+// universeState is an immutable snapshot of the interner.
+type universeState struct {
+	ids   map[string]int
+	names []string
+}
+
+// NewSiteUniverse returns an empty interner.
+func NewSiteUniverse() *SiteUniverse {
+	u := &SiteUniverse{}
+	u.state.Store(&universeState{ids: map[string]int{}})
+	return u
+}
+
+// defaultUniverse is the process-wide interner behind NewSiteSet. All
+// catalogs share it: location names map to stable bits regardless of
+// which catalog registered them first.
+var defaultUniverse = NewSiteUniverse()
+
+// Universe returns the process-wide location interner. Callers that know
+// their location universe up front (e.g. the optimizer over a schema
+// catalog) should Intern it once so bit assignment is done before any
+// concurrent optimization starts.
+func Universe() *SiteUniverse { return defaultUniverse }
+
+// Lookup returns the bit assigned to a name, or false when the name has
+// never been interned (in which case no SiteSet can contain it).
+func (u *SiteUniverse) Lookup(name string) (int, bool) {
+	id, ok := u.state.Load().ids[name]
+	return id, ok
+}
+
+// Len returns the number of interned locations.
+func (u *SiteUniverse) Len() int { return len(u.state.Load().names) }
+
+// Intern assigns bits to the given names in order (idempotent).
+func (u *SiteUniverse) Intern(names ...string) {
+	for _, n := range names {
+		u.intern(n)
+	}
+}
+
+func (u *SiteUniverse) intern(name string) int {
+	if id, ok := u.Lookup(name); ok {
+		return id
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	st := u.state.Load()
+	if id, ok := st.ids[name]; ok {
+		return id
+	}
+	next := &universeState{
+		ids:   make(map[string]int, len(st.ids)+1),
+		names: append(append(make([]string, 0, len(st.names)+1), st.names...), name),
+	}
+	for k, v := range st.ids {
+		next.ids[k] = v
+	}
+	id := len(st.names)
+	next.ids[name] = id
+	u.state.Store(next)
+	return id
+}

@@ -1,19 +1,53 @@
 package policy
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"cgdqp/internal/expr"
 	"cgdqp/internal/plan"
 )
+
+// evalShards is the number of independently locked cache shards. Sixteen
+// keeps lock contention negligible for the 8–64 concurrent optimizations
+// a coordinator realistically runs while wasting no memory.
+const evalShards = 16
+
+// EvalStats accumulates evaluator statistics for one caller (one
+// Optimize call). The struct is owned by a single goroutine and updated
+// without synchronization; the evaluator's own cumulative counters are
+// atomic and shared. η (Eta) counts policy expressions "considered"
+// (Algorithm 1 reaching line 4) — Figure 7 plots optimization time
+// against it.
+type EvalStats struct {
+	Eta   int64 // expressions considered (line 4 reached)
+	Calls int64 // Evaluate invocations
+	Hits  int64 // cache hits
+}
+
+type evalEntry struct {
+	epoch uint64
+	set   plan.SiteSet
+}
+
+type evalShard struct {
+	mu sync.RWMutex
+	m  map[string]evalEntry
+}
 
 // Evaluator implements the policy evaluation algorithm 𝒜 of Section 5
 // (Algorithm 1). It is configured with the policy catalog, the full list
 // of locations (for expanding `to *`), and the implication-test mode.
 //
-// The evaluator memoizes results by query digest and counts η (eta): the
-// number of times a policy expression is "considered" for a query, i.e.
-// its ship attributes overlap the query output AND the implication test
-// passes (Algorithm 1 reaching line 4). Figure 7 plots optimization time
-// against η.
+// One evaluator is safely shareable across goroutines: results are
+// memoized by query digest in a sharded, RWMutex-guarded cache, the
+// cumulative η/call/hit counters are atomics, and ResetCache is an
+// epoch bump (entries from older epochs read as misses), so a policy
+// change never races in-flight evaluations. Per-caller statistics are
+// attributed through an EvalStats handle passed to EvaluateWith.
+//
+// The configuration fields (Policies, AllLocations, Mode, NoCache) must
+// be set before the evaluator is shared; they are read without locks.
 type Evaluator struct {
 	Policies     *Catalog
 	AllLocations []string
@@ -25,48 +59,103 @@ type Evaluator struct {
 	// effect, keep it for production use.
 	NoCache bool
 
-	// Stats.
-	Eta   int64 // expressions considered (line 4 reached)
-	Calls int64 // total Evaluate calls
-	Hits  int64 // cache hits
+	// Cumulative stats across all callers.
+	eta   atomic.Int64
+	calls atomic.Int64
+	hits  atomic.Int64
 
-	cache map[string]plan.SiteSet
+	// epoch versions the policy catalog; cache entries written under an
+	// older epoch are treated as absent.
+	epoch  atomic.Uint64
+	shards [evalShards]evalShard
 }
 
 // NewEvaluator builds an evaluator over the given policy catalog.
 func NewEvaluator(policies *Catalog, allLocations []string) *Evaluator {
-	return &Evaluator{
+	ev := &Evaluator{
 		Policies:     policies,
 		AllLocations: append([]string(nil), allLocations...),
-		cache:        map[string]plan.SiteSet{},
 	}
+	for i := range ev.shards {
+		ev.shards[i].m = map[string]evalEntry{}
+	}
+	return ev
 }
 
-// ResetStats clears the η and call counters (not the cache).
-func (ev *Evaluator) ResetStats() { ev.Eta, ev.Calls, ev.Hits = 0, 0, 0 }
+// Eta returns the cumulative count of policy expressions considered.
+func (ev *Evaluator) Eta() int64 { return ev.eta.Load() }
 
-// ResetCache clears the memoization cache (for use after policy changes).
-func (ev *Evaluator) ResetCache() { ev.cache = map[string]plan.SiteSet{} }
+// Calls returns the cumulative number of Evaluate invocations.
+func (ev *Evaluator) Calls() int64 { return ev.calls.Load() }
+
+// Hits returns the cumulative number of cache hits.
+func (ev *Evaluator) Hits() int64 { return ev.hits.Load() }
+
+// ResetStats clears the cumulative η and call counters (not the cache).
+func (ev *Evaluator) ResetStats() {
+	ev.eta.Store(0)
+	ev.calls.Store(0)
+	ev.hits.Store(0)
+}
+
+// Epoch returns the current policy-catalog epoch. It changes exactly
+// when ResetCache is called; plan caches key on it so cached plans from
+// before a policy change are never replayed.
+func (ev *Evaluator) Epoch() uint64 { return ev.epoch.Load() }
+
+// ResetCache invalidates the memoization cache (for use after policy
+// changes). It is an O(1) epoch bump: stale entries are ignored on read
+// and overwritten on the next write of their key.
+func (ev *Evaluator) ResetCache() { ev.epoch.Add(1) }
+
+// shardOf picks the cache shard for a key (FNV-1a).
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h % evalShards
+}
 
 // Evaluate runs 𝒜(q, D, P_D): it returns the set of locations to which
 // the output of the local query q over database q.DB may legally be
 // shipped.
 func (ev *Evaluator) Evaluate(q *Query) plan.SiteSet {
-	ev.Calls++
+	return ev.EvaluateWith(q, nil)
+}
+
+// EvaluateWith is Evaluate with per-caller stats attribution: st (when
+// non-nil) is incremented alongside the evaluator's cumulative counters,
+// letting concurrent optimizations report their own η and call counts.
+func (ev *Evaluator) EvaluateWith(q *Query, st *EvalStats) plan.SiteSet {
+	ev.calls.Add(1)
+	if st != nil {
+		st.Calls++
+	}
 	if ev.NoCache {
-		return ev.evaluate(q)
+		return ev.evaluate(q, st)
 	}
 	key := q.Digest()
-	if got, ok := ev.cache[key]; ok {
-		ev.Hits++
-		return got
+	epoch := ev.epoch.Load()
+	sh := &ev.shards[shardOf(key)]
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok && e.epoch == epoch {
+		ev.hits.Add(1)
+		if st != nil {
+			st.Hits++
+		}
+		return e.set
 	}
-	res := ev.evaluate(q)
-	ev.cache[key] = res
+	res := ev.evaluate(q, st)
+	sh.mu.Lock()
+	sh.m[key] = evalEntry{epoch: epoch, set: res}
+	sh.mu.Unlock()
 	return res
 }
 
-func (ev *Evaluator) evaluate(q *Query) plan.SiteSet {
+func (ev *Evaluator) evaluate(q *Query, st *EvalStats) plan.SiteSet {
 	// Shipping to the data's own location is always legal (Section 3.2
 	// evaluates 𝒜(C, D_N, P_N) = {N}): the home location joins the
 	// result regardless of policy coverage.
@@ -82,10 +171,8 @@ func (ev *Evaluator) evaluate(q *Query) plan.SiteSet {
 	}
 	exprs := ev.Policies.ForDB(q.DB)
 	// L_a per output attribute (line 1).
-	locs := make([]map[string]bool, len(q.OutAttrs))
-	for i := range locs {
-		locs[i] = map[string]bool{}
-	}
+	locs := make([]plan.SiteSet, len(q.OutAttrs))
+	var eta int64
 
 	for _, e := range exprs {
 		// Line 2: A_q ∩ A_e ≠ ∅ (attribute-wise, scoped to e's tables).
@@ -103,7 +190,7 @@ func (ev *Evaluator) evaluate(q *Query) plan.SiteSet {
 		if !expr.ImpliesMode(q.Pred, e.Where, ev.Mode) {
 			continue
 		}
-		ev.Eta++ // the expression is "considered" (line 4 reached)
+		eta++ // the expression is "considered" (line 4 reached)
 
 		switch {
 		case !e.IsAggregate():
@@ -112,7 +199,7 @@ func (ev *Evaluator) evaluate(q *Query) plan.SiteSet {
 			// are covered.
 			for i, a := range q.OutAttrs {
 				if e.Covers(a.Attr) {
-					addAll(locs[i], e.Destinations(ev.AllLocations))
+					locs[i] = locs[i].Union(plan.NewSiteSet(e.Destinations(ev.AllLocations)...))
 				}
 			}
 		case q.Aggregated:
@@ -129,24 +216,28 @@ func (ev *Evaluator) evaluate(q *Query) plan.SiteSet {
 				switch {
 				case !a.HasAgg && e.InGroupBy(a.Attr):
 					// Grouping attributes are implicitly shippable.
-					addAll(locs[i], e.Destinations(ev.AllLocations))
+					locs[i] = locs[i].Union(plan.NewSiteSet(e.Destinations(ev.AllLocations)...))
 				case a.HasAgg && e.Covers(a.Attr) && e.AllowsFn(a.Agg):
-					addAll(locs[i], e.Destinations(ev.AllLocations))
+					locs[i] = locs[i].Union(plan.NewSiteSet(e.Destinations(ev.AllLocations)...))
 				}
 			}
 		}
 		// Aggregate expression with a non-aggregating query contributes
 		// nothing: raw cells may not leave.
 	}
+	ev.eta.Add(eta)
+	if st != nil {
+		st.Eta += eta
+	}
 
 	// Line 11: every output attribute must have at least one legal
 	// destination; the result is the intersection (plus home).
-	out := plan.NewSiteSet(keys(locs[0])...)
-	for _, m := range locs[1:] {
+	out := locs[0]
+	for _, s := range locs[1:] {
 		if out.Empty() {
 			break
 		}
-		out = out.Intersect(plan.NewSiteSet(keys(m)...))
+		out = out.Intersect(s)
 	}
 	return out.Union(home)
 }
@@ -164,27 +255,18 @@ func groupBySubset(groupBy []Attr, e *Expression) bool {
 	return true
 }
 
-func addAll(m map[string]bool, locs []string) {
-	for _, l := range locs {
-		m[l] = true
-	}
-}
-
-func keys(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	return out
-}
-
 // EvaluateSubtree describes a plan subtree and, when it is a local query,
 // evaluates the policies against it. ok is false when the subtree is not
 // a local query (AR4 does not apply).
 func (ev *Evaluator) EvaluateSubtree(n *plan.Node) (plan.SiteSet, bool) {
+	return ev.EvaluateSubtreeWith(n, nil)
+}
+
+// EvaluateSubtreeWith is EvaluateSubtree with per-caller stats.
+func (ev *Evaluator) EvaluateSubtreeWith(n *plan.Node, st *EvalStats) (plan.SiteSet, bool) {
 	q, ok := Describe(n)
 	if !ok {
 		return plan.SiteSet{}, false
 	}
-	return ev.Evaluate(q), true
+	return ev.EvaluateWith(q, st), true
 }

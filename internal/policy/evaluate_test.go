@@ -205,28 +205,39 @@ func TestCarCoSection3Examples(t *testing.T) {
 func TestEvaluatorCacheAndEta(t *testing.T) {
 	ev := NewEvaluator(table1Catalog(), table1Locs)
 	q := &Query{DB: "d", OutAttrs: rawOut("a")}
-	first := ev.Evaluate(q)
-	eta := ev.Eta
+	var st EvalStats
+	first := ev.EvaluateWith(q, &st)
+	eta := ev.Eta()
 	if eta == 0 {
 		t.Fatal("η should count considered expressions")
 	}
-	second := ev.Evaluate(q)
+	if st.Eta != eta || st.Calls != 1 {
+		t.Errorf("per-caller stats diverge: %+v vs eta=%d", st, eta)
+	}
+	second := ev.EvaluateWith(q, &st)
 	if !first.Equal(second) {
 		t.Error("cache changed result")
 	}
-	if ev.Eta != eta {
+	if ev.Eta() != eta {
 		t.Error("cache hit must not grow η")
 	}
-	if ev.Hits != 1 || ev.Calls != 2 {
-		t.Errorf("stats: hits=%d calls=%d", ev.Hits, ev.Calls)
+	if ev.Hits() != 1 || ev.Calls() != 2 {
+		t.Errorf("stats: hits=%d calls=%d", ev.Hits(), ev.Calls())
+	}
+	if st.Hits != 1 || st.Calls != 2 {
+		t.Errorf("per-caller stats: %+v", st)
 	}
 	ev.ResetStats()
-	if ev.Eta != 0 || ev.Calls != 0 {
+	if ev.Eta() != 0 || ev.Calls() != 0 {
 		t.Error("ResetStats")
 	}
+	epoch := ev.Epoch()
 	ev.ResetCache()
+	if ev.Epoch() == epoch {
+		t.Error("ResetCache must bump the epoch")
+	}
 	ev.Evaluate(q)
-	if ev.Eta == 0 {
+	if ev.Eta() == 0 {
 		t.Error("after cache reset, η grows again")
 	}
 }

@@ -46,10 +46,16 @@ type Query struct {
 	GroupBy    []Attr
 	Pred       expr.Expr
 	Aggregated bool
+
+	// digest memoizes Digest(); descriptors are immutable once built.
+	digest string
 }
 
 // Digest returns a canonical cache key for the descriptor.
 func (q *Query) Digest() string {
+	if q.digest != "" {
+		return q.digest
+	}
 	var b strings.Builder
 	b.WriteString(q.DB)
 	b.WriteByte('@')
@@ -75,7 +81,8 @@ func (q *Query) Digest() string {
 	if q.Aggregated {
 		b.WriteString("|agg")
 	}
-	return b.String()
+	q.digest = b.String()
+	return q.digest
 }
 
 // term is the lineage of one output column: the base attributes it
@@ -113,6 +120,16 @@ type descState struct {
 // during optimization, so analysis results can be memoized by pointer.
 type Analyzer struct {
 	cache map[*plan.Node]analyzeEntry
+	// strs and cols memoize per-conjunct renderings and column lists.
+	// Conjunct expressions are shared by pointer across the alternatives
+	// the optimizer describes, while the descriptor (and its digest) is
+	// rebuilt per alternative; re-rendering the shared predicate tree
+	// dominates descriptor cost without these caches.
+	strs map[expr.Expr]string
+	cols map[expr.Expr][]*expr.Col
+	// oaKeys memoizes OutAttr.Key renderings (OutAttr is comparable).
+	oaKeys map[OutAttr]string
+	aKeys  map[Attr]string
 }
 
 type analyzeEntry struct {
@@ -122,7 +139,59 @@ type analyzeEntry struct {
 
 // NewAnalyzer returns an empty analyzer.
 func NewAnalyzer() *Analyzer {
-	return &Analyzer{cache: map[*plan.Node]analyzeEntry{}}
+	return &Analyzer{
+		cache:  map[*plan.Node]analyzeEntry{},
+		strs:   map[expr.Expr]string{},
+		cols:   map[expr.Expr][]*expr.Col{},
+		oaKeys: map[OutAttr]string{},
+		aKeys:  map[Attr]string{},
+	}
+}
+
+// exprString renders e, memoized by pointer. And nodes recurse so chains
+// rebuilt from stable conjuncts reuse the cached leaf renderings.
+func (a *Analyzer) exprString(e expr.Expr) string {
+	if s, ok := a.strs[e]; ok {
+		return s
+	}
+	var s string
+	if and, ok := e.(*expr.And); ok {
+		s = "(" + a.exprString(and.L) + " AND " + a.exprString(and.R) + ")"
+	} else {
+		s = e.String()
+	}
+	a.strs[e] = s
+	return s
+}
+
+// colsOf returns the column references in e, memoized by pointer. The
+// result is read-only.
+func (a *Analyzer) colsOf(e expr.Expr) []*expr.Col {
+	if cs, ok := a.cols[e]; ok {
+		return cs
+	}
+	cs := expr.Columns(e)
+	cs = cs[:len(cs):len(cs)]
+	a.cols[e] = cs
+	return cs
+}
+
+func (a *Analyzer) outAttrKey(oa OutAttr) string {
+	if s, ok := a.oaKeys[oa]; ok {
+		return s
+	}
+	s := oa.Key()
+	a.oaKeys[oa] = s
+	return s
+}
+
+func (a *Analyzer) attrKey(at Attr) string {
+	if s, ok := a.aKeys[at]; ok {
+		return s
+	}
+	s := at.Key()
+	a.aKeys[at] = s
+	return s
 }
 
 // Describe analyzes a plan subtree and produces the local-query
@@ -145,12 +214,17 @@ func (a *Analyzer) Describe(n *plan.Node) (*Query, bool) {
 	}
 	q := &Query{DB: st.db, Home: st.home, GroupBy: st.groupBy, Aggregated: st.aggregated}
 	q.Pred = expr.AndAll(st.conjuncts...)
-	seen := map[string]bool{}
+	var keyBuf [12]string
+	keys := keyBuf[:0] // parallel to q.OutAttrs; dedup key is OutAttr.Key
 	add := func(oa OutAttr) {
-		if !seen[oa.Key()] {
-			seen[oa.Key()] = true
-			q.OutAttrs = append(q.OutAttrs, oa)
+		k := a.outAttrKey(oa)
+		for _, have := range keys {
+			if have == k {
+				return
+			}
 		}
+		keys = append(keys, k)
+		q.OutAttrs = append(q.OutAttrs, oa)
 	}
 	for _, col := range st.cols {
 		for _, t := range col {
@@ -160,9 +234,53 @@ func (a *Analyzer) Describe(n *plan.Node) (*Query, bool) {
 	// Predicate columns count as accessed attributes (Example 1: a query
 	// filtering on mktsegment must be covered by an expression shipping
 	// mktsegment under an implied predicate). They are raw accesses.
-	for _, c := range expr.Columns(q.Pred) {
-		add(OutAttr{Attr: Attr{Table: c.Table, Name: c.Name}})
+	for _, c := range st.conjuncts {
+		for _, col := range a.colsOf(c) {
+			add(OutAttr{Attr: Attr{Table: col.Table, Name: col.Name}})
+		}
 	}
+	// Precompute the digest from the cached per-conjunct renderings; the
+	// output must stay byte-identical to Query.Digest (the evaluator cache
+	// is keyed on it). AndAll folds left-associatively, so the predicate
+	// part mirrors that shape.
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString(st.db)
+	b.WriteByte('@')
+	b.WriteString(st.home)
+	b.WriteByte('|')
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+	}
+	b.WriteByte('|')
+	var gbBuf [8]string
+	gb := gbBuf[:0]
+	for _, at := range st.groupBy {
+		gb = append(gb, a.attrKey(at))
+	}
+	sort.Strings(gb)
+	for i, k := range gb {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+	}
+	b.WriteByte('|')
+	if len(st.conjuncts) > 0 {
+		ps := a.exprString(st.conjuncts[0])
+		for _, c := range st.conjuncts[1:] {
+			ps = "(" + ps + " AND " + a.exprString(c) + ")"
+		}
+		b.WriteString(ps)
+	}
+	if st.aggregated {
+		b.WriteString("|agg")
+	}
+	q.digest = b.String()
 	return q, true
 }
 

@@ -60,17 +60,13 @@ func (JoinUnionDistribute) Apply(m *memo.Memo, e *memo.MExpr) []*memo.NewExpr {
 
 // colsCovered reports whether every column referenced by e appears in the
 // group's output schema.
-func colsCovered(e expr.Expr, g *memo.Group) bool {
-	covered := true
-	expr.Walk(e, func(n expr.Expr) bool {
-		if c, ok := n.(*expr.Col); ok {
-			if !groupHasCol(g, c) {
-				covered = false
-			}
+func colsCovered(m *memo.Memo, e expr.Expr, g *memo.Group) bool {
+	for _, c := range m.ColsOf(e) {
+		if !groupHasCol(g, c) {
+			return false
 		}
-		return covered
-	})
-	return covered
+	}
+	return true
 }
 
 func groupHasCol(g *memo.Group, c *expr.Col) bool {
@@ -82,17 +78,13 @@ func groupHasCol(g *memo.Group, c *expr.Col) bool {
 	return false
 }
 
-func colsCoveredBy2(e expr.Expr, a, b *memo.Group) bool {
-	covered := true
-	expr.Walk(e, func(n expr.Expr) bool {
-		if c, ok := n.(*expr.Col); ok {
-			if !groupHasCol(a, c) && !groupHasCol(b, c) {
-				covered = false
-			}
+func colsCoveredBy2(m *memo.Memo, e expr.Expr, a, b *memo.Group) bool {
+	for _, c := range m.ColsOf(e) {
+		if !groupHasCol(a, c) && !groupHasCol(b, c) {
+			return false
 		}
-		return covered
-	})
-	return covered
+	}
+	return true
 }
 
 // joinOp builds a logical join operator node (children live in the memo).
@@ -141,10 +133,12 @@ func (JoinAssoc) Apply(m *memo.Memo, e *memo.MExpr) []*memo.NewExpr {
 			continue
 		}
 		gA, gB := inner.Children[0], inner.Children[1]
-		all := append(expr.Conjuncts(inner.Op.Pred), expr.Conjuncts(e.Op.Pred)...)
+		ci, ce := m.Conjuncts(inner.Op.Pred), m.Conjuncts(e.Op.Pred)
+		all := make([]expr.Expr, 0, len(ci)+len(ce))
+		all = append(append(all, ci...), ce...)
 		var innerConj, outerConj []expr.Expr
 		for _, c := range all {
-			if colsCoveredBy2(c, gB, gC) {
+			if colsCoveredBy2(m, c, gB, gC) {
 				innerConj = append(innerConj, c)
 			} else {
 				outerConj = append(outerConj, c)
@@ -199,7 +193,7 @@ func (AggPushdown) Apply(m *memo.Memo, e *memo.MExpr) []*memo.NewExpr {
 		if !decomposable(a.Fn) {
 			return nil
 		}
-		if a.Arg != nil && argTouchesPartial(a.Arg) {
+		if a.Arg != nil && argTouchesPartial(m, a.Arg) {
 			return nil
 		}
 	}
@@ -209,7 +203,7 @@ func (AggPushdown) Apply(m *memo.Memo, e *memo.MExpr) []*memo.NewExpr {
 			continue
 		}
 		gL, gR := join.Children[0], join.Children[1]
-		if ne := tryPush(e, join, gL, gR); ne != nil {
+		if ne := tryPush(m, e, join, gL, gR); ne != nil {
 			out = append(out, ne)
 		}
 	}
@@ -224,15 +218,13 @@ func decomposable(fn expr.AggFn) bool {
 	return false
 }
 
-func argTouchesPartial(arg expr.Expr) bool {
-	touched := false
-	expr.Walk(arg, func(n expr.Expr) bool {
-		if c, ok := n.(*expr.Col); ok && strings.HasPrefix(c.Name, partialPrefix) {
-			touched = true
+func argTouchesPartial(m *memo.Memo, arg expr.Expr) bool {
+	for _, c := range m.ColsOf(arg) {
+		if strings.HasPrefix(c.Name, partialPrefix) {
+			return true
 		}
-		return !touched
-	})
-	return touched
+	}
+	return false
 }
 
 // tryPush builds the rewrite for pushing into gR, or nil when invalid.
@@ -241,7 +233,7 @@ func argTouchesPartial(arg expr.Expr) bool {
 // that count (their join multiplicity changed), R-side SUM/COUNT
 // re-aggregate as SUM of partials, and MIN/MAX pass through (duplicate
 // insensitive). This preserves exact SQL bag semantics unconditionally.
-func tryPush(agg *memo.MExpr, join *memo.MExpr, gL, gR *memo.Group) *memo.NewExpr {
+func tryPush(m *memo.Memo, agg *memo.MExpr, join *memo.MExpr, gL, gR *memo.Group) *memo.NewExpr {
 	op := agg.Op
 	// Classify aggregates; bail out on shapes the rewrite cannot express.
 	needCount := false
@@ -251,9 +243,9 @@ func tryPush(agg *memo.MExpr, join *memo.MExpr, gL, gR *memo.Group) *memo.NewExp
 		case a.Arg == nil: // COUNT(*)
 			needCount = true
 			pushable++
-		case colsCovered(a.Arg, gR):
+		case colsCovered(m, a.Arg, gR):
 			pushable++
-		case colsCovered(a.Arg, gL):
+		case colsCovered(m, a.Arg, gL):
 			switch a.Fn {
 			case expr.AggSum:
 				needCount = true // SUM(x_l) re-scales by the partial count
@@ -270,21 +262,18 @@ func tryPush(agg *memo.MExpr, join *memo.MExpr, gL, gR *memo.Group) *memo.NewExp
 		return nil // nothing gained by pushing
 	}
 	// Join keys on the R side anchor the partial group-by.
-	joinKeysR := dedupCols(equiKeysOn(join.Op.Pred, gR))
+	joinKeysR := dedupCols(equiKeysOn(m, join.Op.Pred, gR))
 	if len(joinKeysR) == 0 {
 		return nil // no equi-join: cannot align partial groups
 	}
-	partialGB := map[string]bool{}
-	gbCols := make([]*expr.Col, 0, len(joinKeysR))
-	for _, k := range joinKeysR {
-		partialGB[k.Key()] = true
-		gbCols = append(gbCols, k)
-	}
+	gbCols := append(make([]*expr.Col, 0, len(joinKeysR)+len(op.GroupBy)), joinKeysR...)
 	addGB := func(c *expr.Col) {
-		if !partialGB[c.Key()] {
-			partialGB[c.Key()] = true
-			gbCols = append(gbCols, c)
+		for _, g := range gbCols {
+			if sameColRef(g, c) {
+				return
+			}
 		}
+		gbCols = append(gbCols, c)
 	}
 	// Final grouping columns from R and R-columns used by the join
 	// predicate must survive the partial aggregate.
@@ -295,7 +284,7 @@ func tryPush(agg *memo.MExpr, join *memo.MExpr, gL, gR *memo.Group) *memo.NewExp
 			return nil
 		}
 	}
-	for _, c := range expr.Columns(join.Op.Pred) {
+	for _, c := range m.ColsOf(join.Op.Pred) {
 		if groupHasCol(gR, c) {
 			addGB(c)
 		}
@@ -311,7 +300,7 @@ func tryPush(agg *memo.MExpr, join *memo.MExpr, gL, gR *memo.Group) *memo.NewExp
 		switch {
 		case a.Arg == nil: // COUNT(*) → SUM of partial counts
 			finalAggs = append(finalAggs, plan.NamedAgg{Fn: expr.AggSum, Arg: expr.NewCol("", countName), Name: a.Name})
-		case colsCovered(a.Arg, gR):
+		case colsCovered(m, a.Arg, gR):
 			pname := partialPrefix + a.Name
 			ffn := a.Fn
 			if a.Fn == expr.AggSum || a.Fn == expr.AggCount {
@@ -348,21 +337,32 @@ func tryPush(agg *memo.MExpr, join *memo.MExpr, gL, gR *memo.Group) *memo.NewExp
 
 // dedupCols removes duplicate column references by key.
 func dedupCols(cols []*expr.Col) []*expr.Col {
-	seen := map[string]bool{}
 	out := cols[:0]
 	for _, c := range cols {
-		if !seen[c.Key()] {
-			seen[c.Key()] = true
+		dup := false
+		for _, o := range out {
+			if sameColRef(o, c) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, c)
 		}
 	}
 	return out
 }
 
+// sameColRef compares column references field-wise (what Key() would
+// concatenate), without allocating.
+func sameColRef(a, b *expr.Col) bool {
+	return a.Table == b.Table && a.Name == b.Name
+}
+
 // equiKeysOn returns the columns of equi-join conjuncts that live in g.
-func equiKeysOn(cond expr.Expr, g *memo.Group) []*expr.Col {
+func equiKeysOn(m *memo.Memo, cond expr.Expr, g *memo.Group) []*expr.Col {
 	var keys []*expr.Col
-	for _, c := range expr.Conjuncts(cond) {
+	for _, c := range m.Conjuncts(cond) {
 		cmp, ok := c.(*expr.Cmp)
 		if !ok || cmp.Op != expr.EQ {
 			continue
