@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: verify build test vet race bench benchsmoke fuzz
+.PHONY: verify build lint test vet race bench benchsmoke fuzz
 
-# Tier-1 verification gate: build, vet, full test suite, the race
-# detector over the concurrent packages (parallel executor + cluster +
-# the concurrent optimizer front-end), and a 1-iteration pass over the
-# optimizer benchmarks so they cannot rot.
-verify: build vet test race benchsmoke
+# Tier-1 verification gate: build, lint (vet + gofmt), full test suite,
+# the race detector over the concurrent packages (parallel executor +
+# cluster + the concurrent optimizer front-end + the observability
+# sinks), and a 1-iteration pass over the optimizer benchmarks so they
+# cannot rot.
+verify: build lint test race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -14,11 +15,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint: go vet plus a gofmt cleanliness check (no external tools).
+lint: vet
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer
+	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs
 
 benchsmoke:
 	$(GO) test -run NONE -bench Optimize -benchtime 1x .
@@ -26,9 +32,12 @@ benchsmoke:
 # Optimizer + engine benchmarks. The first step measures every golden
 # TPC-H query (cold, warm-policy-cache and plan-cache-hit paths, η,
 # evaluator calls, allocs/op) and rewrites BENCH_optimizer.json; the
-# rest print per-query numbers.
+# second rewrites BENCH_exec.json (seq vs parallel engine, tracing off
+# vs on, asserting the tracing-off overhead stays under 2%); the rest
+# print per-query numbers.
 bench:
 	$(GO) test -run TestOptimizerBenchReport -bench-report .
+	$(GO) test -run TestExecBenchReport -bench-report .
 	$(GO) test -run NONE -bench BenchmarkOptimizeTPCH -benchtime 3x -benchmem .
 	$(GO) test -run NONE -bench BenchmarkExecSeqVsParallel -benchtime 5x .
 

@@ -1,0 +1,170 @@
+package cgdqp
+
+// A committable execution-engine report: `make bench` runs this harness
+// with -bench-report, which measures the seqVsParFixture plan under both
+// engines with observability off and on, and rewrites BENCH_exec.json.
+// It also enforces the zero-cost-when-off contract: the extrapolated
+// cost of the disabled observability hooks must stay under 2% of one
+// execution.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cgdqp/internal/cluster"
+	"cgdqp/internal/executor"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/obs"
+	"cgdqp/internal/plan"
+)
+
+type execBenchRow struct {
+	Engine string `json:"engine"`
+	// ObsOffNS runs through the instrumented entry points with a nil
+	// observer — the default production path.
+	ObsOffNS int64 `json:"obs_off_ns"`
+	// ObsOnNS runs with tracing, metrics and audit all enabled.
+	ObsOnNS int64 `json:"obs_on_ns"`
+	// ObsOnOverheadPct = (ObsOnNS - ObsOffNS) / ObsOffNS × 100.
+	ObsOnOverheadPct float64 `json:"obs_on_overhead_pct"`
+}
+
+type execBenchReport struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	// DisabledHookNS is the measured cost of one disabled hook bundle
+	// (span start/tag/end, registry check, audit record) on a nil
+	// observer; DisabledHookAllocs must be 0.
+	DisabledHookNS     float64 `json:"disabled_hook_ns"`
+	DisabledHookAllocs float64 `json:"disabled_hook_allocs"`
+	// HooksPerRun upper-bounds how many hook bundles one execution of
+	// the fixture reaches (counted from an observed run, doubled).
+	HooksPerRun int64 `json:"hooks_per_run"`
+	// DisabledOverheadPct = HooksPerRun × DisabledHookNS relative to the
+	// fastest obs-off run — the <2% acceptance bound.
+	DisabledOverheadPct float64        `json:"disabled_overhead_pct"`
+	Engines             []execBenchRow `json:"engines"`
+}
+
+// TestExecBenchReport is skipped unless -bench-report is given (it is a
+// measurement pass, not a correctness test).
+func TestExecBenchReport(t *testing.T) {
+	if !*benchReport {
+		t.Skip("run with -bench-report to rewrite BENCH_exec.json")
+	}
+	cl, root := seqVsParFixture(t)
+	engines := []struct {
+		name string
+		run  func(*cluster.Cluster, *plan.Node, *obs.Observer) ([]expr.Row, error)
+	}{
+		{"sequential", func(cl *cluster.Cluster, p *plan.Node, o *obs.Observer) ([]expr.Row, error) {
+			rows, _, err := executor.RunObserved(p, cl, o)
+			return rows, err
+		}},
+		{"parallel", func(cl *cluster.Cluster, p *plan.Node, o *obs.Observer) ([]expr.Row, error) {
+			rows, _, err := executor.RunParallelObserved(context.Background(), p, cl, o)
+			return rows, err
+		}},
+	}
+
+	report := execBenchReport{
+		Tool:      "go test -run TestExecBenchReport -bench-report .",
+		GoVersion: runtime.Version(),
+	}
+
+	// Disabled-hook unit cost on a nil observer.
+	var off *obs.Observer
+	report.DisabledHookAllocs = testing.AllocsPerRun(1000, func() { execHookBundle(off, 1) })
+	const hookIters = 1 << 20
+	start := time.Now()
+	execHookBundle(off, hookIters)
+	report.DisabledHookNS = float64(time.Since(start).Nanoseconds()) / hookIters
+
+	// Hook volume of one run, counted with everything enabled.
+	on := &obs.Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry(), Audit: obs.NewAuditLog()}
+	cl.SetObserver(on)
+	cl.Ledger.Reset()
+	if _, err := engines[1].run(cl, root, on); err != nil {
+		t.Fatal(err)
+	}
+	report.HooksPerRun = 2 * int64(on.Tracer.Len()+on.Audit.Len()+4)
+
+	const reps = 5
+	var fastestOff int64
+	for _, eng := range engines {
+		offS := make([]time.Duration, 0, reps)
+		onS := make([]time.Duration, 0, reps)
+		for r := 0; r < reps; r++ { // interleave A/B so drift hits both
+			for _, obsOn := range []bool{false, true} {
+				o := (*obs.Observer)(nil)
+				if obsOn {
+					on.Tracer.Reset()
+					on.Audit.Reset()
+					o = on
+				}
+				cl.SetObserver(o)
+				cl.Ledger.Reset()
+				t0 := time.Now()
+				rows, err := eng.run(cl, root, o)
+				d := time.Since(t0)
+				if err != nil {
+					t.Fatalf("%s: %v", eng.name, err)
+				}
+				if len(rows) != 1000 {
+					t.Fatalf("%s: result rows %d, want 1000", eng.name, len(rows))
+				}
+				if obsOn {
+					onS = append(onS, d)
+				} else {
+					offS = append(offS, d)
+				}
+			}
+		}
+		row := execBenchRow{Engine: eng.name, ObsOffNS: medianNS(offS), ObsOnNS: medianNS(onS)}
+		row.ObsOnOverheadPct = 100 * float64(row.ObsOnNS-row.ObsOffNS) / float64(row.ObsOffNS)
+		report.Engines = append(report.Engines, row)
+		if fastestOff == 0 || row.ObsOffNS < fastestOff {
+			fastestOff = row.ObsOffNS
+		}
+		t.Logf("%s: off %.2fms, on %.2fms (%+.2f%%)", eng.name,
+			float64(row.ObsOffNS)/1e6, float64(row.ObsOnNS)/1e6, row.ObsOnOverheadPct)
+	}
+	cl.SetObserver(nil)
+
+	report.DisabledOverheadPct = 100 * float64(report.HooksPerRun) * report.DisabledHookNS /
+		float64(fastestOff)
+	t.Logf("disabled hooks: %.1fns each, %d/run → %.4f%% of one execution",
+		report.DisabledHookNS, report.HooksPerRun, report.DisabledOverheadPct)
+	if report.DisabledHookAllocs != 0 {
+		t.Errorf("disabled hooks allocate %.1f per bundle, want 0", report.DisabledHookAllocs)
+	}
+	if report.DisabledOverheadPct >= 2.0 {
+		t.Errorf("disabled observability overhead %.3f%% ≥ 2%%", report.DisabledOverheadPct)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_exec.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// execHookBundle exercises the per-shipment observability call sites the
+// way cluster/executor do: span lifecycle, registry guard, audit record.
+func execHookBundle(o *obs.Observer, n int) {
+	for i := 0; i < n; i++ {
+		sp := o.StartSpan("ship.batch")
+		sp.TagInt("rows", int64(i))
+		sp.End()
+		if m := o.Reg(); m != nil {
+			m.Counter("cgdqp_ship_rows_total", "from", "E", "to", "N").Add(1)
+		}
+		o.AuditSink().Record(obs.AuditRecord{})
+	}
+}

@@ -404,7 +404,7 @@ func BenchmarkAblationImplication(b *testing.B) {
 // at E, Orders and Supply at A) with generated data and a TPC-H-shaped
 // join+aggregation plan whose three SHIP boundaries yield three
 // independent leaf fragments, all shipping into N.
-func seqVsParFixture(b *testing.B) (*cluster.Cluster, *plan.Node) {
+func seqVsParFixture(b testing.TB) (*cluster.Cluster, *plan.Node) {
 	b.Helper()
 	cat := schema.NewCatalog()
 	cTab := schema.NewTable("Customer", "db-e", "E", 1000,

@@ -26,6 +26,7 @@
 package cgdqp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -34,6 +35,7 @@ import (
 	"cgdqp/internal/executor"
 	"cgdqp/internal/expr"
 	"cgdqp/internal/network"
+	"cgdqp/internal/obs"
 	"cgdqp/internal/optimizer"
 	"cgdqp/internal/plan"
 	"cgdqp/internal/policy"
@@ -138,7 +140,30 @@ type Options struct {
 	// 0 uses optimizer.DefaultPlanCacheSize; negative disables caching.
 	// Schema or policy changes invalidate cached plans automatically.
 	PlanCacheSize int
+	// Trace records query-lifecycle spans (parse/bind, optimizer phases,
+	// fragment pipelines, every shipment attempt with retries) into the
+	// tracer returned by System.Tracer().
+	Trace bool
+	// Metrics collects counters/gauges/histograms (plan-cache and
+	// policy-cache stats, per-edge shipping volume, retry and fault
+	// counts, optimize/execute latency) into System.Metrics().
+	Metrics bool
+	// Audit keeps an append-only compliance audit log of every
+	// successful cross-site shipment — relations/columns, edge, and the
+	// shipping-trait justification — in System.AuditLog(). The rendered
+	// log is deterministic: replaying the same run (same data, plan and
+	// chaos seed) produces byte-identical text.
+	Audit bool
 }
+
+// Observability handle types re-exported for embedders.
+type (
+	Tracer          = obs.Tracer
+	MetricsRegistry = obs.Registry
+	AuditLog        = obs.AuditLog
+	AuditRecord     = obs.AuditRecord
+	PlanCacheStats  = optimizer.PlanCacheStats
+)
 
 // System is a compliant geo-distributed query processing session: a
 // geo-distributed catalog, a policy catalog, a simulated cluster holding
@@ -151,6 +176,9 @@ type System struct {
 
 	cl  *cluster.Cluster
 	opt *optimizer.Optimizer
+	// obsv bundles the sinks enabled by Options.Trace/Metrics/Audit
+	// (nil when all are off, which keeps execution hooks free).
+	obsv *obs.Observer
 }
 
 // NewSystem creates an empty system with default options.
@@ -158,11 +186,48 @@ func NewSystem() *System { return NewSystemWith(Options{}) }
 
 // NewSystemWith creates an empty system.
 func NewSystemWith(opts Options) *System {
-	return &System{
+	s := &System{
 		Schema:   schema.NewCatalog(),
 		Policies: policy.NewCatalog(),
 		opts:     opts,
 	}
+	if opts.Trace || opts.Metrics || opts.Audit {
+		s.obsv = &obs.Observer{}
+		if opts.Trace {
+			s.obsv.Tracer = obs.NewTracer()
+		}
+		if opts.Metrics {
+			s.obsv.Metrics = obs.NewRegistry()
+		}
+		if opts.Audit {
+			s.obsv.Audit = obs.NewAuditLog()
+		}
+	}
+	return s
+}
+
+// Tracer returns the span tracer (nil unless Options.Trace).
+func (s *System) Tracer() *Tracer {
+	if s.obsv == nil {
+		return nil
+	}
+	return s.obsv.Tracer
+}
+
+// Metrics returns the metrics registry (nil unless Options.Metrics).
+func (s *System) Metrics() *MetricsRegistry {
+	if s.obsv == nil {
+		return nil
+	}
+	return s.obsv.Metrics
+}
+
+// AuditLog returns the compliance audit log (nil unless Options.Audit).
+func (s *System) AuditLog() *AuditLog {
+	if s.obsv == nil {
+		return nil
+	}
+	return s.obsv.Audit
 }
 
 // DefineTable registers a single-site table: db names the database at
@@ -315,6 +380,7 @@ func (s *System) Cluster() *cluster.Cluster {
 		if s.opts.Retry != nil {
 			s.cl.SetRetry(*s.opts.Retry)
 		}
+		s.cl.SetObserver(s.obsv)
 	}
 	return s.cl
 }
@@ -351,11 +417,14 @@ func (s *System) Optimizer() *optimizer.Optimizer {
 			MaxExprs:       s.opts.MaxExprs,
 			PlanCacheSize:  pcs,
 		})
+		s.opt.SetObserver(s.obsv)
 	}
 	return s.opt
 }
 
-// PlanCacheStats reports the optimizer's plan-cache effectiveness.
+// PlanCacheStats reports the optimizer's plan-cache effectiveness. It
+// is always safe to call: with the cache disabled (Options.PlanCacheSize
+// < 0) it returns the zero value rather than failing.
 func (s *System) PlanCacheStats() optimizer.PlanCacheStats {
 	return s.Optimizer().PlanCacheStats()
 }
@@ -411,18 +480,40 @@ type Result struct {
 // Query optimizes and executes a SQL query over the loaded data,
 // guaranteeing the executed plan is compliant.
 func (s *System) Query(sql string) (*Result, error) {
+	res, _, err := s.query(sql, s.obsv)
+	return res, err
+}
+
+// ExplainAnalyze executes the query like Query and additionally returns
+// the plan annotated with per-operator actual rows, batches and wall
+// time (inclusive of children, in the style of EXPLAIN ANALYZE).
+func (s *System) ExplainAnalyze(sql string) (*Result, string, error) {
+	o := s.obsv.WithProfile(obs.NewPlanProfile())
+	res, prof, err := s.query(sql, o)
+	if err != nil {
+		return nil, "", err
+	}
+	return res, prof.Format(res.Plan.Root), nil
+}
+
+func (s *System) query(sql string, o *obs.Observer) (*Result, *obs.PlanProfile, error) {
 	p, err := s.Explain(sql)
 	if err != nil {
-		return nil, err
+		s.countQuery("error")
+		return nil, nil, err
 	}
-	run := executor.Run
+	var rows []Row
+	var stats *executor.RunStats
 	if s.opts.Parallel {
-		run = executor.RunParallel
+		rows, stats, err = executor.RunParallelObserved(context.Background(), p.Root, s.Cluster(), o)
+	} else {
+		rows, stats, err = executor.RunObserved(p.Root, s.Cluster(), o)
 	}
-	rows, stats, err := run(p.Root, s.Cluster())
 	if err != nil {
-		return nil, err
+		s.countQuery("error")
+		return nil, nil, err
 	}
+	s.countQuery("ok")
 	return &Result{
 		Plan:         p,
 		Rows:         rows,
@@ -430,7 +521,13 @@ func (s *System) Query(sql string) (*Result, error) {
 		ShippedBytes: stats.ShippedBytes,
 		ShipCost:     stats.ShipCost,
 		Retries:      stats.Retries,
-	}, nil
+	}, o.Prof(), nil
+}
+
+func (s *System) countQuery(status string) {
+	if m := s.obsv.Reg(); m != nil {
+		m.Counter("cgdqp_queries_total", "status", status).Inc()
+	}
 }
 
 // Legal reports whether a query has at least one compliant execution

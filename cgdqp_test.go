@@ -9,9 +9,11 @@ import (
 
 // demoSystem builds the CarCo scenario of the paper's Section 2 through
 // the public API.
-func demoSystem(t *testing.T) *System {
+func demoSystem(t *testing.T) *System { return demoSystemWith(t, Options{}) }
+
+func demoSystemWith(t *testing.T, opts Options) *System {
 	t.Helper()
-	sys := NewSystem()
+	sys := NewSystemWith(opts)
 	sys.MustDefineTable("Customer", "db-n", "NorthAmerica", 40,
 		Col("custkey", TInt), Col("name", TString), Col("acctbal", TFloat))
 	sys.MustDefineTable("Orders", "db-e", "Europe", 120,

@@ -19,20 +19,45 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/executor"
+	"cgdqp/internal/expr"
 	"cgdqp/internal/network"
+	"cgdqp/internal/obs"
 	"cgdqp/internal/optimizer"
 	"cgdqp/internal/policy"
 	"cgdqp/internal/tpch"
 	"cgdqp/internal/workload"
 )
+
+// writeOut renders one observability artefact to path ("-" = stdout,
+// "" = skip) at process exit.
+func writeOut(path, what string, render func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+			return
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := render(w); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+	}
+}
 
 func main() {
 	setName := flag.String("set", "CR", "policy set: T, C, CR, CR+A, open (unrestricted)")
@@ -46,7 +71,30 @@ func main() {
 	chaosError := flag.Float64("chaos-error", 0.05, "per-send transient-error probability under -chaos-seed")
 	chaosDelay := flag.Float64("chaos-delay", 0.10, "per-send delay probability under -chaos-seed")
 	planCache := flag.Int("plan-cache", optimizer.DefaultPlanCacheSize, "optimized-plan LRU cache size (0 = off); repeated queries skip optimization")
+	explainAnalyze := flag.Bool("explain-analyze", false, "execute and print the plan annotated with per-operator actual rows/batches/time")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics to this file at exit (- for stdout)")
+	traceOut := flag.String("trace-out", "", "write query-lifecycle spans as JSON to this file at exit (- for stdout)")
+	auditOut := flag.String("audit-out", "", "write the compliance audit log of cross-site shipments to this file at exit (- for stdout)")
 	flag.Parse()
+
+	var obsv *obs.Observer
+	if *metricsOut != "" || *traceOut != "" || *auditOut != "" || *explainAnalyze {
+		obsv = &obs.Observer{}
+		if *traceOut != "" {
+			obsv.Tracer = obs.NewTracer()
+		}
+		if *metricsOut != "" {
+			obsv.Metrics = obs.NewRegistry()
+		}
+		if *auditOut != "" {
+			obsv.Audit = obs.NewAuditLog()
+		}
+	}
+	defer func() {
+		writeOut(*metricsOut, "metrics", func(w io.Writer) error { return obsv.Metrics.WritePrometheus(w) })
+		writeOut(*traceOut, "trace", func(w io.Writer) error { return obsv.Tracer.WriteJSON(w) })
+		writeOut(*auditOut, "audit", func(w io.Writer) error { return obsv.Audit.WriteText(w) })
+	}()
 
 	var pc *policy.Catalog
 	switch strings.ToUpper(*setName) {
@@ -84,11 +132,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaos: injecting WAN faults (seed %d, drop %.0f%%, error %.0f%%, delay %.0f%%; retry %d attempts)\n",
 			*chaosSeed, *chaosDrop*100, *chaosError*100, *chaosDelay*100, cl.Retry().Attempts())
 	}
+	cl.SetObserver(obsv)
 	opt := optimizer.New(cat, pc, net, optimizer.Options{
 		Compliant:      true,
 		ResultLocation: *resultLoc,
 		PlanCacheSize:  *planCache,
 	})
+	opt.SetObserver(obsv)
 
 	runOne := func(sql string) {
 		res, err := opt.OptimizeSQL(sql)
@@ -96,7 +146,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			return
 		}
-		fmt.Println(res.Plan.Format(true))
+		if !*explainAnalyze {
+			fmt.Println(res.Plan.Format(true))
+		}
 		if *explainOnly {
 			cacheNote := ""
 			if res.Stats.PlanCacheHit {
@@ -109,11 +161,20 @@ func main() {
 				res.Stats.Eta, res.Stats.ACalls, res.Stats.AHits, cacheNote)
 			return
 		}
-		run := executor.Run
-		if *parallel {
-			run = executor.RunParallel
+		qo := obsv
+		if *explainAnalyze {
+			qo = qo.WithProfile(obs.NewPlanProfile())
 		}
-		rows, stats, err := run(res.Plan, cl)
+		var rows []expr.Row
+		var stats *executor.RunStats
+		if *parallel {
+			rows, stats, err = executor.RunParallelObserved(context.Background(), res.Plan, cl, qo)
+		} else {
+			rows, stats, err = executor.RunObserved(res.Plan, cl, qo)
+		}
+		if *explainAnalyze {
+			fmt.Println(qo.Prof().Format(res.Plan))
+		}
 		if err != nil {
 			var shipErr *network.ShipError
 			if errors.As(err, &shipErr) {
@@ -193,6 +254,7 @@ func main() {
 					ResultLocation: *resultLoc,
 					PlanCacheSize:  *planCache,
 				})
+				opt.SetObserver(obsv)
 			}
 			prompt()
 			continue

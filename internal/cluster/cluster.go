@@ -12,6 +12,7 @@ import (
 
 	"cgdqp/internal/expr"
 	"cgdqp/internal/network"
+	"cgdqp/internal/obs"
 	"cgdqp/internal/schema"
 	"cgdqp/internal/storage"
 )
@@ -45,7 +46,19 @@ type Cluster struct {
 	retry  network.RetryPolicy
 	// retries counts failed send attempts across all executions.
 	retries atomic.Int64
+
+	// obs receives shipping spans and per-edge metrics (see ship.go).
+	// nil disables observation; set before execution like the fields
+	// above (exchange producers read it without locks).
+	obs *obs.Observer
 }
+
+// SetObserver installs the observability sinks shipping reports into
+// (nil disables). Configure before execution starts.
+func (c *Cluster) SetObserver(o *obs.Observer) { c.obs = o }
+
+// Observer returns the installed observer (nil = none).
+func (c *Cluster) Observer() *obs.Observer { return c.obs }
 
 // SetWireDelay makes SHIP transfers take wall-clock time: every shipment
 // sleeps its modeled cost (ms) multiplied by scale. scale 0 disables the

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"cgdqp/internal/network"
+	"cgdqp/internal/obs"
 )
 
 // This file is the cluster's resilient shipping path: both executors
@@ -47,20 +49,88 @@ func (c *Cluster) TotalRetries() int64 { return c.retries.Load() }
 // bit-identical to a fault-free run. The returned error is nil,
 // ctx.Err(), or a typed *network.ShipError.
 func (c *Cluster) ShipBatch(ctx context.Context, ship *network.Shipment, from, to string, batch int, rows, bytes int64) error {
-	return c.send(ctx, from, to, batch, bytes, func(extraMS float64) {
+	sp := c.obs.StartSpan("ship.batch").
+		Tag("from", from).Tag("to", to).TagInt("batch", int64(batch)).TagInt("rows", rows)
+	err := c.send(ctx, from, to, batch, bytes, func(extraMS float64) {
 		delta := ship.Add(rows, bytes)
 		c.SleepWire(delta + extraMS)
 	})
+	c.finishShip(sp, from, to, rows, bytes, err)
+	return err
 }
 
 // ShipWhole delivers a full materialized transfer (the sequential
 // engine's SHIP) across the edge with the same fault/retry semantics as
 // ShipBatch, recording it as one ledger entry on success.
 func (c *Cluster) ShipWhole(ctx context.Context, from, to string, rows, bytes int64) error {
-	return c.send(ctx, from, to, 0, bytes, func(extraMS float64) {
+	sp := c.obs.StartSpan("ship.whole").
+		Tag("from", from).Tag("to", to).TagInt("rows", rows)
+	err := c.send(ctx, from, to, 0, bytes, func(extraMS float64) {
 		cost := c.Ledger.Record(from, to, rows, bytes)
 		c.SleepWire(cost + extraMS)
 	})
+	c.finishShip(sp, from, to, rows, bytes, err)
+	return err
+}
+
+// finishShip closes the shipment span with its outcome and, on success,
+// bumps the per-edge shipping counters. Every step is guarded so a
+// disabled observer costs pointer checks only.
+func (c *Cluster) finishShip(sp obs.Span, from, to string, rows, bytes int64, err error) {
+	if sp.Enabled() {
+		sp.Tag("outcome", shipOutcome(err)).End()
+	}
+	if err != nil {
+		return
+	}
+	if m := c.obs.Reg(); m != nil {
+		m.Counter("cgdqp_ship_rows_total", "from", from, "to", to).Add(rows)
+		m.Counter("cgdqp_ship_bytes_total", "from", from, "to", to).Add(bytes)
+		m.Counter("cgdqp_ship_batches_total", "from", from, "to", to).Inc()
+	}
+}
+
+// shipOutcome classifies a shipping error for span tags.
+func shipOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, network.ErrPartitioned):
+		return "partitioned"
+	case errors.Is(err, network.ErrShipTimeout):
+		return "timeout"
+	case errors.Is(err, network.ErrBatchDropped):
+		return "dropped"
+	case errors.Is(err, network.ErrTransient):
+		return "transient"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	default:
+		return "error"
+	}
+}
+
+// faultKind names a per-attempt fault verdict for the fault counters.
+func faultKind(err error) string {
+	switch {
+	case errors.Is(err, network.ErrShipTimeout):
+		return "timeout"
+	case errors.Is(err, network.ErrBatchDropped):
+		return "drop"
+	case errors.Is(err, network.ErrTransient):
+		return "transient"
+	case errors.Is(err, network.ErrPartitioned):
+		return "partition"
+	default:
+		return "other"
+	}
+}
+
+// countFault bumps the fault counter for one failed attempt.
+func (c *Cluster) countFault(err error) {
+	if m := c.obs.Reg(); m != nil {
+		m.Counter("cgdqp_ship_faults_total", "kind", faultKind(err)).Inc()
+	}
 }
 
 // send runs the attempt loop: decide the fault verdict, model the wire
@@ -82,6 +152,7 @@ func (c *Cluster) send(ctx context.Context, from, to string, batch int, bytes in
 		v := faults.Decide(from, to, batch, attempt)
 		if v.Partitioned {
 			// A partition outlives any retry budget: fail fast.
+			c.countFault(network.ErrPartitioned)
 			return &network.ShipError{From: from, To: to, Attempts: attempt, Err: network.ErrPartitioned}
 		}
 		// Simulated duration of this attempt: bandwidth time plus any
@@ -104,8 +175,21 @@ func (c *Cluster) send(ctx context.Context, from, to string, batch int, bytes in
 			return nil
 		}
 		c.retries.Add(1)
+		c.countFault(lastErr)
+		if m := c.obs.Reg(); m != nil {
+			m.Counter("cgdqp_ship_retries_total", "from", from, "to", to).Inc()
+		}
 		if attempt < attempts {
-			if err := sleepCtx(ctx, c.retry.Backoff(attempt, faults.Jitter(from, to, batch, attempt))); err != nil {
+			// The retry span covers the backoff wait for the next attempt.
+			rsp := c.obs.StartSpan("ship.retry").
+				Tag("from", from).Tag("to", to).TagInt("batch", int64(batch)).
+				TagInt("attempt", int64(attempt))
+			if rsp.Enabled() {
+				rsp = rsp.Tag("fault", faultKind(lastErr))
+			}
+			err := sleepCtx(ctx, c.retry.Backoff(attempt, faults.Jitter(from, to, batch, attempt)))
+			rsp.End()
+			if err != nil {
 				return err
 			}
 		}

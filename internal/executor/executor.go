@@ -14,6 +14,7 @@ import (
 
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/expr"
+	"cgdqp/internal/obs"
 	"cgdqp/internal/plan"
 )
 
@@ -41,28 +42,10 @@ type RunStats struct {
 
 // Run executes a located physical plan sequentially (one goroutine,
 // row at a time) and materializes its result. RunParallel is the
-// batch-parallel equivalent with identical results and statistics.
+// batch-parallel equivalent with identical results and statistics;
+// RunObserved additionally reports into an observer.
 func Run(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
-	before := c.Ledger.TotalBytes()
-	beforeCost := c.Ledger.TotalCost()
-	beforeRows := c.Ledger.TotalRows()
-	beforeRetries := c.TotalRetries()
-	op, err := Build(p, c)
-	if err != nil {
-		return nil, nil, err
-	}
-	rows, err := Collect(op)
-	if err != nil {
-		return nil, nil, err
-	}
-	stats := &RunStats{
-		RowsOut:      int64(len(rows)),
-		ShippedRows:  c.Ledger.TotalRows() - beforeRows,
-		ShippedBytes: c.Ledger.TotalBytes() - before,
-		ShipCost:     c.Ledger.TotalCost() - beforeCost,
-		Retries:      c.TotalRetries() - beforeRetries,
-	}
-	return rows, stats, nil
+	return RunObserved(p, c, nil)
 }
 
 // Collect drains an operator into a slice.
@@ -86,39 +69,56 @@ func Collect(op Operator) ([]expr.Row, error) {
 
 // Build compiles a physical plan node into an operator tree.
 func Build(n *plan.Node, c *cluster.Cluster) (Operator, error) {
+	return buildObs(n, c, nil)
+}
+
+// buildObs is Build threading an observer: Ship operators report audit
+// records into it, and when it carries a PlanProfile every operator is
+// wrapped to collect per-node actuals.
+func buildObs(n *plan.Node, c *cluster.Cluster, o *obs.Observer) (Operator, error) {
 	children := make([]Operator, len(n.Children))
 	for i, ch := range n.Children {
-		op, err := Build(ch, c)
+		op, err := buildObs(ch, c, o)
 		if err != nil {
 			return nil, err
 		}
 		children[i] = op
 	}
+	var op Operator
+	var err error
 	switch n.Kind {
 	case plan.TableScan, plan.Scan:
-		return newScan(n, c)
+		op, err = newScan(n, c)
 	case plan.FilterExec, plan.Filter:
-		return newFilter(n, children[0])
+		op, err = newFilter(n, children[0])
 	case plan.ProjectExec, plan.Project:
-		return newProject(n, children[0])
+		op, err = newProject(n, children[0])
 	case plan.HashJoin:
-		return newHashJoin(n, children[0], children[1])
+		op, err = newHashJoin(n, children[0], children[1])
 	case plan.MergeJoin:
-		return newMergeJoin(n, children[0], children[1])
+		op, err = newMergeJoin(n, children[0], children[1])
 	case plan.NLJoin, plan.Join:
-		return newNLJoin(n, children[0], children[1])
+		op, err = newNLJoin(n, children[0], children[1])
 	case plan.HashAgg, plan.Aggregate:
-		return newHashAgg(n, children[0])
+		op, err = newHashAgg(n, children[0])
 	case plan.SortExec, plan.Sort:
-		return newSort(n, children[0])
+		op, err = newSort(n, children[0])
 	case plan.LimitExec, plan.Limit:
-		return newLimit(n, children[0]), nil
+		op = newLimit(n, children[0])
 	case plan.UnionAll, plan.Union:
-		return newUnion(children), nil
+		op = newUnion(children)
 	case plan.Ship:
-		return newShip(n, children[0], c), nil
+		op = newShip(n, children[0], c, o)
+	default:
+		return nil, fmt.Errorf("executor: unsupported operator %s", n.Kind)
 	}
-	return nil, fmt.Errorf("executor: unsupported operator %s", n.Kind)
+	if err != nil {
+		return nil, err
+	}
+	if prof := o.Prof(); prof != nil {
+		op = &profOp{op: op, stats: prof.Stats(n)}
+	}
+	return op, nil
 }
 
 // resolver builds a column resolver over a plan node's output schema.
@@ -901,12 +901,13 @@ type shipOp struct {
 	node  *plan.Node
 	child Operator
 	c     *cluster.Cluster
+	obsv  *obs.Observer
 	rows  []expr.Row
 	pos   int
 }
 
-func newShip(n *plan.Node, child Operator, c *cluster.Cluster) Operator {
-	return &shipOp{node: n, child: child, c: c}
+func newShip(n *plan.Node, child Operator, c *cluster.Cluster, o *obs.Observer) Operator {
+	return &shipOp{node: n, child: child, c: c, obsv: o}
 }
 
 func (s *shipOp) Open() error {
@@ -925,6 +926,15 @@ func (s *shipOp) Open() error {
 	// runs under the background context.
 	if err := s.c.ShipWhole(context.Background(), s.node.FromLoc, s.node.ToLoc, int64(len(rows)), bytes); err != nil {
 		return err
+	}
+	if a := s.obsv.AuditSink(); a != nil {
+		rec := auditRecFor(s.node)
+		rec.Rows, rec.Bytes, rec.Batches = int64(len(rows)), bytes, 1
+		a.Record(rec)
+	}
+	if prof := s.obsv.Prof(); prof != nil {
+		// The sequential engine moves the materialized stream as one batch.
+		prof.Stats(s.node).Batches.Add(1)
 	}
 	s.rows = rows
 	s.pos = 0

@@ -1,0 +1,166 @@
+package executor
+
+import (
+	"sort"
+	"time"
+
+	"cgdqp/internal/cluster"
+	"cgdqp/internal/expr"
+	"cgdqp/internal/obs"
+	"cgdqp/internal/plan"
+)
+
+// This file is the executor's observability layer: Run/RunParallel
+// variants that report into an obs.Observer (execution spans, latency
+// histograms, ledger-derived shipping stats from one consistent
+// snapshot), per-operator profiling wrappers behind EXPLAIN ANALYZE,
+// and the compliance audit record each Ship boundary emits. Every hook
+// is nil-guarded so the unobserved paths keep their old cost.
+
+// RunObserved is Run reporting into an observer (nil behaves like Run).
+// When the observer carries a PlanProfile, every operator is wrapped to
+// collect actual rows/batches/time for EXPLAIN ANALYZE.
+func RunObserved(p *plan.Node, c *cluster.Cluster, o *obs.Observer) ([]expr.Row, *RunStats, error) {
+	sp := o.StartSpan("execute.sequential")
+	m := o.Reg()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	before := c.Ledger.Snapshot()
+	beforeRetries := c.TotalRetries()
+	op, err := buildObs(p, c, o)
+	if err != nil {
+		finishExec(sp, m, "seq", t0, 0, err)
+		return nil, nil, err
+	}
+	rows, err := Collect(op)
+	if err != nil {
+		finishExec(sp, m, "seq", t0, 0, err)
+		return nil, nil, err
+	}
+	after := c.Ledger.Snapshot()
+	stats := &RunStats{
+		RowsOut:      int64(len(rows)),
+		ShippedRows:  after.Rows - before.Rows,
+		ShippedBytes: after.Bytes - before.Bytes,
+		ShipCost:     after.Cost - before.Cost,
+		Retries:      c.TotalRetries() - beforeRetries,
+	}
+	finishExec(sp, m, "seq", t0, stats.RowsOut, nil)
+	return rows, stats, nil
+}
+
+// finishExec closes an execution span and records the per-engine
+// execution counter and latency histogram.
+func finishExec(sp obs.Span, m *obs.Registry, engine string, t0 time.Time, rowsOut int64, err error) {
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	if sp.Enabled() {
+		sp.TagInt("rows_out", rowsOut).Tag("outcome", status).End()
+	}
+	if m != nil {
+		m.Counter("cgdqp_executions_total", "engine", engine, "status", status).Inc()
+		if err == nil {
+			m.Histogram("cgdqp_execute_seconds", "engine", engine).Observe(time.Since(t0).Seconds())
+		}
+	}
+}
+
+// auditRecFor builds the audit-record template of one Ship boundary:
+// which base relations the shipped stream derives from, which columns
+// cross the edge, and the compliance justification — the shipping trait
+// the optimizer proved for the stream (every site in ShipT may legally
+// receive it, ToLoc included), or "unchecked" when the plan was built
+// without compliance annotation.
+func auditRecFor(n *plan.Node) obs.AuditRecord {
+	src := n
+	if len(n.Children) > 0 {
+		src = n.Children[0]
+	}
+	seen := map[string]bool{}
+	var rels []string
+	for _, s := range src.Tables() {
+		if s.Table == nil || seen[s.Table.Name] {
+			continue
+		}
+		seen[s.Table.Name] = true
+		rels = append(rels, s.Table.Name)
+	}
+	sort.Strings(rels)
+	cols := make([]string, len(src.Cols))
+	for i, c := range src.Cols {
+		cols[i] = c.Key()
+	}
+	sort.Strings(cols)
+	just := "unchecked"
+	if !n.ShipT.Empty() {
+		just = "ship-trait " + n.ShipT.String() + " permits " + n.ToLoc
+	}
+	return obs.AuditRecord{
+		From: n.FromLoc, To: n.ToLoc,
+		Relations: rels, Columns: cols,
+		Justification: just,
+	}
+}
+
+// --- profiling wrappers --------------------------------------------------
+
+// profOp wraps a row operator with actual-stats collection. Time is
+// inclusive of children (like EXPLAIN ANALYZE's actual time): the
+// wrapper measures the full Open/Next call, and nested operators are
+// wrapped too.
+type profOp struct {
+	op    Operator
+	stats *obs.OpStats
+}
+
+func (p *profOp) Open() error {
+	t0 := time.Now()
+	err := p.op.Open()
+	p.stats.AddTime(time.Since(t0))
+	p.stats.Opens.Add(1)
+	return err
+}
+
+func (p *profOp) Next() (expr.Row, bool, error) {
+	t0 := time.Now()
+	row, ok, err := p.op.Next()
+	p.stats.AddTime(time.Since(t0))
+	if ok {
+		p.stats.Rows.Add(1)
+	}
+	return row, ok, err
+}
+
+func (p *profOp) Close() error { return p.op.Close() }
+
+// batchProfOp is profOp for the batch engine: rows and batches are
+// counted per delivered batch.
+type batchProfOp struct {
+	op    BatchOperator
+	stats *obs.OpStats
+}
+
+func (p *batchProfOp) Open() error {
+	t0 := time.Now()
+	err := p.op.Open()
+	p.stats.AddTime(time.Since(t0))
+	p.stats.Opens.Add(1)
+	return err
+}
+
+func (p *batchProfOp) NextBatch() (*Batch, error) {
+	t0 := time.Now()
+	b, err := p.op.NextBatch()
+	p.stats.AddTime(time.Since(t0))
+	if b != nil {
+		p.stats.Rows.Add(int64(len(b.Rows)))
+		p.stats.Batches.Add(1)
+	}
+	return b, err
+}
+
+func (p *batchProfOp) Close() error { return p.op.Close() }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/expr"
+	"cgdqp/internal/obs"
 	"cgdqp/internal/plan"
 )
 
@@ -44,16 +46,30 @@ func RunParallel(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error
 // backoff, or batch boundary — and the call returns only after all of
 // them have exited, so no goroutine or ledger entry is left dangling.
 func RunParallelContext(ctx context.Context, p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
+	return RunParallelObserved(ctx, p, c, nil)
+}
+
+// RunParallelObserved is RunParallelContext reporting into an observer
+// (nil behaves like RunParallelContext): an execution span and latency
+// histogram around the run, a fragment span plus compliance audit
+// record per exchange producer, and per-operator actuals when the
+// observer carries a PlanProfile.
+func RunParallelObserved(ctx context.Context, p *plan.Node, c *cluster.Cluster, o *obs.Observer) ([]expr.Row, *RunStats, error) {
+	sp := o.StartSpan("execute.parallel")
+	m := o.Reg()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	eng := &parallelEngine{c: c, ctx: ctx}
-	beforeBytes := c.Ledger.TotalBytes()
-	beforeCost := c.Ledger.TotalCost()
-	beforeRows := c.Ledger.TotalRows()
+	eng := &parallelEngine{c: c, ctx: ctx, obsv: o}
+	before := c.Ledger.Snapshot()
 	beforeRetries := c.TotalRetries()
 	root, err := buildParallel(p, eng)
 	if err != nil {
+		finishExec(sp, m, "parallel", t0, 0, err)
 		return nil, nil, err
 	}
 	eng.start()
@@ -63,6 +79,7 @@ func RunParallelContext(ctx context.Context, p *plan.Node, c *cluster.Cluster) (
 	cancel()
 	eng.wg.Wait()
 	if err != nil {
+		finishExec(sp, m, "parallel", t0, 0, err)
 		return nil, nil, err
 	}
 	if err := parent.Err(); err != nil {
@@ -70,15 +87,18 @@ func RunParallelContext(ctx context.Context, p *plan.Node, c *cluster.Cluster) (
 		// winding down: their closed exchanges look like clean ends of
 		// stream, so guard against returning a partial result as
 		// success.
+		finishExec(sp, m, "parallel", t0, 0, err)
 		return nil, nil, err
 	}
+	after := c.Ledger.Snapshot()
 	stats := &RunStats{
 		RowsOut:      int64(len(rows)),
-		ShippedRows:  c.Ledger.TotalRows() - beforeRows,
-		ShippedBytes: c.Ledger.TotalBytes() - beforeBytes,
-		ShipCost:     c.Ledger.TotalCost() - beforeCost,
+		ShippedRows:  after.Rows - before.Rows,
+		ShippedBytes: after.Bytes - before.Bytes,
+		ShipCost:     after.Cost - before.Cost,
 		Retries:      c.TotalRetries() - beforeRetries,
 	}
+	finishExec(sp, m, "parallel", t0, stats.RowsOut, nil)
 	return rows, stats, nil
 }
 
@@ -108,6 +128,7 @@ type parallelEngine struct {
 	ctx       context.Context
 	wg        sync.WaitGroup
 	producers []*exchangeProducer
+	obsv      *obs.Observer
 }
 
 // start launches every fragment producer. Producers begin executing
@@ -127,8 +148,21 @@ func (e *parallelEngine) start() {
 // buildParallel compiles a plan node into a batch operator tree,
 // registering one exchange producer per Ship boundary. Expression
 // binding happens here, on the building goroutine, before any producer
-// starts — bound expressions are only read during execution.
+// starts — bound expressions are only read during execution. When the
+// engine's observer carries a PlanProfile, every node's operator is
+// wrapped to collect per-node actuals.
 func buildParallel(n *plan.Node, eng *parallelEngine) (BatchOperator, error) {
+	op, err := buildParallelNode(n, eng)
+	if err != nil {
+		return nil, err
+	}
+	if prof := eng.obsv.Prof(); prof != nil {
+		op = &batchProfOp{op: op, stats: prof.Stats(n)}
+	}
+	return op, nil
+}
+
+func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error) {
 	switch n.Kind {
 	case plan.Ship:
 		src, err := buildParallel(n.Children[0], eng)
@@ -137,7 +171,7 @@ func buildParallel(n *plan.Node, eng *parallelEngine) (BatchOperator, error) {
 		}
 		ch := make(chan exchangeMsg, exchangeDepth)
 		eng.producers = append(eng.producers, &exchangeProducer{
-			node: n, src: src, ch: ch, c: eng.c, ctx: eng.ctx,
+			node: n, src: src, ch: ch, c: eng.c, ctx: eng.ctx, obsv: eng.obsv,
 		})
 		return &exchangeOp{ch: ch}, nil
 	case plan.TableScan, plan.Scan:
@@ -239,15 +273,40 @@ type exchangeProducer struct {
 	ch   chan exchangeMsg
 	c    *cluster.Cluster
 	ctx  context.Context
+	obsv *obs.Observer
+	// sent* accumulate what the producer actually delivered; only the
+	// producer goroutine touches them. On a clean end of stream they
+	// become the fragment's compliance audit record — a producer that
+	// errors out mid-stream records nothing, keeping the audit log
+	// deterministic (partial, interleaving-dependent deliveries never
+	// appear in it).
+	sentRows, sentBytes, sentBatches int64
 }
 
 func (p *exchangeProducer) run() {
 	defer close(p.ch)
-	if err := p.produce(); err != nil {
-		select {
-		case p.ch <- exchangeMsg{err: err}:
-		case <-p.ctx.Done():
+	sp := p.obsv.StartSpan("exec.fragment").
+		Tag("from", p.node.FromLoc).Tag("to", p.node.ToLoc)
+	err := p.produce()
+	if sp.Enabled() {
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
 		}
+		sp.TagInt("rows", p.sentRows).TagInt("batches", p.sentBatches).
+			Tag("outcome", outcome).End()
+	}
+	if err == nil {
+		if a := p.obsv.AuditSink(); a != nil {
+			rec := auditRecFor(p.node)
+			rec.Rows, rec.Bytes, rec.Batches = p.sentRows, p.sentBytes, p.sentBatches
+			a.Record(rec)
+		}
+		return
+	}
+	select {
+	case p.ch <- exchangeMsg{err: err}:
+	case <-p.ctx.Done():
 	}
 }
 
@@ -275,6 +334,9 @@ func (p *exchangeProducer) produce() error {
 			b.Release()
 			return err
 		}
+		p.sentRows += int64(len(b.Rows))
+		p.sentBytes += b.Bytes()
+		p.sentBatches++
 		select {
 		case p.ch <- exchangeMsg{batch: b}:
 		case <-p.ctx.Done():

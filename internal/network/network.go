@@ -255,6 +255,37 @@ func (l *Ledger) TotalRows() int64 {
 	return total
 }
 
+// LedgerSnapshot is a consistent view of the ledger totals, taken under
+// one lock acquisition. TotalBytes/TotalRows/TotalCost each lock
+// separately, so reading them individually while shipments are in
+// flight can observe totals from different instants; Snapshot cannot.
+type LedgerSnapshot struct {
+	Transfers int
+	Rows      int64
+	Bytes     int64
+	Cost      float64
+}
+
+// Snapshot returns all ledger totals from a single consistent point in
+// time. The cost is summed in sorted order, exactly like TotalCost, so
+// a quiescent ledger's Snapshot().Cost equals TotalCost() bit-for-bit.
+func (l *Ledger) Snapshot() LedgerSnapshot {
+	l.mu.Lock()
+	s := LedgerSnapshot{Transfers: len(l.transfers)}
+	costs := make([]float64, len(l.transfers))
+	for i, t := range l.transfers {
+		s.Rows += t.Rows
+		s.Bytes += t.Bytes
+		costs[i] = t.Cost
+	}
+	l.mu.Unlock()
+	sort.Float64s(costs)
+	for _, c := range costs {
+		s.Cost += c
+	}
+	return s
+}
+
 // Transfers returns a copy of the recorded transfers.
 func (l *Ledger) Transfers() []Transfer {
 	l.mu.Lock()

@@ -1,0 +1,416 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrent-safe metrics registry: counters, gauges and
+// fixed-bucket histograms, keyed by name plus ordered label pairs, with
+// Prometheus-text and JSON exports. Metric handles are cheap to look up
+// and cheap to update (atomics); a nil *Registry is a valid disabled
+// registry whose lookups return nil handles with no-op updates.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// metricKey renders the canonical series key: name{k1="v1",k2="v2"}.
+// Labels are ordered key-value pairs; callers use a fixed order so the
+// same series always maps to the same key.
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 16*len(labels))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(labels[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotone counter. Nil-safe: updates on a nil handle are
+// no-ops, so disabled registries cost their callers nothing.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the gauge value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// LatencyBuckets is the fixed bucket layout (upper bounds, in seconds)
+// every latency histogram uses: ~exponential from 5µs to 10s.
+var LatencyBuckets = []float64{
+	0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram (cumulative rendering on
+// export, Prometheus style). Observations are lock-free atomics.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // one per bound, plus +Inf at the end
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Counter returns (creating on first use) the counter for the series.
+// Labels are ordered key-value pairs. Nil-safe on a disabled registry.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	c := r.counters[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for the series.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	g := r.gauges[key]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the latency histogram for
+// the series, with the fixed LatencyBuckets layout.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	h := r.hists[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[key]; h == nil {
+		h = newHistogram(LatencyBuckets)
+		r.hists[key] = h
+	}
+	return h
+}
+
+// CounterValue reads a counter series without creating it.
+func (r *Registry) CounterValue(name string, labels ...string) int64 {
+	if r == nil {
+		return 0
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.counters[key].Value()
+}
+
+// snapshot copies the series maps for lock-free rendering.
+func (r *Registry) snapshot() (map[string]*Counter, map[string]*Gauge, map[string]*Histogram) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cs := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		cs[k] = v
+	}
+	gs := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gs[k] = v
+	}
+	hs := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hs[k] = v
+	}
+	return cs, gs, hs
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// familyOf strips the label part of a series key.
+func familyOf(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// labelPartOf returns the {...} label block of a series key ("" when
+// unlabeled).
+func labelPartOf(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[i:]
+	}
+	return ""
+}
+
+// withExtraLabel splices one more label into a series key's label block
+// (for histogram le labels).
+func withExtraLabel(family, labelPart, k, v string) string {
+	if labelPart == "" {
+		return fmt.Sprintf(`%s{%s="%s"}`, family, k, v)
+	}
+	return fmt.Sprintf(`%s{%s,%s="%s"}`, family, labelPart[1:len(labelPart)-1], k, v)
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, +1) {
+		return "+Inf"
+	}
+	return formatFloat(b)
+}
+
+// formatFloat renders a float compactly (Prometheus accepts shortest form).
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WritePrometheus renders every series in Prometheus text exposition
+// format, families sorted by name, series sorted within a family, so
+// the export is deterministic given deterministic metric values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	cs, gs, hs := r.snapshot()
+
+	typed := map[string]string{}
+	for k := range cs {
+		typed[familyOf(k)] = "counter"
+	}
+	for k := range gs {
+		typed[familyOf(k)] = "gauge"
+	}
+	for k := range hs {
+		typed[familyOf(k)] = "histogram"
+	}
+
+	counterKeys := sortedKeys(cs)
+	gaugeKeys := sortedKeys(gs)
+	histKeys := sortedKeys(hs)
+
+	emitted := map[string]bool{}
+	emitType := func(family string) error {
+		if emitted[family] {
+			return nil
+		}
+		emitted[family] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, typed[family])
+		return err
+	}
+
+	for _, k := range counterKeys {
+		if err := emitType(familyOf(k)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, cs[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range gaugeKeys {
+		if err := emitType(familyOf(k)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", k, formatFloat(gs[k].Value())); err != nil {
+			return err
+		}
+	}
+	for _, k := range histKeys {
+		family, labelPart := familyOf(k), labelPartOf(k)
+		if err := emitType(family); err != nil {
+			return err
+		}
+		h := hs[k]
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			line := withExtraLabel(family+"_bucket", labelPart, "le", formatBound(bound))
+			if _, err := fmt.Fprintf(w, "%s %d\n", line, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		line := withExtraLabel(family+"_bucket", labelPart, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s %d\n", line, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", family+"_sum", labelPart, formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", family+"_count", labelPart, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histJSON is the JSON shape of one histogram series.
+type histJSON struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // upper bound -> cumulative count
+}
+
+// WriteJSON renders every series as one indented JSON object (counters,
+// gauges, histograms keyed by series name). Map keys are sorted by the
+// encoder, so the export is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	cs, gs, hs := r.snapshot()
+	out := struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]float64  `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]histJSON{},
+	}
+	for k, c := range cs {
+		out.Counters[k] = c.Value()
+	}
+	for k, g := range gs {
+		out.Gauges[k] = g.Value()
+	}
+	for k, h := range hs {
+		hj := histJSON{Count: h.Count(), Sum: h.Sum(), Buckets: map[string]int64{}}
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			hj.Buckets[formatBound(bound)] = cum
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		hj.Buckets["+Inf"] = cum
+		out.Histograms[k] = hj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,81 @@
+// Package obs is the observability subsystem threaded through the
+// optimizer, the executors and the shipping layer: a lightweight span
+// tracer recording the query lifecycle, a concurrent-safe metrics
+// registry (counters, gauges, fixed-bucket histograms) with Prometheus
+// text and JSON exports, a deterministic compliance audit log of every
+// cross-site shipment, and a per-operator execution profile behind
+// EXPLAIN ANALYZE.
+//
+// Everything is built around one invariant: when observability is off it
+// costs ~nothing. A nil *Observer (and nil sinks inside a non-nil one)
+// short-circuits every hook to a pointer check, allocates nothing, and
+// is what production hot paths pay by default; the disabled-path cost is
+// guarded by BenchmarkObsDisabledHooks and the exec bench report.
+package obs
+
+// Observer bundles the observability sinks an execution reports into.
+// Any field may be nil to disable that dimension; a nil *Observer
+// disables all of them. The sink pointers must be set before the
+// observer is shared (optimizer and cluster read them without locks);
+// the sinks themselves are safe for concurrent use.
+type Observer struct {
+	// Tracer records query-lifecycle spans (parse/bind, optimize
+	// phases, fragment pipelines, every ship attempt).
+	Tracer *Tracer
+	// Metrics is the counters/gauges/histograms registry.
+	Metrics *Registry
+	// Audit is the append-only compliance audit log of cross-site
+	// shipments.
+	Audit *AuditLog
+	// Profile collects per-operator actuals for EXPLAIN ANALYZE. Unlike
+	// the cumulative sinks above it is per-execution: callers install a
+	// fresh one for each analyzed run.
+	Profile *PlanProfile
+}
+
+// StartSpan opens a span on the observer's tracer; it is the nil-safe,
+// zero-alloc-when-disabled entry point hooks use.
+func (o *Observer) StartSpan(name string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.Tracer.Start(name)
+}
+
+// Reg returns the metrics registry (nil when metrics are off). Hooks
+// must guard on the returned pointer before building label lists so the
+// disabled path allocates nothing.
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// AuditSink returns the audit log (nil when auditing is off).
+func (o *Observer) AuditSink() *AuditLog {
+	if o == nil {
+		return nil
+	}
+	return o.Audit
+}
+
+// Prof returns the per-operator profile (nil when not analyzing).
+func (o *Observer) Prof() *PlanProfile {
+	if o == nil {
+		return nil
+	}
+	return o.Profile
+}
+
+// WithProfile returns a shallow copy of the observer carrying the given
+// per-run profile (the cumulative sinks stay shared). Works on a nil
+// receiver: the copy then observes only the profile.
+func (o *Observer) WithProfile(p *PlanProfile) *Observer {
+	var cp Observer
+	if o != nil {
+		cp = *o
+	}
+	cp.Profile = p
+	return &cp
+}

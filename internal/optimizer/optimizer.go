@@ -9,6 +9,7 @@ import (
 	"cgdqp/internal/expr"
 	"cgdqp/internal/memo"
 	"cgdqp/internal/network"
+	"cgdqp/internal/obs"
 	"cgdqp/internal/plan"
 	"cgdqp/internal/policy"
 	"cgdqp/internal/rules"
@@ -91,7 +92,17 @@ type Optimizer struct {
 	planCache  *planCache
 	sqlDigests *sqlDigestCache
 	optsFP     string
+
+	// obsv receives per-phase optimization spans and optimizer metrics
+	// (latency histogram, plan-cache and policy-cache gauges). nil
+	// disables observation. Set it before sharing the optimizer.
+	obsv *obs.Observer
 }
+
+// SetObserver installs the observability sinks optimizations report
+// into (nil disables). Like the catalogs, configure before concurrent
+// use starts.
+func (o *Optimizer) SetObserver(obsv *obs.Observer) { o.obsv = obsv }
 
 // New builds an optimizer over the given catalogs and network model.
 func New(sc *schema.Catalog, pc *policy.Catalog, net *network.CostModel, opts Options) *Optimizer {
@@ -182,9 +193,12 @@ func (o *Optimizer) Optimize(logical *plan.Node) (*Result, error) {
 func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 	start := time.Now()
 	var evStats policy.EvalStats
+	osp := o.obsv.StartSpan("optimize")
 
 	t0 := time.Now()
+	nsp := o.obsv.StartSpan("optimize.normalize")
 	norm := Normalize(logical.Clone())
+	nsp.End()
 	normTime := time.Since(t0)
 
 	var cacheKey planCacheKey
@@ -195,12 +209,14 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 			optsFP:     o.optsFP,
 		}
 		if e, ok := o.planCache.get(cacheKey); ok {
+			o.finishOptimize(osp, start, "hit", nil)
 			return cachedResult(e, normTime, start), cacheKey.planDigest, nil
 		}
 	}
 
 	// Phase 1: plan annotator.
 	t1 := time.Now()
+	esp := o.obsv.StartSpan("optimize.explore")
 	est := cost.NewEstimator(norm)
 	m := memo.New(est)
 	if o.Opts.MaxExprs > 0 {
@@ -208,9 +224,11 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 	}
 	root := m.InsertTree(norm)
 	m.Explore(o.ruleSet())
+	esp.End()
 	exploreTime := time.Since(t1)
 
 	t2 := time.Now()
+	isp := o.obsv.StartSpan("optimize.implement")
 	// Track sort orders as a Pareto dimension only when some ORDER BY
 	// could actually consume one (all-ascending plain column keys — the
 	// only orderings the memo models); otherwise tracking would widen
@@ -234,8 +252,10 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 	}
 	m.Implement(root, cfg)
 	best := memo.Best(root, o.Opts.Compliant, o.Opts.ResultLocation)
+	isp.End()
 	implementTime := time.Since(t2)
 	if best == nil {
+		o.finishOptimize(osp, start, "miss", ErrNoCompliantPlan)
 		return nil, "", ErrNoCompliantPlan
 	}
 	annotated := best.Tree
@@ -244,6 +264,7 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 	// (memo alternatives share subtrees). Adjacent projections are
 	// merged first.
 	t3 := time.Now()
+	ssp := o.obsv.StartSpan("optimize.site_select")
 	located := o.mergeProjections(annotated.Clone(), &evStats)
 	var shipCost float64
 	var err error
@@ -255,11 +276,13 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 	default:
 		located, shipCost, err = SelectSites(located, o.Net, o.Opts.ResultLocation)
 	}
+	ssp.End()
 	siteTime := time.Since(t3)
 	if err != nil {
 		if o.Opts.Compliant {
-			return nil, "", fmt.Errorf("%w: %v", ErrNoCompliantPlan, err)
+			err = fmt.Errorf("%w: %v", ErrNoCompliantPlan, err)
 		}
+		o.finishOptimize(osp, start, "miss", err)
 		return nil, "", err
 	}
 
@@ -276,6 +299,7 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 		})
 	}
 
+	o.finishOptimize(osp, start, "miss", nil)
 	return &Result{
 		Plan:      located,
 		Annotated: annotated,
@@ -296,6 +320,39 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 	}, cacheKey.planDigest, nil
 }
 
+// finishOptimize closes the optimization span and refreshes the
+// optimizer metrics: the latency histogram, the outcome counter, and
+// the plan-cache / policy-evaluator gauges (cumulative values sampled
+// at each optimization, so exports always reflect the latest state).
+func (o *Optimizer) finishOptimize(sp obs.Span, start time.Time, cache string, err error) {
+	if o.planCache == nil {
+		cache = "off"
+	}
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	if sp.Enabled() {
+		sp.Tag("cache", cache).Tag("outcome", status).End()
+	}
+	m := o.obsv.Reg()
+	if m == nil {
+		return
+	}
+	m.Counter("cgdqp_optimizations_total", "cache", cache, "status", status).Inc()
+	if err == nil {
+		m.Histogram("cgdqp_optimize_seconds").Observe(time.Since(start).Seconds())
+	}
+	pcs := o.PlanCacheStats()
+	m.Gauge("cgdqp_plan_cache_hits").Set(float64(pcs.Hits))
+	m.Gauge("cgdqp_plan_cache_misses").Set(float64(pcs.Misses))
+	m.Gauge("cgdqp_plan_cache_evictions").Set(float64(pcs.Evictions))
+	m.Gauge("cgdqp_plan_cache_len").Set(float64(pcs.Len))
+	m.Gauge("cgdqp_policy_eval_calls").Set(float64(o.Evaluator.Calls()))
+	m.Gauge("cgdqp_policy_eval_cache_hits").Set(float64(o.Evaluator.Hits()))
+	m.Gauge("cgdqp_policy_eval_eta").Set(float64(o.Evaluator.Eta()))
+}
+
 // OptimizeSQL parses, binds and optimizes a SQL string. With the plan
 // cache on, query text seen before skips parsing, binding and
 // normalization entirely: the remembered normalized-plan digest reaches
@@ -304,14 +361,21 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 func (o *Optimizer) OptimizeSQL(sql string) (*Result, error) {
 	if o.planCache != nil {
 		start := time.Now()
+		sp := o.obsv.StartSpan("optimize.sql_fast_path")
 		if d, ok := o.sqlDigests.get(sql); ok {
 			key := planCacheKey{planDigest: d, epoch: o.Evaluator.Epoch(), optsFP: o.optsFP}
 			if e, ok := o.planCache.get(key); ok {
+				o.finishOptimize(sp, start, "hit", nil)
 				return cachedResult(e, 0, start), nil
 			}
 		}
+		// Not served from the fast path; the full optimize() below
+		// records its own "optimize" span.
+		sp.Tag("cache", "miss").End()
 	}
+	psp := o.obsv.StartSpan("sql.parse_bind")
 	logical, err := sqlparse.ParseAndBind(sql, o.Schema)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
