@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs
+	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs ./internal/sched
 
 benchsmoke:
 	$(GO) test -run NONE -bench Optimize -benchtime 1x .
@@ -33,11 +33,14 @@ benchsmoke:
 # TPC-H query (cold, warm-policy-cache and plan-cache-hit paths, η,
 # evaluator calls, allocs/op) and rewrites BENCH_optimizer.json; the
 # second rewrites BENCH_exec.json (seq vs parallel engine, tracing off
-# vs on, asserting the tracing-off overhead stays under 2%); the rest
-# print per-query numbers.
+# vs on, asserting the tracing-off overhead stays under 2%); the third
+# rewrites BENCH_sched.json (scheduled vs unscheduled mixed-TPC-H
+# throughput and p50/p99 at 1/4/16 clients, typed admission rejections
+# at 2x overload); the rest print per-query numbers.
 bench:
 	$(GO) test -run TestOptimizerBenchReport -bench-report .
 	$(GO) test -run TestExecBenchReport -bench-report .
+	$(GO) test -run TestSchedBenchReport -bench-report -timeout 20m .
 	$(GO) test -run NONE -bench BenchmarkOptimizeTPCH -benchtime 3x -benchmem .
 	$(GO) test -run NONE -bench BenchmarkExecSeqVsParallel -benchtime 5x .
 

@@ -39,6 +39,7 @@ import (
 	"cgdqp/internal/optimizer"
 	"cgdqp/internal/plan"
 	"cgdqp/internal/policy"
+	"cgdqp/internal/sched"
 	"cgdqp/internal/schema"
 	"cgdqp/internal/sqlparse"
 )
@@ -480,7 +481,15 @@ type Result struct {
 // Query optimizes and executes a SQL query over the loaded data,
 // guaranteeing the executed plan is compliant.
 func (s *System) Query(sql string) (*Result, error) {
-	res, _, err := s.query(sql, s.obsv)
+	res, _, err := s.query(context.Background(), sql, s.obsv)
+	return res, err
+}
+
+// QueryContext is Query under a caller context: cancelling ctx tears
+// down the execution (fragment pipelines, in-flight shipment retries)
+// and returns the context's error.
+func (s *System) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	res, _, err := s.query(ctx, sql, s.obsv)
 	return res, err
 }
 
@@ -489,14 +498,14 @@ func (s *System) Query(sql string) (*Result, error) {
 // time (inclusive of children, in the style of EXPLAIN ANALYZE).
 func (s *System) ExplainAnalyze(sql string) (*Result, string, error) {
 	o := s.obsv.WithProfile(obs.NewPlanProfile())
-	res, prof, err := s.query(sql, o)
+	res, prof, err := s.query(context.Background(), sql, o)
 	if err != nil {
 		return nil, "", err
 	}
 	return res, prof.Format(res.Plan.Root), nil
 }
 
-func (s *System) query(sql string, o *obs.Observer) (*Result, *obs.PlanProfile, error) {
+func (s *System) query(ctx context.Context, sql string, o *obs.Observer) (*Result, *obs.PlanProfile, error) {
 	p, err := s.Explain(sql)
 	if err != nil {
 		s.countQuery("error")
@@ -505,9 +514,9 @@ func (s *System) query(sql string, o *obs.Observer) (*Result, *obs.PlanProfile, 
 	var rows []Row
 	var stats *executor.RunStats
 	if s.opts.Parallel {
-		rows, stats, err = executor.RunParallelObserved(context.Background(), p.Root, s.Cluster(), o)
+		rows, stats, err = executor.RunParallelObserved(ctx, p.Root, s.Cluster(), o)
 	} else {
-		rows, stats, err = executor.RunObserved(p.Root, s.Cluster(), o)
+		rows, stats, err = executor.RunObservedContext(ctx, p.Root, s.Cluster(), o)
 	}
 	if err != nil {
 		s.countQuery("error")
@@ -528,6 +537,43 @@ func (s *System) countQuery(status string) {
 	if m := s.obsv.Reg(); m != nil {
 		m.Counter("cgdqp_queries_total", "status", status).Inc()
 	}
+}
+
+// --- concurrent query serving -------------------------------------------
+
+// Query-serving types re-exported from the scheduler subsystem: a
+// Server is the concurrent front end (admission control, weighted-fair
+// scheduling with per-site execution slots, shared-work batching of
+// identical in-flight optimizations) over one System.
+type (
+	Server        = sched.Server
+	ServeOptions  = sched.Options
+	ServeRequest  = sched.Request
+	ServeResponse = sched.Response
+	ServeCounters = sched.Counters
+	Ticket        = sched.Ticket
+)
+
+// Typed admission rejections from Server.Submit (match with errors.Is).
+var (
+	ErrQueueFull    = sched.ErrQueueFull
+	ErrServerClosed = sched.ErrServerClosed
+)
+
+// Serve starts a concurrent query-serving front end over the system:
+// queries submitted through the returned Server are admission-controlled
+// (bounded queue, typed rejections under overload), scheduled
+// weighted-fairly onto bounded per-site execution slots, executed with
+// the batch-parallel engine, and identical in-flight optimizations are
+// coalesced. The server shares the system's observability sinks (queue
+// gauges, admission/rejection counters, latency histograms land in
+// System.Metrics()). Close the server before discarding it:
+//
+//	srv := sys.Serve(cgdqp.ServeOptions{MaxConcurrent: 8})
+//	defer srv.Close()
+//	resp, err := srv.Do(ctx, "SELECT ...")
+func (s *System) Serve(opts ServeOptions) *Server {
+	return sched.NewServer(s.Optimizer(), s.Cluster(), s.obsv, opts)
 }
 
 // Legal reports whether a query has at least one compliant execution

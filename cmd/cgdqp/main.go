@@ -15,6 +15,13 @@
 //	> \policies         -- list active policy expressions
 //	> \analyze          -- recompute statistics from loaded data
 //	> \quit
+//
+// Serving mode replays a mixed TPC-H workload through the concurrent
+// query scheduler (admission control, weighted-fair per-site slots,
+// shared-work batching) and reports throughput and latency:
+//
+//	cgdqp -serve -clients 16 -duration 10s            # closed loop
+//	cgdqp -serve -qps 50 -workload Q3,Q5 -queue-depth 32
 package main
 
 import (
@@ -25,7 +32,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/executor"
@@ -34,6 +45,7 @@ import (
 	"cgdqp/internal/obs"
 	"cgdqp/internal/optimizer"
 	"cgdqp/internal/policy"
+	"cgdqp/internal/sched"
 	"cgdqp/internal/tpch"
 	"cgdqp/internal/workload"
 )
@@ -75,6 +87,15 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics to this file at exit (- for stdout)")
 	traceOut := flag.String("trace-out", "", "write query-lifecycle spans as JSON to this file at exit (- for stdout)")
 	auditOut := flag.String("audit-out", "", "write the compliance audit log of cross-site shipments to this file at exit (- for stdout)")
+	serve := flag.Bool("serve", false, "replay a TPC-H workload through the concurrent query scheduler and report throughput/latency")
+	workloadMix := flag.String("workload", "mixed", "serving mode query mix: comma-separated TPC-H names (Q3,Q5,...) or 'mixed' for all")
+	qps := flag.Float64("qps", 0, "serving mode target submission rate across all clients (0 = closed loop)")
+	clients := flag.Int("clients", 8, "serving mode concurrent client goroutines")
+	duration := flag.Duration("duration", 10*time.Second, "serving mode run length")
+	maxConcurrent := flag.Int("max-concurrent", sched.DefaultMaxConcurrent, "serving mode: queries executing simultaneously")
+	queueDepth := flag.Int("queue-depth", sched.DefaultQueueDepth, "serving mode: admission queue bound (overload beyond it is rejected)")
+	siteSlots := flag.Int("site-slots", 0, "serving mode: per-site fragment-pipeline slots (0 = 2x max-concurrent)")
+	queryTimeout := flag.Duration("query-timeout", 0, "serving mode: per-query deadline from admission (0 = none)")
 	flag.Parse()
 
 	var obsv *obs.Observer
@@ -203,6 +224,17 @@ func main() {
 			stats.RowsOut, stats.ShippedBytes, stats.ShipCost, retryNote)
 	}
 
+	if *serve {
+		runServe(opt, cl, obsv, serveConfig{
+			mix:      *workloadMix,
+			qps:      *qps,
+			clients:  *clients,
+			duration: *duration,
+			opts:     sched.Options{MaxConcurrent: *maxConcurrent, QueueDepth: *queueDepth, SiteSlots: *siteSlots, QueryTimeout: *queryTimeout},
+		})
+		return
+	}
+
 	if *query != "" {
 		runOne(*query)
 		return
@@ -270,4 +302,127 @@ func main() {
 			prompt()
 		}
 	}
+}
+
+// serveConfig parameterizes the serving-mode workload driver.
+type serveConfig struct {
+	mix      string
+	qps      float64
+	clients  int
+	duration time.Duration
+	opts     sched.Options
+}
+
+// runServe replays a mixed TPC-H workload through the concurrent query
+// scheduler: `clients` goroutines submit queries round-robin from the
+// mix — paced at an aggregate `qps` when set, back-to-back otherwise —
+// for `duration`, then the admission counters and the completed-query
+// latency distribution are reported.
+func runServe(opt *optimizer.Optimizer, cl *cluster.Cluster, obsv *obs.Observer, cfg serveConfig) {
+	var names []string
+	if strings.EqualFold(cfg.mix, "mixed") || cfg.mix == "" {
+		names = tpch.QueryNames()
+	} else {
+		for _, n := range strings.Split(cfg.mix, ",") {
+			n = strings.TrimSpace(strings.ToUpper(n))
+			if _, ok := tpch.Queries[n]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload query %q (have %s)\n", n, strings.Join(tpch.QueryNames(), ", "))
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+	}
+	if cfg.clients <= 0 {
+		cfg.clients = 1
+	}
+
+	srv := sched.NewServer(opt, cl, obsv, cfg.opts)
+	pace := ""
+	if cfg.qps > 0 {
+		pace = fmt.Sprintf(" at %.0f qps", cfg.qps)
+	}
+	fmt.Fprintf(os.Stderr, "serving mix [%s] with %d clients%s for %v (max-concurrent %d, queue-depth %d)\n",
+		strings.Join(names, " "), cfg.clients, pace, cfg.duration,
+		cfg.opts.MaxConcurrent, cfg.opts.QueueDepth)
+
+	var (
+		mu        sync.Mutex
+		lats      []time.Duration
+		nextQuery atomic.Int64
+		rejected  atomic.Int64
+		failed    atomic.Int64
+	)
+	// Open-loop pacing: one shared ticker feeds submission slots so the
+	// aggregate rate holds regardless of client count.
+	var slots chan struct{}
+	deadline := time.Now().Add(cfg.duration)
+	stop := make(chan struct{})
+	if cfg.qps > 0 {
+		slots = make(chan struct{}, cfg.clients)
+		go func() {
+			tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.qps))
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					select {
+					case slots <- struct{}{}:
+					default: // all clients busy: shed the slot
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if slots != nil {
+					select {
+					case <-slots:
+					case <-stop:
+						return
+					}
+				}
+				name := names[int(nextQuery.Add(1)-1)%len(names)]
+				resp, err := srv.Do(context.Background(), tpch.Queries[name])
+				switch {
+				case err == nil:
+					mu.Lock()
+					lats = append(lats, resp.Total)
+					mu.Unlock()
+				case errors.Is(err, sched.ErrQueueFull):
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	close(stop)
+	srv.Close()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	c := srv.Counters()
+	fmt.Printf("completed %d queries in %v (%.1f q/s); rejected %d (queue full), failed %d, cancelled %d, coalesced %d\n",
+		len(lats), elapsed.Round(time.Millisecond), float64(len(lats))/elapsed.Seconds(),
+		rejected.Load(), failed.Load(), c.Cancelled, c.Coalesced)
+	fmt.Printf("latency p50 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
 }

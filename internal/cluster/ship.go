@@ -51,7 +51,7 @@ func (c *Cluster) TotalRetries() int64 { return c.retries.Load() }
 func (c *Cluster) ShipBatch(ctx context.Context, ship *network.Shipment, from, to string, batch int, rows, bytes int64) error {
 	sp := c.obs.StartSpan("ship.batch").
 		Tag("from", from).Tag("to", to).TagInt("batch", int64(batch)).TagInt("rows", rows)
-	err := c.send(ctx, from, to, batch, bytes, func(extraMS float64) {
+	err := c.send(ctx, nil, from, to, batch, bytes, func(extraMS float64) {
 		delta := ship.Add(rows, bytes)
 		c.SleepWire(delta + extraMS)
 	})
@@ -65,7 +65,7 @@ func (c *Cluster) ShipBatch(ctx context.Context, ship *network.Shipment, from, t
 func (c *Cluster) ShipWhole(ctx context.Context, from, to string, rows, bytes int64) error {
 	sp := c.obs.StartSpan("ship.whole").
 		Tag("from", from).Tag("to", to).TagInt("rows", rows)
-	err := c.send(ctx, from, to, 0, bytes, func(extraMS float64) {
+	err := c.send(ctx, nil, from, to, 0, bytes, func(extraMS float64) {
 		cost := c.Ledger.Record(from, to, rows, bytes)
 		c.SleepWire(cost + extraMS)
 	})
@@ -136,8 +136,9 @@ func (c *Cluster) countFault(err error) {
 // send runs the attempt loop: decide the fault verdict, model the wire
 // time of failed attempts, back off, and invoke deliver exactly once on
 // success. bytes only sizes the simulated attempt cost; accounting is
-// deliver's job.
-func (c *Cluster) send(ctx context.Context, from, to string, batch int, bytes int64, deliver func(extraMS float64)) error {
+// deliver's job. A non-nil scope additionally receives the run-local
+// retry count.
+func (c *Cluster) send(ctx context.Context, scope *RunScope, from, to string, batch int, bytes int64, deliver func(extraMS float64)) error {
 	faults := c.faults
 	if faults == nil || from == to {
 		deliver(0)
@@ -175,6 +176,9 @@ func (c *Cluster) send(ctx context.Context, from, to string, batch int, bytes in
 			return nil
 		}
 		c.retries.Add(1)
+		if scope != nil {
+			scope.retries.Add(1)
+		}
 		c.countFault(lastErr)
 		if m := c.obs.Reg(); m != nil {
 			m.Counter("cgdqp_ship_retries_total", "from", from, "to", to).Inc()

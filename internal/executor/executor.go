@@ -48,6 +48,13 @@ func Run(p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
 	return RunObserved(p, c, nil)
 }
 
+// RunContext is Run under a caller context: cancelling it makes the
+// next SHIP boundary (including its in-flight retry backoff) return
+// the context error instead of starting new work.
+func RunContext(ctx context.Context, p *plan.Node, c *cluster.Cluster) ([]expr.Row, *RunStats, error) {
+	return RunObservedContext(ctx, p, c, nil)
+}
+
 // Collect drains an operator into a slice.
 func Collect(op Operator) ([]expr.Row, error) {
 	if err := op.Open(); err != nil {
@@ -69,16 +76,28 @@ func Collect(op Operator) ([]expr.Row, error) {
 
 // Build compiles a physical plan node into an operator tree.
 func Build(n *plan.Node, c *cluster.Cluster) (Operator, error) {
-	return buildObs(n, c, nil)
+	return buildObs(n, buildEnv{c: c, ctx: context.Background()})
 }
 
-// buildObs is Build threading an observer: Ship operators report audit
-// records into it, and when it carries a PlanProfile every operator is
-// wrapped to collect per-node actuals.
-func buildObs(n *plan.Node, c *cluster.Cluster, o *obs.Observer) (Operator, error) {
+// buildEnv bundles the per-execution context an operator tree is built
+// under: the cluster, an optional per-run accounting scope (nil charges
+// the shared ledger only, as Build always did), the cancellation
+// context Ship boundaries honor, and the observer.
+type buildEnv struct {
+	c     *cluster.Cluster
+	scope *cluster.RunScope
+	ctx   context.Context
+	obsv  *obs.Observer
+}
+
+// buildObs is Build threading a build environment: Ship operators
+// report audit records into its observer, honor its context and charge
+// its run scope; when the observer carries a PlanProfile every operator
+// is wrapped to collect per-node actuals.
+func buildObs(n *plan.Node, env buildEnv) (Operator, error) {
 	children := make([]Operator, len(n.Children))
 	for i, ch := range n.Children {
-		op, err := buildObs(ch, c, o)
+		op, err := buildObs(ch, env)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +107,7 @@ func buildObs(n *plan.Node, c *cluster.Cluster, o *obs.Observer) (Operator, erro
 	var err error
 	switch n.Kind {
 	case plan.TableScan, plan.Scan:
-		op, err = newScan(n, c)
+		op, err = newScan(n, env.c)
 	case plan.FilterExec, plan.Filter:
 		op, err = newFilter(n, children[0])
 	case plan.ProjectExec, plan.Project:
@@ -108,14 +127,14 @@ func buildObs(n *plan.Node, c *cluster.Cluster, o *obs.Observer) (Operator, erro
 	case plan.UnionAll, plan.Union:
 		op = newUnion(children)
 	case plan.Ship:
-		op = newShip(n, children[0], c, o)
+		op = newShip(n, children[0], env)
 	default:
 		return nil, fmt.Errorf("executor: unsupported operator %s", n.Kind)
 	}
 	if err != nil {
 		return nil, err
 	}
-	if prof := o.Prof(); prof != nil {
+	if prof := env.obsv.Prof(); prof != nil {
 		op = &profOp{op: op, stats: prof.Stats(n)}
 	}
 	return op, nil
@@ -900,17 +919,20 @@ func (u *unionOp) Close() error {
 type shipOp struct {
 	node  *plan.Node
 	child Operator
-	c     *cluster.Cluster
-	obsv  *obs.Observer
+	env   buildEnv
 	rows  []expr.Row
 	pos   int
 }
 
-func newShip(n *plan.Node, child Operator, c *cluster.Cluster, o *obs.Observer) Operator {
-	return &shipOp{node: n, child: child, c: c, obsv: o}
+func newShip(n *plan.Node, child Operator, env buildEnv) Operator {
+	return &shipOp{node: n, child: child, env: env}
 }
 
 func (s *shipOp) Open() error {
+	if err := s.env.ctx.Err(); err != nil {
+		// Cancelled before this boundary: don't start materializing.
+		return err
+	}
 	rows, err := Collect(s.child)
 	if err != nil {
 		return err
@@ -921,18 +943,23 @@ func (s *shipOp) Open() error {
 	}
 	// The resilient shipping path records the transfer and sleeps the
 	// wire time on success; under an installed fault plan it may retry
-	// with backoff or fail with a typed *network.ShipError. The
-	// sequential engine has no fragment goroutines to tear down, so it
-	// runs under the background context.
-	if err := s.c.ShipWhole(context.Background(), s.node.FromLoc, s.node.ToLoc, int64(len(rows)), bytes); err != nil {
+	// with backoff or fail with a typed *network.ShipError. The run
+	// scope (when present) additionally charges the per-run ledger the
+	// engine reads its RunStats from.
+	if s.env.scope != nil {
+		err = s.env.scope.ShipWhole(s.env.ctx, s.node.FromLoc, s.node.ToLoc, int64(len(rows)), bytes)
+	} else {
+		err = s.env.c.ShipWhole(s.env.ctx, s.node.FromLoc, s.node.ToLoc, int64(len(rows)), bytes)
+	}
+	if err != nil {
 		return err
 	}
-	if a := s.obsv.AuditSink(); a != nil {
+	if a := s.env.obsv.AuditSink(); a != nil {
 		rec := auditRecFor(s.node)
 		rec.Rows, rec.Bytes, rec.Batches = int64(len(rows)), bytes, 1
 		a.Record(rec)
 	}
-	if prof := s.obsv.Prof(); prof != nil {
+	if prof := s.env.obsv.Prof(); prof != nil {
 		// The sequential engine moves the materialized stream as one batch.
 		prof.Stats(s.node).Batches.Add(1)
 	}

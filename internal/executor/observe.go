@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -21,15 +22,21 @@ import (
 // When the observer carries a PlanProfile, every operator is wrapped to
 // collect actual rows/batches/time for EXPLAIN ANALYZE.
 func RunObserved(p *plan.Node, c *cluster.Cluster, o *obs.Observer) ([]expr.Row, *RunStats, error) {
+	return RunObservedContext(context.Background(), p, c, o)
+}
+
+// RunObservedContext is RunObserved under a caller context. The run's
+// shipping statistics come from a per-run ledger scope, so concurrent
+// executions over one Cluster each report exactly their own transfers.
+func RunObservedContext(ctx context.Context, p *plan.Node, c *cluster.Cluster, o *obs.Observer) ([]expr.Row, *RunStats, error) {
 	sp := o.StartSpan("execute.sequential")
 	m := o.Reg()
 	var t0 time.Time
 	if m != nil {
 		t0 = time.Now()
 	}
-	before := c.Ledger.Snapshot()
-	beforeRetries := c.TotalRetries()
-	op, err := buildObs(p, c, o)
+	scope := c.NewRun()
+	op, err := buildObs(p, buildEnv{c: c, scope: scope, ctx: ctx, obsv: o})
 	if err != nil {
 		finishExec(sp, m, "seq", t0, 0, err)
 		return nil, nil, err
@@ -39,16 +46,21 @@ func RunObserved(p *plan.Node, c *cluster.Cluster, o *obs.Observer) ([]expr.Row,
 		finishExec(sp, m, "seq", t0, 0, err)
 		return nil, nil, err
 	}
-	after := c.Ledger.Snapshot()
-	stats := &RunStats{
-		RowsOut:      int64(len(rows)),
-		ShippedRows:  after.Rows - before.Rows,
-		ShippedBytes: after.Bytes - before.Bytes,
-		ShipCost:     after.Cost - before.Cost,
-		Retries:      c.TotalRetries() - beforeRetries,
-	}
+	stats := scopeStats(scope, int64(len(rows)))
 	finishExec(sp, m, "seq", t0, stats.RowsOut, nil)
 	return rows, stats, nil
+}
+
+// scopeStats derives a run's statistics from its private ledger scope.
+func scopeStats(scope *cluster.RunScope, rowsOut int64) *RunStats {
+	snap := scope.Ledger().Snapshot()
+	return &RunStats{
+		RowsOut:      rowsOut,
+		ShippedRows:  snap.Rows,
+		ShippedBytes: snap.Bytes,
+		ShipCost:     snap.Cost,
+		Retries:      scope.Retries(),
+	}
 }
 
 // finishExec closes an execution span and records the per-engine

@@ -64,9 +64,7 @@ func RunParallelObserved(ctx context.Context, p *plan.Node, c *cluster.Cluster, 
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	eng := &parallelEngine{c: c, ctx: ctx, obsv: o}
-	before := c.Ledger.Snapshot()
-	beforeRetries := c.TotalRetries()
+	eng := &parallelEngine{c: c, scope: c.NewRun(), ctx: ctx, obsv: o}
 	root, err := buildParallel(p, eng)
 	if err != nil {
 		finishExec(sp, m, "parallel", t0, 0, err)
@@ -90,14 +88,7 @@ func RunParallelObserved(ctx context.Context, p *plan.Node, c *cluster.Cluster, 
 		finishExec(sp, m, "parallel", t0, 0, err)
 		return nil, nil, err
 	}
-	after := c.Ledger.Snapshot()
-	stats := &RunStats{
-		RowsOut:      int64(len(rows)),
-		ShippedRows:  after.Rows - before.Rows,
-		ShippedBytes: after.Bytes - before.Bytes,
-		ShipCost:     after.Cost - before.Cost,
-		Retries:      c.TotalRetries() - beforeRetries,
-	}
+	stats := scopeStats(eng.scope, int64(len(rows)))
 	finishExec(sp, m, "parallel", t0, stats.RowsOut, nil)
 	return rows, stats, nil
 }
@@ -125,6 +116,7 @@ func CollectBatches(op BatchOperator) ([]expr.Row, error) {
 // parallelEngine carries the per-execution state shared by fragments.
 type parallelEngine struct {
 	c         *cluster.Cluster
+	scope     *cluster.RunScope
 	ctx       context.Context
 	wg        sync.WaitGroup
 	producers []*exchangeProducer
@@ -171,7 +163,7 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 		}
 		ch := make(chan exchangeMsg, exchangeDepth)
 		eng.producers = append(eng.producers, &exchangeProducer{
-			node: n, src: src, ch: ch, c: eng.c, ctx: eng.ctx, obsv: eng.obsv,
+			node: n, src: src, ch: ch, c: eng.c, scope: eng.scope, ctx: eng.ctx, obsv: eng.obsv,
 		})
 		return &exchangeOp{ch: ch}, nil
 	case plan.TableScan, plan.Scan:
@@ -268,12 +260,13 @@ type exchangeMsg struct {
 // the sequential engine's one-shot accounting), applies the simulated
 // wire delay, and sends batches downstream in order.
 type exchangeProducer struct {
-	node *plan.Node
-	src  BatchOperator
-	ch   chan exchangeMsg
-	c    *cluster.Cluster
-	ctx  context.Context
-	obsv *obs.Observer
+	node  *plan.Node
+	src   BatchOperator
+	ch    chan exchangeMsg
+	c     *cluster.Cluster
+	scope *cluster.RunScope
+	ctx   context.Context
+	obsv  *obs.Observer
 	// sent* accumulate what the producer actually delivered; only the
 	// producer goroutine touches them. On a clean end of stream they
 	// become the fragment's compliance audit record — a producer that
@@ -315,7 +308,7 @@ func (p *exchangeProducer) produce() error {
 		return err
 	}
 	defer p.src.Close()
-	ship := p.c.Ledger.OpenShipment(p.node.FromLoc, p.node.ToLoc)
+	ship := p.scope.OpenShipment(p.node.FromLoc, p.node.ToLoc)
 	// The start-up cost α (one round trip) is paid when the connection
 	// opens; per-batch sends below pay the bandwidth part.
 	p.c.SleepWire(p.c.Net.Alpha(p.node.FromLoc, p.node.ToLoc))
@@ -330,7 +323,7 @@ func (p *exchangeProducer) produce() error {
 		// The resilient shipping path injects faults, retries with
 		// backoff, and charges the shipment only when the batch lands,
 		// so retried runs keep ledger parity with a fault-free one.
-		if err := p.c.ShipBatch(p.ctx, ship, p.node.FromLoc, p.node.ToLoc, batch, int64(len(b.Rows)), b.Bytes()); err != nil {
+		if err := p.scope.ShipBatch(p.ctx, ship, p.node.FromLoc, p.node.ToLoc, batch, int64(len(b.Rows)), b.Bytes()); err != nil {
 			b.Release()
 			return err
 		}

@@ -386,6 +386,18 @@ func (o *Optimizer) OptimizeSQL(sql string) (*Result, error) {
 	return res, err
 }
 
+// CachedDigest returns the memoized normalized-plan digest for query
+// text this optimizer has successfully optimized before ("" , false
+// otherwise, and always false with the plan cache off). Schedulers use
+// it to coalesce identical in-flight optimizations under their
+// canonical digest even when the SQL texts differ only in spelling.
+func (o *Optimizer) CachedDigest(sql string) (string, bool) {
+	if o.planCache == nil {
+		return "", false
+	}
+	return o.sqlDigests.get(sql)
+}
+
 // Check validates a located plan against Definition 1 using this
 // optimizer's policy evaluator.
 func (o *Optimizer) Check(located *plan.Node) []Violation {
