@@ -15,8 +15,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint: go vet plus a gofmt cleanliness check (no external tools).
+# lint: go vet (both kernel-default build flavors) plus a gofmt
+# cleanliness check (no external tools).
 lint: vet
+	$(GO) vet -tags cgdqp_interp ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
@@ -24,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs ./internal/sched
+	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs ./internal/sched ./internal/expr
 
 benchsmoke:
 	$(GO) test -run NONE -bench Optimize -benchtime 1x .
@@ -44,7 +46,11 @@ bench:
 	$(GO) test -run NONE -bench BenchmarkOptimizeTPCH -benchtime 3x -benchmem .
 	$(GO) test -run NONE -bench BenchmarkExecSeqVsParallel -benchtime 5x .
 
-# Short fuzzing pass over the SQL and policy parsers (10s per target).
+# Short fuzzing pass over the SQL and policy parsers, the compiled
+# kernel / interpreter parity harness, and the wire-format decoder
+# (10s per target).
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseSQL -fuzztime 10s ./internal/sqlparse
 	$(GO) test -run NONE -fuzz FuzzParsePolicy -fuzztime 10s ./internal/sqlparse
+	$(GO) test -run NONE -fuzz FuzzKernelParity -fuzztime 10s ./internal/expr
+	$(GO) test -run NONE -fuzz FuzzWireDecode -fuzztime 10s ./internal/network

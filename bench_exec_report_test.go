@@ -10,6 +10,7 @@ package cgdqp
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -18,19 +19,41 @@ import (
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/executor"
 	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
 	"cgdqp/internal/obs"
 	"cgdqp/internal/plan"
+	"cgdqp/internal/schema"
 )
 
 type execBenchRow struct {
 	Engine string `json:"engine"`
 	// ObsOffNS runs through the instrumented entry points with a nil
-	// observer — the default production path.
+	// observer — the default production path (kernels on).
 	ObsOffNS int64 `json:"obs_off_ns"`
 	// ObsOnNS runs with tracing, metrics and audit all enabled.
 	ObsOnNS int64 `json:"obs_on_ns"`
 	// ObsOnOverheadPct = (ObsOnNS - ObsOffNS) / ObsOffNS × 100.
 	ObsOnOverheadPct float64 `json:"obs_on_overhead_pct"`
+	// InterpNS runs obs-off with the compiled kernels disabled (the
+	// row-interpreter path); on this ship-heavy fixture the simulated
+	// wire time dominates, so the gap is small by design.
+	InterpNS int64 `json:"interp_ns"`
+	// ShippedBytes is the serialized wire volume of one execution —
+	// identical across engines and kernel gates by construction.
+	ShippedBytes int64 `json:"shipped_bytes"`
+}
+
+type kernelBenchRow struct {
+	// Shape names the compute-bound plan measured (no SHIP operators,
+	// so expression evaluation dominates).
+	Shape string `json:"shape"`
+	Rows  int    `json:"rows"`
+	// KernelNS / InterpNS are median ns per execution with compiled
+	// kernels on vs the row interpreter.
+	KernelNS int64 `json:"kernel_ns"`
+	InterpNS int64 `json:"interp_ns"`
+	// Speedup = InterpNS / KernelNS; the acceptance floor is 3×.
+	Speedup float64 `json:"speedup"`
 }
 
 type execBenchReport struct {
@@ -46,8 +69,9 @@ type execBenchReport struct {
 	HooksPerRun int64 `json:"hooks_per_run"`
 	// DisabledOverheadPct = HooksPerRun × DisabledHookNS relative to the
 	// fastest obs-off run — the <2% acceptance bound.
-	DisabledOverheadPct float64        `json:"disabled_overhead_pct"`
-	Engines             []execBenchRow `json:"engines"`
+	DisabledOverheadPct float64          `json:"disabled_overhead_pct"`
+	Engines             []execBenchRow   `json:"engines"`
+	Kernels             []kernelBenchRow `json:"kernels"`
 }
 
 // TestExecBenchReport is skipped unless -bench-report is given (it is a
@@ -59,15 +83,13 @@ func TestExecBenchReport(t *testing.T) {
 	cl, root := seqVsParFixture(t)
 	engines := []struct {
 		name string
-		run  func(*cluster.Cluster, *plan.Node, *obs.Observer) ([]expr.Row, error)
+		run  func(*cluster.Cluster, *plan.Node, *obs.Observer, executor.ExecOptions) ([]expr.Row, *executor.RunStats, error)
 	}{
-		{"sequential", func(cl *cluster.Cluster, p *plan.Node, o *obs.Observer) ([]expr.Row, error) {
-			rows, _, err := executor.RunObserved(p, cl, o)
-			return rows, err
+		{"sequential", func(cl *cluster.Cluster, p *plan.Node, o *obs.Observer, eo executor.ExecOptions) ([]expr.Row, *executor.RunStats, error) {
+			return executor.RunObservedOpts(context.Background(), p, cl, o, eo)
 		}},
-		{"parallel", func(cl *cluster.Cluster, p *plan.Node, o *obs.Observer) ([]expr.Row, error) {
-			rows, _, err := executor.RunParallelObserved(context.Background(), p, cl, o)
-			return rows, err
+		{"parallel", func(cl *cluster.Cluster, p *plan.Node, o *obs.Observer, eo executor.ExecOptions) ([]expr.Row, *executor.RunStats, error) {
+			return executor.RunParallelOpts(context.Background(), p, cl, o, eo)
 		}},
 	}
 
@@ -88,7 +110,7 @@ func TestExecBenchReport(t *testing.T) {
 	on := &obs.Observer{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry(), Audit: obs.NewAuditLog()}
 	cl.SetObserver(on)
 	cl.Ledger.Reset()
-	if _, err := engines[1].run(cl, root, on); err != nil {
+	if _, _, err := engines[1].run(cl, root, on, executor.ExecOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	report.HooksPerRun = 2 * int64(on.Tracer.Len()+on.Audit.Len()+4)
@@ -98,10 +120,13 @@ func TestExecBenchReport(t *testing.T) {
 	for _, eng := range engines {
 		offS := make([]time.Duration, 0, reps)
 		onS := make([]time.Duration, 0, reps)
-		for r := 0; r < reps; r++ { // interleave A/B so drift hits both
-			for _, obsOn := range []bool{false, true} {
+		interpS := make([]time.Duration, 0, reps)
+		var shipped int64
+		for r := 0; r < reps; r++ { // interleave A/B/C so drift hits all
+			for _, mode := range []string{"off", "on", "interp"} {
 				o := (*obs.Observer)(nil)
-				if obsOn {
+				eo := executor.ExecOptions{NoKernels: mode == "interp"}
+				if mode == "on" {
 					on.Tracer.Reset()
 					on.Audit.Reset()
 					o = on
@@ -109,7 +134,7 @@ func TestExecBenchReport(t *testing.T) {
 				cl.SetObserver(o)
 				cl.Ledger.Reset()
 				t0 := time.Now()
-				rows, err := eng.run(cl, root, o)
+				rows, stats, err := eng.run(cl, root, o, eo)
 				d := time.Since(t0)
 				if err != nil {
 					t.Fatalf("%s: %v", eng.name, err)
@@ -117,23 +142,36 @@ func TestExecBenchReport(t *testing.T) {
 				if len(rows) != 1000 {
 					t.Fatalf("%s: result rows %d, want 1000", eng.name, len(rows))
 				}
-				if obsOn {
+				if shipped == 0 {
+					shipped = stats.ShippedBytes
+				} else if stats.ShippedBytes != shipped {
+					t.Fatalf("%s/%s: shipped %d bytes, other modes shipped %d",
+						eng.name, mode, stats.ShippedBytes, shipped)
+				}
+				switch mode {
+				case "on":
 					onS = append(onS, d)
-				} else {
+				case "interp":
+					interpS = append(interpS, d)
+				default:
 					offS = append(offS, d)
 				}
 			}
 		}
-		row := execBenchRow{Engine: eng.name, ObsOffNS: medianNS(offS), ObsOnNS: medianNS(onS)}
+		row := execBenchRow{Engine: eng.name, ObsOffNS: medianNS(offS), ObsOnNS: medianNS(onS),
+			InterpNS: medianNS(interpS), ShippedBytes: shipped}
 		row.ObsOnOverheadPct = 100 * float64(row.ObsOnNS-row.ObsOffNS) / float64(row.ObsOffNS)
 		report.Engines = append(report.Engines, row)
 		if fastestOff == 0 || row.ObsOffNS < fastestOff {
 			fastestOff = row.ObsOffNS
 		}
-		t.Logf("%s: off %.2fms, on %.2fms (%+.2f%%)", eng.name,
-			float64(row.ObsOffNS)/1e6, float64(row.ObsOnNS)/1e6, row.ObsOnOverheadPct)
+		t.Logf("%s: off %.2fms, on %.2fms (%+.2f%%), interp %.2fms, %d wire bytes", eng.name,
+			float64(row.ObsOffNS)/1e6, float64(row.ObsOnNS)/1e6, row.ObsOnOverheadPct,
+			float64(row.InterpNS)/1e6, row.ShippedBytes)
 	}
 	cl.SetObserver(nil)
+
+	report.Kernels = kernelSpeedupRows(t)
 
 	report.DisabledOverheadPct = 100 * float64(report.HooksPerRun) * report.DisabledHookNS /
 		float64(fastestOff)
@@ -153,6 +191,99 @@ func TestExecBenchReport(t *testing.T) {
 	if err := os.WriteFile("BENCH_exec.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// kernelSpeedupRows measures the compiled expression kernels against
+// the row interpreter on compute-bound, single-site plans (no SHIP
+// operators, so expression evaluation dominates the run) and enforces
+// the 3× acceptance floor on the filter+project shape.
+func kernelSpeedupRows(t *testing.T) []kernelBenchRow {
+	const n = 200_000
+	cat := schema.NewCatalog()
+	wTab := schema.NewTable("Wide", "db-e", "E", n,
+		schema.Column{Name: "custkey", Type: expr.TInt},
+		schema.Column{Name: "acctbal", Type: expr.TFloat},
+		schema.Column{Name: "name", Type: expr.TString})
+	cat.MustAddTable(wTab)
+	cl := cluster.New(cat, network.UniformWAN(100, 0.00001))
+	rows := make([]expr.Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, expr.Row{
+			expr.NewInt(int64(i)),
+			expr.NewFloat(float64(i%9973) / 3),
+			expr.NewString(fmt.Sprintf("acct-%06d", i%4096)),
+		})
+	}
+	if err := cl.LoadFragment(wTab, 0, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	bal := func() expr.Expr { return expr.NewCol("W", "acctbal") }
+	key := func() expr.Expr { return expr.NewCol("W", "custkey") }
+	pred := expr.NewAnd(
+		expr.NewAnd(
+			expr.NewCmp(expr.LT, expr.NewArith(expr.Mul, bal(), expr.NewConst(expr.NewFloat(2))), expr.NewConst(expr.NewFloat(700))),
+			expr.NewCmp(expr.GE, expr.NewArith(expr.Add, expr.NewArith(expr.Mul, bal(), expr.NewConst(expr.NewFloat(3))), key()), expr.NewConst(expr.NewFloat(1000))),
+		),
+		expr.NewCmp(expr.NE, expr.NewArith(expr.Sub, key(), expr.NewArith(expr.Mul, bal(), expr.NewConst(expr.NewFloat(0.25)))), expr.NewConst(expr.NewFloat(-1))),
+	)
+	score := func(scale float64) expr.Expr {
+		return expr.NewArith(expr.Add, expr.NewArith(expr.Mul, bal(), expr.NewConst(expr.NewFloat(scale))), key())
+	}
+	filProj := plan.NewProject(plan.NewFilter(plan.NewScan(wTab, "W", -1), pred),
+		[]plan.NamedExpr{
+			{E: expr.NewCol("W", "name")},
+			{E: score(1.1), Name: "s1"},
+			{E: score(2.3), Name: "s2"},
+			{E: expr.NewArith(expr.Sub, bal(), expr.NewArith(expr.Mul, key(), expr.NewConst(expr.NewFloat(0.5)))), Name: "delta"},
+			{E: expr.NewArith(expr.Mul, expr.NewArith(expr.Add, bal(), key()), expr.NewConst(expr.NewFloat(0.125))), Name: "blend"},
+		})
+	join := plan.NewJoin(plan.NewScan(wTab, "W", -1), plan.NewScan(wTab, "W2", -1),
+		expr.NewCmp(expr.EQ, expr.NewCol("W", "custkey"), expr.NewCol("W2", "custkey")))
+	join.Kind = plan.HashJoin
+
+	var out []kernelBenchRow
+	for _, shape := range []struct {
+		name string
+		root *plan.Node
+	}{{"filter+project", filProj}, {"hash-join", join}} {
+		const reps = 7
+		kernS := make([]time.Duration, 0, reps)
+		interpS := make([]time.Duration, 0, reps)
+		wantRows := -1
+		for r := 0; r < reps; r++ {
+			for _, interp := range []bool{false, true} {
+				cl.Ledger.Reset()
+				t0 := time.Now()
+				got, _, err := executor.RunObservedOpts(context.Background(), shape.root, cl, nil,
+					executor.ExecOptions{NoKernels: interp})
+				d := time.Since(t0)
+				if err != nil {
+					t.Fatalf("%s (interp=%v): %v", shape.name, interp, err)
+				}
+				if wantRows < 0 {
+					wantRows = len(got)
+				} else if len(got) != wantRows {
+					t.Fatalf("%s (interp=%v): %d rows, want %d", shape.name, interp, len(got), wantRows)
+				}
+				if interp {
+					interpS = append(interpS, d)
+				} else {
+					kernS = append(kernS, d)
+				}
+			}
+		}
+		row := kernelBenchRow{Shape: shape.name, Rows: n,
+			KernelNS: medianNS(kernS), InterpNS: medianNS(interpS)}
+		row.Speedup = float64(row.InterpNS) / float64(row.KernelNS)
+		out = append(out, row)
+		t.Logf("kernels %s: kernel %.2fms, interp %.2fms (%.2fx)", shape.name,
+			float64(row.KernelNS)/1e6, float64(row.InterpNS)/1e6, row.Speedup)
+		if shape.name == "filter+project" && row.Speedup < 3 {
+			t.Errorf("kernel speedup on %s is %.2fx, want >= 3x", shape.name, row.Speedup)
+		}
+	}
+	return out
 }
 
 // execHookBundle exercises the per-shipment observability call sites the

@@ -155,6 +155,15 @@ type Options struct {
 	// log is deterministic: replaying the same run (same data, plan and
 	// chaos seed) produces byte-identical text.
 	Audit bool
+	// NoVectorKernels disables the compiled columnar expression kernels
+	// and runs every expression through the row interpreter. Results
+	// are identical either way; only speed differs. (The build tag
+	// cgdqp_interp flips the default for A/B benchmarking.)
+	NoVectorKernels bool
+	// WireCompress enables block compression of the serialized batch
+	// frames shipped between sites; the ledger, β·bytes costs and
+	// shipping metrics then price the compressed bytes.
+	WireCompress bool
 }
 
 // Observability handle types re-exported for embedders.
@@ -400,6 +409,38 @@ func (s *System) network() *network.CostModel {
 // invalidate drops derived state after schema/policy changes.
 func (s *System) invalidate() { s.opt = nil }
 
+// Calibrator accumulates wire-encoding and shipment samples during
+// execution and back-fits the cost model (re-exported from network).
+type Calibrator = network.Calibrator
+
+// EnableCalibration installs (and returns) a calibrator on the cluster:
+// every subsequent query feeds it encoding samples (estimated vs. actual
+// wire bytes per shipped frame) and per-shipment α+β·bytes cost samples.
+// Calling it again returns the same calibrator.
+func (s *System) EnableCalibration() *Calibrator {
+	cl := s.Cluster()
+	if cl.Calibrator() == nil {
+		cl.SetCalibrator(network.NewCalibrator())
+	}
+	return cl.Calibrator()
+}
+
+// ApplyCalibration back-fits the optimizer's cost model from the
+// samples collected since EnableCalibration: the observed
+// wire-bytes-per-estimated-byte ratio becomes the model's byte scale
+// (so EstShipCost prices width estimates the way the wire actually
+// encodes them), cached plans are invalidated, and the applied ratio is
+// returned (1 when no calibrator or no samples).
+func (s *System) ApplyCalibration() float64 {
+	cal := s.Cluster().Calibrator()
+	if cal == nil {
+		return 1
+	}
+	cal.Apply(s.network())
+	s.invalidate()
+	return s.network().ByteScale()
+}
+
 // Optimizer returns the compliance-based optimizer over the current
 // catalogs.
 func (s *System) Optimizer() *optimizer.Optimizer {
@@ -513,10 +554,14 @@ func (s *System) query(ctx context.Context, sql string, o *obs.Observer) (*Resul
 	}
 	var rows []Row
 	var stats *executor.RunStats
+	eo := executor.ExecOptions{
+		NoKernels: s.opts.NoVectorKernels,
+		Wire:      network.WireOptions{Compress: s.opts.WireCompress},
+	}
 	if s.opts.Parallel {
-		rows, stats, err = executor.RunParallelObserved(ctx, p.Root, s.Cluster(), o)
+		rows, stats, err = executor.RunParallelOpts(ctx, p.Root, s.Cluster(), o, eo)
 	} else {
-		rows, stats, err = executor.RunObservedContext(ctx, p.Root, s.Cluster(), o)
+		rows, stats, err = executor.RunObservedOpts(ctx, p.Root, s.Cluster(), o, eo)
 	}
 	if err != nil {
 		s.countQuery("error")

@@ -51,7 +51,20 @@ type Cluster struct {
 	// nil disables observation; set before execution like the fields
 	// above (exchange producers read it without locks).
 	obs *obs.Observer
+
+	// cal receives wire-encoding and shipment samples from the
+	// executors (see network.Calibrator). nil disables calibration;
+	// set before execution like the fields above.
+	cal *network.Calibrator
 }
+
+// SetCalibrator installs the cost-model calibrator shipping and the
+// executors' wire encoders feed samples into (nil disables). Configure
+// before execution starts.
+func (c *Cluster) SetCalibrator(cal *network.Calibrator) { c.cal = cal }
+
+// Calibrator returns the installed calibrator (nil = none).
+func (c *Cluster) Calibrator() *network.Calibrator { return c.cal }
 
 // SetObserver installs the observability sinks shipping reports into
 // (nil disables). Configure before execution starts.

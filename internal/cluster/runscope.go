@@ -82,6 +82,9 @@ func (r *RunScope) ShipWhole(ctx context.Context, from, to string, rows, bytes i
 	err := r.c.send(ctx, r, from, to, 0, bytes, func(extraMS float64) {
 		cost := r.c.Ledger.Record(from, to, rows, bytes)
 		r.ledger.Record(from, to, rows, bytes)
+		if r.c.cal != nil {
+			r.c.cal.ObserveShip(from, to, bytes, cost)
+		}
 		r.c.SleepWire(cost + extraMS)
 	})
 	r.c.finishShip(sp, from, to, rows, bytes, err)

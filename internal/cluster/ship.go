@@ -67,6 +67,9 @@ func (c *Cluster) ShipWhole(ctx context.Context, from, to string, rows, bytes in
 		Tag("from", from).Tag("to", to).TagInt("rows", rows)
 	err := c.send(ctx, nil, from, to, 0, bytes, func(extraMS float64) {
 		cost := c.Ledger.Record(from, to, rows, bytes)
+		if c.cal != nil {
+			c.cal.ObserveShip(from, to, bytes, cost)
+		}
 		c.SleepWire(cost + extraMS)
 	})
 	c.finishShip(sp, from, to, rows, bytes, err)

@@ -10,10 +10,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
 	"cgdqp/internal/obs"
 	"cgdqp/internal/plan"
 )
@@ -76,18 +76,20 @@ func Collect(op Operator) ([]expr.Row, error) {
 
 // Build compiles a physical plan node into an operator tree.
 func Build(n *plan.Node, c *cluster.Cluster) (Operator, error) {
-	return buildObs(n, buildEnv{c: c, ctx: context.Background()})
+	return buildObs(n, buildEnv{c: c, ctx: context.Background(), opt: defaultExecOptions()})
 }
 
 // buildEnv bundles the per-execution context an operator tree is built
 // under: the cluster, an optional per-run accounting scope (nil charges
 // the shared ledger only, as Build always did), the cancellation
-// context Ship boundaries honor, and the observer.
+// context Ship boundaries honor, the observer, and the execution
+// options (kernel gate, wire encoding).
 type buildEnv struct {
 	c     *cluster.Cluster
 	scope *cluster.RunScope
 	ctx   context.Context
 	obsv  *obs.Observer
+	opt   ExecOptions
 }
 
 // buildObs is Build threading a build environment: Ship operators
@@ -109,17 +111,17 @@ func buildObs(n *plan.Node, env buildEnv) (Operator, error) {
 	case plan.TableScan, plan.Scan:
 		op, err = newScan(n, env.c)
 	case plan.FilterExec, plan.Filter:
-		op, err = newFilter(n, children[0])
+		op, err = newFilter(n, children[0], env.opt.kernels())
 	case plan.ProjectExec, plan.Project:
-		op, err = newProject(n, children[0])
+		op, err = newProject(n, children[0], env.opt.kernels())
 	case plan.HashJoin:
-		op, err = newHashJoin(n, children[0], children[1])
+		op, err = newHashJoin(n, children[0], children[1], env.opt.kernels())
 	case plan.MergeJoin:
 		op, err = newMergeJoin(n, children[0], children[1])
 	case plan.NLJoin, plan.Join:
 		op, err = newNLJoin(n, children[0], children[1])
 	case plan.HashAgg, plan.Aggregate:
-		op, err = newHashAgg(n, children[0])
+		op, err = newHashAgg(n, children[0], env.opt.kernels())
 	case plan.SortExec, plan.Sort:
 		op, err = newSort(n, children[0])
 	case plan.LimitExec, plan.Limit:
@@ -197,10 +199,16 @@ type filterOp struct {
 	pred  expr.Expr
 }
 
-func newFilter(n *plan.Node, child Operator) (Operator, error) {
+func newFilter(n *plan.Node, child Operator, vec bool) (Operator, error) {
 	bound, err := expr.Bind(n.Pred, resolver(n.Children[0]))
 	if err != nil {
 		return nil, fmt.Errorf("executor: filter bind: %w", err)
+	}
+	if p := compilePred(bound, colTypes(n.Children[0]), vec); p != nil {
+		return &vecFilterOp{
+			child: child, pred: bound, kern: p,
+			src: newBatchSource(colTypes(n.Children[0])),
+		}, nil
 	}
 	return &filterOp{child: child, pred: bound}, nil
 }
@@ -225,6 +233,92 @@ func (f *filterOp) Next() (expr.Row, bool, error) {
 
 func (f *filterOp) Close() error { return f.child.Close() }
 
+// vecFilterOp is filterOp over micro-batches: it pulls vecChunk rows,
+// runs the compiled predicate over the columnar view, and replays the
+// survivors. A batch the kernel cannot handle is re-run row by row, so
+// results and error behavior match the interpreter.
+type vecFilterOp struct {
+	child Operator
+	pred  expr.Expr
+	kern  *vecPred
+	src   *batchSource
+	buf   []expr.Row
+	out   []expr.Row
+	pos   int
+	done  bool
+	// pendErr is an interpreter error found mid-chunk: survivors before
+	// the failing row drain first, exactly like the row-at-a-time path.
+	pendErr error
+}
+
+func (f *vecFilterOp) Open() error {
+	f.out, f.pos, f.done, f.pendErr = nil, 0, false, nil
+	return f.child.Open()
+}
+
+// fillChunk pulls up to vecChunk rows from op into buf.
+func fillChunk(op Operator, buf []expr.Row) ([]expr.Row, bool, error) {
+	buf = buf[:0]
+	for len(buf) < vecChunk {
+		row, ok, err := op.Next()
+		if err != nil {
+			return buf, false, err
+		}
+		if !ok {
+			return buf, true, nil
+		}
+		buf = append(buf, row)
+	}
+	return buf, false, nil
+}
+
+func (f *vecFilterOp) Next() (expr.Row, bool, error) {
+	for {
+		if f.pos < len(f.out) {
+			row := f.out[f.pos]
+			f.pos++
+			return row, true, nil
+		}
+		if f.pendErr != nil {
+			return nil, false, f.pendErr
+		}
+		if f.done {
+			return nil, false, nil
+		}
+		var eos bool
+		var err error
+		f.buf, eos, err = fillChunk(f.child, f.buf)
+		if err != nil {
+			return nil, false, err
+		}
+		f.done = eos
+		f.out, f.pos = f.out[:0], 0
+		if len(f.buf) == 0 {
+			continue
+		}
+		f.src.Reset(f.buf)
+		if sel, ok := f.kern.selectRows(f.src); ok {
+			for _, si := range sel {
+				f.out = append(f.out, f.buf[si])
+			}
+			continue
+		}
+		// Interpreter re-run: keep survivors up to the failing row.
+		for _, row := range f.buf {
+			keep, err := expr.EvalBool(f.pred, row)
+			if err != nil {
+				f.pendErr = err
+				break
+			}
+			if keep {
+				f.out = append(f.out, row)
+			}
+		}
+	}
+}
+
+func (f *vecFilterOp) Close() error { return f.child.Close() }
+
 // --- project ------------------------------------------------------------
 
 type projectOp struct {
@@ -232,7 +326,7 @@ type projectOp struct {
 	exprs []expr.Expr
 }
 
-func newProject(n *plan.Node, child Operator) (Operator, error) {
+func newProject(n *plan.Node, child Operator, vec bool) (Operator, error) {
 	res := resolver(n.Children[0])
 	exprs := make([]expr.Expr, len(n.Projs))
 	for i, p := range n.Projs {
@@ -241,6 +335,21 @@ func newProject(n *plan.Node, child Operator) (Operator, error) {
 			return nil, fmt.Errorf("executor: project bind %s: %w", p.E, err)
 		}
 		exprs[i] = bound
+	}
+	types := colTypes(n.Children[0])
+	// Fuse with a vectorized filter child: the filter's surviving
+	// selection vector drives the projection kernels directly, and both
+	// share one columnar view of the batch. (Profiling wraps operators,
+	// so the assertion fails and fusion is skipped under EXPLAIN
+	// ANALYZE, keeping per-node actuals intact.)
+	if f, ok := child.(*vecFilterOp); ok && vec {
+		return &vecFilterProjectOp{
+			child: f.child, pred: f.pred, kern: f.kern, src: f.src,
+			exprs: exprs, proj: compileProj(exprs, types, true),
+		}, nil
+	}
+	if p := compileProj(exprs, types, vec); p != nil {
+		return &vecProjectOp{child: child, exprs: exprs, proj: p, src: newBatchSource(types)}, nil
 	}
 	return &projectOp{child: child, exprs: exprs}, nil
 }
@@ -265,6 +374,159 @@ func (p *projectOp) Next() (expr.Row, bool, error) {
 
 func (p *projectOp) Close() error { return p.child.Close() }
 
+// vecProjectOp is projectOp over micro-batches with compiled kernels.
+type vecProjectOp struct {
+	child   Operator
+	exprs   []expr.Expr
+	proj    *vecProj
+	src     *batchSource
+	buf     []expr.Row
+	out     []expr.Row
+	pos     int
+	done    bool
+	pendErr error
+}
+
+func (p *vecProjectOp) Open() error {
+	p.out, p.pos, p.done, p.pendErr = nil, 0, false, nil
+	return p.child.Open()
+}
+
+func (p *vecProjectOp) Next() (expr.Row, bool, error) {
+	for {
+		if p.pos < len(p.out) {
+			row := p.out[p.pos]
+			p.pos++
+			return row, true, nil
+		}
+		if p.pendErr != nil {
+			return nil, false, p.pendErr
+		}
+		if p.done {
+			return nil, false, nil
+		}
+		var eos bool
+		var err error
+		p.buf, eos, err = fillChunk(p.child, p.buf)
+		if err != nil {
+			return nil, false, err
+		}
+		p.done = eos
+		p.out, p.pos = p.out[:0], 0
+		if len(p.buf) == 0 {
+			continue
+		}
+		p.src.Reset(p.buf)
+		if out, ok := p.proj.apply(p.src, nil, p.out); ok {
+			p.out = out
+			continue
+		}
+		for _, row := range p.buf {
+			proj, err := projectRow(p.exprs, row)
+			if err != nil {
+				p.pendErr = err
+				break
+			}
+			p.out = append(p.out, proj)
+		}
+	}
+}
+
+func (p *vecProjectOp) Close() error { return p.child.Close() }
+
+// vecFilterProjectOp is the fused filter+projection: one columnar view
+// per chunk, the predicate's selection vector fed straight into the
+// projection kernels. A chunk either path cannot handle is re-run row
+// by row — filter then project, in row order — matching the
+// interpreter's error timing.
+type vecFilterProjectOp struct {
+	child   Operator
+	pred    expr.Expr
+	kern    *vecPred
+	src     *batchSource
+	exprs   []expr.Expr
+	proj    *vecProj // nil: passthrough/interpreted outputs only
+	buf     []expr.Row
+	out     []expr.Row
+	pos     int
+	done    bool
+	pendErr error
+}
+
+func (p *vecFilterProjectOp) Open() error {
+	p.out, p.pos, p.done, p.pendErr = nil, 0, false, nil
+	return p.child.Open()
+}
+
+func (p *vecFilterProjectOp) Next() (expr.Row, bool, error) {
+	for {
+		if p.pos < len(p.out) {
+			row := p.out[p.pos]
+			p.pos++
+			return row, true, nil
+		}
+		if p.pendErr != nil {
+			return nil, false, p.pendErr
+		}
+		if p.done {
+			return nil, false, nil
+		}
+		var eos bool
+		var err error
+		p.buf, eos, err = fillChunk(p.child, p.buf)
+		if err != nil {
+			return nil, false, err
+		}
+		p.done = eos
+		p.out, p.pos = p.out[:0], 0
+		if len(p.buf) == 0 {
+			continue
+		}
+		p.src.Reset(p.buf)
+		if sel, ok := p.kern.selectRows(p.src); ok {
+			if p.proj != nil {
+				if out, applied := p.proj.apply(p.src, sel, p.out); applied {
+					p.out = out
+					continue
+				}
+			} else {
+				rowsOK := true
+				for _, si := range sel {
+					proj, err := projectRow(p.exprs, p.buf[si])
+					if err != nil {
+						rowsOK = false
+						break
+					}
+					p.out = append(p.out, proj)
+				}
+				if rowsOK {
+					continue
+				}
+				p.out = p.out[:0]
+			}
+		}
+		// Full interpreter re-run of the chunk, in row order.
+		for _, row := range p.buf {
+			keep, err := expr.EvalBool(p.pred, row)
+			if err != nil {
+				p.pendErr = err
+				break
+			}
+			if !keep {
+				continue
+			}
+			proj, err := projectRow(p.exprs, row)
+			if err != nil {
+				p.pendErr = err
+				break
+			}
+			p.out = append(p.out, proj)
+		}
+	}
+}
+
+func (p *vecFilterProjectOp) Close() error { return p.child.Close() }
+
 // --- hash join ----------------------------------------------------------
 
 type hashJoinOp struct {
@@ -283,9 +545,20 @@ type hashJoinOp struct {
 	// probe side before paying for the hash-table build).
 	pending    expr.Row
 	hasPending bool
+
+	// Vectorized key hashing (nil keeps the row path): available when
+	// kernels are on and every equi-key is a bare column. Probe rows are
+	// gathered into chunks and hashed column-at-a-time; hashes are
+	// bit-identical to hashKey, so the buckets match the row path.
+	leftHash, rightHash *vecHasher
+	probeBuf            []expr.Row
+	probeHs             []uint64
+	probeValid          []bool
+	probeN, probePos    int
+	probeEOS            bool
 }
 
-func newHashJoin(n *plan.Node, left, right Operator) (Operator, error) {
+func newHashJoin(n *plan.Node, left, right Operator, vec bool) (Operator, error) {
 	lres := resolver(n.Children[0])
 	rres := resolver(n.Children[1])
 	var lk, rk []expr.Expr
@@ -326,7 +599,11 @@ func newHashJoin(n *plan.Node, left, right Operator) (Operator, error) {
 		}
 		res = bound
 	}
-	return &hashJoinOp{node: n, left: left, right: right, leftKeys: lk, rightKeys: rk, residual: res}, nil
+	return &hashJoinOp{
+		node: n, left: left, right: right, leftKeys: lk, rightKeys: rk, residual: res,
+		leftHash:  newVecHasher(lk, colTypes(n.Children[0]), vec),
+		rightHash: newVecHasher(rk, colTypes(n.Children[1]), vec),
+	}, nil
 }
 
 func hashKey(keys []expr.Expr, row expr.Row) (uint64, bool, error) {
@@ -362,14 +639,26 @@ func (j *hashJoinOp) Open() error {
 		return err
 	}
 	j.table = make(map[uint64][]expr.Row, j.buildSizeHint())
+	j.probeN, j.probePos, j.probeEOS = 0, 0, false
 	if ok {
+		if err := j.buildTable(); err != nil {
+			return err
+		}
+	}
+	return j.right.Close()
+}
+
+// buildTable hashes the build side into the table, a chunk at a time
+// when the keys vectorize and row by row otherwise.
+func (j *hashJoinOp) buildTable() error {
+	if j.rightHash == nil {
 		for {
 			row, ok, err := j.right.Next()
 			if err != nil {
 				return err
 			}
 			if !ok {
-				break
+				return nil
 			}
 			h, valid, err := hashKey(j.rightKeys, row)
 			if err != nil {
@@ -380,7 +669,54 @@ func (j *hashJoinOp) Open() error {
 			}
 		}
 	}
-	return j.right.Close()
+	buf := make([]expr.Row, 0, BatchSize)
+	hs := make([]uint64, BatchSize)
+	valid := make([]bool, BatchSize)
+	for {
+		buf = buf[:0]
+		for len(buf) < BatchSize {
+			row, ok, err := j.right.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			buf = append(buf, row)
+		}
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := j.insertChunk(buf, hs, valid); err != nil {
+			return err
+		}
+		if len(buf) < BatchSize {
+			return nil
+		}
+	}
+}
+
+// insertChunk hashes one build chunk vectorized, falling back to the
+// row path when a key column is not lane-pure.
+func (j *hashJoinOp) insertChunk(rows []expr.Row, hs []uint64, valid []bool) error {
+	if j.rightHash.hashBatch(rows, hs, valid) {
+		for i, row := range rows {
+			if valid[i] {
+				j.table[hs[i]] = append(j.table[hs[i]], row)
+			}
+		}
+		return nil
+	}
+	for _, row := range rows {
+		h, ok, err := hashKey(j.rightKeys, row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			j.table[h] = append(j.table[h], row)
+		}
+	}
+	return nil
 }
 
 // buildSizeHint pre-sizes the hash table from the build child's
@@ -425,12 +761,8 @@ func (j *hashJoinOp) Next() (expr.Row, bool, error) {
 			}
 			return out, true, nil
 		}
-		row, ok, err := j.nextProbe()
+		row, h, valid, ok, err := j.nextProbeHashed()
 		if err != nil || !ok {
-			return nil, false, err
-		}
-		h, valid, err := hashKey(j.leftKeys, row)
-		if err != nil {
 			return nil, false, err
 		}
 		if !valid {
@@ -439,6 +771,60 @@ func (j *hashJoinOp) Next() (expr.Row, bool, error) {
 		j.current = row
 		j.matches = j.table[h]
 		j.mi = 0
+	}
+}
+
+// nextProbeHashed returns the next probe row with its key hash. With a
+// vectorized hasher, probe rows are gathered into chunks and hashed
+// column-at-a-time; otherwise each row is hashed as it streams by.
+func (j *hashJoinOp) nextProbeHashed() (expr.Row, uint64, bool, bool, error) {
+	if j.leftHash == nil {
+		row, ok, err := j.nextProbe()
+		if err != nil || !ok {
+			return nil, 0, false, false, err
+		}
+		h, valid, err := hashKey(j.leftKeys, row)
+		return row, h, valid, true, err
+	}
+	for {
+		if j.probePos < j.probeN {
+			i := j.probePos
+			j.probePos++
+			return j.probeBuf[i], j.probeHs[i], j.probeValid[i], true, nil
+		}
+		if j.probeEOS {
+			return nil, 0, false, false, nil
+		}
+		if j.probeBuf == nil {
+			j.probeBuf = make([]expr.Row, 0, vecChunk)
+			j.probeHs = make([]uint64, vecChunk)
+			j.probeValid = make([]bool, vecChunk)
+		}
+		j.probeBuf = j.probeBuf[:0]
+		for len(j.probeBuf) < vecChunk {
+			row, ok, err := j.nextProbe()
+			if err != nil {
+				return nil, 0, false, false, err
+			}
+			if !ok {
+				j.probeEOS = true
+				break
+			}
+			j.probeBuf = append(j.probeBuf, row)
+		}
+		j.probeN, j.probePos = len(j.probeBuf), 0
+		if j.probeN == 0 {
+			continue
+		}
+		if !j.leftHash.hashBatch(j.probeBuf, j.probeHs, j.probeValid) {
+			for i, row := range j.probeBuf {
+				h, valid, err := hashKey(j.leftKeys, row)
+				if err != nil {
+					return nil, 0, false, false, err
+				}
+				j.probeHs[i], j.probeValid[i] = h, valid
+			}
+		}
 	}
 }
 
@@ -564,9 +950,23 @@ type hashAggOp struct {
 	groups map[string]*aggState
 	order  []string
 	pos    int
+
+	// Vectorized absorption (vec true): group keys and aggregate
+	// arguments are evaluated column-at-a-time per input chunk, and
+	// each key column is a bare column or a compiled kernel. Group
+	// identity is the binary expr.AppendKey encoding either way, so the
+	// groups (and their first-appearance order) are independent of the
+	// evaluation path.
+	vec      bool
+	keyCols  []int
+	keyKerns []*expr.Kernel
+	argCols  []int
+	argKerns []*expr.Kernel
+	src      *batchSource
+	keyBuf   []byte
 }
 
-func newHashAgg(n *plan.Node, child Operator) (Operator, error) {
+func newHashAgg(n *plan.Node, child Operator, vec bool) (Operator, error) {
 	res := resolver(n.Children[0])
 	keys := make([]expr.Expr, len(n.GroupBy))
 	for i, g := range n.GroupBy {
@@ -588,7 +988,41 @@ func newHashAgg(n *plan.Node, child Operator) (Operator, error) {
 			args[i] = bound
 		}
 	}
-	return &hashAggOp{node: n, child: child, keys: keys, args: args, fns: fns}, nil
+	op := &hashAggOp{node: n, child: child, keys: keys, args: args, fns: fns}
+	if vec {
+		types := colTypes(n.Children[0])
+		op.vec = true
+		op.keyCols, op.keyKerns = classifyExprs(keys, types, &op.vec)
+		op.argCols, op.argKerns = classifyExprs(args, types, &op.vec)
+		if op.vec {
+			op.src = newBatchSource(types)
+		}
+	}
+	return op, nil
+}
+
+// classifyExprs sorts each expression into bare-column or compiled-
+// kernel evaluation; anything else clears vec (nil entries — COUNT(*)
+// arguments — are fine and stay nil on both sides).
+func classifyExprs(exprs []expr.Expr, types []expr.Type, vec *bool) ([]int, []*expr.Kernel) {
+	cols := make([]int, len(exprs))
+	kerns := make([]*expr.Kernel, len(exprs))
+	for i, e := range exprs {
+		cols[i] = -1
+		if e == nil {
+			continue
+		}
+		if c, ok := e.(*expr.Col); ok {
+			cols[i] = c.Index
+			continue
+		}
+		if k, ok := expr.Compile(e, types); ok {
+			kerns[i] = k
+			continue
+		}
+		*vec = false
+	}
+	return cols, kerns
 }
 
 func (a *hashAggOp) Open() error {
@@ -598,16 +1032,27 @@ func (a *hashAggOp) Open() error {
 	a.groups = map[string]*aggState{}
 	a.order = nil
 	a.pos = 0
+	buf := make([]expr.Row, 0, BatchSize)
 	for {
-		row, ok, err := a.child.Next()
-		if err != nil {
-			return err
+		buf = buf[:0]
+		for len(buf) < BatchSize {
+			row, ok, err := a.child.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			buf = append(buf, row)
 		}
-		if !ok {
+		if len(buf) == 0 {
 			break
 		}
-		if err := a.absorb(row); err != nil {
+		if err := a.absorbBatch(buf); err != nil {
 			return err
+		}
+		if len(buf) < BatchSize {
+			break
 		}
 	}
 	if err := a.child.Close(); err != nil {
@@ -622,8 +1067,99 @@ func (a *hashAggOp) Open() error {
 	return nil
 }
 
+// absorbBatch folds one input chunk into the groups, vectorized when
+// possible and row by row otherwise.
+func (a *hashAggOp) absorbBatch(rows []expr.Row) error {
+	if a.vec {
+		if ok, err := a.absorbVec(rows); ok || err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		if err := a.absorb(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// absorbVec evaluates all key/argument columns of the chunk at once and
+// accumulates per row. ok is false when a vector could not be built (a
+// lane-impure column, a kernel error): the caller re-runs the chunk row
+// by row, reproducing interpreter behavior exactly.
+func (a *hashAggOp) absorbVec(rows []expr.Row) (bool, error) {
+	a.src.Reset(rows)
+	keyVecs := make([]*expr.Vec, len(a.keys))
+	for i := range a.keys {
+		v, ok := a.evalVec(a.keyCols[i], a.keyKerns[i])
+		if !ok {
+			return false, nil
+		}
+		keyVecs[i] = v
+	}
+	argVecs := make([]*expr.Vec, len(a.args))
+	for i := range a.args {
+		if a.args[i] == nil {
+			continue
+		}
+		v, ok := a.evalVec(a.argCols[i], a.argKerns[i])
+		if !ok {
+			return false, nil
+		}
+		argVecs[i] = v
+	}
+	for r := range rows {
+		a.keyBuf = a.keyBuf[:0]
+		for _, v := range keyVecs {
+			a.keyBuf = v.AppendKeyAt(a.keyBuf, r)
+		}
+		st, ok := a.groups[string(a.keyBuf)]
+		if !ok {
+			groupVals := make(expr.Row, len(a.keys))
+			for i, v := range keyVecs {
+				// Bare columns take the row's value as-is (exact NULL
+				// type preservation); kernel NULLs materialize with the
+				// operator's NullT, matching the interpreter.
+				if a.keyCols[i] >= 0 {
+					groupVals[i] = rows[r][a.keyCols[i]]
+				} else {
+					groupVals[i] = v.Value(r)
+				}
+			}
+			key := string(a.keyBuf)
+			st = &aggState{groupVals: groupVals, accums: newAccums(a.fns)}
+			a.groups[key] = st
+			a.order = append(a.order, key)
+		}
+		for i, acc := range st.accums {
+			if a.args[i] == nil {
+				acc.addCountStar()
+				continue
+			}
+			if a.argCols[i] >= 0 {
+				acc.add(rows[r][a.argCols[i]])
+			} else {
+				acc.add(argVecs[i].Value(r))
+			}
+		}
+	}
+	return true, nil
+}
+
+// evalVec resolves one classified expression over the current chunk.
+func (a *hashAggOp) evalVec(col int, kern *expr.Kernel) (*expr.Vec, bool) {
+	if col >= 0 {
+		return a.src.ColVec(col)
+	}
+	v, err := kern.EvalVec(a.src, nil)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
 func (a *hashAggOp) absorb(row expr.Row) error {
-	var keyBuf strings.Builder
+	a.keyBuf = a.keyBuf[:0]
 	groupVals := make(expr.Row, len(a.keys))
 	for i, k := range a.keys {
 		v, err := expr.Eval(k, row)
@@ -631,12 +1167,11 @@ func (a *hashAggOp) absorb(row expr.Row) error {
 			return err
 		}
 		groupVals[i] = v
-		keyBuf.WriteString(v.String())
-		keyBuf.WriteByte('\x00')
+		a.keyBuf = expr.AppendKey(a.keyBuf, v)
 	}
-	key := keyBuf.String()
-	st, ok := a.groups[key]
+	st, ok := a.groups[string(a.keyBuf)]
 	if !ok {
+		key := string(a.keyBuf)
 		st = &aggState{groupVals: groupVals, accums: newAccums(a.fns)}
 		a.groups[key] = st
 		a.order = append(a.order, key)
@@ -913,9 +1448,12 @@ func (u *unionOp) Close() error {
 // --- ship ---------------------------------------------------------------
 
 // shipOp simulates moving the child's entire output between sites: it
-// materializes the stream, accounts rows and bytes in the cluster ledger
-// (priced with the message cost model), and replays the rows at the
-// destination.
+// materializes the stream, serializes it into BatchSize-row wire frames
+// (see internal/network's wire format), accounts rows and the encoded
+// frame bytes in the cluster ledger (priced with the message cost
+// model), and replays the decoded rows at the destination. The parallel
+// engine frames the same stream identically, so both engines charge the
+// ledger the same encoded bytes.
 type shipOp struct {
 	node  *plan.Node
 	child Operator
@@ -928,6 +1466,17 @@ func newShip(n *plan.Node, child Operator, env buildEnv) Operator {
 	return &shipOp{node: n, child: child, env: env}
 }
 
+// widthSum is the schema-estimate size of a row slice — the quantity the
+// pre-wire accounting used to bill, now only fed to the calibrator as
+// the estimated side of the encoding ratio.
+func widthSum(rows []expr.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += int64(r.Width())
+	}
+	return n
+}
+
 func (s *shipOp) Open() error {
 	if err := s.env.ctx.Err(); err != nil {
 		// Cancelled before this boundary: don't start materializing.
@@ -937,9 +1486,29 @@ func (s *shipOp) Open() error {
 	if err != nil {
 		return err
 	}
-	var bytes int64
-	for _, r := range rows {
-		bytes += int64(r.Width())
+	// Serialize the stream into wire frames; what the ledger bills is
+	// the encoded size, and what the destination replays is the decoded
+	// rows — an actual round trip through the wire format.
+	enc := network.WireEncoder{Opt: s.env.opt.Wire}
+	cal := s.env.c.Calibrator()
+	var bytes, frames int64
+	replay := make([]expr.Row, 0, len(rows))
+	for start := 0; start < len(rows); start += BatchSize {
+		end := start + BatchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		frame := enc.Encode(rows[start:end])
+		bytes += int64(len(frame))
+		frames++
+		if cal != nil {
+			cal.ObserveEncoding(widthSum(rows[start:end]), int64(len(frame)))
+		}
+		dec, err := network.DecodeBatch(frame)
+		if err != nil {
+			return fmt.Errorf("executor: ship frame decode: %w", err)
+		}
+		replay = append(replay, dec...)
 	}
 	// The resilient shipping path records the transfer and sleeps the
 	// wire time on success; under an installed fault plan it may retry
@@ -956,14 +1525,14 @@ func (s *shipOp) Open() error {
 	}
 	if a := s.env.obsv.AuditSink(); a != nil {
 		rec := auditRecFor(s.node)
-		rec.Rows, rec.Bytes, rec.Batches = int64(len(rows)), bytes, 1
+		rec.Rows, rec.Bytes, rec.Batches = int64(len(rows)), bytes, frames
 		a.Record(rec)
 	}
 	if prof := s.env.obsv.Prof(); prof != nil {
-		// The sequential engine moves the materialized stream as one batch.
-		prof.Stats(s.node).Batches.Add(1)
+		// One profiled batch per wire frame, matching the parallel engine.
+		prof.Stats(s.node).Batches.Add(frames)
 	}
-	s.rows = rows
+	s.rows = replay
 	s.pos = 0
 	return nil
 }

@@ -1,0 +1,7 @@
+//go:build cgdqp_interp
+
+package executor
+
+// kernelsDefault is false under the cgdqp_interp build tag: every
+// expression is evaluated by the row interpreter.
+const kernelsDefault = false

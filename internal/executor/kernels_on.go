@@ -1,0 +1,9 @@
+//go:build !cgdqp_interp
+
+package executor
+
+// kernelsDefault reports whether compiled columnar expression kernels
+// are enabled by default. Build with -tags cgdqp_interp to flip the
+// default to the row interpreter everywhere (results are identical;
+// the tag exists so CI can run the whole suite down the fallback path).
+const kernelsDefault = true

@@ -29,6 +29,12 @@ func RunObserved(p *plan.Node, c *cluster.Cluster, o *obs.Observer) ([]expr.Row,
 // shipping statistics come from a per-run ledger scope, so concurrent
 // executions over one Cluster each report exactly their own transfers.
 func RunObservedContext(ctx context.Context, p *plan.Node, c *cluster.Cluster, o *obs.Observer) ([]expr.Row, *RunStats, error) {
+	return RunObservedOpts(ctx, p, c, o, defaultExecOptions())
+}
+
+// RunObservedOpts is RunObservedContext under explicit execution
+// options (kernel gate, wire encoding).
+func RunObservedOpts(ctx context.Context, p *plan.Node, c *cluster.Cluster, o *obs.Observer, opt ExecOptions) ([]expr.Row, *RunStats, error) {
 	sp := o.StartSpan("execute.sequential")
 	m := o.Reg()
 	var t0 time.Time
@@ -36,7 +42,7 @@ func RunObservedContext(ctx context.Context, p *plan.Node, c *cluster.Cluster, o
 		t0 = time.Now()
 	}
 	scope := c.NewRun()
-	op, err := buildObs(p, buildEnv{c: c, scope: scope, ctx: ctx, obsv: o})
+	op, err := buildObs(p, buildEnv{c: c, scope: scope, ctx: ctx, obsv: o, opt: opt})
 	if err != nil {
 		finishExec(sp, m, "seq", t0, 0, err)
 		return nil, nil, err

@@ -8,6 +8,7 @@ import (
 
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/expr"
+	"cgdqp/internal/network"
 	"cgdqp/internal/obs"
 	"cgdqp/internal/plan"
 )
@@ -55,6 +56,12 @@ func RunParallelContext(ctx context.Context, p *plan.Node, c *cluster.Cluster) (
 // record per exchange producer, and per-operator actuals when the
 // observer carries a PlanProfile.
 func RunParallelObserved(ctx context.Context, p *plan.Node, c *cluster.Cluster, o *obs.Observer) ([]expr.Row, *RunStats, error) {
+	return RunParallelOpts(ctx, p, c, o, defaultExecOptions())
+}
+
+// RunParallelOpts is RunParallelObserved under explicit execution
+// options (kernel gate, wire encoding).
+func RunParallelOpts(ctx context.Context, p *plan.Node, c *cluster.Cluster, o *obs.Observer, opt ExecOptions) ([]expr.Row, *RunStats, error) {
 	sp := o.StartSpan("execute.parallel")
 	m := o.Reg()
 	var t0 time.Time
@@ -64,7 +71,7 @@ func RunParallelObserved(ctx context.Context, p *plan.Node, c *cluster.Cluster, 
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	eng := &parallelEngine{c: c, scope: c.NewRun(), ctx: ctx, obsv: o}
+	eng := &parallelEngine{c: c, scope: c.NewRun(), ctx: ctx, obsv: o, opt: opt}
 	root, err := buildParallel(p, eng)
 	if err != nil {
 		finishExec(sp, m, "parallel", t0, 0, err)
@@ -121,6 +128,7 @@ type parallelEngine struct {
 	wg        sync.WaitGroup
 	producers []*exchangeProducer
 	obsv      *obs.Observer
+	opt       ExecOptions
 }
 
 // start launches every fragment producer. Producers begin executing
@@ -164,6 +172,7 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 		ch := make(chan exchangeMsg, exchangeDepth)
 		eng.producers = append(eng.producers, &exchangeProducer{
 			node: n, src: src, ch: ch, c: eng.c, scope: eng.scope, ctx: eng.ctx, obsv: eng.obsv,
+			enc: network.WireEncoder{Opt: eng.opt.Wire},
 		})
 		return &exchangeOp{ch: ch}, nil
 	case plan.TableScan, plan.Scan:
@@ -181,7 +190,12 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 		if err != nil {
 			return nil, fmt.Errorf("executor: filter bind: %w", err)
 		}
-		return &batchFilterOp{src: src, pred: pred}, nil
+		types := colTypes(n.Children[0])
+		f := &batchFilterOp{src: src, pred: pred, kern: compilePred(pred, types, eng.opt.kernels())}
+		if f.kern != nil {
+			f.vsrc = newBatchSource(types)
+		}
+		return f, nil
 	case plan.ProjectExec, plan.Project:
 		src, err := buildParallel(n.Children[0], eng)
 		if err != nil {
@@ -196,7 +210,22 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 			}
 			exprs[i] = bound
 		}
-		return &batchProjectOp{src: src, exprs: exprs}, nil
+		types := colTypes(n.Children[0])
+		// Fuse with a vectorized filter child: the filter's surviving
+		// selection vector drives the projection kernels over a shared
+		// columnar view. Profiling wraps operators, so the assertion
+		// fails and fusion is skipped under EXPLAIN ANALYZE.
+		if f, ok := src.(*batchFilterOp); ok && f.kern != nil && eng.opt.kernels() {
+			return &batchFilterProjectOp{
+				src: f.src, pred: f.pred, kern: f.kern, vsrc: f.vsrc,
+				exprs: exprs, proj: compileProj(exprs, types, true),
+			}, nil
+		}
+		p := &batchProjectOp{src: src, exprs: exprs, proj: compileProj(exprs, types, eng.opt.kernels())}
+		if p.proj != nil {
+			p.vsrc = newBatchSource(types)
+		}
+		return p, nil
 	case plan.LimitExec, plan.Limit:
 		src, err := buildParallel(n.Children[0], eng)
 		if err != nil {
@@ -228,13 +257,13 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 	var err error
 	switch n.Kind {
 	case plan.HashJoin:
-		op, err = newHashJoin(n, children[0], children[1])
+		op, err = newHashJoin(n, children[0], children[1], eng.opt.kernels())
 	case plan.MergeJoin:
 		op, err = newMergeJoin(n, children[0], children[1])
 	case plan.NLJoin, plan.Join:
 		op, err = newNLJoin(n, children[0], children[1])
 	case plan.HashAgg, plan.Aggregate:
-		op, err = newHashAgg(n, children[0])
+		op, err = newHashAgg(n, children[0], eng.opt.kernels())
 	case plan.SortExec, plan.Sort:
 		op, err = newSort(n, children[0])
 	default:
@@ -248,17 +277,21 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 
 // --- exchange ------------------------------------------------------------
 
-// exchangeMsg is one hop over an exchange: a batch or a terminal error.
+// exchangeMsg is one hop over an exchange: a serialized wire frame or a
+// terminal error.
 type exchangeMsg struct {
-	batch *Batch
+	frame []byte
 	err   error
 }
 
 // exchangeProducer runs one plan fragment on its own goroutine, feeding
 // its Ship boundary: it drives the fragment's operator tree batch by
-// batch, charges the cluster ledger once per batch (totals identical to
-// the sequential engine's one-shot accounting), applies the simulated
-// wire delay, and sends batches downstream in order.
+// batch, repacks the stream into BatchSize-row wire frames — the same
+// framing the sequential shipOp applies to its materialized stream, so
+// both engines encode byte-identical frames — charges the cluster
+// ledger the encoded size of each frame, applies the simulated wire
+// delay, and sends the frames downstream in order. The consuming
+// exchangeOp decodes them back into batches.
 type exchangeProducer struct {
 	node  *plan.Node
 	src   BatchOperator
@@ -267,6 +300,7 @@ type exchangeProducer struct {
 	scope *cluster.RunScope
 	ctx   context.Context
 	obsv  *obs.Observer
+	enc   network.WireEncoder
 	// sent* accumulate what the producer actually delivered; only the
 	// producer goroutine touches them. On a clean end of stream they
 	// become the fragment's compliance audit record — a producer that
@@ -310,37 +344,78 @@ func (p *exchangeProducer) produce() error {
 	defer p.src.Close()
 	ship := p.scope.OpenShipment(p.node.FromLoc, p.node.ToLoc)
 	// The start-up cost α (one round trip) is paid when the connection
-	// opens; per-batch sends below pay the bandwidth part.
+	// opens; per-frame sends below pay the bandwidth part.
 	p.c.SleepWire(p.c.Net.Alpha(p.node.FromLoc, p.node.ToLoc))
-	for batch := 0; ; batch++ {
+	cal := p.c.Calibrator()
+	pending := make([]expr.Row, 0, BatchSize)
+	frameIdx := 0
+	flush := func(rows []expr.Row) error {
+		frame := p.enc.Encode(rows)
+		// The encoder reuses its buffer; the frame crossing the channel
+		// must own its bytes.
+		buf := append([]byte(nil), frame...)
+		if cal != nil {
+			cal.ObserveEncoding(widthSum(rows), int64(len(buf)))
+		}
+		// The resilient shipping path injects faults, retries with
+		// backoff, and charges the shipment only when the frame lands,
+		// so retried runs keep ledger parity with a fault-free one.
+		if err := p.scope.ShipBatch(p.ctx, ship, p.node.FromLoc, p.node.ToLoc, frameIdx, int64(len(rows)), int64(len(buf))); err != nil {
+			return err
+		}
+		frameIdx++
+		p.sentRows += int64(len(rows))
+		p.sentBytes += int64(len(buf))
+		p.sentBatches++
+		select {
+		case p.ch <- exchangeMsg{frame: buf}:
+			return nil
+		case <-p.ctx.Done():
+			return p.ctx.Err()
+		}
+	}
+	for {
 		b, err := p.src.NextBatch()
 		if err != nil {
 			return err
 		}
 		if b == nil {
+			if len(pending) > 0 {
+				if err := flush(pending); err != nil {
+					return err
+				}
+			}
+			if cal != nil {
+				// One affine sample per completed shipment: total
+				// encoded bytes against the modeled edge cost.
+				cal.ObserveShip(p.node.FromLoc, p.node.ToLoc, p.sentBytes,
+					p.c.Net.ShipCost(p.node.FromLoc, p.node.ToLoc, float64(p.sentBytes)))
+			}
 			return nil
 		}
-		// The resilient shipping path injects faults, retries with
-		// backoff, and charges the shipment only when the batch lands,
-		// so retried runs keep ledger parity with a fault-free one.
-		if err := p.scope.ShipBatch(p.ctx, ship, p.node.FromLoc, p.node.ToLoc, batch, int64(len(b.Rows)), b.Bytes()); err != nil {
-			b.Release()
-			return err
+		rows := b.Rows
+		for len(rows) > 0 {
+			take := BatchSize - len(pending)
+			if take > len(rows) {
+				take = len(rows)
+			}
+			pending = append(pending, rows[:take]...)
+			rows = rows[take:]
+			if len(pending) == BatchSize {
+				if err := flush(pending); err != nil {
+					b.Release()
+					return err
+				}
+				pending = pending[:0]
+			}
 		}
-		p.sentRows += int64(len(b.Rows))
-		p.sentBytes += b.Bytes()
-		p.sentBatches++
-		select {
-		case p.ch <- exchangeMsg{batch: b}:
-		case <-p.ctx.Done():
-			b.Release()
-			return p.ctx.Err()
-		}
+		b.Release()
 	}
 }
 
 // exchangeOp is the consuming side of an exchange: a batch operator
-// replaying the producer's stream in order at the destination site.
+// decoding the producer's wire frames back into batches, in order, at
+// the destination site.
 type exchangeOp struct {
 	ch   <-chan exchangeMsg
 	done bool
@@ -361,7 +436,14 @@ func (e *exchangeOp) NextBatch() (*Batch, error) {
 		e.done = true
 		return nil, msg.err
 	}
-	return msg.batch, nil
+	rows, err := network.DecodeBatch(msg.frame)
+	if err != nil {
+		e.done = true
+		return nil, fmt.Errorf("executor: exchange frame decode: %w", err)
+	}
+	b := NewBatch()
+	b.Rows = append(b.Rows, rows...)
+	return b, nil
 }
 
 // Close drains the remaining stream so an abandoned producer (e.g.
@@ -369,8 +451,7 @@ func (e *exchangeOp) NextBatch() (*Batch, error) {
 // matches the sequential engine, which always materializes Ship inputs
 // fully.
 func (e *exchangeOp) Close() error {
-	for msg := range e.ch {
-		msg.batch.Release()
+	for range e.ch {
 	}
 	e.done = true
 	return nil
@@ -476,9 +557,13 @@ func (s *batchScanOp) NextBatch() (*Batch, error) {
 func (s *batchScanOp) Close() error { return s.scan.Close() }
 
 // batchFilterOp compacts each batch in place, keeping qualifying rows.
+// With a compiled predicate the batch is filtered through its columnar
+// view; a batch the kernel cannot handle is re-run row by row.
 type batchFilterOp struct {
 	src  BatchOperator
 	pred expr.Expr
+	kern *vecPred
+	vsrc *batchSource
 }
 
 func (f *batchFilterOp) Open() error { return f.src.Open() }
@@ -488,6 +573,22 @@ func (f *batchFilterOp) NextBatch() (*Batch, error) {
 		b, err := f.src.NextBatch()
 		if err != nil || b == nil {
 			return nil, err
+		}
+		if f.kern != nil {
+			f.vsrc.Reset(b.Rows)
+			if sel, ok := f.kern.selectRows(f.vsrc); ok {
+				kept := b.Rows[:0]
+				for _, si := range sel {
+					kept = append(kept, b.Rows[si])
+				}
+				clear(b.Rows[len(kept):])
+				b.Rows = kept
+				if len(b.Rows) > 0 {
+					return b, nil
+				}
+				b.Release()
+				continue
+			}
 		}
 		kept := b.Rows[:0]
 		for _, row := range b.Rows {
@@ -512,10 +613,13 @@ func (f *batchFilterOp) NextBatch() (*Batch, error) {
 
 func (f *batchFilterOp) Close() error { return f.src.Close() }
 
-// batchProjectOp evaluates the projection over each input batch.
+// batchProjectOp evaluates the projection over each input batch,
+// through compiled kernels when available.
 type batchProjectOp struct {
 	src   BatchOperator
 	exprs []expr.Expr
+	proj  *vecProj
+	vsrc  *batchSource
 }
 
 func (p *batchProjectOp) Open() error { return p.src.Open() }
@@ -526,16 +630,20 @@ func (p *batchProjectOp) NextBatch() (*Batch, error) {
 		return nil, err
 	}
 	out := NewBatch()
+	if p.proj != nil {
+		p.vsrc.Reset(in.Rows)
+		if rows, ok := p.proj.apply(p.vsrc, nil, out.Rows); ok {
+			out.Rows = rows
+			in.Release()
+			return out, nil
+		}
+	}
 	for _, row := range in.Rows {
-		proj := make(expr.Row, len(p.exprs))
-		for i, e := range p.exprs {
-			v, err := expr.Eval(e, row)
-			if err != nil {
-				in.Release()
-				out.Release()
-				return nil, err
-			}
-			proj[i] = v
+		proj, err := projectRow(p.exprs, row)
+		if err != nil {
+			in.Release()
+			out.Release()
+			return nil, err
 		}
 		out.Rows = append(out.Rows, proj)
 	}
@@ -544,6 +652,89 @@ func (p *batchProjectOp) NextBatch() (*Batch, error) {
 }
 
 func (p *batchProjectOp) Close() error { return p.src.Close() }
+
+// batchFilterProjectOp is the fused filter+projection of the parallel
+// engine: one columnar view per batch, the predicate's surviving
+// selection vector driving the projection kernels directly. Batches
+// either kernel cannot handle re-run row by row — filter then project,
+// in row order — matching the interpreter.
+type batchFilterProjectOp struct {
+	src   BatchOperator
+	pred  expr.Expr
+	kern  *vecPred
+	vsrc  *batchSource
+	exprs []expr.Expr
+	proj  *vecProj // nil: passthrough/interpreted outputs only
+}
+
+func (p *batchFilterProjectOp) Open() error { return p.src.Open() }
+
+func (p *batchFilterProjectOp) NextBatch() (*Batch, error) {
+	for {
+		in, err := p.src.NextBatch()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		out := NewBatch()
+		p.vsrc.Reset(in.Rows)
+		if sel, ok := p.kern.selectRows(p.vsrc); ok {
+			applied := true
+			if p.proj != nil {
+				var rows []expr.Row
+				if rows, applied = p.proj.apply(p.vsrc, sel, out.Rows); applied {
+					out.Rows = rows
+				}
+			} else {
+				for _, si := range sel {
+					proj, err := projectRow(p.exprs, in.Rows[si])
+					if err != nil {
+						applied = false
+						break
+					}
+					out.Rows = append(out.Rows, proj)
+				}
+				if !applied {
+					clear(out.Rows)
+					out.Rows = out.Rows[:0]
+				}
+			}
+			if applied {
+				in.Release()
+				if len(out.Rows) > 0 {
+					return out, nil
+				}
+				out.Release()
+				continue
+			}
+		}
+		// Full interpreter re-run of the batch, in row order.
+		for _, row := range in.Rows {
+			keep, err := expr.EvalBool(p.pred, row)
+			if err != nil {
+				in.Release()
+				out.Release()
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+			proj, err := projectRow(p.exprs, row)
+			if err != nil {
+				in.Release()
+				out.Release()
+				return nil, err
+			}
+			out.Rows = append(out.Rows, proj)
+		}
+		in.Release()
+		if len(out.Rows) > 0 {
+			return out, nil
+		}
+		out.Release()
+	}
+}
+
+func (p *batchFilterProjectOp) Close() error { return p.src.Close() }
 
 // batchLimitOp truncates the stream after n rows.
 type batchLimitOp struct {

@@ -1,0 +1,300 @@
+package executor
+
+import (
+	"cgdqp/internal/expr"
+	"cgdqp/internal/plan"
+)
+
+// This file is the glue between the row-batch engines and the compiled
+// columnar kernels of internal/expr: a lazily built, per-batch columnar
+// view (batchSource), plus the filter/projection evaluators both engines
+// share. Every helper falls back to the row interpreter — per batch —
+// whenever a column is not lane-pure or a kernel reports an error, so
+// results (and error behavior) match the interpreter exactly.
+
+// vecChunk is the micro-batch size of the sequential engine's
+// vectorized operators: large enough to amortize the row-to-column
+// conversion, small enough that eager evaluation under a LIMIT stays
+// cheap. The parallel engine vectorizes whole BatchSize batches.
+const vecChunk = 1024
+
+// colTypes returns the static lane types of a node's output columns,
+// indexed the way bound Col.Index values address them.
+func colTypes(n *plan.Node) []expr.Type {
+	out := make([]expr.Type, len(n.Cols))
+	for i, c := range n.Cols {
+		out[i] = c.Type
+	}
+	return out
+}
+
+// Lazily built column-vector states of a batchSource.
+const (
+	vecUnbuilt = iota
+	vecOK
+	vecBad
+)
+
+// batchSource is the expr.VecSource view over one row batch: per-column
+// vectors are built on first use and cached for the batch, so a filter
+// and the projection above it share one row-to-column conversion.
+type batchSource struct {
+	rows  []expr.Row
+	types []expr.Type
+	vecs  []expr.Vec
+	state []uint8
+}
+
+func newBatchSource(types []expr.Type) *batchSource {
+	return &batchSource{
+		types: types,
+		vecs:  make([]expr.Vec, len(types)),
+		state: make([]uint8, len(types)),
+	}
+}
+
+// Reset points the source at a new batch, invalidating cached vectors
+// (their storage is reused by the next build).
+func (s *batchSource) Reset(rows []expr.Row) {
+	s.rows = rows
+	for i := range s.state {
+		s.state[i] = vecUnbuilt
+	}
+}
+
+func (s *batchSource) ColVec(idx int) (*expr.Vec, bool) {
+	if idx < 0 || idx >= len(s.vecs) {
+		return nil, false
+	}
+	if s.state[idx] == vecUnbuilt {
+		if expr.BuildColVec(s.rows, idx, s.types[idx], &s.vecs[idx]) {
+			s.state[idx] = vecOK
+		} else {
+			s.state[idx] = vecBad
+		}
+	}
+	if s.state[idx] != vecOK {
+		return nil, false
+	}
+	return &s.vecs[idx], true
+}
+
+func (s *batchSource) Row(i int) expr.Row { return s.rows[i] }
+
+func (s *batchSource) Len() int { return len(s.rows) }
+
+// --- predicate evaluation -------------------------------------------------
+
+// vecPred wraps a compiled filter predicate with its selection scratch.
+type vecPred struct {
+	kern *expr.PredKernel
+	sel  []int32
+}
+
+// compilePred compiles a predicate when kernels are enabled; nil means
+// the caller keeps the plain interpreter.
+func compilePred(pred expr.Expr, types []expr.Type, vec bool) *vecPred {
+	if !vec {
+		return nil
+	}
+	k, ok := expr.CompilePred(pred, types)
+	if !ok {
+		return nil
+	}
+	return &vecPred{kern: k}
+}
+
+// selectRows runs the predicate over src and returns the surviving row
+// indexes (in row order). ok is false when the batch must be re-run
+// through the row interpreter — a column failed to vectorize or a
+// fallback conjunct errored — so error timing stays the interpreter's.
+func (p *vecPred) selectRows(src *batchSource) ([]int32, bool) {
+	if cap(p.sel) < src.Len() {
+		p.sel = make([]int32, src.Len())
+	}
+	sel, err := p.kern.Select(src, nil, p.sel[:0])
+	if err != nil {
+		return nil, false
+	}
+	return sel, true
+}
+
+// --- projection evaluation ------------------------------------------------
+
+// vecProj evaluates one projection list over a columnar batch. Each
+// output column is a bare-column passthrough, a constant, a compiled
+// kernel, or a per-row interpreted expression; any kernel error demotes
+// the whole batch to the interpreter.
+type vecProj struct {
+	exprs  []expr.Expr    // bound originals, for the interpreter path
+	colIdx []int          // >= 0: bare column passthrough
+	consts []*expr.Value  // non-nil: constant output
+	kerns  []*expr.Kernel // non-nil: compiled kernel
+	outs   []*expr.Vec    // kernel results for the current batch
+}
+
+// compileProj compiles a projection list. It reports nil when kernels
+// are disabled or nothing vectorizes beyond passthroughs (the plain
+// row projector is just as fast then and keeps lazy error timing).
+func compileProj(exprs []expr.Expr, types []expr.Type, vec bool) *vecProj {
+	if !vec {
+		return nil
+	}
+	p := &vecProj{
+		exprs:  exprs,
+		colIdx: make([]int, len(exprs)),
+		consts: make([]*expr.Value, len(exprs)),
+		kerns:  make([]*expr.Kernel, len(exprs)),
+		outs:   make([]*expr.Vec, len(exprs)),
+	}
+	compiled := false
+	for i, e := range exprs {
+		p.colIdx[i] = -1
+		switch n := e.(type) {
+		case *expr.Col:
+			p.colIdx[i] = n.Index
+		case *expr.Const:
+			v := n.Val
+			p.consts[i] = &v
+		default:
+			if k, ok := expr.Compile(e, types); ok {
+				p.kerns[i] = k
+				compiled = true
+			}
+		}
+	}
+	if !compiled {
+		return nil
+	}
+	return p
+}
+
+// hasFallback reports whether some output column still needs the row
+// interpreter per value.
+func (p *vecProj) hasFallback() bool {
+	for i := range p.exprs {
+		if p.colIdx[i] < 0 && p.consts[i] == nil && p.kerns[i] == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// apply projects the selected rows of src (all rows when sel is nil)
+// and appends the outputs to out. ok is false when the batch must be
+// re-run through the row interpreter; out is untouched then.
+func (p *vecProj) apply(src *batchSource, sel []int32, out []expr.Row) ([]expr.Row, bool) {
+	for i, k := range p.kerns {
+		if k == nil {
+			continue
+		}
+		v, err := k.EvalVec(src, sel)
+		if err != nil {
+			return out, false
+		}
+		p.outs[i] = v
+	}
+	n := src.Len()
+	if sel != nil {
+		n = len(sel)
+	}
+	for j := 0; j < n; j++ {
+		ri := j
+		if sel != nil {
+			ri = int(sel[j])
+		}
+		row := make(expr.Row, len(p.exprs))
+		for i := range p.exprs {
+			switch {
+			case p.colIdx[i] >= 0:
+				r := src.Row(ri)
+				if p.colIdx[i] >= len(r) {
+					return out, false
+				}
+				row[i] = r[p.colIdx[i]]
+			case p.consts[i] != nil:
+				row[i] = *p.consts[i]
+			case p.kerns[i] != nil:
+				row[i] = p.outs[i].Value(j)
+			default:
+				v, err := expr.Eval(p.exprs[i], src.Row(ri))
+				if err != nil {
+					return out, false
+				}
+				row[i] = v
+			}
+		}
+		out = append(out, row)
+	}
+	return out, true
+}
+
+// projectRow is the interpreter path shared by the fallback branches.
+func projectRow(exprs []expr.Expr, row expr.Row) (expr.Row, error) {
+	out := make(expr.Row, len(exprs))
+	for i, e := range exprs {
+		v, err := expr.Eval(e, row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// --- key hashing ----------------------------------------------------------
+
+// vecHasher computes join-key hashes for whole batches when every key
+// is a bare column. The combine (FNV-1a fold of Value.Hash) is
+// bit-identical to hashKey, so vectorized and interpreted probes land
+// in the same buckets.
+type vecHasher struct {
+	cols []int
+	src  *batchSource
+	vecs []*expr.Vec
+}
+
+// newVecHasher returns a hasher when vectorization applies: kernels on
+// and every key a bare column. nil keeps the row path.
+func newVecHasher(keys []expr.Expr, types []expr.Type, vec bool) *vecHasher {
+	if !vec {
+		return nil
+	}
+	cols := make([]int, len(keys))
+	for i, k := range keys {
+		c, ok := k.(*expr.Col)
+		if !ok {
+			return nil
+		}
+		cols[i] = c.Index
+	}
+	return &vecHasher{cols: cols, src: newBatchSource(types), vecs: make([]*expr.Vec, len(cols))}
+}
+
+// hashBatch fills hs[i] with the combined key hash of rows[i] and
+// valid[i] with whether every key is non-NULL. ok is false when some
+// key column failed to vectorize; the caller hashes row by row then.
+func (h *vecHasher) hashBatch(rows []expr.Row, hs []uint64, valid []bool) bool {
+	h.src.Reset(rows)
+	for i, c := range h.cols {
+		v, ok := h.src.ColVec(c)
+		if !ok {
+			return false
+		}
+		h.vecs[i] = v
+	}
+	for i := range rows {
+		var hv uint64 = 1469598103934665603
+		ok := true
+		for _, v := range h.vecs {
+			if v.IsNullAt(i) {
+				ok = false
+				break
+			}
+			hv = hv*1099511628211 ^ v.HashAt(i)
+		}
+		hs[i] = hv
+		valid[i] = ok
+	}
+	return true
+}

@@ -1,0 +1,1277 @@
+package expr
+
+// Compiled columnar expression kernels. Compile translates a bound
+// expression tree once into a graph of typed vector operators that
+// evaluate a whole batch per call, using the static column types of the
+// operator's input schema to pick int64/float64/string/bool lanes. Any
+// node the compiler cannot type statically (CASE, aggregates, mixed or
+// incomparable operand types, unresolved columns) becomes a fallback
+// node that calls the row interpreter, so a compiled kernel always
+// produces exactly the values Eval would — including the type tags of
+// NULL results — or reports ErrNotVectorizable when a batch turns out
+// not to be lane-pure at runtime, in which case the caller re-evaluates
+// the whole batch with the interpreter.
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrNotVectorizable reports that a batch cannot be evaluated by the
+// compiled kernel — a column is not lane-pure, or a fallback node
+// produced a value outside its static type. It is a per-batch verdict,
+// not an error: callers must re-evaluate the batch with the interpreter.
+var ErrNotVectorizable = errors.New("expr: batch not vectorizable")
+
+// VecSource is the columnar view a kernel evaluates against: a batch of
+// rows exposing per-column vectors (built lazily and cached by the
+// executor) plus row access for fallback nodes. ColVec reports false
+// when the column cannot be converted (out of range, or not lane-pure).
+type VecSource interface {
+	ColVec(idx int) (*Vec, bool)
+	Row(i int) Row
+	Len() int
+}
+
+// kNode is one compiled operator: it evaluates the rows chosen by sel
+// (all src rows when sel is nil) into a dense vector of length n.
+// Nodes own their output scratch, so a kernel is not safe for
+// concurrent use; each executor operator compiles its own instance.
+type kNode interface {
+	eval(src VecSource, sel []int32, n int) (*Vec, error)
+}
+
+// Kernel is a compiled scalar expression.
+type Kernel struct{ root kNode }
+
+// Compile compiles a bound expression against the static column types
+// of the input schema (indexed by Col.Index). It reports false when
+// nothing would be gained: the whole tree is a fallback, or the
+// expression is a bare column or literal (callers handle those leaves
+// directly and exactly).
+func Compile(e Expr, types []Type) (*Kernel, bool) {
+	if e == nil {
+		return nil, false
+	}
+	switch e.(type) {
+	case *Col, *Const:
+		return nil, false
+	}
+	c := compiler{types: types}
+	node := c.compile(e)
+	if isFallback(node) {
+		return nil, false
+	}
+	return &Kernel{root: node}, true
+}
+
+// EvalVec evaluates the kernel over the selected rows of src, returning
+// a dense vector of len(sel) results (src.Len() when sel is nil).
+func (k *Kernel) EvalVec(src VecSource, sel []int32) (*Vec, error) {
+	n := len(sel)
+	if sel == nil {
+		n = src.Len()
+	}
+	return k.root.eval(src, sel, n)
+}
+
+// predConj is one conjunct of a compiled predicate: vectorized when k is
+// non-nil, interpreted row-by-row otherwise.
+type predConj struct {
+	k *Kernel
+	e Expr
+}
+
+// PredKernel is a compiled filter predicate evaluated conjunct at a
+// time: each conjunct shrinks the selection before the next runs, so
+// later conjuncts only touch surviving rows. Rows are kept only when
+// every conjunct is TRUE (SQL WHERE semantics: NULL drops the row),
+// which matches the interpreter's short-circuit conjunction exactly.
+type PredKernel struct{ conjs []predConj }
+
+// CompilePred compiles a filter predicate. It reports false when no
+// conjunct vectorizes (the caller should keep the plain interpreter).
+func CompilePred(e Expr, types []Type) (*PredKernel, bool) {
+	if e == nil {
+		return nil, false
+	}
+	c := compiler{types: types}
+	cs := Conjuncts(e)
+	out := &PredKernel{conjs: make([]predConj, 0, len(cs))}
+	vectorized := false
+	for _, cj := range cs {
+		if c.staticType(cj) == TBool {
+			if k, ok := Compile(cj, types); ok {
+				out.conjs = append(out.conjs, predConj{k: k})
+				vectorized = true
+				continue
+			}
+		}
+		out.conjs = append(out.conjs, predConj{e: cj})
+	}
+	if !vectorized {
+		return nil, false
+	}
+	return out, true
+}
+
+// emptySel is the canonical non-nil empty selection: Select must never
+// return nil for "no rows", because callers treat a nil selection as
+// "all rows".
+var emptySel = make([]int32, 0)
+
+// Select filters sel through the predicate and returns the surviving
+// row indexes. A nil sel means all of src's rows (an empty non-nil sel
+// selects nothing); the result is then built in buf. A non-nil sel is
+// compacted in place. The returned selection is never nil.
+func (p *PredKernel) Select(src VecSource, sel []int32, buf []int32) ([]int32, error) {
+	cur, dense := sel, sel == nil
+	for _, cj := range p.conjs {
+		if cj.k != nil {
+			var pass *Vec
+			var err error
+			if dense {
+				pass, err = cj.k.EvalVec(src, nil)
+			} else {
+				pass, err = cj.k.EvalVec(src, cur)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if dense {
+				n := src.Len()
+				out := buf[:0]
+				for i := 0; i < n; i++ {
+					if pass.B.Get(i) && !pass.IsNullAt(i) {
+						out = append(out, int32(i))
+					}
+				}
+				cur, dense = out, false
+			} else {
+				w := 0
+				for j, si := range cur {
+					if pass.B.Get(j) && !pass.IsNullAt(j) {
+						cur[w] = si
+						w++
+					}
+				}
+				cur = cur[:w]
+			}
+		} else if dense {
+			n := src.Len()
+			out := buf[:0]
+			for i := 0; i < n; i++ {
+				ok, err := EvalBool(cj.e, src.Row(i))
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, int32(i))
+				}
+			}
+			cur, dense = out, false
+		} else {
+			w := 0
+			for _, si := range cur {
+				ok, err := EvalBool(cj.e, src.Row(int(si)))
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					cur[w] = si
+					w++
+				}
+			}
+			cur = cur[:w]
+		}
+		if len(cur) == 0 {
+			return emptySel, nil
+		}
+	}
+	if cur == nil {
+		// Unreachable with CompilePred's >=1-conjunct guarantee, but a
+		// conjunct-free predicate passes everything.
+		out := buf[:0]
+		for i, n := 0, src.Len(); i < n; i++ {
+			out = append(out, int32(i))
+		}
+		if out == nil {
+			out = emptySel
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// compiler carries the static input-column types through compilation.
+type compiler struct{ types []Type }
+
+func (c compiler) colType(col *Col) Type {
+	if col.Index < 0 || col.Index >= len(c.types) {
+		return TNull
+	}
+	return c.types[col.Index]
+}
+
+// staticType mirrors the interpreter's *runtime* result types, which
+// differ from TypeOf's estimates in two ways that matter for lane
+// selection: arithmetic stays integral only when BOTH operands are
+// exactly TInt (a date+int lands on the float lane, like evalArith),
+// and a NULL literal is TNull no matter which type tag it carries.
+func (c compiler) staticType(e Expr) Type {
+	switch n := e.(type) {
+	case *Col:
+		return c.colType(n)
+	case *Const:
+		if n.Val.IsNull() {
+			return TNull
+		}
+		return n.Val.T
+	case *Cmp, *And, *Or, *Not, *Like, *In, *Between, *IsNull:
+		return TBool
+	case *Arith:
+		lt, rt := c.staticType(n.L), c.staticType(n.R)
+		if n.Op != Div && lt == TInt && rt == TInt {
+			return TInt
+		}
+		return TFloat
+	case *Call:
+		// evalCall's ABS returns TFloat for a float argument and TInt for
+		// every other numeric one (including dates); YEAR/MONTH/DAY are TInt.
+		if n.Fn == FnAbs && c.staticType(n.Arg) == TFloat {
+			return TFloat
+		}
+		return TInt
+	case *Case:
+		for _, w := range n.Whens {
+			if t := c.staticType(w.Result); t != TNull {
+				return t
+			}
+		}
+		if n.Else != nil {
+			return c.staticType(n.Else)
+		}
+		return TNull
+	case *Agg:
+		return TypeOf(e, c.colType)
+	}
+	return TNull
+}
+
+func (c compiler) fallback(e Expr) kNode {
+	return &kFallback{e: e, t: c.staticType(e)}
+}
+
+func isFallback(n kNode) bool {
+	_, ok := n.(*kFallback)
+	return ok
+}
+
+func intClass(t Type) bool { return t == TInt || t == TDate }
+
+func (c compiler) compile(e Expr) kNode {
+	switch n := e.(type) {
+	case *Col:
+		return &kCol{idx: n.Index, t: c.colType(n)}
+	case *Const:
+		return &kConst{v: n.Val}
+	case *Cmp:
+		return c.compileCmp(n)
+	case *And:
+		l, r, ok := c.compileBoolPair(n.L, n.R)
+		if !ok || (isFallback(l) && isFallback(r)) {
+			return c.fallback(e)
+		}
+		return &kAnd{l: l, r: r}
+	case *Or:
+		l, r, ok := c.compileBoolPair(n.L, n.R)
+		if !ok || (isFallback(l) && isFallback(r)) {
+			return c.fallback(e)
+		}
+		return &kOr{l: l, r: r}
+	case *Not:
+		switch c.staticType(n.E) {
+		case TBool:
+			return &kNot{c: c.compile(n.E)}
+		case TNull:
+			return &kAllNull{children: []kNode{c.compile(n.E)}, t: TBool}
+		}
+		return c.fallback(e)
+	case *Arith:
+		return c.compileArith(n)
+	case *Like:
+		switch c.staticType(n.E) {
+		case TString:
+			return newKLike(c.compile(n.E), n.Pattern, n.Negated)
+		case TNull:
+			return &kAllNull{children: []kNode{c.compile(n.E)}, t: TBool}
+		}
+		return c.fallback(e)
+	case *In:
+		return c.compileIn(n)
+	case *Between:
+		return c.compileBetween(n)
+	case *IsNull:
+		child := c.compile(n.E)
+		if isFallback(child) {
+			return c.fallback(e)
+		}
+		return &kIsNull{c: child, negated: n.Negated}
+	case *Call:
+		return c.compileCall(n)
+	}
+	// CASE (lazy branch evaluation), aggregates, unknown nodes.
+	return c.fallback(e)
+}
+
+// compileBoolPair compiles the two operands of a logical connective onto
+// bool lanes. Statically NULL operands become all-NULL bool vectors
+// (Kleene logic handles them); operands of any other non-bool type make
+// the connective fall back (the interpreter treats such operands as
+// FALSE-or-NULL, which the kernels do not model).
+func (c compiler) compileBoolPair(l, r Expr) (kNode, kNode, bool) {
+	boolish := func(t Type) bool { return t == TBool || t == TNull }
+	lt, rt := c.staticType(l), c.staticType(r)
+	if !boolish(lt) || !boolish(rt) {
+		return nil, nil, false
+	}
+	ln, rn := c.compile(l), c.compile(r)
+	if lt == TNull {
+		ln = &kAllNull{children: []kNode{ln}, t: TBool}
+	}
+	if rt == TNull {
+		rn = &kAllNull{children: []kNode{rn}, t: TBool}
+	}
+	return ln, rn, true
+}
+
+func (c compiler) compileCmp(n *Cmp) kNode {
+	lt, rt := c.staticType(n.L), c.staticType(n.R)
+	if lt == TNull || rt == TNull {
+		return &kAllNull{children: []kNode{c.compile(n.L), c.compile(n.R)}, t: TBool}
+	}
+	l, r := c.compile(n.L), c.compile(n.R)
+	switch {
+	case lt == TString && rt == TString:
+		return &kCmp{op: n.Op, lane: TString, l: l, r: r}
+	case lt == TBool && rt == TBool:
+		return &kCmp{op: n.Op, lane: TInt, l: &kCastInt{c: l}, r: &kCastInt{c: r}}
+	case intClass(lt) && intClass(rt):
+		return &kCmp{op: n.Op, lane: TInt, l: l, r: r}
+	case lt.Numeric() && rt.Numeric():
+		return &kCmp{op: n.Op, lane: TFloat, l: c.toFloat(l, lt), r: c.toFloat(r, rt)}
+	}
+	// Incomparable operand types: the interpreter raises a per-row error
+	// (unless a side is NULL), so keep its exact behaviour.
+	return c.fallback(n)
+}
+
+func (c compiler) compileArith(n *Arith) kNode {
+	lt, rt := c.staticType(n.L), c.staticType(n.R)
+	if lt == TNull || rt == TNull {
+		return &kAllNull{children: []kNode{c.compile(n.L), c.compile(n.R)}, t: TFloat}
+	}
+	arithable := func(t Type) bool { return t.Numeric() || t == TBool }
+	if !arithable(lt) || !arithable(rt) {
+		return c.fallback(n)
+	}
+	l, r := c.compile(n.L), c.compile(n.R)
+	if lt == TInt && rt == TInt && n.Op != Div {
+		return &kArith{op: n.Op, intLane: true, l: l, r: r}
+	}
+	return &kArith{op: n.Op, l: c.toFloat(l, lt), r: c.toFloat(r, rt)}
+}
+
+func (c compiler) compileIn(n *In) kNode {
+	t := c.staticType(n.E)
+	if t == TNull {
+		return &kAllNull{children: []kNode{c.compile(n.E)}, t: TBool}
+	}
+	child := c.compile(n.E)
+	k := &kIn{c: child, negated: n.Negated, lane: t}
+	// Items the child is incomparable with are skipped, exactly as the
+	// interpreter skips Compare errors while scanning the list.
+	for _, it := range n.List {
+		if it.IsNull() {
+			continue
+		}
+		switch {
+		case intClass(t):
+			if intClass(it.T) {
+				k.intItems = append(k.intItems, it.I)
+			} else if it.T == TFloat {
+				k.fItems = append(k.fItems, it.F)
+			}
+		case t == TFloat:
+			if it.T.Numeric() {
+				k.fItems = append(k.fItems, it.Float())
+			}
+		case t == TString:
+			if it.T == TString {
+				k.sItems = append(k.sItems, it.S)
+			}
+		case t == TBool:
+			if it.T == TBool {
+				k.intItems = append(k.intItems, it.I)
+			}
+		}
+	}
+	if t == TBool {
+		k.lane = TInt
+		k.c = &kCastInt{c: child}
+	}
+	return k
+}
+
+func (c compiler) compileBetween(n *Between) kNode {
+	t := c.staticType(n.E)
+	if t == TNull {
+		return &kAllNull{children: []kNode{c.compile(n.E)}, t: TBool}
+	}
+	if n.Lo.IsNull() || n.Hi.IsNull() {
+		return c.fallback(n) // Compare against NULL bounds errors
+	}
+	k := &kBetween{c: c.compile(n.E), lane: t}
+	switch {
+	case t == TString && n.Lo.T == TString && n.Hi.T == TString:
+		k.loS, k.hiS = n.Lo.S, n.Hi.S
+	case intClass(t) && n.Lo.T.Numeric() && n.Hi.T.Numeric():
+		k.lane = TInt
+		if n.Lo.T == TFloat {
+			k.loFloat, k.loF = true, n.Lo.F
+		} else {
+			k.loI = n.Lo.I
+		}
+		if n.Hi.T == TFloat {
+			k.hiFloat, k.hiF = true, n.Hi.F
+		} else {
+			k.hiI = n.Hi.I
+		}
+	case t == TFloat && n.Lo.T.Numeric() && n.Hi.T.Numeric():
+		k.loFloat, k.hiFloat = true, true
+		k.loF, k.hiF = n.Lo.Float(), n.Hi.Float()
+	default:
+		return c.fallback(n)
+	}
+	return k
+}
+
+func (c compiler) compileCall(n *Call) kNode {
+	t := c.staticType(n.Arg)
+	if t == TNull {
+		return &kAllNull{children: []kNode{c.compile(n.Arg)}, t: TInt}
+	}
+	switch n.Fn {
+	case FnYear, FnMonth, FnDay:
+		if t == TDate {
+			return &kCall{fn: n.Fn, c: c.compile(n.Arg)}
+		}
+	case FnAbs:
+		if t.Numeric() {
+			return &kCall{fn: n.Fn, c: c.compile(n.Arg)}
+		}
+	}
+	return c.fallback(n)
+}
+
+// toFloat coerces a node of static type t onto the float lane.
+func (c compiler) toFloat(n kNode, t Type) kNode {
+	if t == TFloat {
+		return n
+	}
+	return &kCastFloat{c: n}
+}
+
+// ---- leaf nodes ----
+
+type kCol struct {
+	idx int
+	t   Type
+	out Vec
+}
+
+func (k *kCol) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	col, ok := src.ColVec(k.idx)
+	if !ok {
+		return nil, ErrNotVectorizable
+	}
+	if sel == nil {
+		return col, nil
+	}
+	k.out.reset(k.t, n)
+	switch k.t {
+	case TInt, TDate:
+		for j, si := range sel {
+			k.out.I[j] = col.I[si]
+		}
+	case TFloat:
+		for j, si := range sel {
+			k.out.F[j] = col.F[si]
+		}
+	case TString:
+		for j, si := range sel {
+			k.out.S[j] = col.S[si]
+		}
+	case TBool:
+		for j, si := range sel {
+			if col.B.Get(int(si)) {
+				k.out.B.Set(j)
+			}
+		}
+	}
+	if col.Null != nil {
+		var nulls Bitmap
+		for j, si := range sel {
+			if col.Null.Get(int(si)) {
+				if nulls == nil {
+					nulls = k.out.ensureNull()
+				}
+				nulls.Set(j)
+			}
+		}
+	}
+	return &k.out, nil
+}
+
+type kConst struct {
+	v      Value
+	out    Vec
+	filled int
+}
+
+func (k *kConst) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	if n > k.filled {
+		t := k.v.T
+		if k.v.IsNull() {
+			t = TNull
+		}
+		k.out.reset(t, n)
+		k.out.NullT = k.v.T
+		if k.v.IsNull() {
+			nulls := k.out.ensureNull()
+			for w := range nulls {
+				nulls[w] = ^uint64(0)
+			}
+		} else {
+			switch t {
+			case TInt, TDate:
+				for i := range k.out.I {
+					k.out.I[i] = k.v.I
+				}
+			case TFloat:
+				for i := range k.out.F {
+					k.out.F[i] = k.v.F
+				}
+			case TString:
+				for i := range k.out.S {
+					k.out.S[i] = k.v.S
+				}
+			case TBool:
+				if k.v.I != 0 {
+					for w := range k.out.B {
+						k.out.B[w] = ^uint64(0)
+					}
+				}
+			}
+		}
+		k.filled = n
+		return &k.out, nil
+	}
+	// Storage already broadcast wide enough: narrow the view.
+	k.out.N = n
+	switch k.out.T {
+	case TInt, TDate:
+		k.out.I = k.out.I[:n]
+	case TFloat:
+		k.out.F = k.out.F[:n]
+	case TString:
+		k.out.S = k.out.S[:n]
+	}
+	return &k.out, nil
+}
+
+// ---- cast nodes ----
+
+type kCastFloat struct {
+	c   kNode
+	out Vec
+}
+
+func (k *kCastFloat) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	cv, err := k.c.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TFloat, n)
+	switch cv.T {
+	case TInt, TDate:
+		for i := 0; i < n; i++ {
+			k.out.F[i] = float64(cv.I[i])
+		}
+	case TBool:
+		// reset reuses the lane without zeroing: write every slot.
+		for i := 0; i < n; i++ {
+			if cv.B.Get(i) {
+				k.out.F[i] = 1
+			} else {
+				k.out.F[i] = 0
+			}
+		}
+	case TFloat:
+		copy(k.out.F, cv.F)
+	}
+	k.out.Null = cv.Null
+	return &k.out, nil
+}
+
+type kCastInt struct {
+	c   kNode
+	out Vec
+}
+
+func (k *kCastInt) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	cv, err := k.c.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TInt, n)
+	switch cv.T {
+	case TBool:
+		// reset reuses the lane without zeroing: write every slot.
+		for i := 0; i < n; i++ {
+			if cv.B.Get(i) {
+				k.out.I[i] = 1
+			} else {
+				k.out.I[i] = 0
+			}
+		}
+	case TInt, TDate:
+		copy(k.out.I, cv.I)
+	}
+	k.out.Null = cv.Null
+	return &k.out, nil
+}
+
+// ---- comparison ----
+
+type kCmp struct {
+	op   CmpOp
+	lane Type // TInt (integer space), TFloat, TString
+	l, r kNode
+	out  Vec
+}
+
+func (k *kCmp) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	lv, err := k.l.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := k.r.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TBool, n)
+	switch k.lane {
+	case TInt:
+		cmpSetBits(k.op, lv.I[:n], rv.I[:n], k.out.B)
+	case TFloat:
+		cmpSetBits(k.op, lv.F[:n], rv.F[:n], k.out.B)
+	case TString:
+		cmpSetBits(k.op, lv.S[:n], rv.S[:n], k.out.B)
+	}
+	unionNulls(&k.out, lv.Null, rv.Null)
+	return &k.out, nil
+}
+
+// cmpSetBits sets out bit i when a[i] op b[i]. Every operator is spelled
+// with < and > only so that float comparisons reproduce Value.Compare
+// exactly: NaN is neither less nor greater than anything, so it compares
+// "equal" to everything, as the interpreter's three-way compare does.
+func cmpSetBits[T int64 | float64 | string](op CmpOp, a, b []T, out Bitmap) {
+	switch op {
+	case EQ:
+		for i := range a {
+			if !(a[i] < b[i]) && !(a[i] > b[i]) {
+				out.Set(i)
+			}
+		}
+	case NE:
+		for i := range a {
+			if a[i] < b[i] || a[i] > b[i] {
+				out.Set(i)
+			}
+		}
+	case LT:
+		for i := range a {
+			if a[i] < b[i] {
+				out.Set(i)
+			}
+		}
+	case LE:
+		for i := range a {
+			if !(a[i] > b[i]) {
+				out.Set(i)
+			}
+		}
+	case GT:
+		for i := range a {
+			if a[i] > b[i] {
+				out.Set(i)
+			}
+		}
+	case GE:
+		for i := range a {
+			if !(a[i] < b[i]) {
+				out.Set(i)
+			}
+		}
+	}
+}
+
+// unionNulls ORs a|b into dst.Null, preserving null bits dst already
+// set (e.g. division by zero). Both nil leaves dst.Null untouched.
+func unionNulls(dst *Vec, a, b Bitmap) {
+	if a == nil && b == nil {
+		return
+	}
+	nulls := dst.ensureNull()
+	for w := range nulls {
+		nulls[w] |= a.word(w) | b.word(w)
+	}
+}
+
+// ---- three-valued logic ----
+
+type kAnd struct {
+	l, r kNode
+	out  Vec
+}
+
+func (k *kAnd) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	lv, err := k.l.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := k.r.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TBool, n)
+	nw := bitmapWords(n)
+	if lv.Null == nil && rv.Null == nil {
+		for w := 0; w < nw; w++ {
+			k.out.B[w] = lv.B[w] & rv.B[w]
+		}
+		return &k.out, nil
+	}
+	nulls := k.out.ensureNull()
+	for w := 0; w < nw; w++ {
+		ln, rn := lv.Null.word(w), rv.Null.word(w)
+		lt, rt := lv.B[w]&^ln, rv.B[w]&^rn
+		lf, rf := ^lv.B[w]&^ln, ^rv.B[w]&^rn
+		k.out.B[w] = lt & rt
+		nulls[w] = (ln | rn) &^ (lf | rf)
+	}
+	return &k.out, nil
+}
+
+type kOr struct {
+	l, r kNode
+	out  Vec
+}
+
+func (k *kOr) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	lv, err := k.l.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := k.r.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TBool, n)
+	nw := bitmapWords(n)
+	if lv.Null == nil && rv.Null == nil {
+		for w := 0; w < nw; w++ {
+			k.out.B[w] = lv.B[w] | rv.B[w]
+		}
+		return &k.out, nil
+	}
+	nulls := k.out.ensureNull()
+	for w := 0; w < nw; w++ {
+		ln, rn := lv.Null.word(w), rv.Null.word(w)
+		lt, rt := lv.B[w]&^ln, rv.B[w]&^rn
+		k.out.B[w] = lt | rt
+		nulls[w] = (ln | rn) &^ (lt | rt)
+	}
+	return &k.out, nil
+}
+
+type kNot struct {
+	c   kNode
+	out Vec
+}
+
+func (k *kNot) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	cv, err := k.c.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TBool, n)
+	nw := bitmapWords(n)
+	for w := 0; w < nw; w++ {
+		k.out.B[w] = ^cv.B[w] &^ cv.Null.word(w)
+	}
+	k.out.Null = cv.Null
+	return &k.out, nil
+}
+
+// ---- arithmetic ----
+
+type kArith struct {
+	op      ArithOp
+	intLane bool
+	l, r    kNode
+	out     Vec
+}
+
+func (k *kArith) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	lv, err := k.l.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := k.r.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	if k.intLane {
+		k.out.reset(TInt, n)
+		a, b := lv.I[:n], rv.I[:n]
+		switch k.op {
+		case Add:
+			for i := range a {
+				k.out.I[i] = a[i] + b[i]
+			}
+		case Sub:
+			for i := range a {
+				k.out.I[i] = a[i] - b[i]
+			}
+		case Mul:
+			for i := range a {
+				k.out.I[i] = a[i] * b[i]
+			}
+		}
+	} else {
+		k.out.reset(TFloat, n)
+		a, b := lv.F[:n], rv.F[:n]
+		switch k.op {
+		case Add:
+			for i := range a {
+				k.out.F[i] = a[i] + b[i]
+			}
+		case Sub:
+			for i := range a {
+				k.out.F[i] = a[i] - b[i]
+			}
+		case Mul:
+			for i := range a {
+				k.out.F[i] = a[i] * b[i]
+			}
+		case Div:
+			var nulls Bitmap
+			for i := range a {
+				if b[i] == 0 {
+					if nulls == nil {
+						nulls = k.out.ensureNull()
+					}
+					nulls.Set(i)
+					continue
+				}
+				k.out.F[i] = a[i] / b[i]
+			}
+		}
+	}
+	// NULL results of arithmetic are float-typed, even on the int lane.
+	unionNulls(&k.out, lv.Null, rv.Null)
+	k.out.NullT = TFloat
+	return &k.out, nil
+}
+
+// ---- range, membership, pattern, null tests ----
+
+type kBetween struct {
+	c                kNode
+	lane             Type
+	loFloat, hiFloat bool
+	loI, hiI         int64
+	loF, hiF         float64
+	loS, hiS         string
+	out              Vec
+}
+
+func (k *kBetween) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	cv, err := k.c.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TBool, n)
+	switch k.lane {
+	case TInt:
+		for i := 0; i < n; i++ {
+			v := cv.I[i]
+			ok := true
+			if k.loFloat {
+				ok = !(float64(v) < k.loF)
+			} else {
+				ok = v >= k.loI
+			}
+			if ok {
+				if k.hiFloat {
+					ok = !(float64(v) > k.hiF)
+				} else {
+					ok = v <= k.hiI
+				}
+			}
+			if ok {
+				k.out.B.Set(i)
+			}
+		}
+	case TFloat:
+		for i := 0; i < n; i++ {
+			v := cv.F[i]
+			if !(v < k.loF) && !(v > k.hiF) {
+				k.out.B.Set(i)
+			}
+		}
+	case TString:
+		for i := 0; i < n; i++ {
+			v := cv.S[i]
+			if v >= k.loS && v <= k.hiS {
+				k.out.B.Set(i)
+			}
+		}
+	}
+	k.out.Null = cv.Null
+	return &k.out, nil
+}
+
+type kIn struct {
+	c        kNode
+	negated  bool
+	lane     Type
+	intItems []int64
+	fItems   []float64
+	sItems   []string
+	out      Vec
+}
+
+func (k *kIn) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	cv, err := k.c.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TBool, n)
+	switch k.lane {
+	case TInt, TDate:
+		for i := 0; i < n; i++ {
+			v := cv.I[i]
+			found := false
+			for _, it := range k.intItems {
+				if v == it {
+					found = true
+					break
+				}
+			}
+			if !found && len(k.fItems) > 0 {
+				fv := float64(v)
+				for _, it := range k.fItems {
+					if !(fv < it) && !(fv > it) {
+						found = true
+						break
+					}
+				}
+			}
+			if found != k.negated {
+				k.out.B.Set(i)
+			}
+		}
+	case TFloat:
+		for i := 0; i < n; i++ {
+			v := cv.F[i]
+			found := false
+			for _, it := range k.fItems {
+				if !(v < it) && !(v > it) {
+					found = true
+					break
+				}
+			}
+			if found != k.negated {
+				k.out.B.Set(i)
+			}
+		}
+	case TString:
+		for i := 0; i < n; i++ {
+			v := cv.S[i]
+			found := false
+			for _, it := range k.sItems {
+				if v == it {
+					found = true
+					break
+				}
+			}
+			if found != k.negated {
+				k.out.B.Set(i)
+			}
+		}
+	}
+	k.out.Null = cv.Null
+	return &k.out, nil
+}
+
+type likeMode int
+
+const (
+	likeExact likeMode = iota
+	likePrefix
+	likeSuffix
+	likeContains
+	likeGeneral
+)
+
+type kLike struct {
+	c       kNode
+	negated bool
+	mode    likeMode
+	needle  string
+	pattern string
+	out     Vec
+}
+
+// newKLike classifies the pattern so the common shapes (exact, "abc%",
+// "%abc", "%abc%") run as plain string operations instead of the general
+// wildcard matcher.
+func newKLike(child kNode, pattern string, negated bool) *kLike {
+	k := &kLike{c: child, negated: negated, pattern: pattern, mode: likeGeneral}
+	plain := func(s string) bool { return !strings.ContainsAny(s, "%_") }
+	switch {
+	case plain(pattern):
+		k.mode, k.needle = likeExact, pattern
+	case len(pattern) >= 2 && pattern[0] == '%' && pattern[len(pattern)-1] == '%' &&
+		plain(pattern[1:len(pattern)-1]):
+		k.mode, k.needle = likeContains, pattern[1:len(pattern)-1]
+	case pattern[0] == '%' && plain(pattern[1:]):
+		k.mode, k.needle = likeSuffix, pattern[1:]
+	case pattern[len(pattern)-1] == '%' && plain(pattern[:len(pattern)-1]):
+		k.mode, k.needle = likePrefix, pattern[:len(pattern)-1]
+	}
+	return k
+}
+
+func (k *kLike) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	cv, err := k.c.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TBool, n)
+	for i := 0; i < n; i++ {
+		var m bool
+		switch k.mode {
+		case likeExact:
+			m = cv.S[i] == k.needle
+		case likePrefix:
+			m = strings.HasPrefix(cv.S[i], k.needle)
+		case likeSuffix:
+			m = strings.HasSuffix(cv.S[i], k.needle)
+		case likeContains:
+			m = strings.Contains(cv.S[i], k.needle)
+		default:
+			m = MatchLike(cv.S[i], k.pattern)
+		}
+		if m != k.negated {
+			k.out.B.Set(i)
+		}
+	}
+	k.out.Null = cv.Null
+	return &k.out, nil
+}
+
+type kIsNull struct {
+	c       kNode
+	negated bool
+	out     Vec
+}
+
+func (k *kIsNull) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	cv, err := k.c.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TBool, n)
+	nw := bitmapWords(n)
+	for w := 0; w < nw; w++ {
+		if k.negated {
+			k.out.B[w] = ^cv.Null.word(w)
+		} else {
+			k.out.B[w] = cv.Null.word(w)
+		}
+	}
+	return &k.out, nil
+}
+
+// ---- scalar calls ----
+
+type kCall struct {
+	fn  ScalarFn
+	c   kNode
+	out Vec
+}
+
+func (k *kCall) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	cv, err := k.c.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	switch k.fn {
+	case FnAbs:
+		if cv.T == TFloat {
+			k.out.reset(TFloat, n)
+			for i := 0; i < n; i++ {
+				f := cv.F[i]
+				if f < 0 {
+					f = -f
+				}
+				k.out.F[i] = f
+			}
+		} else {
+			k.out.reset(TInt, n)
+			for i := 0; i < n; i++ {
+				v := cv.I[i]
+				if v < 0 {
+					v = -v
+				}
+				k.out.I[i] = v
+			}
+		}
+	case FnYear:
+		k.out.reset(TInt, n)
+		for i := 0; i < n; i++ {
+			y, _, _ := civilFromDays(cv.I[i])
+			k.out.I[i] = y
+		}
+	case FnMonth:
+		k.out.reset(TInt, n)
+		for i := 0; i < n; i++ {
+			_, m, _ := civilFromDays(cv.I[i])
+			k.out.I[i] = int64(m)
+		}
+	case FnDay:
+		k.out.reset(TInt, n)
+		for i := 0; i < n; i++ {
+			_, _, d := civilFromDays(cv.I[i])
+			k.out.I[i] = int64(d)
+		}
+	}
+	// Scalar calls produce int-typed NULLs for every function.
+	k.out.Null = cv.Null
+	k.out.NullT = TInt
+	return &k.out, nil
+}
+
+// civilFromDays converts days since 1970-01-01 to a proleptic Gregorian
+// (year, month, day), matching time.Time's calendar for the full range
+// the interpreter's epoch.AddDate can represent.
+func civilFromDays(z int64) (y int64, m, d int) {
+	z += 719468
+	era := z / 146097
+	if z < 0 && z%146097 != 0 {
+		era--
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y = yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		y++
+	}
+	return
+}
+
+// ---- constant-NULL and fallback nodes ----
+
+// kAllNull evaluates its children (so evaluation errors still surface in
+// tree order) and produces an all-NULL vector: a comparison, arithmetic
+// or predicate with a statically NULL operand is NULL on every row.
+type kAllNull struct {
+	children []kNode
+	t        Type
+	out      Vec
+}
+
+func (k *kAllNull) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	for _, c := range k.children {
+		if _, err := c.eval(src, sel, n); err != nil {
+			return nil, err
+		}
+	}
+	k.out.reset(k.t, n)
+	k.out.NullT = k.t
+	nulls := k.out.ensureNull()
+	for w := range nulls {
+		nulls[w] = ^uint64(0)
+	}
+	return &k.out, nil
+}
+
+// kFallback evaluates an unsupported subtree with the row interpreter.
+// Results must stay within the node's static type; a stray value turns
+// the whole batch over to the interpreter via ErrNotVectorizable.
+type kFallback struct {
+	e   Expr
+	t   Type
+	out Vec
+}
+
+func (k *kFallback) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	k.out.reset(k.t, n)
+	var nulls Bitmap
+	for j := 0; j < n; j++ {
+		ri := j
+		if sel != nil {
+			ri = int(sel[j])
+		}
+		v, err := Eval(k.e, src.Row(ri))
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			if nulls == nil {
+				nulls = k.out.ensureNull()
+			}
+			nulls.Set(j)
+			continue
+		}
+		if v.T != k.t {
+			return nil, ErrNotVectorizable
+		}
+		switch k.t {
+		case TInt, TDate:
+			k.out.I[j] = v.I
+		case TFloat:
+			k.out.F[j] = v.F
+		case TString:
+			k.out.S[j] = v.S
+		case TBool:
+			if v.I != 0 {
+				k.out.B.Set(j)
+			}
+		}
+	}
+	return &k.out, nil
+}

@@ -1,0 +1,416 @@
+package expr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sliceSource adapts a plain row slice to the VecSource interface,
+// building column vectors lazily like the executor's batch source does.
+type sliceSource struct {
+	rows  []Row
+	types []Type
+	vecs  []*Vec
+	state []int8 // 0 unknown, 1 built, 2 not lane-pure
+}
+
+func (s *sliceSource) ColVec(idx int) (*Vec, bool) {
+	if idx < 0 || idx >= len(s.types) {
+		return nil, false
+	}
+	if s.vecs == nil {
+		s.vecs = make([]*Vec, len(s.types))
+		s.state = make([]int8, len(s.types))
+	}
+	switch s.state[idx] {
+	case 1:
+		return s.vecs[idx], true
+	case 2:
+		return nil, false
+	}
+	v := &Vec{}
+	if !BuildColVec(s.rows, idx, s.types[idx], v) {
+		s.state[idx] = 2
+		return nil, false
+	}
+	s.vecs[idx] = v
+	s.state[idx] = 1
+	return v, true
+}
+
+func (s *sliceSource) Row(i int) Row { return s.rows[i] }
+func (s *sliceSource) Len() int      { return len(s.rows) }
+
+// valuesIdentical compares values structurally, with floats compared by
+// bit pattern so NaN payloads and signed zeros must coincide too.
+func valuesIdentical(a, b Value) bool {
+	return a.T == b.T && a.Null == b.Null && a.I == b.I && a.S == b.S &&
+		math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
+var parityStrings = []string{"", "a", "abc", "bcd", "aabc", "zzz", "abcabc", "BRASS", "xbry"}
+
+var parityPatterns = []string{"abc", "%b%", "a%", "%c", "%", "a_c", "_b_", "", "%ab%c%", "%BRASS", "ab%"}
+
+func genValue(rng *rand.Rand, t Type) Value {
+	if rng.Intn(10) == 0 {
+		if rng.Intn(2) == 0 {
+			return NullValue()
+		}
+		return TypedNull(t)
+	}
+	switch t {
+	case TInt:
+		return NewInt(int64(rng.Intn(20) - 10))
+	case TFloat:
+		switch rng.Intn(12) {
+		case 0:
+			return NewFloat(0)
+		case 1:
+			return NewFloat(math.Copysign(0, -1))
+		case 2:
+			return NewFloat(math.NaN())
+		case 3:
+			return NewFloat(math.Inf(1))
+		default:
+			return NewFloat(float64(rng.Intn(200)-100) / 4)
+		}
+	case TString:
+		return NewString(parityStrings[rng.Intn(len(parityStrings))])
+	case TBool:
+		return NewBool(rng.Intn(2) == 0)
+	case TDate:
+		return NewDate(int64(rng.Intn(100000) - 50000))
+	}
+	return NullValue()
+}
+
+func genRows(rng *rand.Rand, types []Type, n int, impure bool) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		r := make(Row, len(types))
+		for j, t := range types {
+			if impure && rng.Intn(40) == 0 {
+				// Break lane purity with a value of a different type.
+				other := Type(1 + rng.Intn(5))
+				r[j] = genValue(rng, other)
+			} else {
+				r[j] = genValue(rng, t)
+			}
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// exprGen builds random bound expressions over a column schema.
+type exprGen struct {
+	rng   *rand.Rand
+	types []Type
+}
+
+func (g *exprGen) col() Expr {
+	i := g.rng.Intn(len(g.types))
+	return &Col{Table: "t", Name: fmt.Sprintf("c%d", i), Index: i}
+}
+
+func (g *exprGen) leaf() Expr {
+	if g.rng.Intn(2) == 0 {
+		return g.col()
+	}
+	t := Type(1 + g.rng.Intn(5))
+	return NewConst(genValue(g.rng, t))
+}
+
+func (g *exprGen) anyExpr(d int) Expr {
+	if d <= 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		return NewArith(ArithOp(g.rng.Intn(4)), g.anyExpr(d-1), g.anyExpr(d-1))
+	case 2:
+		return NewCall(ScalarFn(g.rng.Intn(4)), g.anyExpr(d-1))
+	case 3:
+		whens := []When{{Cond: g.boolExpr(d - 1), Result: g.anyExpr(d - 1)}}
+		var els Expr
+		if g.rng.Intn(2) == 0 {
+			els = g.anyExpr(d - 1)
+		}
+		return NewCase(whens, els)
+	case 4, 5, 6:
+		return g.boolExpr(d)
+	}
+	return g.leaf()
+}
+
+func (g *exprGen) boolExpr(d int) Expr {
+	if d <= 0 {
+		return NewCmp(EQ, g.leaf(), g.leaf())
+	}
+	switch g.rng.Intn(9) {
+	case 0, 1:
+		return NewCmp(CmpOp(g.rng.Intn(6)), g.anyExpr(d-1), g.anyExpr(d-1))
+	case 2:
+		return NewAnd(g.boolExpr(d-1), g.boolExpr(d-1))
+	case 3:
+		return NewOr(g.boolExpr(d-1), g.boolExpr(d-1))
+	case 4:
+		return NewNot(g.boolExpr(d - 1))
+	case 5:
+		l := &Like{E: g.anyExpr(d - 1), Pattern: parityPatterns[g.rng.Intn(len(parityPatterns))],
+			Negated: g.rng.Intn(2) == 0}
+		return l
+	case 6:
+		list := make([]Value, g.rng.Intn(4))
+		for i := range list {
+			list[i] = genValue(g.rng, Type(1+g.rng.Intn(5)))
+		}
+		return &In{E: g.anyExpr(d - 1), List: list, Negated: g.rng.Intn(2) == 0}
+	case 7:
+		t := Type(1 + g.rng.Intn(5))
+		return NewBetween(g.anyExpr(d-1), genValue(g.rng, t), genValue(g.rng, t))
+	}
+	return &IsNull{E: g.anyExpr(d - 1), Negated: g.rng.Intn(2) == 0}
+}
+
+// checkKernelParity generates a random schema, batch and expressions from
+// the seed and requires kernel evaluation to agree with the interpreter
+// on every value and every null bit.
+func checkKernelParity(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nCols := 1 + rng.Intn(5)
+	types := make([]Type, nCols)
+	for i := range types {
+		types[i] = Type(1 + rng.Intn(5))
+	}
+	n := rng.Intn(150)
+	impure := rng.Intn(8) == 0
+	rows := genRows(rng, types, n, impure)
+	g := &exprGen{rng: rng, types: types}
+
+	for round := 0; round < 6; round++ {
+		e := g.anyExpr(3)
+		kern, ok := Compile(e, types)
+		if ok {
+			src := &sliceSource{rows: rows, types: types}
+			vec, err := kern.EvalVec(src, nil)
+			var iErr error
+			want := make([]Value, len(rows))
+			for i, r := range rows {
+				v, verr := Eval(e, r)
+				if verr != nil {
+					iErr = verr
+					break
+				}
+				want[i] = v
+			}
+			switch {
+			case errors.Is(err, ErrNotVectorizable):
+				// Batch not lane-pure: the caller re-runs the interpreter.
+			case iErr != nil:
+				if err == nil {
+					t.Fatalf("seed %d: interpreter failed (%v) but kernel succeeded for %s", seed, iErr, e)
+				}
+			case err != nil:
+				// Kernels evaluate eagerly, so they may surface an error the
+				// interpreter's short-circuit evaluation skipped. Acceptable.
+			default:
+				for i := range rows {
+					got := vec.Value(i)
+					if !valuesIdentical(got, want[i]) {
+						t.Fatalf("seed %d row %d: kernel %#v, interpreter %#v for %s",
+							seed, i, got, want[i], e)
+					}
+					if gk, wk := vec.AppendKeyAt(nil, i), AppendKey(nil, want[i]); !bytes.Equal(gk, wk) {
+						t.Fatalf("seed %d row %d: key encodings differ (%x vs %x) for %s",
+							seed, i, gk, wk, e)
+					}
+					if gh, wh := vec.HashAt(i), want[i].Hash(); gh != wh {
+						t.Fatalf("seed %d row %d: hash %d vs %d for %s", seed, i, gh, wh, e)
+					}
+				}
+			}
+		}
+
+		p := g.boolExpr(3)
+		pk, ok := CompilePred(p, types)
+		if !ok {
+			continue
+		}
+		var want []int32
+		interpOK := true
+		for i, r := range rows {
+			keep, verr := EvalBool(p, r)
+			if verr != nil {
+				interpOK = false
+				break
+			}
+			if keep {
+				want = append(want, int32(i))
+			}
+		}
+		if !interpOK {
+			continue
+		}
+		src := &sliceSource{rows: rows, types: types}
+		got, err := pk.Select(src, nil, make([]int32, len(rows)))
+		if err != nil {
+			// Lane-impure batch or an eagerly-surfaced error; the engine
+			// falls back to the interpreter in both cases.
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: Select kept %d rows, interpreter %d for %s", seed, len(got), len(want), p)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: Select row %d = %d, want %d for %s", seed, i, got[i], want[i], p)
+			}
+		}
+		// Selection-vector input: filtering a subset must equal the
+		// subset-filtered interpreter verdicts, compacted in place.
+		if len(rows) > 1 {
+			var sub []int32
+			for i := range rows {
+				if rng.Intn(2) == 0 {
+					sub = append(sub, int32(i))
+				}
+			}
+			var wantSub []int32
+			for _, si := range sub {
+				keep, verr := EvalBool(p, rows[si])
+				if verr == nil && keep {
+					wantSub = append(wantSub, si)
+				}
+			}
+			src2 := &sliceSource{rows: rows, types: types}
+			// The copy must stay non-nil when the subset is empty: a
+			// nil selection means "all rows", an empty one means none.
+			subCopy := make([]int32, len(sub))
+			copy(subCopy, sub)
+			gotSub, err := pk.Select(src2, subCopy, nil)
+			if err != nil {
+				continue
+			}
+			if len(gotSub) != len(wantSub) {
+				t.Logf("sub=%v", sub)
+				t.Logf("gotSub=%v", gotSub)
+				t.Logf("wantSub=%v", wantSub)
+				for _, si := range sub {
+					v, verr := Eval(p, rows[si])
+					t.Logf("row %d: %v (err %v) row=%v", si, v, verr, rows[si])
+				}
+				t.Fatalf("seed %d: subset Select kept %d rows, want %d for %s",
+					seed, len(gotSub), len(wantSub), p)
+			}
+			for i := range gotSub {
+				if gotSub[i] != wantSub[i] {
+					t.Fatalf("seed %d: subset Select row %d = %d, want %d for %s",
+						seed, i, gotSub[i], wantSub[i], p)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelParityRandom runs the parity check over a fixed spread of
+// seeds on every test run; FuzzKernelParity explores further.
+func TestKernelParityRandom(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		checkKernelParity(t, seed)
+	}
+}
+
+// FuzzKernelParity is the satellite fuzz target: kernel and interpreter
+// must agree (value and null-ness) on randomized expressions & batches.
+func FuzzKernelParity(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkKernelParity(t, seed)
+	})
+}
+
+// TestKernelKleeneLogic pins the three-valued logic tables through the
+// kernel path: NULL AND FALSE = FALSE, NULL OR TRUE = TRUE, etc.
+func TestKernelKleeneLogic(t *testing.T) {
+	types := []Type{TBool, TBool}
+	rows := []Row{
+		{NewBool(true), NewBool(true)},
+		{NewBool(true), NewBool(false)},
+		{NewBool(true), TypedNull(TBool)},
+		{NewBool(false), NewBool(false)},
+		{NewBool(false), TypedNull(TBool)},
+		{TypedNull(TBool), TypedNull(TBool)},
+	}
+	a := &Col{Name: "a", Index: 0}
+	b := &Col{Name: "b", Index: 1}
+	for _, e := range []Expr{NewAnd(a, b), NewOr(a, b), NewNot(a)} {
+		kern, ok := Compile(e, types)
+		if !ok {
+			t.Fatalf("Compile(%s) not vectorized", e)
+		}
+		src := &sliceSource{rows: rows, types: types}
+		vec, err := kern.EvalVec(src, nil)
+		if err != nil {
+			t.Fatalf("EvalVec(%s): %v", e, err)
+		}
+		for i, r := range rows {
+			want, err := Eval(e, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := vec.Value(i); !valuesIdentical(got, want) {
+				t.Fatalf("%s row %d: kernel %#v, interpreter %#v", e, i, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelFallbackImpureBatch checks that a batch holding values
+// outside the declared column type reports ErrNotVectorizable instead
+// of producing wrong results.
+func TestKernelFallbackImpureBatch(t *testing.T) {
+	types := []Type{TInt}
+	rows := []Row{{NewInt(1)}, {NewString("oops")}, {NewInt(3)}}
+	e := NewCmp(GT, &Col{Name: "c0", Index: 0}, NewConst(NewInt(1)))
+	kern, ok := Compile(e, types)
+	if !ok {
+		t.Fatal("Compile not vectorized")
+	}
+	src := &sliceSource{rows: rows, types: types}
+	if _, err := kern.EvalVec(src, nil); !errors.Is(err, ErrNotVectorizable) {
+		t.Fatalf("EvalVec error = %v, want ErrNotVectorizable", err)
+	}
+}
+
+// TestKernelDivisionByZero pins x/0 -> NULL through the kernel.
+func TestKernelDivisionByZero(t *testing.T) {
+	types := []Type{TFloat, TFloat}
+	rows := []Row{{NewFloat(4), NewFloat(2)}, {NewFloat(4), NewFloat(0)}, {NewFloat(4), NewFloat(math.Copysign(0, -1))}}
+	e := NewArith(Div, &Col{Name: "a", Index: 0}, &Col{Name: "b", Index: 1})
+	kern, ok := Compile(e, types)
+	if !ok {
+		t.Fatal("Compile not vectorized")
+	}
+	src := &sliceSource{rows: rows, types: types}
+	vec, err := kern.EvalVec(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vec.Value(0); !valuesIdentical(got, NewFloat(2)) {
+		t.Fatalf("4/2 = %#v", got)
+	}
+	for i := 1; i < 3; i++ {
+		if got := vec.Value(i); !valuesIdentical(got, TypedNull(TFloat)) {
+			t.Fatalf("4/0 row %d = %#v, want NULL::float", i, got)
+		}
+	}
+}

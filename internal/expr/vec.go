@@ -1,0 +1,169 @@
+package expr
+
+// Columnar value vectors. A Vec is the column-at-a-time counterpart of a
+// Row slice: one typed lane (int64/float64/string/bool) plus a null
+// bitmap. Vectors are the currency of the compiled expression kernels
+// (see compile.go); the executor builds them lazily from row batches and
+// caches them per batch so a filter and the projection behind it share
+// one row-to-column conversion.
+
+// Bitmap is a fixed-size bitset backed by 64-bit words. Bits beyond the
+// logical length may hold garbage; all readers index individual bits.
+type Bitmap []uint64
+
+// bitmapWords returns the number of words needed for n bits.
+func bitmapWords(n int) int { return (n + 63) / 64 }
+
+// Get reports bit i.
+func (b Bitmap) Get(i int) bool { return b[i>>6]>>(uint(i)&63)&1 != 0 }
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// grow returns a zeroed bitmap with capacity for n bits, reusing the
+// receiver's storage when possible.
+func (b Bitmap) grow(n int) Bitmap {
+	w := bitmapWords(n)
+	if cap(b) < w {
+		return make(Bitmap, w)
+	}
+	b = b[:w]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// word returns word w of the bitmap, treating a nil bitmap as all-zero.
+func (b Bitmap) word(w int) uint64 {
+	if b == nil {
+		return 0
+	}
+	return b[w]
+}
+
+// Vec is a column vector: N values of lane type T. Integer-class values
+// (TInt, TDate) live in I, floats in F, strings in S and booleans in B.
+// Null is nil when no value is null. NullT is the type that materialized
+// NULLs carry (kernels fix it per operator, mirroring the interpreter's
+// TypedNull results); it is only meaningful for computed vectors.
+type Vec struct {
+	T     Type
+	NullT Type
+	N     int
+	I     []int64
+	F     []float64
+	S     []string
+	B     Bitmap
+	Null  Bitmap
+}
+
+// reset prepares the vector to hold n values of lane type t, reusing
+// existing storage. The null bitmap is cleared (nil).
+func (v *Vec) reset(t Type, n int) {
+	v.T = t
+	v.NullT = t
+	v.N = n
+	v.Null = nil
+	switch t {
+	case TInt, TDate:
+		if cap(v.I) < n {
+			v.I = make([]int64, n)
+		} else {
+			v.I = v.I[:n]
+		}
+	case TFloat:
+		if cap(v.F) < n {
+			v.F = make([]float64, n)
+		} else {
+			v.F = v.F[:n]
+		}
+	case TString:
+		if cap(v.S) < n {
+			v.S = make([]string, n)
+		} else {
+			v.S = v.S[:n]
+		}
+	case TBool:
+		v.B = v.B.grow(n)
+	}
+}
+
+// ensureNull makes sure the null bitmap is allocated (and zeroed) for N
+// bits, returning it.
+func (v *Vec) ensureNull() Bitmap {
+	if v.Null == nil {
+		v.Null = make(Bitmap, bitmapWords(v.N))
+	}
+	return v.Null
+}
+
+// IsNullAt reports whether value i is NULL.
+func (v *Vec) IsNullAt(i int) bool { return v.Null != nil && v.Null.Get(i) }
+
+// Value materializes element i. NULLs come back as TypedNull(NullT),
+// matching what the row interpreter would have produced for the operator
+// that computed the vector.
+func (v *Vec) Value(i int) Value {
+	if v.IsNullAt(i) {
+		if v.NullT == TNull {
+			return NullValue()
+		}
+		return TypedNull(v.NullT)
+	}
+	switch v.T {
+	case TInt:
+		return NewInt(v.I[i])
+	case TDate:
+		return NewDate(v.I[i])
+	case TFloat:
+		return NewFloat(v.F[i])
+	case TString:
+		return NewString(v.S[i])
+	case TBool:
+		return NewBool(v.B.Get(i))
+	}
+	return NullValue()
+}
+
+// BuildColVec converts column idx of rows into a vector with declared
+// lane type t. It reports false when the column is not lane-pure: some
+// row is too narrow, or a non-NULL value's runtime type differs from t.
+// NULL values of any type set the null bit (their payload is ignored by
+// every kernel). Callers fall back to the row interpreter for the whole
+// batch when conversion fails.
+func BuildColVec(rows []Row, idx int, t Type, v *Vec) bool {
+	n := len(rows)
+	v.reset(t, n)
+	v.NullT = t
+	var nulls Bitmap
+	for i, r := range rows {
+		if idx < 0 || idx >= len(r) {
+			return false
+		}
+		val := r[idx]
+		if val.IsNull() {
+			if nulls == nil {
+				nulls = v.ensureNull()
+			}
+			nulls.Set(i)
+			continue
+		}
+		if val.T != t {
+			return false
+		}
+		switch t {
+		case TInt, TDate:
+			v.I[i] = val.I
+		case TFloat:
+			v.F[i] = val.F
+		case TString:
+			v.S[i] = val.S
+		case TBool:
+			if val.I != 0 {
+				v.B.Set(i)
+			}
+		}
+	}
+	return true
+}

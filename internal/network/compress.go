@@ -1,0 +1,117 @@
+package network
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// A small snappy-style LZ byte compressor for wire frame bodies. The
+// stream is a sequence of ops:
+//
+//	0x00  uvarint len, then len literal bytes
+//	0x01  uvarint distance, uvarint length — copy length bytes from
+//	      distance back in the output (may overlap)
+//
+// prefixed by the uvarint length of the decompressed data. Matching is
+// greedy over a hash of 4-byte windows, so compression is deterministic
+// — identical bodies always produce identical frames, which the ledger
+// parity between the engines depends on.
+
+const (
+	lzMinMatch = 4
+	lzHashBits = 14
+)
+
+func lzHash(u uint32) uint32 {
+	return (u * 2654435761) >> (32 - lzHashBits)
+}
+
+func lzLoad32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// lzCompress appends the compressed form of src to dst.
+func lzCompress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	var table [1 << lzHashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	emitLiterals := func(from, to int) {
+		if to <= from {
+			return
+		}
+		dst = append(dst, 0x00)
+		dst = binary.AppendUvarint(dst, uint64(to-from))
+		dst = append(dst, src[from:to]...)
+	}
+	litStart := 0
+	i := 0
+	for i+lzMinMatch <= len(src) {
+		h := lzHash(lzLoad32(src, i))
+		cand := int(table[h])
+		table[h] = int32(i)
+		if cand < 0 || lzLoad32(src, cand) != lzLoad32(src, i) {
+			i++
+			continue
+		}
+		length := lzMinMatch
+		for i+length < len(src) && src[cand+length] == src[i+length] {
+			length++
+		}
+		emitLiterals(litStart, i)
+		dst = append(dst, 0x01)
+		dst = binary.AppendUvarint(dst, uint64(i-cand))
+		dst = binary.AppendUvarint(dst, uint64(length))
+		i += length
+		litStart = i
+	}
+	emitLiterals(litStart, len(src))
+	return dst
+}
+
+// lzDecompress expands a stream produced by lzCompress.
+func lzDecompress(src []byte) ([]byte, error) {
+	rawLen, n := binary.Uvarint(src)
+	if n <= 0 || rawLen > 1<<30 {
+		return nil, fmt.Errorf("%w: bad lz header", ErrWireCorrupt)
+	}
+	src = src[n:]
+	out := make([]byte, 0, rawLen)
+	for len(src) > 0 {
+		op := src[0]
+		src = src[1:]
+		switch op {
+		case 0x00:
+			l, n := binary.Uvarint(src)
+			if n <= 0 || uint64(len(src)-n) < l {
+				return nil, fmt.Errorf("%w: bad lz literal", ErrWireCorrupt)
+			}
+			out = append(out, src[n:n+int(l)]...)
+			src = src[n+int(l):]
+		case 0x01:
+			d, nd := binary.Uvarint(src)
+			if nd <= 0 {
+				return nil, fmt.Errorf("%w: bad lz match", ErrWireCorrupt)
+			}
+			l, nl := binary.Uvarint(src[nd:])
+			if nl <= 0 {
+				return nil, fmt.Errorf("%w: bad lz match", ErrWireCorrupt)
+			}
+			src = src[nd+nl:]
+			if d == 0 || uint64(len(out)) < d || uint64(len(out))+l > rawLen {
+				return nil, fmt.Errorf("%w: lz match out of range", ErrWireCorrupt)
+			}
+			from := len(out) - int(d)
+			for j := 0; j < int(l); j++ {
+				out = append(out, out[from+j])
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown lz op %#x", ErrWireCorrupt, op)
+		}
+	}
+	if uint64(len(out)) != rawLen {
+		return nil, fmt.Errorf("%w: lz length mismatch", ErrWireCorrupt)
+	}
+	return out, nil
+}

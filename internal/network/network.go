@@ -23,6 +23,10 @@ type CostModel struct {
 	alpha map[string]float64 // "from>to" -> startup ms
 	beta  map[string]float64 // "from>to" -> ms per byte
 
+	// byteScale converts optimizer size estimates into expected wire
+	// bytes (see EstShipCost); 0 means the neutral 1.
+	byteScale float64
+
 	// Defaults apply to unknown edges. Single-writer: assign them
 	// before the model is shared across goroutines.
 	DefaultAlpha float64
@@ -82,6 +86,36 @@ func (m *CostModel) ShipCost(from, to string, bytes float64) float64 {
 		return 0
 	}
 	return m.Alpha(from, to) + m.Beta(from, to)*bytes
+}
+
+// SetByteScale installs the calibrated wire-bytes-per-estimated-byte
+// ratio used by EstShipCost. Zero or negative resets to the neutral 1.
+func (m *CostModel) SetByteScale(s float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s <= 0 {
+		s = 1
+	}
+	m.byteScale = s
+}
+
+// ByteScale returns the calibrated estimate scale (1 when never set).
+func (m *CostModel) ByteScale() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.byteScale == 0 {
+		return 1
+	}
+	return m.byteScale
+}
+
+// EstShipCost prices a transfer whose size is an optimizer estimate
+// (rows × schema widths) rather than measured wire bytes: the estimate
+// is scaled by the calibrated encoding ratio first. With no calibration
+// applied this is exactly ShipCost, so plan choices (and their golden
+// snapshots) only move when a calibration is installed deliberately.
+func (m *CostModel) EstShipCost(from, to string, bytes float64) float64 {
+	return m.ShipCost(from, to, bytes*m.ByteScale())
 }
 
 // FiveRegionWAN builds a deterministic wide-area profile for up to five

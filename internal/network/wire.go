@@ -1,0 +1,567 @@
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"cgdqp/internal/expr"
+)
+
+// Wire format. A shipped batch travels as one self-delimiting frame:
+//
+//	byte    magic (0xC6)
+//	byte    version (1)
+//	byte    flags (bit0: body is lz-compressed)
+//	uvarint body length in bytes
+//	body
+//
+// The body (after decompression when flagged) is columnar:
+//
+//	uvarint row count
+//	uvarint column count
+//	column*
+//
+// Each column starts with a tag byte and a flag byte. The tag names the
+// lane of the non-NULL values (colInt, colFloat, colString, colBool,
+// colDate), colAllNull for a column with no non-NULL values, or
+// colMixed when the rows disagree on a value's runtime type (then every
+// value carries its own tag and the column is self-describing). Flags:
+// bit0 — the column has NULLs, in which case a NULL-type byte (the type
+// tag NULL values carry, 0 for untyped NULL) and a bit-packed validity
+// bitmap (1 = NULL) follow; bit1 — string data is dictionary-encoded.
+//
+// Lane payloads store non-NULL values only, in row order: zig-zag
+// varints for ints and dates, 8-byte little-endian IEEE floats,
+// bit-packed booleans (a full n-bit map, NULL slots zero), and strings
+// either plain (uvarint length + bytes each) or as a first-appearance
+// dictionary (uvarint entry count, entries, then one uvarint index per
+// value). The dictionary is abandoned for plain encoding when it grows
+// past wireDictMax distinct entries or past 3/4 of the value count —
+// at that point it would cost more than it saves.
+//
+// Decoding reconstructs each expr.Value exactly — type, NULL-ness and
+// payload — so a decoded batch is indistinguishable from the encoded
+// one; both engines rely on that for bit-identical results and ledger
+// parity.
+
+const (
+	wireMagic   = 0xC6
+	wireVersion = 1
+
+	wireFlagCompressed = 0x01
+
+	colAllNull = 0x00
+	colInt     = byte(expr.TInt)
+	colFloat   = byte(expr.TFloat)
+	colString  = byte(expr.TString)
+	colBool    = byte(expr.TBool)
+	colDate    = byte(expr.TDate)
+	colMixed   = 0x0F
+
+	colFlagNulls = 0x01
+	colFlagDict  = 0x02
+
+	// wireDictMax caps the string dictionary; past it the column is
+	// re-encoded plain. Kept small enough that a dictionary always fits
+	// comfortably in one frame.
+	wireDictMax = 4096
+)
+
+// ErrWireCorrupt reports a frame that does not parse.
+var ErrWireCorrupt = errors.New("network: corrupt wire frame")
+
+// WireOptions configures batch encoding.
+type WireOptions struct {
+	// Compress runs the frame body through the built-in LZ compressor
+	// when it shrinks the body.
+	Compress bool
+}
+
+// WireEncoder encodes row batches into wire frames, reusing its buffers
+// across calls. Not safe for concurrent use; each shipping operator
+// owns one.
+type WireEncoder struct {
+	Opt  WireOptions
+	buf  []byte
+	body []byte
+	dict map[string]int
+}
+
+// Encode serializes the batch into a frame. The returned slice is valid
+// until the next Encode call on this encoder.
+func (e *WireEncoder) Encode(rows []expr.Row) []byte {
+	e.body = appendBody(e.body[:0], rows, e)
+	e.buf = append(e.buf[:0], wireMagic, wireVersion)
+	if e.Opt.Compress {
+		compressed := lzCompress(nil, e.body)
+		if len(compressed) < len(e.body) {
+			e.buf = append(e.buf, wireFlagCompressed)
+			e.buf = binary.AppendUvarint(e.buf, uint64(len(compressed)))
+			return append(e.buf, compressed...)
+		}
+	}
+	e.buf = append(e.buf, 0)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(e.body)))
+	return append(e.buf, e.body...)
+}
+
+// EncodeBatch serializes one batch with a throwaway encoder and returns
+// a fresh buffer.
+func EncodeBatch(rows []expr.Row, opt WireOptions) []byte {
+	e := WireEncoder{Opt: opt}
+	return append([]byte(nil), e.Encode(rows)...)
+}
+
+// appendBody appends the uncompressed columnar body.
+func appendBody(dst []byte, rows []expr.Row, e *WireEncoder) []byte {
+	nCols := 0
+	for _, r := range rows {
+		if len(r) > nCols {
+			nCols = len(r)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	dst = binary.AppendUvarint(dst, uint64(nCols))
+	for c := 0; c < nCols; c++ {
+		dst = appendColumn(dst, rows, c, e)
+	}
+	return dst
+}
+
+// colShape classifies column c: the shared lane of the non-NULL values
+// (0 if there are none), the shared type tag of the NULLs, and whether
+// the column is lane-pure at all. A row too short to reach the column
+// contributes an untyped NULL.
+func colShape(rows []expr.Row, c int) (lane, nullT byte, hasNulls, pure bool) {
+	nullT = 0xFF // unset
+	for _, r := range rows {
+		var v expr.Value
+		if c < len(r) {
+			v = r[c]
+		} else {
+			v = expr.NullValue()
+		}
+		if v.IsNull() {
+			hasNulls = true
+			if nullT == 0xFF {
+				nullT = byte(v.T)
+			} else if nullT != byte(v.T) {
+				return 0, 0, true, false
+			}
+			continue
+		}
+		if lane == 0 {
+			lane = byte(v.T)
+		} else if lane != byte(v.T) {
+			return 0, 0, hasNulls, false
+		}
+	}
+	if nullT == 0xFF {
+		nullT = 0
+	}
+	return lane, nullT, hasNulls, true
+}
+
+func colValue(rows []expr.Row, i, c int) expr.Value {
+	if c < len(rows[i]) {
+		return rows[i][c]
+	}
+	return expr.NullValue()
+}
+
+func appendColumn(dst []byte, rows []expr.Row, c int, e *WireEncoder) []byte {
+	lane, nullT, hasNulls, pure := colShape(rows, c)
+	if !pure {
+		return appendMixedColumn(dst, rows, c)
+	}
+	tag := lane
+	if lane == 0 {
+		tag = colAllNull
+	}
+	flags := byte(0)
+	if hasNulls {
+		flags |= colFlagNulls
+	}
+	var dict []string
+	var dictIdx []int
+	if lane == colString {
+		dict, dictIdx = buildDict(rows, c, e)
+		if dict != nil {
+			flags |= colFlagDict
+		}
+	}
+	dst = append(dst, tag, flags)
+	if hasNulls {
+		dst = append(dst, nullT)
+		dst = appendNullBitmap(dst, rows, c)
+	}
+	switch lane {
+	case 0:
+		// All-NULL: the bitmap says it all.
+	case colInt, colDate:
+		for i := range rows {
+			if v := colValue(rows, i, c); !v.IsNull() {
+				dst = appendZigzag(dst, v.I)
+			}
+		}
+	case colFloat:
+		for i := range rows {
+			if v := colValue(rows, i, c); !v.IsNull() {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+			}
+		}
+	case colBool:
+		dst = appendBoolBits(dst, rows, c)
+	case colString:
+		if dict != nil {
+			dst = binary.AppendUvarint(dst, uint64(len(dict)))
+			for _, s := range dict {
+				dst = binary.AppendUvarint(dst, uint64(len(s)))
+				dst = append(dst, s...)
+			}
+			for _, ix := range dictIdx {
+				dst = binary.AppendUvarint(dst, uint64(ix))
+			}
+		} else {
+			for i := range rows {
+				if v := colValue(rows, i, c); !v.IsNull() {
+					dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+					dst = append(dst, v.S...)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// buildDict collects the column's distinct strings in first-appearance
+// order and the per-value indexes. It returns (nil, nil) when the
+// dictionary overflows wireDictMax or exceeds 3/4 of the value count —
+// then plain encoding is cheaper.
+func buildDict(rows []expr.Row, c int, e *WireEncoder) ([]string, []int) {
+	if e.dict == nil {
+		e.dict = make(map[string]int)
+	} else {
+		clear(e.dict)
+	}
+	var dict []string
+	var idx []int
+	for i := range rows {
+		v := colValue(rows, i, c)
+		if v.IsNull() {
+			continue
+		}
+		ix, ok := e.dict[v.S]
+		if !ok {
+			ix = len(dict)
+			if ix >= wireDictMax {
+				return nil, nil
+			}
+			e.dict[v.S] = ix
+			dict = append(dict, v.S)
+		}
+		idx = append(idx, ix)
+	}
+	if len(idx) > 0 && len(dict)*4 > len(idx)*3 {
+		return nil, nil
+	}
+	return dict, idx
+}
+
+func appendNullBitmap(dst []byte, rows []expr.Row, c int) []byte {
+	n := len(rows)
+	start := len(dst)
+	dst = append(dst, make([]byte, (n+7)/8)...)
+	for i := range rows {
+		if colValue(rows, i, c).IsNull() {
+			dst[start+i/8] |= 1 << uint(i%8)
+		}
+	}
+	return dst
+}
+
+func appendBoolBits(dst []byte, rows []expr.Row, c int) []byte {
+	n := len(rows)
+	start := len(dst)
+	dst = append(dst, make([]byte, (n+7)/8)...)
+	for i := range rows {
+		if v := colValue(rows, i, c); !v.IsNull() && v.I != 0 {
+			dst[start+i/8] |= 1 << uint(i%8)
+		}
+	}
+	return dst
+}
+
+// appendMixedColumn writes one self-describing value per row:
+// byte (0x80|typeTag for NULL of that type, plain tag otherwise), then
+// the payload for non-NULLs.
+func appendMixedColumn(dst []byte, rows []expr.Row, c int) []byte {
+	dst = append(dst, colMixed, 0)
+	for i := range rows {
+		v := colValue(rows, i, c)
+		if v.IsNull() {
+			dst = append(dst, 0x80|byte(v.T))
+			continue
+		}
+		dst = append(dst, byte(v.T))
+		switch v.T {
+		case expr.TInt, expr.TDate:
+			dst = appendZigzag(dst, v.I)
+		case expr.TFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case expr.TString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		case expr.TBool:
+			b := byte(0)
+			if v.I != 0 {
+				b = 1
+			}
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+// ---- decoding ----
+
+type wireReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = ErrWireCorrupt
+	}
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil || r.pos >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) zigzag() int64 {
+	u := r.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (r *wireReader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.pos+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) float() float64 {
+	b := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// DecodeBatch parses one frame produced by Encode and returns the rows.
+func DecodeBatch(frame []byte) ([]expr.Row, error) {
+	if len(frame) < 3 || frame[0] != wireMagic || frame[1] != wireVersion {
+		return nil, ErrWireCorrupt
+	}
+	flags := frame[2]
+	bodyLen, n := binary.Uvarint(frame[3:])
+	if n <= 0 {
+		return nil, ErrWireCorrupt
+	}
+	body := frame[3+n:]
+	if uint64(len(body)) != bodyLen {
+		return nil, ErrWireCorrupt
+	}
+	if flags&wireFlagCompressed != 0 {
+		raw, err := lzDecompress(body)
+		if err != nil {
+			return nil, err
+		}
+		body = raw
+	}
+	r := &wireReader{b: body}
+	nRows := int(r.uvarint())
+	nCols := int(r.uvarint())
+	if r.err != nil || nRows < 0 || nCols < 0 || nRows > 1<<24 || nCols > 1<<16 {
+		return nil, ErrWireCorrupt
+	}
+	cells := make([]expr.Value, nRows*nCols)
+	rows := make([]expr.Row, nRows)
+	for i := range rows {
+		rows[i] = cells[i*nCols : (i+1)*nCols : (i+1)*nCols]
+	}
+	for c := 0; c < nCols; c++ {
+		if err := decodeColumn(r, rows, c, nRows); err != nil {
+			return nil, err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWireCorrupt, len(r.b)-r.pos)
+	}
+	return rows, nil
+}
+
+func decodeColumn(r *wireReader, rows []expr.Row, c, n int) error {
+	tag := r.byte()
+	flags := r.byte()
+	if r.err != nil {
+		return r.err
+	}
+	if tag == colMixed {
+		return decodeMixedColumn(r, rows, c, n)
+	}
+	var nulls []byte
+	nullV := expr.NullValue()
+	if flags&colFlagNulls != 0 {
+		nt := r.byte()
+		if nt != 0 {
+			nullV = expr.TypedNull(expr.Type(nt))
+		}
+		nulls = r.bytes((n + 7) / 8)
+	}
+	isNull := func(i int) bool {
+		return nulls != nil && nulls[i/8]&(1<<uint(i%8)) != 0
+	}
+	switch tag {
+	case colAllNull:
+		for i := 0; i < n; i++ {
+			rows[i][c] = nullV
+		}
+	case colInt, colDate:
+		t := expr.Type(tag)
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				rows[i][c] = nullV
+				continue
+			}
+			v := r.zigzag()
+			if t == expr.TDate {
+				rows[i][c] = expr.NewDate(v)
+			} else {
+				rows[i][c] = expr.NewInt(v)
+			}
+		}
+	case colFloat:
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				rows[i][c] = nullV
+				continue
+			}
+			rows[i][c] = expr.NewFloat(r.float())
+		}
+	case colBool:
+		bits := r.bytes((n + 7) / 8)
+		if r.err != nil {
+			return r.err
+		}
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				rows[i][c] = nullV
+				continue
+			}
+			rows[i][c] = expr.NewBool(bits[i/8]&(1<<uint(i%8)) != 0)
+		}
+	case colString:
+		if flags&colFlagDict != 0 {
+			dn := int(r.uvarint())
+			if r.err != nil || dn < 0 || dn > wireDictMax {
+				r.fail()
+				return r.err
+			}
+			dict := make([]string, dn)
+			for j := range dict {
+				dict[j] = string(r.bytes(int(r.uvarint())))
+			}
+			for i := 0; i < n; i++ {
+				if isNull(i) {
+					rows[i][c] = nullV
+					continue
+				}
+				ix := int(r.uvarint())
+				if r.err != nil || ix >= dn {
+					r.fail()
+					return r.err
+				}
+				rows[i][c] = expr.NewString(dict[ix])
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if isNull(i) {
+					rows[i][c] = nullV
+					continue
+				}
+				rows[i][c] = expr.NewString(string(r.bytes(int(r.uvarint()))))
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown column tag %#x", ErrWireCorrupt, tag)
+	}
+	return r.err
+}
+
+func decodeMixedColumn(r *wireReader, rows []expr.Row, c, n int) error {
+	for i := 0; i < n; i++ {
+		vt := r.byte()
+		if r.err != nil {
+			return r.err
+		}
+		if vt&0x80 != 0 {
+			t := expr.Type(vt &^ 0x80)
+			if t == expr.TNull {
+				rows[i][c] = expr.NullValue()
+			} else {
+				rows[i][c] = expr.TypedNull(t)
+			}
+			continue
+		}
+		switch expr.Type(vt) {
+		case expr.TInt:
+			rows[i][c] = expr.NewInt(r.zigzag())
+		case expr.TDate:
+			rows[i][c] = expr.NewDate(r.zigzag())
+		case expr.TFloat:
+			rows[i][c] = expr.NewFloat(r.float())
+		case expr.TString:
+			rows[i][c] = expr.NewString(string(r.bytes(int(r.uvarint()))))
+		case expr.TBool:
+			rows[i][c] = expr.NewBool(r.byte() != 0)
+		default:
+			return fmt.Errorf("%w: unknown value tag %#x", ErrWireCorrupt, vt)
+		}
+	}
+	return r.err
+}

@@ -452,7 +452,7 @@ func greedySelectSites(root *plan.Node, net *network.CostModel, resultLoc string
 		for _, l := range cands {
 			c := 0.0
 			for i, child := range n.Children {
-				c += net.ShipCost(childLocs[i], l, child.Card*child.RowWidth())
+				c += net.EstShipCost(childLocs[i], l, child.Card*child.RowWidth())
 			}
 			if bestCost < 0 || c < bestCost {
 				bestCost, bestLoc = c, l
