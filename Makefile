@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs ./internal/sched ./internal/expr
+	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs ./internal/sched ./internal/expr ./internal/rescache
 
 benchsmoke:
 	$(GO) test -run NONE -bench Optimize -benchtime 1x .

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -25,7 +26,9 @@ import (
 	"cgdqp/internal/executor"
 	"cgdqp/internal/network"
 	"cgdqp/internal/optimizer"
+	"cgdqp/internal/plan"
 	"cgdqp/internal/policy"
+	"cgdqp/internal/rescache"
 	"cgdqp/internal/sched"
 	"cgdqp/internal/tpch"
 )
@@ -56,6 +59,21 @@ type schedBenchReport struct {
 	OverloadCompleted  int64   `json:"overload_completed"`
 	OverloadRejected   int64   `json:"overload_rejected"`
 	RejectedTyped      bool    `json:"overload_rejections_typed"`
+	// Rescache: result-cache effectiveness through the server — cold
+	// (every request executes) vs warm (every request hits) p50 latency
+	// for the same query mix, and the hit ratio under a Zipf-skewed
+	// request stream. The warm path must be at least 10x faster at p50;
+	// the report test enforces it.
+	Rescache schedBenchRescache `json:"rescache"`
+}
+
+type schedBenchRescache struct {
+	ColdP50MS    float64 `json:"cold_p50_ms"`
+	WarmP50MS    float64 `json:"warm_p50_ms"`
+	WarmSpeedup  float64 `json:"warm_speedup"`
+	ZipfRequests int64   `json:"zipf_requests"`
+	ZipfHits     int64   `json:"zipf_hits"`
+	ZipfHitRatio float64 `json:"zipf_hit_ratio"`
 }
 
 // TestSchedBenchReport is skipped unless -bench-report is given (it is
@@ -243,6 +261,92 @@ func TestSchedBenchReport(t *testing.T) {
 	}
 	t.Logf("overload at %.1f q/s offered: %d completed, %d rejected (typed=%v)",
 		offered, report.OverloadCompleted, report.OverloadRejected, report.RejectedTyped)
+
+	// Result cache: one cache-backed server; no data or policy churn, so
+	// the view's epochs are constant and every warm request is a hit.
+	rc := rescache.New(64 << 20)
+	view := rescache.View{
+		DataEpoch:   cl.DataEpoch,
+		PolicyEpoch: func() uint64 { return 0 },
+		Recheck:     func(*plan.Node) bool { return true },
+	}
+	rcSrv := sched.NewServer(opt, cl, nil, sched.Options{
+		MaxConcurrent: maxConc,
+		QueueDepth:    32,
+		ResultCache:   rc,
+		CacheView:     view,
+	})
+	defer rcSrv.Close()
+	doOne := func(name string) (time.Duration, bool, error) {
+		t0 := time.Now()
+		resp, err := rcSrv.Do(context.Background(), tpch.Queries[name])
+		d := time.Since(t0)
+		if err != nil {
+			return d, false, err
+		}
+		if err := verify(name, renderRows(resp.Rows)); err != nil {
+			return d, false, err
+		}
+		return d, resp.CacheHit, nil
+	}
+	const rcRounds = 8
+	var coldLats, warmLats []time.Duration
+	for round := 0; round < rcRounds; round++ {
+		rc.Purge()
+		for _, name := range names {
+			d, hit, err := doOne(name)
+			if err != nil {
+				t.Fatalf("rescache cold %s: %v", name, err)
+			}
+			if hit {
+				t.Fatalf("rescache cold %s: hit from a purged cache", name)
+			}
+			coldLats = append(coldLats, d)
+		}
+	}
+	// The last cold round left every query cached: warm rounds must hit.
+	for round := 0; round < rcRounds; round++ {
+		for _, name := range names {
+			d, hit, err := doOne(name)
+			if err != nil {
+				t.Fatalf("rescache warm %s: %v", name, err)
+			}
+			if !hit {
+				t.Fatalf("rescache warm %s: not served from cache", name)
+			}
+			warmLats = append(warmLats, d)
+		}
+	}
+	report.Rescache.ColdP50MS = pctMS(coldLats, 0.50)
+	report.Rescache.WarmP50MS = pctMS(warmLats, 0.50)
+	if report.Rescache.WarmP50MS > 0 {
+		report.Rescache.WarmSpeedup = report.Rescache.ColdP50MS / report.Rescache.WarmP50MS
+	}
+	if report.Rescache.WarmP50MS*10 > report.Rescache.ColdP50MS {
+		t.Errorf("warm p50 %.3fms is not >=10x faster than cold p50 %.3fms",
+			report.Rescache.WarmP50MS, report.Rescache.ColdP50MS)
+	}
+
+	// Zipf-skewed stream: a fixed-seed rank-skewed mix (s=1.3) over the
+	// query set; the hit ratio comes from the cache's own counters.
+	rc.Purge()
+	statsBefore := rc.Stats()
+	zr := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(zr, 1.3, 1, uint64(len(names)-1))
+	const zipfRequests = 300
+	for i := 0; i < zipfRequests; i++ {
+		name := names[int(zipf.Uint64())]
+		if _, _, err := doOne(name); err != nil {
+			t.Fatalf("rescache zipf %s: %v", name, err)
+		}
+	}
+	statsAfter := rc.Stats()
+	report.Rescache.ZipfRequests = zipfRequests
+	report.Rescache.ZipfHits = statsAfter.Hits - statsBefore.Hits
+	report.Rescache.ZipfHitRatio = float64(report.Rescache.ZipfHits) / float64(zipfRequests)
+	t.Logf("rescache: cold p50 %.2fms vs warm p50 %.3fms (%.0fx); zipf hit ratio %.2f over %d requests",
+		report.Rescache.ColdP50MS, report.Rescache.WarmP50MS, report.Rescache.WarmSpeedup,
+		report.Rescache.ZipfHitRatio, report.Rescache.ZipfRequests)
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/executor"
@@ -39,6 +40,7 @@ import (
 	"cgdqp/internal/optimizer"
 	"cgdqp/internal/plan"
 	"cgdqp/internal/policy"
+	"cgdqp/internal/rescache"
 	"cgdqp/internal/sched"
 	"cgdqp/internal/schema"
 	"cgdqp/internal/sqlparse"
@@ -164,6 +166,16 @@ type Options struct {
 	// frames shipped between sites; the ledger, β·bytes costs and
 	// shipping metrics then price the compressed bytes.
 	WireCompress bool
+	// ResultCacheBytes enables the compliance-aware result-set cache,
+	// bounded to this many bytes of estimated result payload (LRU).
+	// Repeated queries whose consumed tables have not been reloaded and
+	// whose result provenance the current policies still permit are
+	// served from cached results — rows, RunStats and audit records
+	// byte-identical to a fresh run; any load into a consumed table or
+	// any policy change invalidates precisely the affected entries (see
+	// package rescache). Servers from Serve share the cache and coalesce
+	// concurrent identical executions onto one run. 0 disables caching.
+	ResultCacheBytes int64
 }
 
 // Observability handle types re-exported for embedders.
@@ -189,6 +201,15 @@ type System struct {
 	// obsv bundles the sinks enabled by Options.Trace/Metrics/Audit
 	// (nil when all are off, which keeps execution hooks free).
 	obsv *obs.Observer
+
+	// rcache is the result-set cache (nil unless Options.ResultCacheBytes).
+	rcache *rescache.Cache
+	// policyEpoch counts policy-catalog changes (grants added or
+	// removed); the result cache rechecks provenance whenever it moves.
+	policyEpoch atomic.Uint64
+	// policySeq issues unique policy IDs; it never decreases, so a
+	// removed policy's ID is not reissued.
+	policySeq int
 }
 
 // NewSystem creates an empty system with default options.
@@ -211,6 +232,12 @@ func NewSystemWith(opts Options) *System {
 		}
 		if opts.Audit {
 			s.obsv.Audit = obs.NewAuditLog()
+		}
+	}
+	if opts.ResultCacheBytes > 0 {
+		s.rcache = rescache.New(opts.ResultCacheBytes)
+		if s.obsv != nil {
+			s.rcache.SetMetrics(s.obsv.Metrics)
 		}
 	}
 	return s
@@ -276,7 +303,6 @@ func (s *System) SetColumnStats(table, column string, distinct int64, min, max V
 // from the expression's qualified table ("db-1.customer") or, for
 // unqualified tables, from the schema catalog.
 func (s *System) AddPolicy(expression string) error {
-	s.invalidate()
 	stmt, err := sqlparse.ParsePolicy(expression)
 	if err != nil {
 		return err
@@ -289,11 +315,16 @@ func (s *System) AddPolicy(expression string) error {
 		}
 		db = t.DB()
 	}
-	e, err := policy.FromStmt(stmt, fmt.Sprintf("p%d", s.Policies.Len()+1), db)
+	if n := s.Policies.Len(); s.policySeq < n {
+		s.policySeq = n
+	}
+	e, err := policy.FromStmt(stmt, fmt.Sprintf("p%d", s.policySeq+1), db)
 	if err != nil {
 		return err
 	}
+	s.policySeq++
 	s.Policies.Add(e)
+	s.policiesChanged()
 	return nil
 }
 
@@ -312,7 +343,6 @@ func (s *System) MustAddPolicy(expression string) {
 // one call, after every location is known (i.e. after all tables are
 // defined).
 func (s *System) AddDenyPolicies(table string, expressions ...string) error {
-	s.invalidate()
 	t, ok := s.Schema.Table(table)
 	if !ok {
 		return fmt.Errorf("cgdqp: unknown table %q", table)
@@ -334,8 +364,44 @@ func (s *System) AddDenyPolicies(table string, expressions ...string) error {
 		return err
 	}
 	s.Policies.AddAll(grants...)
+	s.policiesChanged()
 	return nil
 }
+
+// RemovePolicy revokes a registered policy expression by ID (the "p1",
+// "p2", … IDs AddPolicy assigns in order, or a deny-compiled grant's
+// generated ID — see PolicyIDs), reporting whether one was removed.
+// Revocation tightens compliance: plans and cached results derived
+// while the grant was in force are invalidated, and a query whose only
+// compliant plan depended on it fails with ErrNoCompliantPlan
+// afterwards.
+func (s *System) RemovePolicy(id string) bool {
+	ok := s.Policies.Remove(id)
+	if ok {
+		s.policiesChanged()
+	}
+	return ok
+}
+
+// PolicyIDs returns the IDs of the registered policy expressions,
+// sorted (use with RemovePolicy).
+func (s *System) PolicyIDs() []string { return s.Policies.IDs() }
+
+// policiesChanged invalidates policy-derived caches after a catalog
+// change. The optimizer itself is kept — its evaluator's epoch bump
+// flushes the policy memoization and makes every cached plan's key
+// stale in O(1) — so servers started by Serve (which hold the
+// optimizer) observe the change immediately. The result cache rechecks
+// entry provenance against the new catalog on next use.
+func (s *System) policiesChanged() {
+	s.policyEpoch.Add(1)
+	if s.opt != nil {
+		s.opt.Evaluator.ResetCache()
+	}
+}
+
+// PolicyEpoch returns the number of policy-catalog changes so far.
+func (s *System) PolicyEpoch() uint64 { return s.policyEpoch.Load() }
 
 // PolicyList returns the registered policy expressions in surface
 // syntax, grouped by database.
@@ -406,8 +472,54 @@ func (s *System) network() *network.CostModel {
 	return s.Net
 }
 
-// invalidate drops derived state after schema/policy changes.
+// invalidate drops the optimizer after schema or statistics changes —
+// those can alter locations, descriptors and costs, so the memo,
+// evaluator universe and plan cache are rebuilt from scratch. Policy
+// changes deliberately do NOT come through here (see policiesChanged):
+// nil-ing the optimizer would strand servers holding the old one with a
+// stale evaluator, the missed-invalidation gap the epoch regression
+// tests pin down.
 func (s *System) invalidate() { s.opt = nil }
+
+// resCacheView builds the validity oracles the result cache consults:
+// cluster data epochs, the system policy epoch, and a provenance
+// recheck that re-validates a cached plan against Definition 1 under
+// the current policy catalog.
+func (s *System) resCacheView() rescache.View {
+	return rescache.View{
+		DataEpoch:   s.Cluster().DataEpoch,
+		PolicyEpoch: s.policyEpoch.Load,
+		Recheck: func(located *plan.Node) bool {
+			return len(s.Optimizer().Check(located)) == 0
+		},
+	}
+}
+
+// execFP fingerprints the execution options that change observable
+// statistics; engine choice and kernel mode are deliberately excluded
+// because both engines and both expression paths produce identical
+// rows, RunStats and audit logs (the conformance suite pins this), so
+// their executions share cache entries.
+func (s *System) execFP() string {
+	if s.opts.WireCompress {
+		return "wc"
+	}
+	return ""
+}
+
+// ResultCacheStats reports the result cache's effectiveness. Always
+// safe to call: with the cache disabled it returns the zero value.
+func (s *System) ResultCacheStats() rescache.Stats {
+	if s.rcache == nil {
+		return rescache.Stats{}
+	}
+	return s.rcache.Stats()
+}
+
+// ResultCache exposes the result cache (nil unless
+// Options.ResultCacheBytes), e.g. to share it with a hand-built
+// sched.Server or purge it.
+func (s *System) ResultCache() *rescache.Cache { return s.rcache }
 
 // Calibrator accumulates wire-encoding and shipment samples during
 // execution and back-fits the cost model (re-exported from network).
@@ -517,6 +629,11 @@ type Result struct {
 	// Retries counts send attempts the shipping layer had to repeat
 	// under an installed fault plan (0 in fault-free runs).
 	Retries int64
+	// Cached marks a result served from the result cache without
+	// executing: rows are a private copy, and the shipping statistics
+	// and replayed audit records are those of the execution that filled
+	// the entry (byte-identical to a fresh run).
+	Cached bool
 }
 
 // Query optimizes and executes a SQL query over the loaded data,
@@ -552,6 +669,39 @@ func (s *System) query(ctx context.Context, sql string, o *obs.Observer) (*Resul
 		s.countQuery("error")
 		return nil, nil, err
 	}
+	// The result cache sits between optimize and execute. EXPLAIN
+	// ANALYZE runs bypass it: their point is per-operator actuals from a
+	// real execution.
+	var fill *rescache.Fill
+	var view rescache.View
+	useCache := s.rcache != nil && o.Prof() == nil
+	if useCache {
+		view = s.resCacheView()
+		fill = rescache.Prepare(p.Root, s.execFP(), view)
+		if r, ok := s.rcache.Get(fill.Key, view); ok {
+			if sink := o.AuditSink(); sink != nil {
+				for _, rec := range r.Audit {
+					sink.Record(rec)
+				}
+			}
+			s.countQuery("ok")
+			return &Result{
+				Plan:         p,
+				Rows:         r.Rows,
+				Columns:      p.Columns,
+				ShippedBytes: r.Stats.ShippedBytes,
+				ShipCost:     r.Stats.ShipCost,
+				Retries:      r.Stats.Retries,
+				Cached:       true,
+			}, o.Prof(), nil
+		}
+	}
+	runObs := o
+	var capture *obs.AuditLog
+	if useCache && o.AuditSink() != nil {
+		capture = obs.NewAuditLog()
+		runObs = o.WithAudit(capture)
+	}
 	var rows []Row
 	var stats *executor.RunStats
 	eo := executor.ExecOptions{
@@ -559,13 +709,24 @@ func (s *System) query(ctx context.Context, sql string, o *obs.Observer) (*Resul
 		Wire:      network.WireOptions{Compress: s.opts.WireCompress},
 	}
 	if s.opts.Parallel {
-		rows, stats, err = executor.RunParallelOpts(ctx, p.Root, s.Cluster(), o, eo)
+		rows, stats, err = executor.RunParallelOpts(ctx, p.Root, s.Cluster(), runObs, eo)
 	} else {
-		rows, stats, err = executor.RunObservedOpts(ctx, p.Root, s.Cluster(), o, eo)
+		rows, stats, err = executor.RunObservedOpts(ctx, p.Root, s.Cluster(), runObs, eo)
 	}
 	if err != nil {
 		s.countQuery("error")
 		return nil, nil, err
+	}
+	if useCache {
+		var recs []AuditRecord
+		if capture != nil {
+			recs = capture.Records()
+			sink := o.AuditSink()
+			for _, rec := range recs {
+				sink.Record(rec)
+			}
+		}
+		s.rcache.Put(fill, rows, p.Columns, *stats, recs, p.EstShipCost)
 	}
 	s.countQuery("ok")
 	return &Result{
@@ -618,6 +779,18 @@ var (
 //	defer srv.Close()
 //	resp, err := srv.Do(ctx, "SELECT ...")
 func (s *System) Serve(opts ServeOptions) *Server {
+	if opts.Exec == nil {
+		eo := executor.ExecOptions{
+			NoKernels: s.opts.NoVectorKernels,
+			Wire:      network.WireOptions{Compress: s.opts.WireCompress},
+		}
+		opts.Exec = &eo
+	}
+	if opts.ResultCache == nil && s.rcache != nil {
+		opts.ResultCache = s.rcache
+		opts.CacheView = s.resCacheView()
+		opts.CacheOptsFP = s.execFP()
+	}
 	return sched.NewServer(s.Optimizer(), s.Cluster(), s.obsv, opts)
 }
 

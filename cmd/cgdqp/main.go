@@ -44,7 +44,9 @@ import (
 	"cgdqp/internal/network"
 	"cgdqp/internal/obs"
 	"cgdqp/internal/optimizer"
+	"cgdqp/internal/plan"
 	"cgdqp/internal/policy"
+	"cgdqp/internal/rescache"
 	"cgdqp/internal/sched"
 	"cgdqp/internal/tpch"
 	"cgdqp/internal/workload"
@@ -83,6 +85,7 @@ func main() {
 	chaosError := flag.Float64("chaos-error", 0.05, "per-send transient-error probability under -chaos-seed")
 	chaosDelay := flag.Float64("chaos-delay", 0.10, "per-send delay probability under -chaos-seed")
 	planCache := flag.Int("plan-cache", optimizer.DefaultPlanCacheSize, "optimized-plan LRU cache size (0 = off); repeated queries skip optimization")
+	resultCache := flag.Int64("result-cache", 64<<20, "result-set cache budget in bytes (0 = off); repeated queries are served from cached results while their tables and policies are unchanged")
 	explainAnalyze := flag.Bool("explain-analyze", false, "execute and print the plan annotated with per-operator actual rows/batches/time")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics to this file at exit (- for stdout)")
 	traceOut := flag.String("trace-out", "", "write query-lifecycle spans as JSON to this file at exit (- for stdout)")
@@ -161,6 +164,24 @@ func main() {
 	})
 	opt.SetObserver(obsv)
 
+	// Result-set cache: repeated queries are served from whole cached
+	// results while every consumed table's data epoch is unchanged (the
+	// CLI policy set is fixed, so the policy epoch never moves; Recheck
+	// still guards against stale provenance defensively).
+	var rcache *rescache.Cache
+	var rcView rescache.View
+	if *resultCache > 0 {
+		rcache = rescache.New(*resultCache)
+		if obsv != nil {
+			rcache.SetMetrics(obsv.Metrics)
+		}
+		rcView = rescache.View{
+			DataEpoch:   cl.DataEpoch,
+			PolicyEpoch: func() uint64 { return 0 },
+			Recheck:     func(p *plan.Node) bool { return len(opt.Check(p)) == 0 },
+		}
+	}
+
 	runOne := func(sql string) {
 		res, err := opt.OptimizeSQL(sql)
 		if err != nil {
@@ -182,9 +203,50 @@ func main() {
 				res.Stats.Eta, res.Stats.ACalls, res.Stats.AHits, cacheNote)
 			return
 		}
+		printResult := func(rows []expr.Row, stats executor.RunStats, cached bool) {
+			for i, r := range rows {
+				if i >= 25 {
+					fmt.Printf("... (%d rows total)\n", len(rows))
+					break
+				}
+				parts := make([]string, len(r))
+				for j, v := range r {
+					parts[j] = v.String()
+				}
+				fmt.Println(strings.Join(parts, " | "))
+			}
+			retryNote := ""
+			if stats.Retries > 0 {
+				retryNote = fmt.Sprintf("; %d send attempt(s) retried", stats.Retries)
+			}
+			cacheNote := ""
+			if cached {
+				cacheNote = " [result cache hit]"
+			}
+			fmt.Printf("-- %d rows; shipped %d bytes across borders (%.2f ms simulated)%s%s\n",
+				stats.RowsOut, stats.ShippedBytes, stats.ShipCost, retryNote, cacheNote)
+		}
+		var fill *rescache.Fill
+		if rcache != nil && !*explainAnalyze {
+			fill = rescache.Prepare(res.Plan, "", rcView)
+			if r, ok := rcache.Get(fill.Key, rcView); ok {
+				if sink := obsv.AuditSink(); sink != nil {
+					for _, rec := range r.Audit {
+						sink.Record(rec)
+					}
+				}
+				printResult(r.Rows, r.Stats, true)
+				return
+			}
+		}
 		qo := obsv
 		if *explainAnalyze {
 			qo = qo.WithProfile(obs.NewPlanProfile())
+		}
+		var capture *obs.AuditLog
+		if fill != nil && obsv.AuditSink() != nil {
+			capture = obs.NewAuditLog()
+			qo = qo.WithAudit(capture)
 		}
 		var rows []expr.Row
 		var stats *executor.RunStats
@@ -205,23 +267,22 @@ func main() {
 			}
 			return
 		}
-		for i, r := range rows {
-			if i >= 25 {
-				fmt.Printf("... (%d rows total)\n", len(rows))
-				break
+		if fill != nil {
+			var recs []obs.AuditRecord
+			if capture != nil {
+				recs = capture.Records()
+				sink := obsv.AuditSink()
+				for _, rec := range recs {
+					sink.Record(rec)
+				}
 			}
-			parts := make([]string, len(r))
-			for j, v := range r {
-				parts[j] = v.String()
+			cols := make([]string, len(res.Plan.Cols))
+			for i, c := range res.Plan.Cols {
+				cols[i] = c.Name
 			}
-			fmt.Println(strings.Join(parts, " | "))
+			rcache.Put(fill, rows, cols, *stats, recs, res.ShipCost)
 		}
-		retryNote := ""
-		if stats.Retries > 0 {
-			retryNote = fmt.Sprintf("; %d send attempt(s) retried", stats.Retries)
-		}
-		fmt.Printf("-- %d rows; shipped %d bytes across borders (%.2f ms simulated)%s\n",
-			stats.RowsOut, stats.ShippedBytes, stats.ShipCost, retryNote)
+		printResult(rows, *stats, false)
 	}
 
 	if *serve {
@@ -230,7 +291,11 @@ func main() {
 			qps:      *qps,
 			clients:  *clients,
 			duration: *duration,
-			opts:     sched.Options{MaxConcurrent: *maxConcurrent, QueueDepth: *queueDepth, SiteSlots: *siteSlots, QueryTimeout: *queryTimeout},
+			opts: sched.Options{
+				MaxConcurrent: *maxConcurrent, QueueDepth: *queueDepth,
+				SiteSlots: *siteSlots, QueryTimeout: *queryTimeout,
+				ResultCache: rcache, CacheView: rcView,
+			},
 		})
 		return
 	}
@@ -420,9 +485,10 @@ func runServe(opt *optimizer.Optimizer, cl *cluster.Cluster, obsv *obs.Observer,
 		return lats[i]
 	}
 	c := srv.Counters()
-	fmt.Printf("completed %d queries in %v (%.1f q/s); rejected %d (queue full), failed %d, cancelled %d, coalesced %d\n",
+	fmt.Printf("completed %d queries in %v (%.1f q/s); rejected %d (queue full), failed %d, cancelled %d, coalesced %d; executed %d, result-cache hits %d (+%d coalesced executions)\n",
 		len(lats), elapsed.Round(time.Millisecond), float64(len(lats))/elapsed.Seconds(),
-		rejected.Load(), failed.Load(), c.Cancelled, c.Coalesced)
+		rejected.Load(), failed.Load(), c.Cancelled, c.Coalesced,
+		c.Executed, c.ResultCacheHits, c.ExecCoalesced)
 	fmt.Printf("latency p50 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
 }

@@ -1,0 +1,264 @@
+package cgdqp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cgdqp/internal/network"
+	"cgdqp/internal/tpch"
+)
+
+// This file is the cross-engine conformance oracle: one table-driven
+// suite that runs every golden TPC-H query across the full execution
+// matrix — {sequential, parallel} × {vector kernels, row interpreter} ×
+// {result cache cold, warm, disabled} — under a sweep of chaos seeds,
+// and requires byte-identical rows, shipping statistics and audit logs
+// against a single fault-free sequential/interpreter reference. Any
+// divergence between engines, expression paths, cache states or fault
+// recoveries is a conformance bug, not an acceptable variation.
+
+// conformOutcome is one observed query execution through the public API.
+type conformOutcome struct {
+	res *Result
+	err error
+}
+
+// runConform executes one query with a deadlock watchdog: a run that
+// neither returns nor errors within the budget fails the suite.
+func runConform(t *testing.T, label string, sys *System, sql string) conformOutcome {
+	t.Helper()
+	done := make(chan conformOutcome, 1)
+	go func() {
+		res, err := sys.Query(sql)
+		done <- conformOutcome{res: res, err: err}
+	}()
+	select {
+	case out := <-done:
+		return out
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%s: execution hung past 60s (deadlock)", label)
+		return conformOutcome{}
+	}
+}
+
+// conformGolden is the fault-free sequential/interpreter reference for
+// one query: canonical rows, shipping statistics and the rendered audit
+// log.
+type conformGolden struct {
+	rows  []string
+	bytes int64
+	cost  float64
+	audit string
+}
+
+// newConformSystem builds a fully loaded TPC-H system for one matrix
+// cell. Each cell gets its own system over identically generated data so
+// cells cannot contaminate each other through shared caches or epochs.
+func newConformSystem(t *testing.T, parallel, interp, cached bool) *System {
+	t.Helper()
+	opts := Options{Parallel: parallel, NoVectorKernels: interp, Audit: true}
+	if cached {
+		opts.ResultCacheBytes = 32 << 20
+	}
+	sys := NewSystemWith(opts)
+	sys.Schema = tpch.NewCatalog(0.001)
+	for _, tab := range sys.Schema.Tables() {
+		sys.MustAddPolicy("ship * from " + tab.Name + " to *")
+	}
+	if err := tpch.Generate(sys.Schema, sys.Cluster()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// conformCompare asserts one successful run against the golden
+// reference. Retries are not part of the contract under faults (they
+// count repeated sends, which depend on the seed); everything else —
+// rows, shipped bytes, shipping cost, the full audit text — must match
+// byte for byte.
+func conformCompare(t *testing.T, label string, out conformOutcome, auditText string, g *conformGolden) {
+	t.Helper()
+	got := renderRows(out.res.Rows)
+	if len(got) != len(g.rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(g.rows))
+	}
+	for i := range g.rows {
+		if got[i] != g.rows[i] {
+			t.Fatalf("%s: row %d differs:\ngot  %s\nwant %s", label, i, got[i], g.rows[i])
+		}
+	}
+	if out.res.ShippedBytes != g.bytes {
+		t.Fatalf("%s: shipped %d bytes, want %d", label, out.res.ShippedBytes, g.bytes)
+	}
+	if out.res.ShipCost != g.cost {
+		t.Fatalf("%s: ship cost %v, want %v", label, out.res.ShipCost, g.cost)
+	}
+	if auditText != g.audit {
+		t.Fatalf("%s: audit log diverges from reference:\ngot:\n%swant:\n%s", label, auditText, g.audit)
+	}
+}
+
+// TestConformanceMatrix is the acceptance oracle of the execution
+// matrix. For every golden TPC-H query, every combination of engine,
+// expression path and cache state, and every chaos seed (seed 0 =
+// fault-free), each run must either succeed byte-identical to the
+// reference or fail with a typed *network.ShipError. Cache-enabled
+// cells additionally pin the warm-hit contract: after a successful cold
+// run the second run is served from the cache with the cold run's exact
+// rows, statistics and replayed audit records.
+func TestConformanceMatrix(t *testing.T) {
+	names := tpch.QueryNames()
+
+	// Golden reference: sequential engine, row interpreter, no cache,
+	// fault-free.
+	ref := newConformSystem(t, false, true, false)
+	goldens := map[string]*conformGolden{}
+	for _, name := range names {
+		ref.AuditLog().Reset()
+		out := runConform(t, "reference/"+name, ref, tpch.Queries[name])
+		if out.err != nil {
+			t.Fatalf("reference %s: %v", name, out.err)
+		}
+		goldens[name] = &conformGolden{
+			rows:  renderRows(out.res.Rows),
+			bytes: out.res.ShippedBytes,
+			cost:  out.res.ShipCost,
+			audit: ref.AuditLog().String(),
+		}
+	}
+
+	seeds := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	retry := network.RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 20 * time.Microsecond,
+		MaxBackoff:  160 * time.Microsecond,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+
+	type combo struct {
+		name             string
+		parallel, interp bool
+		cached           bool
+	}
+	var combos []combo
+	for _, parallel := range []bool{false, true} {
+		for _, interp := range []bool{false, true} {
+			for _, cached := range []bool{false, true} {
+				engine, kern, cache := "seq", "kernels", "off"
+				if parallel {
+					engine = "par"
+				}
+				if interp {
+					kern = "interp"
+				}
+				if cached {
+					cache = "on"
+				}
+				combos = append(combos, combo{
+					name:     fmt.Sprintf("%s/%s/cache=%s", engine, kern, cache),
+					parallel: parallel, interp: interp, cached: cached,
+				})
+			}
+		}
+	}
+
+	recovered, failed, warmHits := 0, 0, 0
+	for _, c := range combos {
+		sys := newConformSystem(t, c.parallel, c.interp, c.cached)
+		cl := sys.Cluster()
+		for _, seed := range seeds {
+			if seed == 0 {
+				cl.SetFaults(nil)
+			} else {
+				cl.SetFaults(NewFaultPlan(seed).SetDefault(EdgeFaults{
+					DropProb:      0.12,
+					TransientProb: 0.06,
+				}))
+				cl.SetRetry(retry)
+			}
+			if c.cached {
+				// Every seed starts cold: entries surviving from the
+				// previous seed would mask the faulted execution path.
+				sys.ResultCache().Purge()
+			}
+			for _, name := range names {
+				g := goldens[name]
+				label := fmt.Sprintf("%s seed=%d %s", c.name, seed, name)
+
+				sys.AuditLog().Reset()
+				cold := runConform(t, label+" cold", sys, tpch.Queries[name])
+				coldAudit := sys.AuditLog().String()
+				if cold.err != nil {
+					var se *network.ShipError
+					if !errors.As(cold.err, &se) {
+						t.Fatalf("%s cold: untyped error: %v", label, cold.err)
+					}
+					failed++
+				} else {
+					if cold.res.Cached {
+						t.Fatalf("%s cold: served from a purged cache", label)
+					}
+					conformCompare(t, label+" cold", cold, coldAudit, g)
+					recovered++
+				}
+
+				sys.AuditLog().Reset()
+				warm := runConform(t, label+" warm", sys, tpch.Queries[name])
+				warmAudit := sys.AuditLog().String()
+				if c.cached && cold.err == nil {
+					// The cold run filled the cache; the warm run must be a
+					// hit regardless of the fault plan (hits do not touch
+					// the WAN) and byte-identical to the cold run.
+					if warm.err != nil {
+						t.Fatalf("%s warm: cache-backed rerun failed: %v", label, warm.err)
+					}
+					if !warm.res.Cached {
+						t.Fatalf("%s warm: not served from cache", label)
+					}
+					if warm.res.ShippedBytes != cold.res.ShippedBytes ||
+						warm.res.ShipCost != cold.res.ShipCost ||
+						warm.res.Retries != cold.res.Retries {
+						t.Fatalf("%s warm: replayed stats diverge from the filling run:\nwarm %+v\ncold %+v",
+							label, warm.res, cold.res)
+					}
+					conformCompare(t, label+" warm", warm, warmAudit, g)
+					warmHits++
+					continue
+				}
+				// Cache disabled (or the cold run failed before filling):
+				// the second run is an independent execution under the same
+				// contract.
+				if warm.err != nil {
+					var se *network.ShipError
+					if !errors.As(warm.err, &se) {
+						t.Fatalf("%s warm: untyped error: %v", label, warm.err)
+					}
+					failed++
+					continue
+				}
+				if !c.cached && warm.res.Cached {
+					t.Fatalf("%s warm: cache hit with the cache disabled", label)
+				}
+				conformCompare(t, label+" warm", warm, warmAudit, g)
+				recovered++
+			}
+		}
+		cl.SetFaults(nil)
+	}
+	if recovered == 0 {
+		t.Error("no run exercised the parity comparison")
+	}
+	if warmHits == 0 {
+		t.Error("no warm run was served from the cache")
+	}
+	if len(seeds) > 2 && failed == 0 {
+		t.Error("no faulted run failed; fault rates too low to mean anything")
+	}
+	t.Logf("conformance: %d compared runs, %d warm cache hits, %d typed failures", recovered, warmHits, failed)
+}

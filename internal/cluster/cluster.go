@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -56,6 +57,21 @@ type Cluster struct {
 	// executors (see network.Calibrator). nil disables calibration;
 	// set before execution like the fields above.
 	cal *network.Calibrator
+
+	// epochs tracks a per-table data epoch, bumped by every successful
+	// load into any fragment of the table. Result-set caching keys its
+	// validity on these: a cached result is reusable only while every
+	// table it consumed still has the epoch observed before execution.
+	epochMu sync.RWMutex
+	epochs  map[string]uint64
+}
+
+// DataEpoch returns the current data epoch of a table
+// (case-insensitive; 0 for a never-loaded table). Concurrency-safe.
+func (c *Cluster) DataEpoch(table string) uint64 {
+	c.epochMu.RLock()
+	defer c.epochMu.RUnlock()
+	return c.epochs[strings.ToLower(table)]
 }
 
 // SetCalibrator installs the cost-model calibrator shipping and the
@@ -95,7 +111,7 @@ func (c *Cluster) SleepWire(costMS float64) {
 // a site hosting its database (named per the catalog's location→database
 // mapping), with every table fragment placed at its location.
 func New(cat *schema.Catalog, net *network.CostModel) *Cluster {
-	c := &Cluster{sites: map[string]*Site{}, Net: net, Ledger: network.NewLedger(net)}
+	c := &Cluster{sites: map[string]*Site{}, Net: net, Ledger: network.NewLedger(net), epochs: map[string]uint64{}}
 	for _, loc := range cat.Locations() {
 		dbName := cat.DatabaseAt(loc)
 		if dbName == "" {
@@ -161,7 +177,13 @@ func (c *Cluster) LoadFragment(t *schema.Table, fragIdx int, rows []expr.Row) er
 	if err := validateSortedBy(t, rows); err != nil {
 		return err
 	}
-	return st.Insert(rows...)
+	if err := st.Insert(rows...); err != nil {
+		return err
+	}
+	c.epochMu.Lock()
+	c.epochs[strings.ToLower(t.Name)]++
+	c.epochMu.Unlock()
+	return nil
 }
 
 // validateSortedBy checks that rows respect the table's declared physical

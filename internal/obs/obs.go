@@ -79,3 +79,17 @@ func (o *Observer) WithProfile(p *PlanProfile) *Observer {
 	cp.Profile = p
 	return &cp
 }
+
+// WithAudit returns a shallow copy of the observer whose audit records
+// land in the given log instead of the shared one (tracer/metrics stay
+// shared). The result-set cache uses it to capture one execution's
+// audit records for replay to later cache hits. Works on a nil
+// receiver: the copy then observes only the audit log.
+func (o *Observer) WithAudit(a *AuditLog) *Observer {
+	var cp Observer
+	if o != nil {
+		cp = *o
+	}
+	cp.Audit = a
+	return &cp
+}

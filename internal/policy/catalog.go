@@ -3,13 +3,18 @@ package policy
 import (
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Catalog is the policy catalog of Figure 2: the set of all registered
 // policy expressions, indexed by owning database. Data officers register
 // expressions offline; the optimizer consults the catalog through the
-// Evaluator at query time.
+// Evaluator at query time. The catalog is safe for concurrent use, so
+// policies may churn (grants added or revoked) while a serving tier
+// evaluates queries against it — callers that cache evaluation results
+// must still bump their epoch on every change.
 type Catalog struct {
+	mu   sync.RWMutex
 	byDB map[string][]*Expression
 	n    int
 }
@@ -22,8 +27,10 @@ func NewCatalog() *Catalog {
 // Add registers an expression.
 func (c *Catalog) Add(e *Expression) {
 	db := strings.ToLower(e.DB)
+	c.mu.Lock()
 	c.byDB[db] = append(c.byDB[db], e)
 	c.n++
+	c.mu.Unlock()
 }
 
 // AddAll registers several expressions.
@@ -33,20 +40,73 @@ func (c *Catalog) AddAll(es ...*Expression) {
 	}
 }
 
-// ForDB returns the expressions registered for a database.
+// Remove deletes the expression with the given ID (case-insensitive),
+// reporting whether one was removed. Revoking a grant tightens the
+// catalog: plans and cached results derived while it was in force may
+// no longer be compliant, so callers must invalidate them (bump the
+// evaluator's epoch and any result-cache policy epoch).
+func (c *Catalog) Remove(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for db, es := range c.byDB {
+		for i, e := range es {
+			if strings.EqualFold(e.ID, id) {
+				// Copy-on-write so slices handed out by ForDB before the
+				// removal stay intact for their readers.
+				next := make([]*Expression, 0, len(es)-1)
+				next = append(next, es[:i]...)
+				next = append(next, es[i+1:]...)
+				if len(next) == 0 {
+					delete(c.byDB, db)
+				} else {
+					c.byDB[db] = next
+				}
+				c.n--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ForDB returns the expressions registered for a database. The returned
+// slice must not be mutated; it stays valid across later Add/Remove
+// calls (removal copies).
 func (c *Catalog) ForDB(db string) []*Expression {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.byDB[strings.ToLower(db)]
 }
 
 // Len returns the total number of registered expressions.
-func (c *Catalog) Len() int { return c.n }
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
 
 // Databases returns the databases that have policies, sorted.
 func (c *Catalog) Databases() []string {
+	c.mu.RLock()
 	out := make([]string, 0, len(c.byDB))
 	for db := range c.byDB {
 		out = append(out, db)
 	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// IDs returns every registered expression ID, sorted.
+func (c *Catalog) IDs() []string {
+	c.mu.RLock()
+	out := make([]string, 0, c.n)
+	for _, es := range c.byDB {
+		for _, e := range es {
+			out = append(out, e.ID)
+		}
+	}
+	c.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -54,12 +114,14 @@ func (c *Catalog) Databases() []string {
 // Fingerprint returns a digest of the catalog contents; the evaluator
 // uses it to invalidate caches when policies change.
 func (c *Catalog) Fingerprint() string {
+	c.mu.RLock()
 	var parts []string
 	for db, es := range c.byDB {
 		for _, e := range es {
 			parts = append(parts, db+"|"+e.String())
 		}
 	}
+	c.mu.RUnlock()
 	sort.Strings(parts)
 	return strings.Join(parts, ";")
 }

@@ -38,6 +38,7 @@ import (
 	"cgdqp/internal/expr"
 	"cgdqp/internal/obs"
 	"cgdqp/internal/optimizer"
+	"cgdqp/internal/rescache"
 )
 
 // Typed admission rejections. Submit wraps them with detail; match with
@@ -67,6 +68,21 @@ type Options struct {
 	// QueryTimeout, when set, bounds each query from admission to
 	// completion (a per-Request Timeout overrides it).
 	QueryTimeout time.Duration
+	// ResultCache, when set, serves repeated queries from whole cached
+	// result sets and coalesces concurrent identical executions onto one
+	// run (the execution extension of the optimization singleflight).
+	// CacheView supplies its validity oracles — data epochs, the policy
+	// epoch and the provenance recheck; see package rescache.
+	ResultCache *rescache.Cache
+	CacheView   rescache.View
+	// CacheOptsFP distinguishes cache entries whose execution options
+	// change observable statistics (e.g. wire compression). It must
+	// agree with Exec so replayed statistics match what an execution
+	// under these options reports.
+	CacheOptsFP string
+	// Exec overrides the execution options served queries run under
+	// (nil = the build default).
+	Exec *executor.ExecOptions
 }
 
 // Defaults for the zero Options value.
@@ -119,6 +135,12 @@ type Response struct {
 	// Coalesced marks a query whose optimization was shared with an
 	// identical in-flight one (singleflight).
 	Coalesced bool
+	// CacheHit marks a query served without executing: either straight
+	// from the result cache or from an identical in-flight execution it
+	// coalesced onto. Rows are a private copy; Stats and the audit
+	// records replayed into the audit log are those of the execution
+	// that produced the result (byte-identical to a fresh run).
+	CacheHit bool
 	// QueueWait is the time from admission to scheduling; Total runs
 	// from admission to completion.
 	QueueWait time.Duration
@@ -135,6 +157,9 @@ type Counters struct {
 	Failed            int64 // finished with a non-cancellation error
 	Cancelled         int64 // finished by context cancellation/timeout
 	Coalesced         int64 // optimizations served by another flight
+	Executed          int64 // actual executor invocations
+	ResultCacheHits   int64 // served straight from the result cache
+	ExecCoalesced     int64 // served by an identical in-flight execution
 }
 
 // Server is the concurrent query-serving front end. Create with
@@ -158,8 +183,14 @@ type Server struct {
 	wg      sync.WaitGroup
 	running atomic.Int64
 
+	// execFlights coalesces identical in-flight executions when a result
+	// cache is configured (see execflight.go).
+	exmu        sync.Mutex
+	execFlights map[string]*execFlight
+
 	nSubmitted, nAdmitted, nRejFull, nRejClosed atomic.Int64
 	nCompleted, nFailed, nCancelled, nCoalesced atomic.Int64
+	nExecuted, nResCacheHits, nExecCoalesced    atomic.Int64
 }
 
 // NewServer starts a server over the given optimizer and cluster. The
@@ -168,12 +199,13 @@ type Server struct {
 // the optimizer and cluster should share it so spans line up.
 func NewServer(opt *optimizer.Optimizer, cl *cluster.Cluster, obsv *obs.Observer, opts Options) *Server {
 	s := &Server{
-		opt:     opt,
-		cl:      cl,
-		obsv:    obsv,
-		opts:    opts,
-		slots:   newSlotTable(opts.siteSlots()),
-		flights: flightGroup{m: map[string]*flight{}},
+		opt:         opt,
+		cl:          cl,
+		obsv:        obsv,
+		opts:        opts,
+		slots:       newSlotTable(opts.siteSlots()),
+		flights:     flightGroup{m: map[string]*flight{}},
+		execFlights: map[string]*execFlight{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < opts.maxConcurrent(); i++ {
@@ -311,6 +343,9 @@ func (s *Server) Counters() Counters {
 		Failed:            s.nFailed.Load(),
 		Cancelled:         s.nCancelled.Load(),
 		Coalesced:         s.nCoalesced.Load(),
+		Executed:          s.nExecuted.Load(),
+		ResultCacheHits:   s.nResCacheHits.Load(),
+		ExecCoalesced:     s.nExecCoalesced.Load(),
 	}
 }
 
@@ -409,13 +444,19 @@ func (s *Server) serve(t *task) {
 		located = located.Clone()
 	}
 
+	if s.opts.ResultCache != nil {
+		s.serveCached(t, res, located, shared, sp)
+		return
+	}
+
 	need := siteCensus(located, s.opts.siteSlots())
 	if err := s.slots.acquire(t.ctx, need); err != nil {
 		sp.Tag("outcome", "cancelled").End()
 		s.finish(t, nil, err)
 		return
 	}
-	rows, stats, err := executor.RunParallelObserved(t.ctx, located, s.cl, s.obsv)
+	s.nExecuted.Add(1)
+	rows, stats, err := s.runPlan(t.ctx, located, s.obsv)
 	s.slots.release(need)
 	if err != nil {
 		sp.Tag("outcome", "exec_error").End()
