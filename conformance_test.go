@@ -262,3 +262,162 @@ func TestConformanceMatrix(t *testing.T) {
 	}
 	t.Logf("conformance: %d compared runs, %d warm cache hits, %d typed failures", recovered, warmHits, failed)
 }
+
+// newFallbackSystem builds a two-site system loaded with NULL-heavy,
+// lane-impure data: every column mixes in untyped NULLs, and a band in
+// the middle of Events plants values of the wrong type in the id and
+// val lanes. Batches from that band cannot build column vectors, so the
+// vectorized operators demote exactly those chunks to the row
+// interpreter while the surrounding chunks stay columnar — the
+// mixed-path regime the null-free, lane-pure TPC-H data never reaches.
+func newFallbackSystem(parallel, interp bool) *System {
+	sys := NewSystemWith(Options{Parallel: parallel, NoVectorKernels: interp, Audit: true})
+	sys.MustDefineTable("Users", "db-n", "NorthAmerica", 150,
+		Col("id", TInt), Col("name", TString))
+	sys.MustDefineTable("Events", "db-e", "Europe", 2600,
+		Col("id", TInt), Col("grp", TString), Col("val", TFloat),
+		Col("qty", TInt), Col("note", TString))
+	sys.MustAddPolicy("ship * from Users to *")
+	sys.MustAddPolicy("ship * from Events to *")
+
+	var uRows []Row
+	for i := 0; i < 150; i++ {
+		id := Int(int64(i % 97))
+		switch {
+		case i%10 == 0:
+			id = Null()
+		case i%19 == 0:
+			id = Float(float64(i % 97)) // float in the int lane
+		}
+		name := String(fmt.Sprintf("user-%03d", i%60))
+		if i%8 == 0 {
+			name = Null()
+		}
+		uRows = append(uRows, Row{id, name})
+	}
+	notes := []string{"", "abc", "abcabc", "xbry", "zzz", "BRASS"}
+	var eRows []Row
+	for i := 0; i < 2600; i++ {
+		impure := i >= 900 && i < 1700 // middle chunks demote, outer ones stay columnar
+		id := Int(int64(i % 97))
+		switch {
+		case i%11 == 0:
+			id = Null()
+		case impure && i%13 == 0:
+			id = Float(float64(i % 97))
+		}
+		grp := String(fmt.Sprintf("g-%02d", i%23))
+		if i%7 == 0 {
+			grp = Null()
+		}
+		val := Float(float64(i%50) / 4)
+		switch {
+		case i%5 == 0:
+			val = Null()
+		case impure && i%17 == 0:
+			val = Int(int64(i % 50)) // int in the float lane
+		}
+		qty := Int(int64(i%9 - 4))
+		if i%6 == 0 {
+			qty = Null()
+		}
+		note := String(notes[i%len(notes)])
+		if i%9 == 0 {
+			note = Null()
+		}
+		eRows = append(eRows, Row{id, grp, val, qty, note})
+	}
+	sys.MustLoad("Users", uRows)
+	sys.MustLoad("Events", eRows)
+	return sys
+}
+
+// TestConformanceFallbackParity pins the columnar-vs-row axis where its
+// mechanisms actually diverge: chunks that demote to the interpreter
+// mid-stream (NULL-heavy and lane-impure data), NULL join keys and
+// group keys, and aggregates over mixed int/float lanes. Every engine ×
+// expression-path cell must match the sequential/interpreter reference
+// byte for byte — rows, shipping statistics and the audit log —
+// fault-free and under chaos seeds.
+func TestConformanceFallbackParity(t *testing.T) {
+	queries := []struct{ name, sql string }{
+		{"filter-project", `SELECT E.id, E.val * 2 + 1 AS v, E.note FROM Events E
+			WHERE E.val > 3 AND E.note LIKE '%b%' ORDER BY E.id, v, E.note`},
+		{"join-residual", `SELECT U.name, E.val FROM Users U, Events E
+			WHERE U.id = E.id AND U.name > E.note ORDER BY U.name, E.val`},
+		{"group-agg", `SELECT E.grp, SUM(E.val) AS s, COUNT(*) AS n, MIN(E.qty) AS lo,
+			MAX(E.note) AS hi, AVG(E.val) AS a
+			FROM Events E GROUP BY E.grp ORDER BY E.grp`},
+		{"join-agg-limit", `SELECT U.name, SUM(E.val) AS s, COUNT(*) AS n FROM Users U, Events E
+			WHERE U.id = E.id GROUP BY U.name ORDER BY U.name LIMIT 40`},
+	}
+
+	// Golden reference: sequential engine, row interpreter, fault-free.
+	ref := newFallbackSystem(false, true)
+	goldens := map[string]*conformGolden{}
+	for _, q := range queries {
+		ref.AuditLog().Reset()
+		out := runConform(t, "reference/"+q.name, ref, q.sql)
+		if out.err != nil {
+			t.Fatalf("reference %s: %v", q.name, out.err)
+		}
+		if len(out.res.Rows) == 0 {
+			t.Fatalf("reference %s: empty result exercises nothing", q.name)
+		}
+		goldens[q.name] = &conformGolden{
+			rows:  renderRows(out.res.Rows),
+			bytes: out.res.ShippedBytes,
+			cost:  out.res.ShipCost,
+			audit: ref.AuditLog().String(),
+		}
+	}
+
+	seeds := []int64{0, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	retry := network.RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 20 * time.Microsecond,
+		MaxBackoff:  160 * time.Microsecond,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+	compared := 0
+	for _, parallel := range []bool{false, true} {
+		for _, interp := range []bool{false, true} {
+			sys := newFallbackSystem(parallel, interp)
+			cl := sys.Cluster()
+			for _, seed := range seeds {
+				if seed == 0 {
+					cl.SetFaults(nil)
+				} else {
+					cl.SetFaults(NewFaultPlan(seed).SetDefault(EdgeFaults{
+						DropProb:      0.08,
+						TransientProb: 0.05,
+					}))
+					cl.SetRetry(retry)
+				}
+				for _, q := range queries {
+					label := fmt.Sprintf("par=%v interp=%v seed=%d %s", parallel, interp, seed, q.name)
+					sys.AuditLog().Reset()
+					out := runConform(t, label, sys, q.sql)
+					if out.err != nil {
+						var se *network.ShipError
+						if !errors.As(out.err, &se) {
+							t.Fatalf("%s: untyped error: %v", label, out.err)
+						}
+						continue
+					}
+					conformCompare(t, label, out, sys.AuditLog().String(), goldens[q.name])
+					compared++
+				}
+			}
+			cl.SetFaults(nil)
+		}
+	}
+	if compared == 0 {
+		t.Error("no run exercised the fallback parity comparison")
+	}
+	t.Logf("fallback parity: %d compared runs", compared)
+}

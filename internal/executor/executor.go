@@ -205,10 +205,9 @@ func newFilter(n *plan.Node, child Operator, vec bool) (Operator, error) {
 		return nil, fmt.Errorf("executor: filter bind: %w", err)
 	}
 	if p := compilePred(bound, colTypes(n.Children[0]), vec); p != nil {
-		return &vecFilterOp{
-			child: child, pred: bound, kern: p,
-			src: newBatchSource(colTypes(n.Children[0])),
-		}, nil
+		f := &vecFilterOp{child: child, pred: bound, kern: p, types: colTypes(n.Children[0])}
+		f.data.Bind(f.types)
+		return f, nil
 	}
 	return &filterOp{child: child, pred: bound}, nil
 }
@@ -241,7 +240,8 @@ type vecFilterOp struct {
 	child Operator
 	pred  expr.Expr
 	kern  *vecPred
-	src   *batchSource
+	types []expr.Type
+	data  expr.Batch
 	buf   []expr.Row
 	out   []expr.Row
 	pos   int
@@ -296,8 +296,8 @@ func (f *vecFilterOp) Next() (expr.Row, bool, error) {
 		if len(f.buf) == 0 {
 			continue
 		}
-		f.src.Reset(f.buf)
-		if sel, ok := f.kern.selectRows(f.src); ok {
+		f.data.SetRows(f.buf)
+		if sel, ok := f.kern.selectRows(&f.data); ok {
 			for _, si := range sel {
 				f.out = append(f.out, f.buf[si])
 			}
@@ -343,13 +343,17 @@ func newProject(n *plan.Node, child Operator, vec bool) (Operator, error) {
 	// so the assertion fails and fusion is skipped under EXPLAIN
 	// ANALYZE, keeping per-node actuals intact.)
 	if f, ok := child.(*vecFilterOp); ok && vec {
-		return &vecFilterProjectOp{
-			child: f.child, pred: f.pred, kern: f.kern, src: f.src,
+		fp := &vecFilterProjectOp{
+			child: f.child, pred: f.pred, kern: f.kern, types: types,
 			exprs: exprs, proj: compileProj(exprs, types, true),
-		}, nil
+		}
+		fp.data.Bind(types)
+		return fp, nil
 	}
 	if p := compileProj(exprs, types, vec); p != nil {
-		return &vecProjectOp{child: child, exprs: exprs, proj: p, src: newBatchSource(types)}, nil
+		vp := &vecProjectOp{child: child, exprs: exprs, proj: p, types: types}
+		vp.data.Bind(types)
+		return vp, nil
 	}
 	return &projectOp{child: child, exprs: exprs}, nil
 }
@@ -379,7 +383,8 @@ type vecProjectOp struct {
 	child   Operator
 	exprs   []expr.Expr
 	proj    *vecProj
-	src     *batchSource
+	types   []expr.Type
+	data    expr.Batch
 	buf     []expr.Row
 	out     []expr.Row
 	pos     int
@@ -416,8 +421,8 @@ func (p *vecProjectOp) Next() (expr.Row, bool, error) {
 		if len(p.buf) == 0 {
 			continue
 		}
-		p.src.Reset(p.buf)
-		if out, ok := p.proj.apply(p.src, nil, p.out); ok {
+		p.data.SetRows(p.buf)
+		if out, ok := p.proj.apply(&p.data, nil, p.out); ok {
 			p.out = out
 			continue
 		}
@@ -443,7 +448,8 @@ type vecFilterProjectOp struct {
 	child   Operator
 	pred    expr.Expr
 	kern    *vecPred
-	src     *batchSource
+	types   []expr.Type
+	data    expr.Batch
 	exprs   []expr.Expr
 	proj    *vecProj // nil: passthrough/interpreted outputs only
 	buf     []expr.Row
@@ -482,10 +488,10 @@ func (p *vecFilterProjectOp) Next() (expr.Row, bool, error) {
 		if len(p.buf) == 0 {
 			continue
 		}
-		p.src.Reset(p.buf)
-		if sel, ok := p.kern.selectRows(p.src); ok {
+		p.data.SetRows(p.buf)
+		if sel, ok := p.kern.selectRows(&p.data); ok {
 			if p.proj != nil {
-				if out, applied := p.proj.apply(p.src, sel, p.out); applied {
+				if out, applied := p.proj.apply(&p.data, sel, p.out); applied {
 					p.out = out
 					continue
 				}
@@ -529,36 +535,220 @@ func (p *vecFilterProjectOp) Close() error { return p.child.Close() }
 
 // --- hash join ----------------------------------------------------------
 
+// hashJoinOp joins a probe stream (left) against a hash table built from
+// the right child. Both sides are consumed a chunk at a time through a
+// chunkFeed, so the operator is engine-agnostic: the sequential engine
+// feeds it row-operator chunks, the parallel engine its columnar batches
+// with no row round trip. With kernels on and every equi-key a bare
+// column, hashing reads the key columns directly (bit-identical to
+// hashKey), build rows link into per-hash chains alongside typed key
+// copies, and hash-collision rechecks compare typed lanes; any chunk
+// that does not vectorize falls back to the row path with identical
+// results and error timing.
 type hashJoinOp struct {
-	node        *plan.Node
-	left, right Operator
-	leftKeys    []expr.Expr // bound against left schema
-	rightKeys   []expr.Expr // bound against right schema
-	residual    expr.Expr   // bound against concatenated schema
+	node         *plan.Node
+	probe, build chunkFeed
+	leftKeys     []expr.Expr // bound against left schema
+	rightKeys    []expr.Expr // bound against right schema
+	residual     expr.Expr   // bound against concatenated schema
 
-	table map[uint64][]expr.Row // build side (right)
-	// probe state
-	matches []expr.Row
-	current expr.Row
-	mi      int
-	// pending buffers the probe row peeked at Open (to detect an empty
-	// probe side before paying for the hash-table build).
-	pending    expr.Row
-	hasPending bool
+	vec            bool  // kernels on and all equi-keys are bare columns
+	lCols, rCols   []int // key column indexes per side
+	lTypes, rTypes []expr.Type
+	eqMode         []keyEqMode
+	typedEq        bool // every key pair rechecks through typed lanes
 
-	// Vectorized key hashing (nil keeps the row path): available when
-	// kernels are on and every equi-key is a bare column. Probe rows are
-	// gathered into chunks and hashed column-at-a-time; hashes are
-	// bit-identical to hashKey, so the buckets match the row path.
-	leftHash, rightHash *vecHasher
-	probeBuf            []expr.Row
-	probeHs             []uint64
-	probeValid          []bool
-	probeN, probePos    int
-	probeEOS            bool
+	// Build side, vectorized mode: rows in arrival order, with per-hash
+	// chains. table maps a key hash to its chain's first and last row;
+	// next links rows within one, so chain iteration order matches the
+	// row path's per-hash append order.
+	buildRows   []expr.Row
+	table       chainTable
+	next        []int32
+	keyArrs     []joinKeyArr // typed build keys, valid while buildKeysOK
+	buildKeysOK bool
+	// Build side, row mode: the reference hash table, one row slice per
+	// key hash in arrival order. Kept deliberately simple — it is the
+	// baseline the vectorized mode is measured and checked against.
+	rowBuckets map[uint64][]expr.Row
+
+	// Probe state: the first probe chunk is peeked at Open (to skip the
+	// hash-table build when the probe side is provably empty) and
+	// replayed on the first Next.
+	pending *Batch
+	peeked  bool
+	out     []expr.Row
+	pos     int
+	done    bool
+	// pendErr is an error found mid-chunk: matches emitted before the
+	// failing row drain first, exactly like the row-at-a-time path.
+	pendErr error
+
+	keyVecs []*expr.Vec // scratch: key vectors of the current chunk
+	pairs   [][2]int32  // scratch: (probe row, build row) matches
+}
+
+// keyEqMode is the typed recheck strategy for one equi-key pair, fixed
+// from the static lane types of both sides. Any eqSlow key makes the
+// whole recheck go through the row path's Value.Compare, preserving its
+// error and coercion behavior for lane combinations it would reject.
+type keyEqMode uint8
+
+const (
+	eqInt   keyEqMode = iota // both integer-class: int64 equality
+	eqFloat                  // numeric with a float side: Compare's <//> over Float()
+	eqStr                    // both strings
+	eqSlow                   // anything else: row-path Compare
+)
+
+func keyMode(lt, rt expr.Type) keyEqMode {
+	intClass := func(t expr.Type) bool { return t == expr.TInt || t == expr.TDate }
+	numeric := func(t expr.Type) bool { return intClass(t) || t == expr.TFloat }
+	switch {
+	case intClass(lt) && intClass(rt):
+		return eqInt
+	case (lt == expr.TFloat || rt == expr.TFloat) && numeric(lt) && numeric(rt):
+		return eqFloat
+	case lt == expr.TString && rt == expr.TString:
+		return eqStr
+	}
+	return eqSlow
+}
+
+// joinKeyArr stores one build-side key column as a typed array parallel
+// to buildRows — the target of the typed collision recheck.
+type joinKeyArr struct {
+	t expr.Type
+	i []int64
+	f []float64
+	s []string
+}
+
+func (a *joinKeyArr) reset() { a.i, a.f, a.s = a.i[:0], a.f[:0], a.s[:0] }
+
+func (a *joinKeyArr) appendFrom(v *expr.Vec, i int) {
+	switch a.t {
+	case expr.TInt, expr.TDate:
+		a.i = append(a.i, v.I[i])
+	case expr.TFloat:
+		a.f = append(a.f, v.F[i])
+	case expr.TString:
+		a.s = append(a.s, v.S[i])
+	case expr.TBool:
+		var x int64
+		if v.B.Get(i) {
+			x = 1
+		}
+		a.i = append(a.i, x)
+	}
+}
+
+func (a *joinKeyArr) float(i int32) float64 {
+	if a.t == expr.TFloat {
+		return a.f[i]
+	}
+	return float64(a.i[i])
+}
+
+// chainTable is the vectorized join's hash index: an open-addressed
+// (linear probing) table from a 64-bit key hash to that hash's chain of
+// build rows. The chain's first and last row indexes live in the slot
+// itself, so a probe hit resolves in one 16-byte slot read — no chain-id
+// indirection through side arrays.
+type chainSlot struct {
+	hash       uint64
+	head, tail int32 // head -1: empty slot
+}
+
+type chainTable struct {
+	slots []chainSlot
+	mask  uint64
+	used  int
+	limit int // grow past this occupancy (¾ load)
+}
+
+// reset empties the table, sized for about `hint` distinct keys.
+func (t *chainTable) reset(hint int) {
+	need := 1024
+	for need < hint*2 {
+		need <<= 1
+	}
+	if cap(t.slots) >= need {
+		t.slots = t.slots[:need]
+	} else {
+		t.slots = make([]chainSlot, need)
+	}
+	for i := range t.slots {
+		t.slots[i] = chainSlot{head: -1}
+	}
+	t.mask = uint64(need - 1)
+	t.used = 0
+	t.limit = need * 3 / 4
+}
+
+// lookup returns the first build row chained under h, or -1.
+func (t *chainTable) lookup(h uint64) int32 {
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if s.head < 0 || s.hash == h {
+			return s.head
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// slot returns the position holding h, claiming an empty slot (head
+// still -1) if the hash is new. The caller fills head/tail.
+func (t *chainTable) slot(h uint64) uint64 {
+	if t.used >= t.limit {
+		t.grow()
+	}
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if s.head < 0 || s.hash == h {
+			return i
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow rehashes into a table 8× larger: the hint is often missing, so
+// steep growth keeps the total reinsertion work a small fraction of
+// the build.
+func (t *chainTable) grow() {
+	old := t.slots
+	need := 8 * len(old)
+	t.slots = make([]chainSlot, need)
+	for i := range t.slots {
+		t.slots[i].head = -1
+	}
+	t.mask = uint64(need - 1)
+	t.limit = need * 3 / 4
+	for _, s := range old {
+		if s.head < 0 {
+			continue
+		}
+		j := s.hash & t.mask
+		for t.slots[j].head >= 0 {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = s
+	}
 }
 
 func newHashJoin(n *plan.Node, left, right Operator, vec bool) (Operator, error) {
+	return makeHashJoin(n, &opFeed{op: left}, &opFeed{op: right}, vec)
+}
+
+// newHashJoinBatch is newHashJoin consuming the parallel engine's
+// columnar batches directly — no row adapter on the inputs.
+func newHashJoinBatch(n *plan.Node, left, right BatchOperator, vec bool) (Operator, error) {
+	return makeHashJoin(n, &batchFeed{src: left}, &batchFeed{src: right}, vec)
+}
+
+func makeHashJoin(n *plan.Node, probe, build chunkFeed, vec bool) (Operator, error) {
 	lres := resolver(n.Children[0])
 	rres := resolver(n.Children[1])
 	var lk, rk []expr.Expr
@@ -599,11 +789,39 @@ func newHashJoin(n *plan.Node, left, right Operator, vec bool) (Operator, error)
 		}
 		res = bound
 	}
-	return &hashJoinOp{
-		node: n, left: left, right: right, leftKeys: lk, rightKeys: rk, residual: res,
-		leftHash:  newVecHasher(lk, colTypes(n.Children[0]), vec),
-		rightHash: newVecHasher(rk, colTypes(n.Children[1]), vec),
-	}, nil
+	j := &hashJoinOp{
+		node: n, probe: probe, build: build,
+		leftKeys: lk, rightKeys: rk, residual: res,
+		lTypes: colTypes(n.Children[0]), rTypes: colTypes(n.Children[1]),
+	}
+	if vec {
+		j.vec = true
+		j.lCols = make([]int, len(lk))
+		j.rCols = make([]int, len(lk))
+		for i := range lk {
+			lc, lok := lk[i].(*expr.Col)
+			rc, rok := rk[i].(*expr.Col)
+			if !lok || !rok {
+				j.vec = false
+				break
+			}
+			j.lCols[i], j.rCols[i] = lc.Index, rc.Index
+		}
+	}
+	if j.vec {
+		j.keyVecs = make([]*expr.Vec, len(lk))
+		j.keyArrs = make([]joinKeyArr, len(lk))
+		j.eqMode = make([]keyEqMode, len(lk))
+		j.typedEq = true
+		for i := range lk {
+			j.keyArrs[i].t = j.rTypes[j.rCols[i]]
+			j.eqMode[i] = keyMode(j.lTypes[j.lCols[i]], j.rTypes[j.rCols[i]])
+			if j.eqMode[i] == eqSlow {
+				j.typedEq = false
+			}
+		}
+	}
+	return j, nil
 }
 
 func hashKey(keys []expr.Expr, row expr.Row) (uint64, bool, error) {
@@ -622,101 +840,162 @@ func hashKey(keys []expr.Expr, row expr.Row) (uint64, bool, error) {
 }
 
 func (j *hashJoinOp) Open() error {
-	// Peek one probe row first: when the probe side is provably empty,
-	// the join produces nothing and the hash-table build is wasted
-	// work. The build side is still opened and closed (Ship inputs
-	// materialize at Open, so transfer accounting is unchanged); only
-	// the hashing and insertion are skipped.
-	if err := j.left.Open(); err != nil {
+	j.out, j.pos, j.done, j.pendErr = j.out[:0], 0, false, nil
+	// Peek the first probe chunk before building: when the probe side is
+	// provably empty, the join produces nothing and the hash-table build
+	// is wasted work. The build side is still opened and closed (Ship
+	// inputs materialize at Open, so transfer accounting is unchanged);
+	// only the hashing and insertion are skipped.
+	if err := j.probe.open(); err != nil {
 		return err
 	}
-	row, ok, err := j.left.Next()
+	first, err := j.probe.nextChunk()
 	if err != nil {
 		return err
 	}
-	j.pending, j.hasPending = row, ok
-	if err := j.right.Open(); err != nil {
+	j.pending, j.peeked = first, first != nil
+	if err := j.build.open(); err != nil {
 		return err
 	}
-	j.table = make(map[uint64][]expr.Row, j.buildSizeHint())
-	j.probeN, j.probePos, j.probeEOS = 0, 0, false
-	if ok {
+	if j.vec {
+		j.buildRows = j.buildRows[:0]
+		j.table.reset(j.buildSizeHint())
+		j.next = j.next[:0]
+		j.buildKeysOK = true
+		for i := range j.keyArrs {
+			j.keyArrs[i].reset()
+		}
+	} else {
+		j.rowBuckets = make(map[uint64][]expr.Row, j.buildSizeHint())
+	}
+	if j.peeked {
 		if err := j.buildTable(); err != nil {
 			return err
 		}
 	}
-	return j.right.Close()
+	return j.build.close()
 }
 
-// buildTable hashes the build side into the table, a chunk at a time
-// when the keys vectorize and row by row otherwise.
+// buildTable drains the build feed into the chained hash table.
 func (j *hashJoinOp) buildTable() error {
-	if j.rightHash == nil {
-		for {
-			row, ok, err := j.right.Next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
+	for {
+		chunk, err := j.build.nextChunk()
+		if err != nil {
+			return err
+		}
+		if chunk == nil {
+			return nil
+		}
+		if chunk.Len() == 0 {
+			continue
+		}
+		if err := j.insertChunk(chunk); err != nil {
+			return err
+		}
+	}
+}
+
+// insertChunk hashes one build chunk. In row mode the rows append into
+// the reference bucket map. In vectorized mode valid rows link into the
+// chains, reading the key columns directly when the chunk vectorizes
+// and row by row otherwise; one impure chunk disables the typed recheck
+// for the whole build (the key arrays stop tracking buildRows).
+func (j *hashJoinOp) insertChunk(chunk *Batch) error {
+	rows := chunk.Rows()
+	if !j.vec {
+		for _, row := range rows {
 			h, valid, err := hashKey(j.rightKeys, row)
 			if err != nil {
 				return err
 			}
-			if valid {
-				j.table[h] = append(j.table[h], row)
+			if !valid {
+				continue
 			}
-		}
-	}
-	buf := make([]expr.Row, 0, BatchSize)
-	hs := make([]uint64, BatchSize)
-	valid := make([]bool, BatchSize)
-	for {
-		buf = buf[:0]
-		for len(buf) < BatchSize {
-			row, ok, err := j.right.Next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				break
-			}
-			buf = append(buf, row)
-		}
-		if len(buf) == 0 {
-			return nil
-		}
-		if err := j.insertChunk(buf, hs, valid); err != nil {
-			return err
-		}
-		if len(buf) < BatchSize {
-			return nil
-		}
-	}
-}
-
-// insertChunk hashes one build chunk vectorized, falling back to the
-// row path when a key column is not lane-pure.
-func (j *hashJoinOp) insertChunk(rows []expr.Row, hs []uint64, valid []bool) error {
-	if j.rightHash.hashBatch(rows, hs, valid) {
-		for i, row := range rows {
-			if valid[i] {
-				j.table[hs[i]] = append(j.table[hs[i]], row)
-			}
+			j.rowBuckets[h] = append(j.rowBuckets[h], row)
 		}
 		return nil
 	}
+	if j.chunkKeyVecs(chunk, j.rCols, j.rTypes) {
+		sel := chunk.Sel()
+		for r := range rows {
+			si := r
+			if sel != nil {
+				si = int(sel[r])
+			}
+			h, valid := j.hashVecKeys(si)
+			if !valid {
+				continue // NULL keys never match
+			}
+			idx := int32(len(j.buildRows))
+			j.buildRows = append(j.buildRows, rows[r])
+			j.next = append(j.next, -1)
+			if j.buildKeysOK {
+				for k := range j.keyArrs {
+					j.keyArrs[k].appendFrom(j.keyVecs[k], si)
+				}
+			}
+			j.link(h, idx)
+		}
+		return nil
+	}
+	j.buildKeysOK = false
 	for _, row := range rows {
-		h, ok, err := hashKey(j.rightKeys, row)
+		h, valid, err := hashKey(j.rightKeys, row)
 		if err != nil {
 			return err
 		}
-		if ok {
-			j.table[h] = append(j.table[h], row)
+		if !valid {
+			continue
 		}
+		idx := int32(len(j.buildRows))
+		j.buildRows = append(j.buildRows, row)
+		j.next = append(j.next, -1)
+		j.link(h, idx)
 	}
 	return nil
+}
+
+// chunkKeyVecs resolves one side's key columns over a chunk into
+// keyVecs. Every vector must be exact: an inexact vector canonicalizes
+// payloads the row path hashes and compares verbatim, so such chunks
+// take the row path instead.
+func (j *hashJoinOp) chunkKeyVecs(chunk *Batch, cols []int, types []expr.Type) bool {
+	d := chunk.Data()
+	d.Bind(types)
+	for k, c := range cols {
+		v, ok := d.ColVec(c)
+		if !ok || !v.Exact {
+			return false
+		}
+		j.keyVecs[k] = v
+	}
+	return true
+}
+
+// hashVecKeys combines the key hashes of (pre-selection) row si,
+// bit-identical to hashKey over the row.
+func (j *hashJoinOp) hashVecKeys(si int) (uint64, bool) {
+	var h uint64 = 1469598103934665603
+	for _, v := range j.keyVecs {
+		if v.IsNullAt(si) {
+			return 0, false
+		}
+		h = h*1099511628211 ^ v.HashAt(si)
+	}
+	return h, true
+}
+
+// link appends build row idx to hash h's chain.
+func (j *hashJoinOp) link(h uint64, idx int32) {
+	si := j.table.slot(h)
+	s := &j.table.slots[si]
+	if s.head >= 0 {
+		j.next[s.tail] = idx
+		s.tail = idx
+		return
+	}
+	s.hash, s.head, s.tail = h, idx, idx
+	j.table.used++
 }
 
 // buildSizeHint pre-sizes the hash table from the build child's
@@ -736,107 +1015,246 @@ func (j *hashJoinOp) buildSizeHint() int {
 
 func (j *hashJoinOp) Next() (expr.Row, bool, error) {
 	for {
-		for j.mi < len(j.matches) {
-			r := j.matches[j.mi]
-			j.mi++
-			out := make(expr.Row, 0, len(j.current)+len(r))
-			out = append(out, j.current...)
-			out = append(out, r...)
+		if j.pos < len(j.out) {
+			row := j.out[j.pos]
+			j.pos++
+			return row, true, nil
+		}
+		if j.pendErr != nil {
+			return nil, false, j.pendErr
+		}
+		if j.done {
+			return nil, false, nil
+		}
+		chunk, err := j.nextProbeChunk()
+		if err != nil {
+			return nil, false, err
+		}
+		if chunk == nil {
+			j.done = true
+			continue
+		}
+		j.out, j.pos = j.out[:0], 0
+		if chunk.Len() == 0 {
+			continue
+		}
+		j.probeChunk(chunk)
+	}
+}
+
+// nextProbeChunk honors the chunk peeked at Open.
+func (j *hashJoinOp) nextProbeChunk() (*Batch, error) {
+	if j.peeked {
+		j.peeked = false
+		return j.pending, nil
+	}
+	return j.probe.nextChunk()
+}
+
+// probeChunk matches one probe chunk against the table into j.out.
+// Errors land in pendErr so matches emitted before the failing row
+// drain first, like the row-at-a-time path.
+func (j *hashJoinOp) probeChunk(chunk *Batch) {
+	rows := chunk.Rows()
+	if !j.vec {
+		j.probeChunkMap(rows)
+		return
+	}
+	if j.chunkKeyVecs(chunk, j.lCols, j.lTypes) {
+		j.probeChunkVec(chunk, rows)
+		return
+	}
+	j.probeChunkRows(rows)
+}
+
+func (j *hashJoinOp) probeChunkVec(chunk *Batch, rows []expr.Row) {
+	typed := j.typedEq && j.buildKeysOK
+	sel := chunk.Sel()
+	j.pairs = j.pairs[:0]
+probeLoop:
+	for r := range rows {
+		si := r
+		if sel != nil {
+			si = int(sel[r])
+		}
+		h, valid := j.hashVecKeys(si)
+		if !valid {
+			continue
+		}
+		for bi := j.table.lookup(h); bi >= 0; bi = j.next[bi] {
 			if j.residual != nil {
+				out := concatRow(rows[r], j.buildRows[bi])
 				keep, err := expr.EvalBool(j.residual, out)
 				if err != nil {
-					return nil, false, err
+					j.pendErr = err
+					break probeLoop
 				}
 				if !keep {
 					continue
 				}
-			}
-			// Verify key equality (hash collisions).
-			eq, err := j.keysEqual(j.current, r)
-			if err != nil {
-				return nil, false, err
-			}
-			if !eq {
+				eq, err := j.recheck(typed, si, bi, rows[r])
+				if err != nil {
+					j.pendErr = err
+					break probeLoop
+				}
+				if eq {
+					j.out = append(j.out, out)
+				}
 				continue
 			}
-			return out, true, nil
+			eq, err := j.recheck(typed, si, bi, rows[r])
+			if err != nil {
+				j.pendErr = err
+				break probeLoop
+			}
+			if eq {
+				j.pairs = append(j.pairs, [2]int32{int32(r), bi})
+			}
 		}
-		row, h, valid, ok, err := j.nextProbeHashed()
-		if err != nil || !ok {
-			return nil, false, err
+	}
+	j.emitPairs(rows)
+}
+
+// probeChunkMap is the row-mode reference probe: per-row hashing
+// through the interpreter, bucket-map candidates, and one materialized
+// row per match. The vectorized mode must be value- and order-identical
+// to this path.
+func (j *hashJoinOp) probeChunkMap(rows []expr.Row) {
+probeLoop:
+	for _, row := range rows {
+		h, valid, err := hashKey(j.leftKeys, row)
+		if err != nil {
+			j.pendErr = err
+			break probeLoop
 		}
 		if !valid {
 			continue
 		}
-		j.current = row
-		j.matches = j.table[h]
-		j.mi = 0
+		for _, bRow := range j.rowBuckets[h] {
+			keep, out, err := j.matchRow(row, bRow)
+			if err != nil {
+				j.pendErr = err
+				break probeLoop
+			}
+			if keep {
+				j.out = append(j.out, out)
+			}
+		}
 	}
 }
 
-// nextProbeHashed returns the next probe row with its key hash. With a
-// vectorized hasher, probe rows are gathered into chunks and hashed
-// column-at-a-time; otherwise each row is hashed as it streams by.
-func (j *hashJoinOp) nextProbeHashed() (expr.Row, uint64, bool, bool, error) {
-	if j.leftHash == nil {
-		row, ok, err := j.nextProbe()
-		if err != nil || !ok {
-			return nil, 0, false, false, err
-		}
+// probeChunkRows handles a probe chunk that did not vectorize while the
+// operator is in vectorized mode: per-row hashing, but candidates come
+// from the same chains the columnar probe walks.
+func (j *hashJoinOp) probeChunkRows(rows []expr.Row) {
+probeLoop:
+	for _, row := range rows {
 		h, valid, err := hashKey(j.leftKeys, row)
-		return row, h, valid, true, err
-	}
-	for {
-		if j.probePos < j.probeN {
-			i := j.probePos
-			j.probePos++
-			return j.probeBuf[i], j.probeHs[i], j.probeValid[i], true, nil
+		if err != nil {
+			j.pendErr = err
+			break probeLoop
 		}
-		if j.probeEOS {
-			return nil, 0, false, false, nil
-		}
-		if j.probeBuf == nil {
-			j.probeBuf = make([]expr.Row, 0, vecChunk)
-			j.probeHs = make([]uint64, vecChunk)
-			j.probeValid = make([]bool, vecChunk)
-		}
-		j.probeBuf = j.probeBuf[:0]
-		for len(j.probeBuf) < vecChunk {
-			row, ok, err := j.nextProbe()
-			if err != nil {
-				return nil, 0, false, false, err
-			}
-			if !ok {
-				j.probeEOS = true
-				break
-			}
-			j.probeBuf = append(j.probeBuf, row)
-		}
-		j.probeN, j.probePos = len(j.probeBuf), 0
-		if j.probeN == 0 {
+		if !valid {
 			continue
 		}
-		if !j.leftHash.hashBatch(j.probeBuf, j.probeHs, j.probeValid) {
-			for i, row := range j.probeBuf {
-				h, valid, err := hashKey(j.leftKeys, row)
-				if err != nil {
-					return nil, 0, false, false, err
-				}
-				j.probeHs[i], j.probeValid[i] = h, valid
+		for bi := j.table.lookup(h); bi >= 0; bi = j.next[bi] {
+			keep, out, err := j.matchRow(row, j.buildRows[bi])
+			if err != nil {
+				j.pendErr = err
+				break probeLoop
+			}
+			if keep {
+				j.out = append(j.out, out)
 			}
 		}
 	}
 }
 
-// nextProbe returns the next probe-side row, honoring the row peeked at
-// Open.
-func (j *hashJoinOp) nextProbe() (expr.Row, bool, error) {
-	if j.hasPending {
-		row := j.pending
-		j.pending, j.hasPending = nil, false
-		return row, true, nil
+// matchRow applies the residual and the key recheck to one candidate
+// pair, returning the joined row on a match. The residual runs before
+// the key recheck (its errors surface first), matching the original
+// row-at-a-time order of evaluation.
+func (j *hashJoinOp) matchRow(probeRow, buildRow expr.Row) (bool, expr.Row, error) {
+	if j.residual != nil {
+		out := concatRow(probeRow, buildRow)
+		keep, err := expr.EvalBool(j.residual, out)
+		if err != nil || !keep {
+			return false, nil, err
+		}
+		eq, err := j.keysEqual(probeRow, buildRow)
+		if err != nil || !eq {
+			return false, nil, err
+		}
+		return true, out, nil
 	}
-	return j.left.Next()
+	eq, err := j.keysEqual(probeRow, buildRow)
+	if err != nil || !eq {
+		return false, nil, err
+	}
+	return true, concatRow(probeRow, buildRow), nil
+}
+
+// recheck verifies key equality behind a hash hit (collisions). typed
+// compares lanes directly; otherwise the row path's Compare runs, with
+// its exact error behavior.
+func (j *hashJoinOp) recheck(typed bool, si int, bi int32, probeRow expr.Row) (bool, error) {
+	if !typed {
+		return j.keysEqual(probeRow, j.buildRows[bi])
+	}
+	for k := range j.eqMode {
+		pv := j.keyVecs[k]
+		arr := &j.keyArrs[k]
+		switch j.eqMode[k] {
+		case eqInt:
+			if pv.I[si] != arr.i[bi] {
+				return false, nil
+			}
+		case eqFloat:
+			var a float64
+			if pv.T == expr.TFloat {
+				a = pv.F[si]
+			} else {
+				a = float64(pv.I[si])
+			}
+			b := arr.float(bi)
+			// Compare's float equality is !(a < b) && !(a > b), which is
+			// not the same as == when NaN is involved.
+			if a < b || a > b {
+				return false, nil
+			}
+		case eqStr:
+			if pv.S[si] != arr.s[bi] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// emitPairs materializes the chunk's matches into one output slab: each
+// joined row is a sub-slice, so the headers in j.out stay valid without
+// a per-row allocation.
+func (j *hashJoinOp) emitPairs(rows []expr.Row) {
+	if len(j.pairs) == 0 {
+		return
+	}
+	need := 0
+	for _, pr := range j.pairs {
+		need += len(rows[pr[0]]) + len(j.buildRows[pr[1]])
+	}
+	slab := make([]expr.Value, 0, need)
+	for _, pr := range j.pairs {
+		start := len(slab)
+		slab = append(slab, rows[pr[0]]...)
+		slab = append(slab, j.buildRows[pr[1]]...)
+		j.out = append(j.out, expr.Row(slab[start:len(slab):len(slab)]))
+	}
+}
+
+func concatRow(l, r expr.Row) expr.Row {
+	out := make(expr.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
 }
 
 func (j *hashJoinOp) keysEqual(l, r expr.Row) (bool, error) {
@@ -861,9 +1279,13 @@ func (j *hashJoinOp) keysEqual(l, r expr.Row) (bool, error) {
 }
 
 func (j *hashJoinOp) Close() error {
-	j.table = nil
-	j.matches = nil
-	return j.left.Close()
+	j.buildRows = nil
+	j.table = chainTable{}
+	j.next = nil
+	j.rowBuckets = nil
+	j.out = nil
+	j.pending = nil
+	return j.probe.close()
 }
 
 // --- nested-loop join ---------------------------------------------------
@@ -936,37 +1358,57 @@ func (j *nlJoinOp) Close() error {
 
 // --- hash aggregate -----------------------------------------------------
 
-type aggState struct {
-	groupVals expr.Row
-	accums    []*accumulator
-}
-
+// hashAggOp groups its input and folds each row into per-group
+// accumulator lanes. The input is consumed a chunk at a time through a
+// chunkFeed (row-operator chunks in the sequential engine, native
+// columnar batches in the parallel one). Group identity is the binary
+// expr.AppendKey encoding and groups are numbered densely in
+// first-appearance order, so the output rows (and their order) are
+// independent of the evaluation path.
 type hashAggOp struct {
-	node   *plan.Node
-	child  Operator
-	keys   []expr.Expr // bound group-by columns
-	args   []expr.Expr // bound aggregate arguments (nil for COUNT(*))
-	fns    []expr.AggFn
-	groups map[string]*aggState
-	order  []string
-	pos    int
+	node    *plan.Node
+	feed    chunkFeed
+	keys    []expr.Expr // bound group-by columns
+	args    []expr.Expr // bound aggregate arguments (nil for COUNT(*))
+	fns     []expr.AggFn
+	inTypes []expr.Type
+
+	lookup    map[string]int32 // AppendKey encoding -> dense group id
+	groupVals []expr.Row       // per group id, in first-appearance order
+	accs      []*accCol        // per aggregate: typed group-slot lanes
+	pos       int
 
 	// Vectorized absorption (vec true): group keys and aggregate
-	// arguments are evaluated column-at-a-time per input chunk, and
-	// each key column is a bare column or a compiled kernel. Group
-	// identity is the binary expr.AppendKey encoding either way, so the
-	// groups (and their first-appearance order) are independent of the
-	// evaluation path.
+	// arguments are evaluated column-at-a-time per input chunk, each a
+	// bare column or a compiled kernel; the accumulators then update
+	// their group lanes straight from the vectors. Any chunk that does
+	// not vectorize exactly is re-run through the row path with
+	// identical results.
 	vec      bool
 	keyCols  []int
 	keyKerns []*expr.Kernel
 	argCols  []int
 	argKerns []*expr.Kernel
-	src      *batchSource
-	keyBuf   []byte
+
+	// Per-chunk scratch, operator-owned so steady-state absorption does
+	// not allocate.
+	keyVecs, argVecs   []*expr.Vec
+	keyDense, argDense []bool // kernel outputs are dense over the selection
+	gids               []int32
+	keyBuf             []byte
 }
 
 func newHashAgg(n *plan.Node, child Operator, vec bool) (Operator, error) {
+	return makeHashAgg(n, &opFeed{op: child}, vec)
+}
+
+// newHashAggBatch is newHashAgg consuming the parallel engine's
+// columnar batches directly — no row adapter on the input.
+func newHashAggBatch(n *plan.Node, src BatchOperator, vec bool) (Operator, error) {
+	return makeHashAgg(n, &batchFeed{src: src}, vec)
+}
+
+func makeHashAgg(n *plan.Node, feed chunkFeed, vec bool) (Operator, error) {
 	res := resolver(n.Children[0])
 	keys := make([]expr.Expr, len(n.GroupBy))
 	for i, g := range n.GroupBy {
@@ -988,14 +1430,23 @@ func newHashAgg(n *plan.Node, child Operator, vec bool) (Operator, error) {
 			args[i] = bound
 		}
 	}
-	op := &hashAggOp{node: n, child: child, keys: keys, args: args, fns: fns}
+	op := &hashAggOp{
+		node: n, feed: feed, keys: keys, args: args, fns: fns,
+		inTypes: colTypes(n.Children[0]),
+	}
+	op.accs = make([]*accCol, len(fns))
+	for i, fn := range fns {
+		op.accs[i] = &accCol{fn: fn}
+	}
 	if vec {
-		types := colTypes(n.Children[0])
 		op.vec = true
-		op.keyCols, op.keyKerns = classifyExprs(keys, types, &op.vec)
-		op.argCols, op.argKerns = classifyExprs(args, types, &op.vec)
+		op.keyCols, op.keyKerns = classifyExprs(keys, op.inTypes, &op.vec)
+		op.argCols, op.argKerns = classifyExprs(args, op.inTypes, &op.vec)
 		if op.vec {
-			op.src = newBatchSource(types)
+			op.keyVecs = make([]*expr.Vec, len(keys))
+			op.keyDense = make([]bool, len(keys))
+			op.argVecs = make([]*expr.Vec, len(args))
+			op.argDense = make([]bool, len(args))
 		}
 	}
 	return op, nil
@@ -1026,263 +1477,478 @@ func classifyExprs(exprs []expr.Expr, types []expr.Type, vec *bool) ([]int, []*e
 }
 
 func (a *hashAggOp) Open() error {
-	if err := a.child.Open(); err != nil {
+	if err := a.feed.open(); err != nil {
 		return err
 	}
-	a.groups = map[string]*aggState{}
-	a.order = nil
+	a.lookup = make(map[string]int32)
+	a.groupVals = a.groupVals[:0]
+	for _, acc := range a.accs {
+		acc.reset()
+	}
 	a.pos = 0
-	buf := make([]expr.Row, 0, BatchSize)
 	for {
-		buf = buf[:0]
-		for len(buf) < BatchSize {
-			row, ok, err := a.child.Next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				break
-			}
-			buf = append(buf, row)
-		}
-		if len(buf) == 0 {
-			break
-		}
-		if err := a.absorbBatch(buf); err != nil {
+		chunk, err := a.feed.nextChunk()
+		if err != nil {
 			return err
 		}
-		if len(buf) < BatchSize {
+		if chunk == nil {
 			break
 		}
+		if chunk.Len() == 0 {
+			continue
+		}
+		if err := a.absorbChunk(chunk); err != nil {
+			return err
+		}
 	}
-	if err := a.child.Close(); err != nil {
+	if err := a.feed.close(); err != nil {
 		return err
 	}
 	// A global aggregation over zero rows still yields one row.
-	if len(a.keys) == 0 && len(a.groups) == 0 {
-		st := &aggState{accums: newAccums(a.fns)}
-		a.groups[""] = st
-		a.order = append(a.order, "")
+	if len(a.keys) == 0 && len(a.groupVals) == 0 {
+		a.newGroup("", nil)
 	}
 	return nil
 }
 
-// absorbBatch folds one input chunk into the groups, vectorized when
+// newGroup registers a group and grows every accumulator's lanes by one
+// slot; the new dense group id is returned.
+func (a *hashAggOp) newGroup(key string, vals expr.Row) int32 {
+	gid := int32(len(a.groupVals))
+	a.groupVals = append(a.groupVals, vals)
+	a.lookup[key] = gid
+	for _, acc := range a.accs {
+		acc.grow()
+	}
+	return gid
+}
+
+// absorbChunk folds one input chunk into the groups, vectorized when
 // possible and row by row otherwise.
-func (a *hashAggOp) absorbBatch(rows []expr.Row) error {
-	if a.vec {
-		if ok, err := a.absorbVec(rows); ok || err != nil {
-			return err
-		}
+func (a *hashAggOp) absorbChunk(chunk *Batch) error {
+	if a.vec && a.absorbVecChunk(chunk) {
+		return nil
 	}
-	for _, row := range rows {
-		if err := a.absorb(row); err != nil {
+	for _, row := range chunk.Rows() {
+		if err := a.absorbRow(row); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// absorbVec evaluates all key/argument columns of the chunk at once and
-// accumulates per row. ok is false when a vector could not be built (a
-// lane-impure column, a kernel error): the caller re-runs the chunk row
-// by row, reproducing interpreter behavior exactly.
-func (a *hashAggOp) absorbVec(rows []expr.Row) (bool, error) {
-	a.src.Reset(rows)
-	keyVecs := make([]*expr.Vec, len(a.keys))
+// absorbVecChunk evaluates all key/argument columns of the chunk at
+// once, assigns every row its dense group id, and lets each accumulator
+// update its typed group lanes straight from the argument vector — no
+// per-row Value boxing. It reports false when a vector could not be
+// resolved (a lane-impure or inexact column, a kernel error): the
+// caller re-runs the chunk row by row, reproducing interpreter behavior
+// exactly.
+func (a *hashAggOp) absorbVecChunk(chunk *Batch) bool {
+	d := chunk.Data()
+	d.Bind(a.inTypes)
+	sel := chunk.Sel()
+	n := chunk.Len()
 	for i := range a.keys {
-		v, ok := a.evalVec(a.keyCols[i], a.keyKerns[i])
+		v, dense, ok := a.evalVec(d, sel, a.keyCols[i], a.keyKerns[i])
 		if !ok {
-			return false, nil
+			return false
 		}
-		keyVecs[i] = v
+		a.keyVecs[i], a.keyDense[i] = v, dense
 	}
-	argVecs := make([]*expr.Vec, len(a.args))
 	for i := range a.args {
 		if a.args[i] == nil {
 			continue
 		}
-		v, ok := a.evalVec(a.argCols[i], a.argKerns[i])
+		v, dense, ok := a.evalVec(d, sel, a.argCols[i], a.argKerns[i])
 		if !ok {
-			return false, nil
+			return false
 		}
-		argVecs[i] = v
+		a.argVecs[i], a.argDense[i] = v, dense
 	}
-	for r := range rows {
+	if cap(a.gids) < n {
+		a.gids = make([]int32, n)
+	}
+	a.gids = a.gids[:n]
+	for r := 0; r < n; r++ {
 		a.keyBuf = a.keyBuf[:0]
-		for _, v := range keyVecs {
-			a.keyBuf = v.AppendKeyAt(a.keyBuf, r)
+		for i, v := range a.keyVecs {
+			vi := r
+			if !a.keyDense[i] && sel != nil {
+				vi = int(sel[r])
+			}
+			a.keyBuf = v.AppendKeyAt(a.keyBuf, vi)
 		}
-		st, ok := a.groups[string(a.keyBuf)]
+		gid, ok := a.lookup[string(a.keyBuf)]
 		if !ok {
-			groupVals := make(expr.Row, len(a.keys))
-			for i, v := range keyVecs {
+			vals := make(expr.Row, len(a.keys))
+			for i, v := range a.keyVecs {
 				// Bare columns take the row's value as-is (exact NULL
 				// type preservation); kernel NULLs materialize with the
 				// operator's NullT, matching the interpreter.
 				if a.keyCols[i] >= 0 {
-					groupVals[i] = rows[r][a.keyCols[i]]
+					vals[i] = chunk.RowValue(r, a.keyCols[i])
 				} else {
-					groupVals[i] = v.Value(r)
+					vals[i] = v.Value(r)
 				}
 			}
-			key := string(a.keyBuf)
-			st = &aggState{groupVals: groupVals, accums: newAccums(a.fns)}
-			a.groups[key] = st
-			a.order = append(a.order, key)
+			gid = a.newGroup(string(a.keyBuf), vals)
 		}
-		for i, acc := range st.accums {
-			if a.args[i] == nil {
-				acc.addCountStar()
-				continue
-			}
-			if a.argCols[i] >= 0 {
-				acc.add(rows[r][a.argCols[i]])
-			} else {
-				acc.add(argVecs[i].Value(r))
-			}
-		}
+		a.gids[r] = gid
 	}
-	return true, nil
+	for i, acc := range a.accs {
+		if a.args[i] == nil {
+			if len(acc.count) > 0 {
+				for _, g := range a.gids {
+					acc.count[g]++
+				}
+			}
+			continue
+		}
+		acc.addVec(a.gids, a.argVecs[i], sel, a.argDense[i], n)
+	}
+	return true
 }
 
-// evalVec resolves one classified expression over the current chunk.
-func (a *hashAggOp) evalVec(col int, kern *expr.Kernel) (*expr.Vec, bool) {
+// evalVec resolves one classified expression over the chunk. dense
+// reports kernel outputs, which are indexed by selection position;
+// column vectors are indexed by pre-selection row. Bare columns must be
+// exact: an inexact vector canonicalizes payloads the row path feeds to
+// the accumulators and key encoder verbatim.
+func (a *hashAggOp) evalVec(d *expr.Batch, sel []int32, col int, kern *expr.Kernel) (*expr.Vec, bool, bool) {
 	if col >= 0 {
-		return a.src.ColVec(col)
+		v, ok := d.ColVec(col)
+		if !ok || !v.Exact {
+			return nil, false, false
+		}
+		return v, false, true
 	}
-	v, err := kern.EvalVec(a.src, nil)
+	v, err := kern.EvalVec(d, sel)
 	if err != nil {
-		return nil, false
+		return nil, false, false
 	}
-	return v, true
+	return v, true, true
 }
 
-func (a *hashAggOp) absorb(row expr.Row) error {
+func (a *hashAggOp) absorbRow(row expr.Row) error {
 	a.keyBuf = a.keyBuf[:0]
-	groupVals := make(expr.Row, len(a.keys))
+	vals := make(expr.Row, len(a.keys))
 	for i, k := range a.keys {
 		v, err := expr.Eval(k, row)
 		if err != nil {
 			return err
 		}
-		groupVals[i] = v
+		vals[i] = v
 		a.keyBuf = expr.AppendKey(a.keyBuf, v)
 	}
-	st, ok := a.groups[string(a.keyBuf)]
+	gid, ok := a.lookup[string(a.keyBuf)]
 	if !ok {
-		key := string(a.keyBuf)
-		st = &aggState{groupVals: groupVals, accums: newAccums(a.fns)}
-		a.groups[key] = st
-		a.order = append(a.order, key)
+		gid = a.newGroup(string(a.keyBuf), vals)
 	}
-	for i, acc := range st.accums {
+	for i, acc := range a.accs {
 		if a.args[i] == nil {
-			acc.addCountStar()
+			acc.addCountStar(gid)
 			continue
 		}
 		v, err := expr.Eval(a.args[i], row)
 		if err != nil {
 			return err
 		}
-		acc.add(v)
+		acc.addVal(gid, v)
 	}
 	return nil
 }
 
 func (a *hashAggOp) Next() (expr.Row, bool, error) {
-	if a.pos >= len(a.order) {
+	if a.pos >= len(a.groupVals) {
 		return nil, false, nil
 	}
-	st := a.groups[a.order[a.pos]]
+	gid := int32(a.pos)
+	vals := a.groupVals[a.pos]
 	a.pos++
-	out := make(expr.Row, 0, len(st.groupVals)+len(st.accums))
-	out = append(out, st.groupVals...)
-	for _, acc := range st.accums {
-		out = append(out, acc.result())
+	out := make(expr.Row, 0, len(vals)+len(a.accs))
+	out = append(out, vals...)
+	for _, acc := range a.accs {
+		out = append(out, acc.result(gid))
 	}
 	return out, true, nil
 }
 
 func (a *hashAggOp) Close() error {
-	a.groups = nil
-	a.order = nil
+	a.lookup = nil
+	a.groupVals = nil
 	return nil
 }
 
-// accumulator computes one aggregate.
-type accumulator struct {
-	fn       expr.AggFn
-	count    int64
-	sumF     float64
-	sumI     int64
-	intOnly  bool
-	min, max expr.Value
-	seen     bool
+// accCol computes one aggregate across all groups: a struct-of-arrays
+// accumulator whose lanes are indexed by dense group id, so vectorized
+// absorption updates int64/float64 slots directly. Only the lanes the
+// function needs are grown.
+type accCol struct {
+	fn     expr.AggFn
+	count  []int64
+	sumI   []int64
+	sumF   []float64
+	floaty []bool // SUM left int-only accumulation (result is a float)
+	seen   []bool
+	best   []expr.Value // MIN or MAX candidate per group
 }
 
-func newAccums(fns []expr.AggFn) []*accumulator {
-	out := make([]*accumulator, len(fns))
-	for i, fn := range fns {
-		out[i] = &accumulator{fn: fn, intOnly: true}
+func (a *accCol) reset() {
+	a.count = a.count[:0]
+	a.sumI = a.sumI[:0]
+	a.sumF = a.sumF[:0]
+	a.floaty = a.floaty[:0]
+	a.seen = a.seen[:0]
+	a.best = a.best[:0]
+}
+
+func (a *accCol) grow() {
+	switch a.fn {
+	case expr.AggCount:
+		a.count = append(a.count, 0)
+	case expr.AggSum:
+		a.count = append(a.count, 0)
+		a.sumI = append(a.sumI, 0)
+		a.sumF = append(a.sumF, 0)
+		a.floaty = append(a.floaty, false)
+	case expr.AggAvg:
+		a.count = append(a.count, 0)
+		a.sumF = append(a.sumF, 0)
+	case expr.AggMin, expr.AggMax:
+		a.seen = append(a.seen, false)
+		a.best = append(a.best, expr.Value{})
 	}
-	return out
 }
 
-func (a *accumulator) addCountStar() { a.count++ }
+func (a *accCol) addCountStar(g int32) {
+	if len(a.count) > 0 {
+		a.count[g]++
+	}
+}
 
-func (a *accumulator) add(v expr.Value) {
+// addVal folds one value into group g, the row-path twin of addVec.
+func (a *accCol) addVal(g int32, v expr.Value) {
 	if v.IsNull() {
 		return // SQL aggregates skip NULLs
 	}
-	a.count++
-	switch v.T {
-	case expr.TInt, expr.TBool, expr.TDate:
-		a.sumI += v.Int()
-		a.sumF += float64(v.Int())
-	default:
-		a.intOnly = false
-		a.sumF += v.Float()
-	}
-	if !a.seen {
-		a.min, a.max, a.seen = v, v, true
-		return
-	}
-	if c, err := v.Compare(a.min); err == nil && c < 0 {
-		a.min = v
-	}
-	if c, err := v.Compare(a.max); err == nil && c > 0 {
-		a.max = v
+	switch a.fn {
+	case expr.AggCount:
+		a.count[g]++
+	case expr.AggSum:
+		a.count[g]++
+		switch v.T {
+		case expr.TInt, expr.TBool, expr.TDate:
+			a.sumI[g] += v.Int()
+			a.sumF[g] += float64(v.Int())
+		default:
+			a.floaty[g] = true
+			a.sumF[g] += v.Float()
+		}
+	case expr.AggAvg:
+		a.count[g]++
+		switch v.T {
+		case expr.TInt, expr.TBool, expr.TDate:
+			a.sumF[g] += float64(v.Int())
+		default:
+			a.sumF[g] += v.Float()
+		}
+	case expr.AggMin:
+		if !a.seen[g] {
+			a.seen[g], a.best[g] = true, v
+			return
+		}
+		if c, err := v.Compare(a.best[g]); err == nil && c < 0 {
+			a.best[g] = v
+		}
+	case expr.AggMax:
+		if !a.seen[g] {
+			a.seen[g], a.best[g] = true, v
+			return
+		}
+		if c, err := v.Compare(a.best[g]); err == nil && c > 0 {
+			a.best[g] = v
+		}
 	}
 }
 
-func (a *accumulator) result() expr.Value {
+// addVec folds one argument vector into the group lanes: gids[r] is the
+// group of logical row r; column vectors are indexed through sel while
+// dense kernel outputs are indexed by r directly.
+func (a *accCol) addVec(gids []int32, v *expr.Vec, sel []int32, dense bool, n int) {
+	mapped := !dense && sel != nil
 	switch a.fn {
 	case expr.AggCount:
-		return expr.NewInt(a.count)
+		for r := 0; r < n; r++ {
+			i := r
+			if mapped {
+				i = int(sel[r])
+			}
+			if v.IsNullAt(i) {
+				continue
+			}
+			a.count[gids[r]]++
+		}
 	case expr.AggSum:
-		if a.count == 0 {
-			return expr.TypedNull(expr.TFloat)
+		switch v.T {
+		case expr.TInt, expr.TDate:
+			for r := 0; r < n; r++ {
+				i := r
+				if mapped {
+					i = int(sel[r])
+				}
+				if v.IsNullAt(i) {
+					continue
+				}
+				g := gids[r]
+				a.count[g]++
+				a.sumI[g] += v.I[i]
+				a.sumF[g] += float64(v.I[i])
+			}
+		case expr.TBool:
+			for r := 0; r < n; r++ {
+				i := r
+				if mapped {
+					i = int(sel[r])
+				}
+				if v.IsNullAt(i) {
+					continue
+				}
+				g := gids[r]
+				var x int64
+				if v.B.Get(i) {
+					x = 1
+				}
+				a.count[g]++
+				a.sumI[g] += x
+				a.sumF[g] += float64(x)
+			}
+		case expr.TFloat:
+			for r := 0; r < n; r++ {
+				i := r
+				if mapped {
+					i = int(sel[r])
+				}
+				if v.IsNullAt(i) {
+					continue
+				}
+				g := gids[r]
+				a.count[g]++
+				a.floaty[g] = true
+				a.sumF[g] += v.F[i]
+			}
+		default: // strings: Float() is 0, the sum still goes float
+			for r := 0; r < n; r++ {
+				i := r
+				if mapped {
+					i = int(sel[r])
+				}
+				if v.IsNullAt(i) {
+					continue
+				}
+				g := gids[r]
+				a.count[g]++
+				a.floaty[g] = true
+			}
 		}
-		if a.intOnly {
-			return expr.NewInt(a.sumI)
-		}
-		return expr.NewFloat(a.sumF)
 	case expr.AggAvg:
-		if a.count == 0 {
+		for r := 0; r < n; r++ {
+			i := r
+			if mapped {
+				i = int(sel[r])
+			}
+			if v.IsNullAt(i) {
+				continue
+			}
+			g := gids[r]
+			a.count[g]++
+			switch v.T {
+			case expr.TInt, expr.TDate:
+				a.sumF[g] += float64(v.I[i])
+			case expr.TBool:
+				if v.B.Get(i) {
+					a.sumF[g]++
+				}
+			case expr.TFloat:
+				a.sumF[g] += v.F[i]
+			}
+		}
+	case expr.AggMin:
+		a.mergeMinMax(gids, v, sel, dense, n, true)
+	case expr.AggMax:
+		a.mergeMinMax(gids, v, sel, dense, n, false)
+	}
+}
+
+// mergeMinMax updates the per-group best value row by row. The typed
+// fast paths mirror Value.Compare exactly — in particular the float
+// comparison is strict < / >, so a NaN candidate never replaces the
+// best and a NaN best is never replaced, matching the row path's
+// per-row Compare behavior (a chunk-local reduce-then-merge would not).
+func (a *accCol) mergeMinMax(gids []int32, v *expr.Vec, sel []int32, dense bool, n int, min bool) {
+	mapped := !dense && sel != nil
+	for r := 0; r < n; r++ {
+		i := r
+		if mapped {
+			i = int(sel[r])
+		}
+		if v.IsNullAt(i) {
+			continue
+		}
+		g := gids[r]
+		if !a.seen[g] {
+			a.seen[g], a.best[g] = true, v.Value(i)
+			continue
+		}
+		b := &a.best[g]
+		if b.T == v.T && !b.Null {
+			switch v.T {
+			case expr.TInt, expr.TDate:
+				if x := v.I[i]; min && x < b.I || !min && x > b.I {
+					*b = v.Value(i)
+				}
+				continue
+			case expr.TFloat:
+				if x := v.F[i]; min && x < b.F || !min && x > b.F {
+					*b = v.Value(i)
+				}
+				continue
+			case expr.TString:
+				if x := v.S[i]; min && x < b.S || !min && x > b.S {
+					*b = v.Value(i)
+				}
+				continue
+			}
+		}
+		val := v.Value(i)
+		if c, err := val.Compare(*b); err == nil && (min && c < 0 || !min && c > 0) {
+			a.best[g] = val
+		}
+	}
+}
+
+func (a *accCol) result(g int32) expr.Value {
+	switch a.fn {
+	case expr.AggCount:
+		return expr.NewInt(a.count[g])
+	case expr.AggSum:
+		if a.count[g] == 0 {
 			return expr.TypedNull(expr.TFloat)
 		}
-		return expr.NewFloat(a.sumF / float64(a.count))
-	case expr.AggMin:
-		if !a.seen {
+		if !a.floaty[g] {
+			return expr.NewInt(a.sumI[g])
+		}
+		return expr.NewFloat(a.sumF[g])
+	case expr.AggAvg:
+		if a.count[g] == 0 {
+			return expr.TypedNull(expr.TFloat)
+		}
+		return expr.NewFloat(a.sumF[g] / float64(a.count[g]))
+	case expr.AggMin, expr.AggMax:
+		if !a.seen[g] {
 			return expr.NullValue()
 		}
-		return a.min
-	case expr.AggMax:
-		if !a.seen {
-			return expr.NullValue()
-		}
-		return a.max
+		return a.best[g]
 	}
 	return expr.NullValue()
 }

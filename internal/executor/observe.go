@@ -175,7 +175,7 @@ func (p *batchProfOp) NextBatch() (*Batch, error) {
 	b, err := p.op.NextBatch()
 	p.stats.AddTime(time.Since(t0))
 	if b != nil {
-		p.stats.Rows.Add(int64(len(b.Rows)))
+		p.stats.Rows.Add(int64(b.Len()))
 		p.stats.Batches.Add(1)
 	}
 	return b, err

@@ -115,7 +115,7 @@ func CollectBatches(op BatchOperator) ([]expr.Row, error) {
 		if b == nil {
 			return out, nil
 		}
-		out = append(out, b.Rows...)
+		out = append(out, b.Rows()...)
 		b.Release()
 	}
 }
@@ -191,11 +191,7 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 			return nil, fmt.Errorf("executor: filter bind: %w", err)
 		}
 		types := colTypes(n.Children[0])
-		f := &batchFilterOp{src: src, pred: pred, kern: compilePred(pred, types, eng.opt.kernels())}
-		if f.kern != nil {
-			f.vsrc = newBatchSource(types)
-		}
-		return f, nil
+		return &batchFilterOp{src: src, pred: pred, kern: compilePred(pred, types, eng.opt.kernels()), types: types}, nil
 	case plan.ProjectExec, plan.Project:
 		src, err := buildParallel(n.Children[0], eng)
 		if err != nil {
@@ -217,15 +213,11 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 		// fails and fusion is skipped under EXPLAIN ANALYZE.
 		if f, ok := src.(*batchFilterOp); ok && f.kern != nil && eng.opt.kernels() {
 			return &batchFilterProjectOp{
-				src: f.src, pred: f.pred, kern: f.kern, vsrc: f.vsrc,
+				src: f.src, pred: f.pred, kern: f.kern, types: f.types,
 				exprs: exprs, proj: compileProj(exprs, types, true),
 			}, nil
 		}
-		p := &batchProjectOp{src: src, exprs: exprs, proj: compileProj(exprs, types, eng.opt.kernels())}
-		if p.proj != nil {
-			p.vsrc = newBatchSource(types)
-		}
-		return p, nil
+		return &batchProjectOp{src: src, exprs: exprs, proj: compileProj(exprs, types, eng.opt.kernels()), types: types}, nil
 	case plan.LimitExec, plan.Limit:
 		src, err := buildParallel(n.Children[0], eng)
 		if err != nil {
@@ -243,29 +235,46 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 		}
 		return &batchUnionOp{children: children}, nil
 	}
-	// Blocking operators (joins, aggregates, sorts) materialize their
-	// inputs anyway; they reuse the row implementations via adapters.
-	children := make([]Operator, len(n.Children))
-	for i, ch := range n.Children {
-		src, err := buildParallel(ch, eng)
-		if err != nil {
-			return nil, err
-		}
-		children[i] = &batchesToRows{src: src}
-	}
+	// Blocking operators materialize their inputs anyway. Hash join and
+	// hash aggregate consume the columnar batches natively through chunk
+	// feeds — no row adapter on their inputs; merge/NL join and sort
+	// reuse the row implementations via adapters.
 	var op Operator
 	var err error
 	switch n.Kind {
 	case plan.HashJoin:
-		op, err = newHashJoin(n, children[0], children[1], eng.opt.kernels())
-	case plan.MergeJoin:
-		op, err = newMergeJoin(n, children[0], children[1])
-	case plan.NLJoin, plan.Join:
-		op, err = newNLJoin(n, children[0], children[1])
+		left, lerr := buildParallel(n.Children[0], eng)
+		if lerr != nil {
+			return nil, lerr
+		}
+		right, rerr := buildParallel(n.Children[1], eng)
+		if rerr != nil {
+			return nil, rerr
+		}
+		op, err = newHashJoinBatch(n, left, right, eng.opt.kernels())
 	case plan.HashAgg, plan.Aggregate:
-		op, err = newHashAgg(n, children[0], eng.opt.kernels())
-	case plan.SortExec, plan.Sort:
-		op, err = newSort(n, children[0])
+		src, serr := buildParallel(n.Children[0], eng)
+		if serr != nil {
+			return nil, serr
+		}
+		op, err = newHashAggBatch(n, src, eng.opt.kernels())
+	case plan.MergeJoin, plan.NLJoin, plan.Join, plan.SortExec, plan.Sort:
+		children := make([]Operator, len(n.Children))
+		for i, ch := range n.Children {
+			src, cerr := buildParallel(ch, eng)
+			if cerr != nil {
+				return nil, cerr
+			}
+			children[i] = &batchesToRows{src: src}
+		}
+		switch n.Kind {
+		case plan.MergeJoin:
+			op, err = newMergeJoin(n, children[0], children[1])
+		case plan.NLJoin, plan.Join:
+			op, err = newNLJoin(n, children[0], children[1])
+		default:
+			op, err = newSort(n, children[0])
+		}
 	default:
 		return nil, fmt.Errorf("executor: unsupported operator %s", n.Kind)
 	}
@@ -393,7 +402,7 @@ func (p *exchangeProducer) produce() error {
 			}
 			return nil
 		}
-		rows := b.Rows
+		rows := b.Rows()
 		for len(rows) > 0 {
 			take := BatchSize - len(pending)
 			if take > len(rows) {
@@ -436,13 +445,15 @@ func (e *exchangeOp) NextBatch() (*Batch, error) {
 		e.done = true
 		return nil, msg.err
 	}
-	rows, err := network.DecodeBatch(msg.frame)
-	if err != nil {
+	// Frames decode straight into column vectors: downstream kernels run
+	// on the decoded lanes with no row materialization, and the row view
+	// (when an operator does need it) reproduces DecodeBatch exactly.
+	b := NewBatch()
+	if err := network.DecodeBatchCols(msg.frame, b.Data()); err != nil {
+		b.Release()
 		e.done = true
 		return nil, fmt.Errorf("executor: exchange frame decode: %w", err)
 	}
-	b := NewBatch()
-	b.Rows = append(b.Rows, rows...)
 	return b, nil
 }
 
@@ -469,21 +480,25 @@ func (r *rowsToBatches) Open() error { return r.op.Open() }
 
 func (r *rowsToBatches) NextBatch() (*Batch, error) {
 	b := NewBatch()
-	for len(b.Rows) < cap(b.Rows) {
+	buf := b.rowBuf[:0]
+	for len(buf) < BatchSize {
 		row, ok, err := r.op.Next()
 		if err != nil {
+			b.rowBuf = buf
 			b.Release()
 			return nil, err
 		}
 		if !ok {
 			break
 		}
-		b.Rows = append(b.Rows, row)
+		buf = append(buf, row)
 	}
-	if len(b.Rows) == 0 {
+	b.rowBuf = buf
+	if len(buf) == 0 {
 		b.Release()
 		return nil, nil
 	}
+	b.SetRows(buf)
 	return b, nil
 }
 
@@ -492,22 +507,23 @@ func (r *rowsToBatches) Close() error { return r.op.Close() }
 // batchesToRows lowers a batch operator to the row interface for the
 // blocking operators that consume rows one at a time.
 type batchesToRows struct {
-	src BatchOperator
-	cur *Batch
-	pos int
+	src  BatchOperator
+	cur  *Batch
+	rows []expr.Row
+	pos  int
 }
 
 func (b *batchesToRows) Open() error { return b.src.Open() }
 
 func (b *batchesToRows) Next() (expr.Row, bool, error) {
 	for {
-		if b.cur != nil && b.pos < len(b.cur.Rows) {
-			row := b.cur.Rows[b.pos]
+		if b.pos < len(b.rows) {
+			row := b.rows[b.pos]
 			b.pos++
 			return row, true, nil
 		}
 		b.cur.Release()
-		b.cur = nil
+		b.cur, b.rows = nil, nil
 		next, err := b.src.NextBatch()
 		if err != nil {
 			return nil, false, err
@@ -516,13 +532,14 @@ func (b *batchesToRows) Next() (expr.Row, bool, error) {
 			return nil, false, nil
 		}
 		b.cur = next
+		b.rows = next.Rows()
 		b.pos = 0
 	}
 }
 
 func (b *batchesToRows) Close() error {
 	b.cur.Release()
-	b.cur = nil
+	b.cur, b.rows = nil, nil
 	return b.src.Close()
 }
 
@@ -548,22 +565,55 @@ func (s *batchScanOp) NextBatch() (*Batch, error) {
 	if end > len(rows) {
 		end = len(rows)
 	}
+	// The batch aliases the fragment's rows — no copy; columns are built
+	// lazily (and at most once) by the first kernel consumer.
 	b := NewBatch()
-	b.Rows = append(b.Rows, rows[s.pos:end]...)
+	b.SetRows(rows[s.pos:end])
 	s.pos = end
 	return b, nil
 }
 
 func (s *batchScanOp) Close() error { return s.scan.Close() }
 
-// batchFilterOp compacts each batch in place, keeping qualifying rows.
-// With a compiled predicate the batch is filtered through its columnar
-// view; a batch the kernel cannot handle is re-run row by row.
+// runSelect narrows a batch's selection through a compiled predicate,
+// in place: the surviving selection lives in batch-owned storage either
+// way. ok is false when the kernel could not evaluate the batch — the
+// selection is left exactly as before then (a partially compacted
+// selection is restored from scratch), so the interpreter fallback sees
+// the original rows.
+func runSelect(kern *expr.PredKernel, b *Batch, d *expr.Batch, scratch *[]int32) ([]int32, bool) {
+	if cur := b.Sel(); cur != nil {
+		// Select compacts a non-nil selection in place as it goes; keep a
+		// copy so an error can undo the partial compaction.
+		*scratch = append((*scratch)[:0], cur...)
+		sel, err := kern.Select(d, cur, nil)
+		if err != nil {
+			copy(cur, *scratch)
+			b.compactSel(cur)
+			return nil, false
+		}
+		b.compactSel(sel)
+		return sel, true
+	}
+	sel, err := kern.Select(d, nil, b.SelBuf())
+	if err != nil {
+		return nil, false
+	}
+	b.setSel(sel)
+	return sel, true
+}
+
+// batchFilterOp narrows each batch to its qualifying rows. With a
+// compiled predicate only the selection vector changes — no rows move
+// and no columns rebuild; a batch the kernel cannot handle is re-run
+// row by row into batch-owned row storage (never compacted in place:
+// row-backed batches may alias upstream rows).
 type batchFilterOp struct {
-	src  BatchOperator
-	pred expr.Expr
-	kern *vecPred
-	vsrc *batchSource
+	src     BatchOperator
+	pred    expr.Expr
+	kern    *vecPred
+	types   []expr.Type
+	selCopy []int32
 }
 
 func (f *batchFilterOp) Open() error { return f.src.Open() }
@@ -575,23 +625,21 @@ func (f *batchFilterOp) NextBatch() (*Batch, error) {
 			return nil, err
 		}
 		if f.kern != nil {
-			f.vsrc.Reset(b.Rows)
-			if sel, ok := f.kern.selectRows(f.vsrc); ok {
-				kept := b.Rows[:0]
-				for _, si := range sel {
-					kept = append(kept, b.Rows[si])
-				}
-				clear(b.Rows[len(kept):])
-				b.Rows = kept
-				if len(b.Rows) > 0 {
+			d := b.Data()
+			d.Bind(f.types)
+			if sel, ok := runSelect(f.kern.kern, b, d, &f.selCopy); ok {
+				if len(sel) > 0 {
 					return b, nil
 				}
 				b.Release()
 				continue
 			}
 		}
-		kept := b.Rows[:0]
-		for _, row := range b.Rows {
+		// Interpreter re-run over the (selected) row view; survivors are
+		// gathered into the batch's own row storage.
+		rows := b.Rows()
+		kept := b.rowBuf[:0]
+		for _, row := range rows {
 			keep, err := expr.EvalBool(f.pred, row)
 			if err != nil {
 				b.Release()
@@ -601,10 +649,9 @@ func (f *batchFilterOp) NextBatch() (*Batch, error) {
 				kept = append(kept, row)
 			}
 		}
-		// Clear the tail so released batches don't pin dropped rows.
-		clear(b.Rows[len(kept):])
-		b.Rows = kept
-		if len(b.Rows) > 0 {
+		b.rowBuf = kept
+		b.SetRows(kept)
+		if b.Len() > 0 {
 			return b, nil
 		}
 		b.Release()
@@ -613,13 +660,16 @@ func (f *batchFilterOp) NextBatch() (*Batch, error) {
 
 func (f *batchFilterOp) Close() error { return f.src.Close() }
 
-// batchProjectOp evaluates the projection over each input batch,
-// through compiled kernels when available.
+// batchProjectOp evaluates the projection over each input batch. The
+// fast path is fully columnar: kernel outputs, gathered passthroughs
+// and broadcast constants land in the output batch's own vectors, and
+// no row materializes. Batches that path cannot handle exactly fall
+// back to kernel-assisted row assembly, then to the interpreter.
 type batchProjectOp struct {
 	src   BatchOperator
 	exprs []expr.Expr
 	proj  *vecProj
-	vsrc  *batchSource
+	types []expr.Type
 }
 
 func (p *batchProjectOp) Open() error { return p.src.Open() }
@@ -631,22 +681,32 @@ func (p *batchProjectOp) NextBatch() (*Batch, error) {
 	}
 	out := NewBatch()
 	if p.proj != nil {
-		p.vsrc.Reset(in.Rows)
-		if rows, ok := p.proj.apply(p.vsrc, nil, out.Rows); ok {
-			out.Rows = rows
+		d := in.Data()
+		d.Bind(p.types)
+		if p.proj.applyCols(d, in.Sel(), out.Data()) {
+			in.Release()
+			return out, nil
+		}
+		if rows, ok := p.proj.apply(d, in.Sel(), out.rowBuf[:0]); ok {
+			out.rowBuf = rows
+			out.SetRows(rows)
 			in.Release()
 			return out, nil
 		}
 	}
-	for _, row := range in.Rows {
+	buf := out.rowBuf[:0]
+	for _, row := range in.Rows() {
 		proj, err := projectRow(p.exprs, row)
 		if err != nil {
 			in.Release()
+			out.rowBuf = buf
 			out.Release()
 			return nil, err
 		}
-		out.Rows = append(out.Rows, proj)
+		buf = append(buf, proj)
 	}
+	out.rowBuf = buf
+	out.SetRows(buf)
 	in.Release()
 	return out, nil
 }
@@ -654,17 +714,19 @@ func (p *batchProjectOp) NextBatch() (*Batch, error) {
 func (p *batchProjectOp) Close() error { return p.src.Close() }
 
 // batchFilterProjectOp is the fused filter+projection of the parallel
-// engine: one columnar view per batch, the predicate's surviving
-// selection vector driving the projection kernels directly. Batches
-// either kernel cannot handle re-run row by row — filter then project,
-// in row order — matching the interpreter.
+// engine: the predicate narrows the batch's selection vector, which
+// drives the projection kernels directly over the same columnar view —
+// surviving rows are never materialized between the two. Batches either
+// kernel cannot handle re-run row by row — filter then project, in row
+// order — matching the interpreter.
 type batchFilterProjectOp struct {
-	src   BatchOperator
-	pred  expr.Expr
-	kern  *vecPred
-	vsrc  *batchSource
-	exprs []expr.Expr
-	proj  *vecProj // nil: passthrough/interpreted outputs only
+	src     BatchOperator
+	pred    expr.Expr
+	kern    *vecPred
+	types   []expr.Type
+	exprs   []expr.Expr
+	proj    *vecProj // nil: passthrough/interpreted outputs only
+	selCopy []int32
 }
 
 func (p *batchFilterProjectOp) Open() error { return p.src.Open() }
@@ -675,43 +737,24 @@ func (p *batchFilterProjectOp) NextBatch() (*Batch, error) {
 		if err != nil || in == nil {
 			return nil, err
 		}
-		out := NewBatch()
-		p.vsrc.Reset(in.Rows)
-		if sel, ok := p.kern.selectRows(p.vsrc); ok {
-			applied := true
-			if p.proj != nil {
-				var rows []expr.Row
-				if rows, applied = p.proj.apply(p.vsrc, sel, out.Rows); applied {
-					out.Rows = rows
-				}
-			} else {
-				for _, si := range sel {
-					proj, err := projectRow(p.exprs, in.Rows[si])
-					if err != nil {
-						applied = false
-						break
-					}
-					out.Rows = append(out.Rows, proj)
-				}
-				if !applied {
-					clear(out.Rows)
-					out.Rows = out.Rows[:0]
-				}
+		out, done, err := p.processBatch(in)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			if out != nil {
+				return out, nil
 			}
-			if applied {
-				in.Release()
-				if len(out.Rows) > 0 {
-					return out, nil
-				}
-				out.Release()
-				continue
-			}
+			continue
 		}
 		// Full interpreter re-run of the batch, in row order.
-		for _, row := range in.Rows {
+		out = NewBatch()
+		buf := out.rowBuf[:0]
+		for _, row := range in.Rows() {
 			keep, err := expr.EvalBool(p.pred, row)
 			if err != nil {
 				in.Release()
+				out.rowBuf = buf
 				out.Release()
 				return nil, err
 			}
@@ -721,17 +764,66 @@ func (p *batchFilterProjectOp) NextBatch() (*Batch, error) {
 			proj, err := projectRow(p.exprs, row)
 			if err != nil {
 				in.Release()
+				out.rowBuf = buf
 				out.Release()
 				return nil, err
 			}
-			out.Rows = append(out.Rows, proj)
+			buf = append(buf, proj)
 		}
+		out.rowBuf = buf
+		out.SetRows(buf)
 		in.Release()
-		if len(out.Rows) > 0 {
+		if out.Len() > 0 {
 			return out, nil
 		}
 		out.Release()
 	}
+}
+
+// processBatch runs the kernel path over one batch: predicate selection
+// plus the columnar (or kernel-assisted row) projection. done is false
+// when the batch must be re-run through the interpreter; in is NOT
+// released then and its selection is unchanged.
+func (p *batchFilterProjectOp) processBatch(in *Batch) (*Batch, bool, error) {
+	d := in.Data()
+	d.Bind(p.types)
+	sel, ok := runSelect(p.kern.kern, in, d, &p.selCopy)
+	if !ok {
+		return nil, false, nil
+	}
+	if len(sel) == 0 {
+		in.Release()
+		return nil, true, nil
+	}
+	out := NewBatch()
+	if p.proj != nil {
+		if p.proj.applyCols(d, sel, out.Data()) {
+			in.Release()
+			return out, true, nil
+		}
+		if rows, applied := p.proj.apply(d, sel, out.rowBuf[:0]); applied {
+			out.rowBuf = rows
+			out.SetRows(rows)
+			in.Release()
+			return out, true, nil
+		}
+		out.Release()
+		return nil, false, nil
+	}
+	buf := out.rowBuf[:0]
+	for _, si := range sel {
+		proj, err := projectRow(p.exprs, d.Row(int(si)))
+		if err != nil {
+			out.rowBuf = buf
+			out.Release()
+			return nil, false, nil
+		}
+		buf = append(buf, proj)
+	}
+	out.rowBuf = buf
+	out.SetRows(buf)
+	in.Release()
+	return out, true, nil
 }
 
 func (p *batchFilterProjectOp) Close() error { return p.src.Close() }
@@ -756,11 +848,10 @@ func (l *batchLimitOp) NextBatch() (*Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
-	if remain := l.n - l.seen; int64(len(b.Rows)) > remain {
-		clear(b.Rows[remain:])
-		b.Rows = b.Rows[:remain]
+	if remain := l.n - l.seen; int64(b.Len()) > remain {
+		b.Truncate(int(remain))
 	}
-	l.seen += int64(len(b.Rows))
+	l.seen += int64(b.Len())
 	return b, nil
 }
 

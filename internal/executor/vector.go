@@ -5,10 +5,11 @@ import (
 	"cgdqp/internal/plan"
 )
 
-// This file is the glue between the row-batch engines and the compiled
-// columnar kernels of internal/expr: a lazily built, per-batch columnar
-// view (batchSource), plus the filter/projection evaluators both engines
-// share. Every helper falls back to the row interpreter — per batch —
+// This file is the glue between the batch engines and the compiled
+// columnar kernels of internal/expr: the filter/projection evaluators
+// both engines share, and the chunk feeds that let blocking operators
+// (hash join, hash aggregate) consume either engine's stream a chunk at
+// a time. Every helper falls back to the row interpreter — per chunk —
 // whenever a column is not lane-pure or a kernel reports an error, so
 // results (and error behavior) match the interpreter exactly.
 
@@ -28,60 +29,76 @@ func colTypes(n *plan.Node) []expr.Type {
 	return out
 }
 
-// Lazily built column-vector states of a batchSource.
-const (
-	vecUnbuilt = iota
-	vecOK
-	vecBad
-)
+// --- chunk feeds -----------------------------------------------------------
 
-// batchSource is the expr.VecSource view over one row batch: per-column
-// vectors are built on first use and cached for the batch, so a filter
-// and the projection above it share one row-to-column conversion.
-type batchSource struct {
-	rows  []expr.Row
-	types []expr.Type
-	vecs  []expr.Vec
-	state []uint8
+// chunkFeed delivers an operator's stream as a sequence of batches to a
+// blocking consumer. The returned batch stays valid until the next
+// nextChunk or close call; the feed owns its lifecycle, the consumer
+// must not release it.
+type chunkFeed interface {
+	open() error
+	nextChunk() (*Batch, error) // nil at end of stream
+	close() error
 }
 
-func newBatchSource(types []expr.Type) *batchSource {
-	return &batchSource{
-		types: types,
-		vecs:  make([]expr.Vec, len(types)),
-		state: make([]uint8, len(types)),
-	}
+// opFeed chunks a row operator's stream into an owned, non-pooled
+// batch of up to vecChunk rows.
+type opFeed struct {
+	op  Operator
+	buf []expr.Row
+	b   Batch
+	eos bool
 }
 
-// Reset points the source at a new batch, invalidating cached vectors
-// (their storage is reused by the next build).
-func (s *batchSource) Reset(rows []expr.Row) {
-	s.rows = rows
-	for i := range s.state {
-		s.state[i] = vecUnbuilt
-	}
+func (f *opFeed) open() error {
+	f.eos = false
+	return f.op.Open()
 }
 
-func (s *batchSource) ColVec(idx int) (*expr.Vec, bool) {
-	if idx < 0 || idx >= len(s.vecs) {
-		return nil, false
+func (f *opFeed) nextChunk() (*Batch, error) {
+	if f.eos {
+		return nil, nil
 	}
-	if s.state[idx] == vecUnbuilt {
-		if expr.BuildColVec(s.rows, idx, s.types[idx], &s.vecs[idx]) {
-			s.state[idx] = vecOK
-		} else {
-			s.state[idx] = vecBad
-		}
+	var err error
+	f.buf, f.eos, err = fillChunk(f.op, f.buf)
+	if err != nil {
+		return nil, err
 	}
-	if s.state[idx] != vecOK {
-		return nil, false
+	if len(f.buf) == 0 {
+		return nil, nil
 	}
-	return &s.vecs[idx], true
+	f.b.SetRows(f.buf)
+	return &f.b, nil
 }
 
-func (s *batchSource) Row(i int) expr.Row { return s.rows[i] }
+func (f *opFeed) close() error { return f.op.Close() }
 
-func (s *batchSource) Len() int { return len(s.rows) }
+// batchFeed passes a batch operator's stream through natively — the
+// parallel engine's joins and aggregates consume columnar batches with
+// no row round trip.
+type batchFeed struct {
+	src BatchOperator
+	cur *Batch
+}
+
+func (f *batchFeed) open() error { return f.src.Open() }
+
+func (f *batchFeed) nextChunk() (*Batch, error) {
+	f.cur.Release()
+	f.cur = nil
+	b, err := f.src.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	f.cur = b
+	return b, nil
+}
+
+func (f *batchFeed) close() error {
+	f.cur.Release()
+	f.cur = nil
+	return f.src.Close()
+}
 
 // --- predicate evaluation -------------------------------------------------
 
@@ -105,10 +122,12 @@ func compilePred(pred expr.Expr, types []expr.Type, vec bool) *vecPred {
 }
 
 // selectRows runs the predicate over src and returns the surviving row
-// indexes (in row order). ok is false when the batch must be re-run
-// through the row interpreter — a column failed to vectorize or a
-// fallback conjunct errored — so error timing stays the interpreter's.
-func (p *vecPred) selectRows(src *batchSource) ([]int32, bool) {
+// indexes (in row order) in the operator-owned scratch — callers must
+// consume the selection before the next call. ok is false when the
+// chunk must be re-run through the row interpreter — a column failed to
+// vectorize or a fallback conjunct errored — so error timing stays the
+// interpreter's.
+func (p *vecPred) selectRows(src expr.VecSource) ([]int32, bool) {
 	if cap(p.sel) < src.Len() {
 		p.sel = make([]int32, src.Len())
 	}
@@ -131,6 +150,14 @@ type vecProj struct {
 	consts []*expr.Value  // non-nil: constant output
 	kerns  []*expr.Kernel // non-nil: compiled kernel
 	outs   []*expr.Vec    // kernel results for the current batch
+	pass   []*expr.Vec    // passthrough sources for the current batch
+
+	// fallback: some column needs the row interpreter per value.
+	// constsExact: every constant reproduces itself through a vector
+	// (no payload residue), so a columnar broadcast is value-identical
+	// to the row path. Both gate the fully columnar applyCols output.
+	fallback    bool
+	constsExact bool
 }
 
 // compileProj compiles a projection list. It reports nil when kernels
@@ -141,13 +168,16 @@ func compileProj(exprs []expr.Expr, types []expr.Type, vec bool) *vecProj {
 		return nil
 	}
 	p := &vecProj{
-		exprs:  exprs,
-		colIdx: make([]int, len(exprs)),
-		consts: make([]*expr.Value, len(exprs)),
-		kerns:  make([]*expr.Kernel, len(exprs)),
-		outs:   make([]*expr.Vec, len(exprs)),
+		exprs:       exprs,
+		colIdx:      make([]int, len(exprs)),
+		consts:      make([]*expr.Value, len(exprs)),
+		kerns:       make([]*expr.Kernel, len(exprs)),
+		outs:        make([]*expr.Vec, len(exprs)),
+		pass:        make([]*expr.Vec, len(exprs)),
+		constsExact: true,
 	}
 	compiled := false
+	var probe expr.Vec
 	for i, e := range exprs {
 		p.colIdx[i] = -1
 		switch n := e.(type) {
@@ -156,10 +186,16 @@ func compileProj(exprs []expr.Expr, types []expr.Type, vec bool) *vecProj {
 		case *expr.Const:
 			v := n.Val
 			p.consts[i] = &v
+			probe.Broadcast(v, 1)
+			if !probe.Exact {
+				p.constsExact = false
+			}
 		default:
 			if k, ok := expr.Compile(e, types); ok {
 				p.kerns[i] = k
 				compiled = true
+			} else {
+				p.fallback = true
 			}
 		}
 	}
@@ -169,21 +205,10 @@ func compileProj(exprs []expr.Expr, types []expr.Type, vec bool) *vecProj {
 	return p
 }
 
-// hasFallback reports whether some output column still needs the row
-// interpreter per value.
-func (p *vecProj) hasFallback() bool {
-	for i := range p.exprs {
-		if p.colIdx[i] < 0 && p.consts[i] == nil && p.kerns[i] == nil {
-			return true
-		}
-	}
-	return false
-}
-
 // apply projects the selected rows of src (all rows when sel is nil)
-// and appends the outputs to out. ok is false when the batch must be
-// re-run through the row interpreter; out is untouched then.
-func (p *vecProj) apply(src *batchSource, sel []int32, out []expr.Row) ([]expr.Row, bool) {
+// and appends the output rows to out. ok is false when the batch must
+// be re-run through the row interpreter; out is untouched then.
+func (p *vecProj) apply(src expr.VecSource, sel []int32, out []expr.Row) ([]expr.Row, bool) {
 	for i, k := range p.kerns {
 		if k == nil {
 			continue
@@ -229,6 +254,60 @@ func (p *vecProj) apply(src *batchSource, sel []int32, out []expr.Row) ([]expr.R
 	return out, true
 }
 
+// applyCols projects the selected rows of in fully columnar: kernel
+// outputs are copied, passthrough columns gathered, and constants
+// broadcast into out's owned vectors — no row is materialized. ok is
+// false when the batch cannot be projected columnar with row-identical
+// results: a fallback or non-round-tripping constant column, a kernel
+// error, or a passthrough column that is unavailable or not exact
+// (its vector would canonicalize values the row path passes through
+// verbatim). The caller then tries apply and the interpreter, in order.
+func (p *vecProj) applyCols(in *expr.Batch, sel []int32, out *expr.Batch) bool {
+	if p.fallback || !p.constsExact {
+		return false
+	}
+	for i, k := range p.kerns {
+		if k == nil {
+			continue
+		}
+		v, err := k.EvalVec(in, sel)
+		if err != nil {
+			return false
+		}
+		p.outs[i] = v
+	}
+	for i, idx := range p.colIdx {
+		if idx < 0 {
+			continue
+		}
+		v, ok := in.ColVec(idx)
+		if !ok || !v.Exact {
+			return false
+		}
+		p.pass[i] = v
+	}
+	n := in.Len()
+	if sel != nil {
+		n = len(sel)
+	}
+	out.StartCols(len(p.exprs), n)
+	for i := range p.exprs {
+		dst := out.OwnCol(i)
+		switch {
+		case p.colIdx[i] >= 0:
+			dst.GatherFrom(p.pass[i], sel)
+		case p.consts[i] != nil:
+			dst.Broadcast(*p.consts[i], n)
+		default:
+			// Kernel scratch is reused on the next batch; the output
+			// column owns a copy.
+			dst.CopyFrom(p.outs[i])
+		}
+	}
+	out.FinishCols()
+	return true
+}
+
 // projectRow is the interpreter path shared by the fallback branches.
 func projectRow(exprs []expr.Expr, row expr.Row) (expr.Row, error) {
 	out := make(expr.Row, len(exprs))
@@ -240,61 +319,4 @@ func projectRow(exprs []expr.Expr, row expr.Row) (expr.Row, error) {
 		out[i] = v
 	}
 	return out, nil
-}
-
-// --- key hashing ----------------------------------------------------------
-
-// vecHasher computes join-key hashes for whole batches when every key
-// is a bare column. The combine (FNV-1a fold of Value.Hash) is
-// bit-identical to hashKey, so vectorized and interpreted probes land
-// in the same buckets.
-type vecHasher struct {
-	cols []int
-	src  *batchSource
-	vecs []*expr.Vec
-}
-
-// newVecHasher returns a hasher when vectorization applies: kernels on
-// and every key a bare column. nil keeps the row path.
-func newVecHasher(keys []expr.Expr, types []expr.Type, vec bool) *vecHasher {
-	if !vec {
-		return nil
-	}
-	cols := make([]int, len(keys))
-	for i, k := range keys {
-		c, ok := k.(*expr.Col)
-		if !ok {
-			return nil
-		}
-		cols[i] = c.Index
-	}
-	return &vecHasher{cols: cols, src: newBatchSource(types), vecs: make([]*expr.Vec, len(cols))}
-}
-
-// hashBatch fills hs[i] with the combined key hash of rows[i] and
-// valid[i] with whether every key is non-NULL. ok is false when some
-// key column failed to vectorize; the caller hashes row by row then.
-func (h *vecHasher) hashBatch(rows []expr.Row, hs []uint64, valid []bool) bool {
-	h.src.Reset(rows)
-	for i, c := range h.cols {
-		v, ok := h.src.ColVec(c)
-		if !ok {
-			return false
-		}
-		h.vecs[i] = v
-	}
-	for i := range rows {
-		var hv uint64 = 1469598103934665603
-		ok := true
-		for _, v := range h.vecs {
-			if v.IsNullAt(i) {
-				ok = false
-				break
-			}
-			hv = hv*1099511628211 ^ v.HashAt(i)
-		}
-		hs[i] = hv
-		valid[i] = ok
-	}
-	return true
 }

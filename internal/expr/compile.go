@@ -235,6 +235,8 @@ func (c compiler) staticType(e Expr) Type {
 			return TInt
 		}
 		return TFloat
+	case *Concat:
+		return TString
 	case *Call:
 		// evalCall's ABS returns TFloat for a float argument and TInt for
 		// every other numeric one (including dates); YEAR/MONTH/DAY are TInt.
@@ -299,6 +301,8 @@ func (c compiler) compile(e Expr) kNode {
 		return c.fallback(e)
 	case *Arith:
 		return c.compileArith(n)
+	case *Concat:
+		return c.compileConcat(n)
 	case *Like:
 		switch c.staticType(n.E) {
 		case TString:
@@ -380,6 +384,18 @@ func (c compiler) compileArith(n *Arith) kNode {
 		return &kArith{op: n.Op, intLane: true, l: l, r: r}
 	}
 	return &kArith{op: n.Op, l: c.toFloat(l, lt), r: c.toFloat(r, rt)}
+}
+
+func (c compiler) compileConcat(n *Concat) kNode {
+	lt, rt := c.staticType(n.L), c.staticType(n.R)
+	if lt == TNull || rt == TNull {
+		return &kAllNull{children: []kNode{c.compile(n.L), c.compile(n.R)}, t: TString}
+	}
+	if lt != TString || rt != TString {
+		// The interpreter raises a per-row type error; keep its behaviour.
+		return c.fallback(n)
+	}
+	return &kConcat{l: c.compile(n.L), r: c.compile(n.R)}
 }
 
 func (c compiler) compileIn(n *In) kNode {
@@ -1092,6 +1108,29 @@ func (k *kLike) eval(src VecSource, sel []int32, n int) (*Vec, error) {
 		}
 	}
 	k.out.Null = cv.Null
+	return &k.out, nil
+}
+
+type kConcat struct {
+	l, r kNode
+	out  Vec
+}
+
+func (k *kConcat) eval(src VecSource, sel []int32, n int) (*Vec, error) {
+	lv, err := k.l.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := k.r.eval(src, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	k.out.reset(TString, n)
+	for i := 0; i < n; i++ {
+		k.out.S[i] = lv.S[i] + rv.S[i]
+	}
+	// NULL results of concat are string-typed (reset already set NullT).
+	unionNulls(&k.out, lv.Null, rv.Null)
 	return &k.out, nil
 }
 

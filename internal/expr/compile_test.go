@@ -144,6 +144,8 @@ func (g *exprGen) anyExpr(d int) Expr {
 		return NewCase(whens, els)
 	case 4, 5, 6:
 		return g.boolExpr(d)
+	case 7:
+		return NewConcat(g.anyExpr(d-1), g.anyExpr(d-1))
 	}
 	return g.leaf()
 }

@@ -120,6 +120,8 @@ func Eval(e Expr, row Row) (Value, error) {
 		return NewBool(!v.Bool()), nil
 	case *Arith:
 		return evalArith(n, row)
+	case *Concat:
+		return evalConcat(n, row)
 	case *Like:
 		v, err := Eval(n.E, row)
 		if err != nil {
@@ -303,6 +305,24 @@ func evalArith(n *Arith, row Row) (Value, error) {
 	return NullValue(), fmt.Errorf("expr: unknown arithmetic op %v", n.Op)
 }
 
+func evalConcat(n *Concat, row Row) (Value, error) {
+	l, err := Eval(n.L, row)
+	if err != nil {
+		return NullValue(), err
+	}
+	r, err := Eval(n.R, row)
+	if err != nil {
+		return NullValue(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return TypedNull(TString), nil
+	}
+	if l.T != TString || r.T != TString {
+		return NullValue(), fmt.Errorf("expr: concat on non-string types %s, %s", l.T, r.T)
+	}
+	return NewString(l.S + r.S), nil
+}
+
 func evalIn(n *In, row Row) (Value, error) {
 	v, err := Eval(n.E, row)
 	if err != nil {
@@ -377,6 +397,8 @@ func TypeOf(e Expr, colType func(*Col) Type) Type {
 			return TFloat
 		}
 		return TInt
+	case *Concat:
+		return TString
 	case *Agg:
 		switch n.Fn {
 		case AggCount:

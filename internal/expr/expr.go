@@ -307,6 +307,25 @@ func (a *Arith) Equal(o Expr) bool {
 	return ok && oa.Op == a.Op && oa.L.Equal(a.L) && oa.R.Equal(a.R)
 }
 
+// Concat is string concatenation L || R. Both operands must evaluate
+// to strings; a NULL operand yields a NULL result.
+type Concat struct{ L, R Expr }
+
+// NewConcat builds a concatenation node.
+func NewConcat(l, r Expr) *Concat { return &Concat{L: l, R: r} }
+
+// String renders the concatenation.
+func (c *Concat) String() string { return fmt.Sprintf("(%s || %s)", c.L, c.R) }
+
+// Children returns both operands.
+func (c *Concat) Children() []Expr { return []Expr{c.L, c.R} }
+
+// Equal reports structural equality.
+func (c *Concat) Equal(o Expr) bool {
+	oc, ok := o.(*Concat)
+	return ok && oc.L.Equal(c.L) && oc.R.Equal(c.R)
+}
+
 // Like is a SQL LIKE predicate with % and _ wildcards (no escapes).
 type Like struct {
 	E       Expr
@@ -565,6 +584,8 @@ func Transform(e Expr, fn func(Expr) Expr) Expr {
 		return fn(&Not{E: Transform(n.E, fn)})
 	case *Arith:
 		return fn(&Arith{Op: n.Op, L: Transform(n.L, fn), R: Transform(n.R, fn)})
+	case *Concat:
+		return fn(&Concat{L: Transform(n.L, fn), R: Transform(n.R, fn)})
 	case *Like:
 		return fn(&Like{E: Transform(n.E, fn), Pattern: n.Pattern, Negated: n.Negated})
 	case *In:

@@ -56,6 +56,14 @@ type Vec struct {
 	S     []string
 	B     Bitmap
 	Null  Bitmap
+	// Exact reports that Value(i) reproduces the source value bit for bit
+	// for every element. Kernel-computed vectors are always exact (what
+	// Value materializes IS the result); vectors built from rows lose
+	// exactness when a NULL carried a different type tag than the lane or
+	// a value carried payload residue outside its lane. Operators that
+	// forward column data without re-evaluating (projection passthrough)
+	// require exactness for row/columnar parity.
+	Exact bool
 }
 
 // reset prepares the vector to hold n values of lane type t, reusing
@@ -65,6 +73,7 @@ func (v *Vec) reset(t Type, n int) {
 	v.NullT = t
 	v.N = n
 	v.Null = nil
+	v.Exact = true
 	switch t {
 	case TInt, TDate:
 		if cap(v.I) < n {
@@ -88,6 +97,15 @@ func (v *Vec) reset(t Type, n int) {
 		v.B = v.B.grow(n)
 	}
 }
+
+// Reset prepares the vector to hold n values of lane type t, reusing
+// existing storage; exported for columnar producers outside the package
+// (the wire decoder, the executor's columnar projection).
+func (v *Vec) Reset(t Type, n int) { v.reset(t, n) }
+
+// EnsureNull makes sure the null bitmap is allocated (and zeroed) for N
+// bits, returning it; exported for columnar producers.
+func (v *Vec) EnsureNull() Bitmap { return v.ensureNull() }
 
 // ensureNull makes sure the null bitmap is allocated (and zeroed) for N
 // bits, returning it.
@@ -136,6 +154,7 @@ func BuildColVec(rows []Row, idx int, t Type, v *Vec) bool {
 	n := len(rows)
 	v.reset(t, n)
 	v.NullT = t
+	exact := true
 	var nulls Bitmap
 	for i, r := range rows {
 		if idx < 0 || idx >= len(r) {
@@ -147,6 +166,9 @@ func BuildColVec(rows []Row, idx int, t Type, v *Vec) bool {
 				nulls = v.ensureNull()
 			}
 			nulls.Set(i)
+			if exact && val != (Value{T: t, Null: true}) {
+				exact = false
+			}
 			continue
 		}
 		if val.T != t {
@@ -155,15 +177,128 @@ func BuildColVec(rows []Row, idx int, t Type, v *Vec) bool {
 		switch t {
 		case TInt, TDate:
 			v.I[i] = val.I
+			if exact && (val.F != 0 || val.S != "") {
+				exact = false
+			}
 		case TFloat:
 			v.F[i] = val.F
+			if exact && (val.I != 0 || val.S != "") {
+				exact = false
+			}
 		case TString:
 			v.S[i] = val.S
+			if exact && (val.I != 0 || val.F != 0) {
+				exact = false
+			}
 		case TBool:
 			if val.I != 0 {
 				v.B.Set(i)
 			}
+			if exact && ((val.I != 0 && val.I != 1) || val.F != 0 || val.S != "") {
+				exact = false
+			}
 		}
 	}
+	v.Exact = exact
 	return true
+}
+
+// CopyFrom makes v an owned deep copy of src: lane contents, null
+// bitmap, null-materialization type and exactness.
+func (v *Vec) CopyFrom(src *Vec) {
+	v.reset(src.T, src.N)
+	v.NullT = src.NullT
+	v.Exact = src.Exact
+	switch src.T {
+	case TInt, TDate:
+		copy(v.I, src.I[:src.N])
+	case TFloat:
+		copy(v.F, src.F[:src.N])
+	case TString:
+		copy(v.S, src.S[:src.N])
+	case TBool:
+		copy(v.B, src.B[:bitmapWords(src.N)])
+	}
+	if src.Null != nil {
+		copy(v.ensureNull(), src.Null[:bitmapWords(src.N)])
+	}
+}
+
+// GatherFrom makes v the selection-ordered gather of src: element j of v
+// is element sel[j] of src. A nil selection copies src densely.
+func (v *Vec) GatherFrom(src *Vec, sel []int32) {
+	if sel == nil {
+		v.CopyFrom(src)
+		return
+	}
+	v.reset(src.T, len(sel))
+	v.NullT = src.NullT
+	v.Exact = src.Exact
+	switch src.T {
+	case TInt, TDate:
+		for j, si := range sel {
+			v.I[j] = src.I[si]
+		}
+	case TFloat:
+		for j, si := range sel {
+			v.F[j] = src.F[si]
+		}
+	case TString:
+		for j, si := range sel {
+			v.S[j] = src.S[si]
+		}
+	case TBool:
+		for j, si := range sel {
+			if src.B.Get(int(si)) {
+				v.B.Set(j)
+			}
+		}
+	}
+	if src.Null != nil {
+		var nulls Bitmap
+		for j, si := range sel {
+			if src.Null.Get(int(si)) {
+				if nulls == nil {
+					nulls = v.ensureNull()
+				}
+				nulls.Set(j)
+			}
+		}
+	}
+}
+
+// Broadcast fills v with n copies of val. Exactness is computed from
+// whether materializing an element reproduces val bit for bit (a NULL
+// or bool carrying payload residue canonicalizes, for example).
+func (v *Vec) Broadcast(val Value, n int) {
+	v.reset(val.T, n)
+	v.NullT = val.T
+	if val.IsNull() {
+		nulls := v.ensureNull()
+		for i := range nulls {
+			nulls[i] = ^uint64(0)
+		}
+	} else {
+		switch val.T {
+		case TInt, TDate:
+			for i := range v.I {
+				v.I[i] = val.I
+			}
+		case TFloat:
+			for i := range v.F {
+				v.F[i] = val.F
+			}
+		case TString:
+			for i := range v.S {
+				v.S[i] = val.S
+			}
+		case TBool:
+			if val.I != 0 {
+				for i := range v.B {
+					v.B[i] = ^uint64(0)
+				}
+			}
+		}
+	}
+	v.Exact = n == 0 || v.Value(0) == val
 }

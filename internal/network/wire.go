@@ -389,8 +389,9 @@ func (r *wireReader) float() float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
-// DecodeBatch parses one frame produced by Encode and returns the rows.
-func DecodeBatch(frame []byte) ([]expr.Row, error) {
+// decodeBody validates the frame envelope and returns the decompressed
+// body.
+func decodeBody(frame []byte) ([]byte, error) {
 	if len(frame) < 3 || frame[0] != wireMagic || frame[1] != wireVersion {
 		return nil, ErrWireCorrupt
 	}
@@ -409,6 +410,15 @@ func DecodeBatch(frame []byte) ([]expr.Row, error) {
 			return nil, err
 		}
 		body = raw
+	}
+	return body, nil
+}
+
+// DecodeBatch parses one frame produced by Encode and returns the rows.
+func DecodeBatch(frame []byte) ([]expr.Row, error) {
+	body, err := decodeBody(frame)
+	if err != nil {
+		return nil, err
 	}
 	r := &wireReader{b: body}
 	nRows := int(r.uvarint())
@@ -433,6 +443,157 @@ func DecodeBatch(frame []byte) ([]expr.Row, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWireCorrupt, len(r.b)-r.pos)
 	}
 	return rows, nil
+}
+
+// DecodeBatchCols parses one frame directly into dst as owned column
+// vectors, with no intermediate row materialization: the batch engine's
+// exchange operators feed decoded SHIP frames straight into columnar
+// pipelines. Every decoded vector reproduces the encoded values exactly
+// (lane payloads, NULL type tags), so a consumer that does materialize
+// rows gets bit-identical tuples to DecodeBatch. A frame containing a
+// mixed (not lane-pure) column falls back to row decoding into dst.
+func DecodeBatchCols(frame []byte, dst *expr.Batch) error {
+	body, err := decodeBody(frame)
+	if err != nil {
+		return err
+	}
+	r := &wireReader{b: body}
+	nRows := int(r.uvarint())
+	nCols := int(r.uvarint())
+	if r.err != nil || nRows < 0 || nCols < 0 || nRows > 1<<24 || nCols > 1<<16 {
+		return ErrWireCorrupt
+	}
+	dst.StartCols(nCols, nRows)
+	for c := 0; c < nCols; c++ {
+		ok, err := decodeColumnVec(r, dst.OwnCol(c), nRows)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Mixed column: no single lane holds it. Decode row-wise.
+			rows, err := DecodeBatch(frame)
+			if err != nil {
+				return err
+			}
+			dst.SetRows(rows)
+			return nil
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrWireCorrupt, len(r.b)-r.pos)
+	}
+	dst.FinishCols()
+	return nil
+}
+
+// decodeColumnVec decodes one lane-pure column into v. ok is false
+// (without error) for a colMixed tag, which has no vector form.
+func decodeColumnVec(r *wireReader, v *expr.Vec, n int) (bool, error) {
+	tag := r.byte()
+	flags := r.byte()
+	if r.err != nil {
+		return false, r.err
+	}
+	if tag == colMixed {
+		return false, nil
+	}
+	var nullBytes []byte
+	nullT := expr.TNull
+	if flags&colFlagNulls != 0 {
+		nullT = expr.Type(r.byte())
+		nullBytes = r.bytes((n + 7) / 8)
+		if r.err != nil {
+			return false, r.err
+		}
+	}
+	isNull := func(i int) bool {
+		return nullBytes != nil && nullBytes[i/8]&(1<<uint(i%8)) != 0
+	}
+	lane := expr.Type(tag)
+	if tag == colAllNull {
+		// Give the all-NULL column its NULLs' lane so typed consumers can
+		// still bind it; values materialize as the encoded typed NULLs.
+		lane = nullT
+	}
+	v.Reset(lane, n)
+	v.NullT = nullT
+	var nulls expr.Bitmap
+	if nullBytes != nil {
+		nulls = v.EnsureNull()
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				nulls.Set(i)
+			}
+		}
+	}
+	switch tag {
+	case colAllNull:
+		// The bitmap said it all.
+	case colInt, colDate:
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				continue
+			}
+			v.I[i] = r.zigzag()
+		}
+	case colFloat:
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				continue
+			}
+			v.F[i] = r.float()
+		}
+	case colBool:
+		bits := r.bytes((n + 7) / 8)
+		if r.err != nil {
+			return false, r.err
+		}
+		// NULL slots are encoded as zero bits, so a straight copy of the
+		// set bits reproduces both value and NULL semantics.
+		for i := 0; i < n; i++ {
+			if bits[i/8]&(1<<uint(i%8)) != 0 {
+				v.B.Set(i)
+			}
+		}
+	case colString:
+		if flags&colFlagDict != 0 {
+			dn := int(r.uvarint())
+			if r.err != nil || dn < 0 || dn > wireDictMax {
+				r.fail()
+				return false, r.err
+			}
+			dict := make([]string, dn)
+			for j := range dict {
+				dict[j] = string(r.bytes(int(r.uvarint())))
+			}
+			for i := 0; i < n; i++ {
+				if isNull(i) {
+					v.S[i] = ""
+					continue
+				}
+				ix := int(r.uvarint())
+				if r.err != nil || ix >= dn {
+					r.fail()
+					return false, r.err
+				}
+				v.S[i] = dict[ix]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if isNull(i) {
+					v.S[i] = ""
+					continue
+				}
+				v.S[i] = string(r.bytes(int(r.uvarint())))
+			}
+		}
+	default:
+		return false, fmt.Errorf("%w: unknown column tag %#x", ErrWireCorrupt, tag)
+	}
+	return true, r.err
 }
 
 func decodeColumn(r *wireReader, rows []expr.Row, c, n int) error {
