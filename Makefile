@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs ./internal/sched ./internal/expr ./internal/rescache
+	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs ./internal/sched ./internal/expr ./internal/rescache ./internal/feedback
 
 benchsmoke:
 	$(GO) test -run NONE -bench Optimize -benchtime 1x .
@@ -38,11 +38,14 @@ benchsmoke:
 # vs on, asserting the tracing-off overhead stays under 2%); the third
 # rewrites BENCH_sched.json (scheduled vs unscheduled mixed-TPC-H
 # throughput and p50/p99 at 1/4/16 clients, typed admission rejections
-# at 2x overload); the rest print per-query numbers.
+# at 2x overload); the fourth rewrites BENCH_feedback.json (the
+# misestimated workload with the feedback loop off vs on, enforcing the
+# ship-bytes improvement floor); the rest print per-query numbers.
 bench:
 	$(GO) test -run TestOptimizerBenchReport -bench-report .
 	$(GO) test -run TestExecBenchReport -bench-report .
 	$(GO) test -run TestSchedBenchReport -bench-report -timeout 20m .
+	$(GO) test -run TestFeedbackBenchReport -bench-report .
 	$(GO) test -run NONE -bench BenchmarkOptimizeTPCH -benchtime 3x -benchmem .
 	$(GO) test -run NONE -bench BenchmarkExecSeqVsParallel -benchtime 5x .
 

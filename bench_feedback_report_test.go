@@ -1,0 +1,127 @@
+package cgdqp
+
+// A committable feedback-benefit report: `make bench` runs this harness
+// with -bench-report, which executes a deliberately misestimated
+// workload with the feedback loop off and on and rewrites
+// BENCH_feedback.json. The improvement floor is enforced — a regression
+// that stops feedback from correcting the plan fails the measurement
+// pass outright.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// feedbackBenchFloor is the minimum acceptable total-ship-bytes
+// improvement of feedback-on over feedback-off on the misestimated
+// workload.
+const feedbackBenchFloor = 2.0
+
+type feedbackBenchReport struct {
+	Tool       string `json:"tool"`
+	GoVersion  string `json:"go_version"`
+	Query      string `json:"query"`
+	Iterations int    `json:"iterations"`
+	// Total bytes shipped across all iterations per mode: with feedback
+	// off every run re-executes the misestimated plan; with feedback on
+	// the first execution corrects the optimizer and the remaining runs
+	// use the repaired plan.
+	OffTotalShipBytes int64   `json:"off_total_ship_bytes"`
+	OnTotalShipBytes  int64   `json:"on_total_ship_bytes"`
+	BytesImprovement  float64 `json:"bytes_improvement"`
+	EnforcedFloor     float64 `json:"enforced_floor"`
+	// Per-iteration end-to-end latencies (p50/p99 over the iterations).
+	OffP50NS int64 `json:"off_p50_ns"`
+	OffP99NS int64 `json:"off_p99_ns"`
+	OnP50NS  int64 `json:"on_p50_ns"`
+	OnP99NS  int64 `json:"on_p99_ns"`
+}
+
+func latQuantile(samples []time.Duration, q float64) int64 {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(q * float64(len(samples)-1))
+	return samples[idx].Nanoseconds()
+}
+
+// runFeedbackBenchMode executes the misestimated workload N times on a
+// fresh system and returns total shipped bytes, per-run latencies, and
+// the sorted row multiset of the last run.
+func runFeedbackBenchMode(t *testing.T, feedbackOn bool, n int) (int64, []time.Duration, []string) {
+	t.Helper()
+	sys := misestimatedSystem(t, Options{Feedback: feedbackOn})
+	var total int64
+	var lats []time.Duration
+	var rows []string
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		res, err := sys.Query(misestimatedQuery)
+		if err != nil {
+			t.Fatalf("feedback=%v iter=%d: %v", feedbackOn, i, err)
+		}
+		lats = append(lats, time.Since(start))
+		total += res.ShippedBytes
+		rows = sortedRows(res.Rows)
+	}
+	return total, lats, rows
+}
+
+// TestFeedbackBenchReport is skipped unless -bench-report is given (it
+// is a measurement pass, not a correctness test) — but when it runs,
+// the improvement floor is a hard gate.
+func TestFeedbackBenchReport(t *testing.T) {
+	if !*benchReport {
+		t.Skip("run with -bench-report to rewrite BENCH_feedback.json")
+	}
+	const iters = 8
+
+	offBytes, offLats, offRows := runFeedbackBenchMode(t, false, iters)
+	onBytes, onLats, onRows := runFeedbackBenchMode(t, true, iters)
+
+	// Correctness first: both modes return the identical row multiset.
+	if len(offRows) != len(onRows) {
+		t.Fatalf("row counts diverge: off=%d on=%d", len(offRows), len(onRows))
+	}
+	for i := range offRows {
+		if offRows[i] != onRows[i] {
+			t.Fatalf("row %d diverges between modes:\noff %s\non  %s", i, offRows[i], onRows[i])
+		}
+	}
+
+	if onBytes <= 0 || offBytes <= 0 {
+		t.Fatalf("degenerate measurement: off=%d on=%d bytes", offBytes, onBytes)
+	}
+	improvement := float64(offBytes) / float64(onBytes)
+	if improvement < feedbackBenchFloor {
+		t.Fatalf("feedback improved total ship bytes only %.2fx (off=%d on=%d), floor is %.1fx",
+			improvement, offBytes, onBytes, feedbackBenchFloor)
+	}
+
+	report := feedbackBenchReport{
+		Tool:              "go test -run TestFeedbackBenchReport -bench-report .",
+		GoVersion:         runtime.Version(),
+		Query:             "misestimated fact-dim join (status selectivity off by ~1000x)",
+		Iterations:        iters,
+		OffTotalShipBytes: offBytes,
+		OnTotalShipBytes:  onBytes,
+		BytesImprovement:  improvement,
+		EnforcedFloor:     feedbackBenchFloor,
+		OffP50NS:          latQuantile(offLats, 0.50),
+		OffP99NS:          latQuantile(offLats, 0.99),
+		OnP50NS:           latQuantile(onLats, 0.50),
+		OnP99NS:           latQuantile(onLats, 0.99),
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_feedback.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("feedback bench: %.1fx fewer ship bytes (%d -> %d over %d iters), p99 off %.2fms on %.2fms",
+		improvement, offBytes, onBytes, iters,
+		float64(report.OffP99NS)/1e6, float64(report.OnP99NS)/1e6)
+}

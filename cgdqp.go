@@ -29,12 +29,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/executor"
 	"cgdqp/internal/expr"
+	"cgdqp/internal/feedback"
 	"cgdqp/internal/network"
 	"cgdqp/internal/obs"
 	"cgdqp/internal/optimizer"
@@ -176,6 +179,26 @@ type Options struct {
 	// package rescache). Servers from Serve share the cache and coalesce
 	// concurrent identical executions onto one run. 0 disables caching.
 	ResultCacheBytes int64
+	// Feedback enables the execution-feedback loop: every executed query
+	// records per-operator observed-vs-estimated cardinalities (keyed by
+	// normalized subplan digest) and e2e latency into System.Feedback();
+	// once a subplan's actuals reach activation confidence the optimizer
+	// costs with the observed cardinality instead of the stale estimate,
+	// and the feedback epoch bump invalidates affected cached plans.
+	// Compliance is unaffected: feedback only changes cardinalities, and
+	// site selection still filters candidate sites by Definition 1 before
+	// comparing costs. Off by default — disabled, planning and costing
+	// are byte-identical to previous behavior.
+	Feedback bool
+	// SlowQueryLog, when set, receives one JSON line per query whose
+	// end-to-end latency is at or above SlowQueryThreshold: SQL and plan
+	// digests, latency, shipped bytes, retry count, cache disposition and
+	// the worst per-operator q-errors. Implies the per-query profiling
+	// that Feedback performs (but not cardinality feedback itself).
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold is the slow-query latency floor (0 logs every
+	// query).
+	SlowQueryThreshold time.Duration
 }
 
 // Observability handle types re-exported for embedders.
@@ -204,6 +227,10 @@ type System struct {
 
 	// rcache is the result-set cache (nil unless Options.ResultCacheBytes).
 	rcache *rescache.Cache
+	// fb is the execution-feedback store (nil unless Options.Feedback);
+	// slow is the slow-query log (nil unless Options.SlowQueryLog).
+	fb   *feedback.Store
+	slow *feedback.SlowQueryLog
 	// policyEpoch counts policy-catalog changes (grants added or
 	// removed); the result cache rechecks provenance whenever it moves.
 	policyEpoch atomic.Uint64
@@ -240,8 +267,22 @@ func NewSystemWith(opts Options) *System {
 			s.rcache.SetMetrics(s.obsv.Metrics)
 		}
 	}
+	if opts.Feedback {
+		s.fb = feedback.NewStore(feedback.Options{})
+		if s.obsv != nil {
+			s.fb.SetMetrics(s.obsv.Metrics)
+		}
+	}
+	if opts.SlowQueryLog != nil {
+		s.slow = feedback.NewSlowQueryLog(opts.SlowQueryLog, opts.SlowQueryThreshold)
+	}
 	return s
 }
+
+// Feedback returns the execution-feedback store (nil unless
+// Options.Feedback). Use it to inspect tracked subplans, active
+// cardinality hints and observed latency quantiles.
+func (s *System) Feedback() *feedback.Store { return s.fb }
 
 // Tracer returns the span tracer (nil unless Options.Trace).
 func (s *System) Tracer() *Tracer {
@@ -457,6 +498,14 @@ func (s *System) Cluster() *cluster.Cluster {
 			s.cl.SetRetry(*s.opts.Retry)
 		}
 		s.cl.SetObserver(s.obsv)
+		if s.fb != nil {
+			// Feedback folds wire calibration into the loop: the store's
+			// calibrator observes every shipped frame and continuously
+			// re-fits the cost model's byte scale, bumping the feedback
+			// epoch when the scale drifts enough to matter.
+			s.cl.SetCalibrator(s.fb.Calibrator())
+			s.fb.ArmCalibration(s.network(), 0)
+		}
 	}
 	return s.cl
 }
@@ -553,6 +602,26 @@ func (s *System) ApplyCalibration() float64 {
 	return s.network().ByteScale()
 }
 
+// EnableAutoCalibration is EnableCalibration with continuous
+// application: every everyN observed frames (<=0 = a sensible default)
+// the calibrator re-fits the cost model's byte scale in place — no
+// ApplyCalibration calls needed — and cached plans are invalidated via
+// the feedback epoch (or the optimizer's cost epoch when feedback is
+// off) whenever the scale moves enough to change costing.
+func (s *System) EnableAutoCalibration(everyN int) *Calibrator {
+	if everyN <= 0 {
+		everyN = feedback.DefaultAutoApplyFrames
+	}
+	cal := s.EnableCalibration()
+	if s.fb != nil && cal == s.fb.Calibrator() {
+		s.fb.ArmCalibration(s.network(), everyN)
+		return cal
+	}
+	opt := s.Optimizer()
+	cal.SetAutoApply(s.network(), everyN, func(float64) { opt.InvalidatePlans() })
+	return cal
+}
+
 // Optimizer returns the compliance-based optimizer over the current
 // catalogs.
 func (s *System) Optimizer() *optimizer.Optimizer {
@@ -572,6 +641,11 @@ func (s *System) Optimizer() *optimizer.Optimizer {
 			PlanCacheSize:  pcs,
 		})
 		s.opt.SetObserver(s.obsv)
+		if s.fb != nil {
+			// Installed on every (re)build, so feedback survives the
+			// optimizer teardown that schema changes trigger.
+			s.opt.SetFeedback(s.fb)
+		}
 	}
 	return s.opt
 }
@@ -664,6 +738,7 @@ func (s *System) ExplainAnalyze(sql string) (*Result, string, error) {
 }
 
 func (s *System) query(ctx context.Context, sql string, o *obs.Observer) (*Result, *obs.PlanProfile, error) {
+	qstart := time.Now()
 	p, err := s.Explain(sql)
 	if err != nil {
 		s.countQuery("error")
@@ -685,6 +760,7 @@ func (s *System) query(ctx context.Context, sql string, o *obs.Observer) (*Resul
 				}
 			}
 			s.countQuery("ok")
+			s.noteQuery(time.Since(qstart), sql, p, &r.Stats, feedback.CacheHit, nil)
 			return &Result{
 				Plan:         p,
 				Rows:         r.Rows,
@@ -701,6 +777,15 @@ func (s *System) query(ctx context.Context, sql string, o *obs.Observer) (*Resul
 	if useCache && o.AuditSink() != nil {
 		capture = obs.NewAuditLog()
 		runObs = o.WithAudit(capture)
+	}
+	// Telemetry needs per-operator actuals: install a profile when the
+	// feedback loop or slow-query log is on and the caller did not bring
+	// one (EXPLAIN ANALYZE does). Installed after the cache gate so
+	// cache-served queries keep bypassing profiling.
+	prof := o.Prof()
+	if prof == nil && (s.fb != nil || s.slow != nil) {
+		prof = obs.NewPlanProfile()
+		runObs = runObs.WithProfile(prof)
 	}
 	var rows []Row
 	var stats *executor.RunStats
@@ -729,6 +814,15 @@ func (s *System) query(ctx context.Context, sql string, o *obs.Observer) (*Resul
 		s.rcache.Put(fill, rows, p.Columns, *stats, recs, p.EstShipCost)
 	}
 	s.countQuery("ok")
+	var qerrs []feedback.OpQError
+	if prof != nil && (s.fb != nil || s.slow != nil) {
+		qerrs = feedback.RecordExecution(s.fb, p.Root, prof)
+	}
+	disp := feedback.CacheOff
+	if useCache {
+		disp = feedback.CacheMiss
+	}
+	s.noteQuery(time.Since(qstart), sql, p, stats, disp, qerrs)
 	return &Result{
 		Plan:         p,
 		Rows:         rows,
@@ -743,6 +837,30 @@ func (s *System) countQuery(status string) {
 	if m := s.obsv.Reg(); m != nil {
 		m.Counter("cgdqp_queries_total", "status", status).Inc()
 	}
+}
+
+// noteQuery feeds a successful query's end-to-end outcome to the
+// feedback store and the slow-query log (both nil-safe).
+func (s *System) noteQuery(lat time.Duration, sql string, p *Plan, stats *executor.RunStats, disp string, qerrs []feedback.OpQError) {
+	s.fb.ObserveQuery(lat.Seconds())
+	if s.slow == nil {
+		return
+	}
+	engine := "seq"
+	if s.opts.Parallel {
+		engine = "par"
+	}
+	s.slow.Maybe(lat, feedback.QueryRecord{
+		SQLDigest:  feedback.SQLDigest(sql),
+		PlanDigest: feedback.ShortDigest(p.Root.Digest()),
+		RowsOut:    stats.RowsOut,
+		ShipBytes:  stats.ShippedBytes,
+		ShipCostMS: stats.ShipCost,
+		Retries:    stats.Retries,
+		Cache:      disp,
+		Engine:     engine,
+		QErrors:    qerrs,
+	})
 }
 
 // --- concurrent query serving -------------------------------------------
@@ -790,6 +908,12 @@ func (s *System) Serve(opts ServeOptions) *Server {
 		opts.ResultCache = s.rcache
 		opts.CacheView = s.resCacheView()
 		opts.CacheOptsFP = s.execFP()
+	}
+	if opts.Feedback == nil {
+		opts.Feedback = s.fb
+	}
+	if opts.SlowLog == nil {
+		opts.SlowLog = s.slow
 	}
 	return sched.NewServer(s.Optimizer(), s.Cluster(), s.obsv, opts)
 }

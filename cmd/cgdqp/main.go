@@ -41,6 +41,7 @@ import (
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/executor"
 	"cgdqp/internal/expr"
+	"cgdqp/internal/feedback"
 	"cgdqp/internal/network"
 	"cgdqp/internal/obs"
 	"cgdqp/internal/optimizer"
@@ -99,20 +100,38 @@ func main() {
 	queueDepth := flag.Int("queue-depth", sched.DefaultQueueDepth, "serving mode: admission queue bound (overload beyond it is rejected)")
 	siteSlots := flag.Int("site-slots", 0, "serving mode: per-site fragment-pipeline slots (0 = 2x max-concurrent)")
 	queryTimeout := flag.Duration("query-timeout", 0, "serving mode: per-query deadline from admission (0 = none)")
+	feedbackOn := flag.Bool("feedback", false, "record per-operator actuals from every execution and let the optimizer cost with observed cardinalities (continuous wire calibration included)")
+	slowLogPath := flag.String("slow-query-log", "", "append one JSON line per slow query to this file (- for stdout)")
+	slowThreshold := flag.Duration("slow-query-threshold", 100*time.Millisecond, "latency floor for -slow-query-log (0 logs every query)")
+	sloTarget := flag.Duration("slo-target", 0, "serving mode: adaptively tune max-concurrent/queue-depth against this e2e p99 target (0 = static limits)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 	flag.Parse()
 
 	var obsv *obs.Observer
-	if *metricsOut != "" || *traceOut != "" || *auditOut != "" || *explainAnalyze {
+	if *metricsOut != "" || *traceOut != "" || *auditOut != "" || *explainAnalyze || *obsAddr != "" {
 		obsv = &obs.Observer{}
 		if *traceOut != "" {
 			obsv.Tracer = obs.NewTracer()
 		}
-		if *metricsOut != "" {
+		if *metricsOut != "" || *obsAddr != "" {
 			obsv.Metrics = obs.NewRegistry()
 		}
 		if *auditOut != "" {
 			obsv.Audit = obs.NewAuditLog()
 		}
+	}
+	if *obsAddr != "" {
+		hs, err := obs.ServeHTTP(*obsAddr, obsv.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability listener on http://%s (/metrics, /debug/vars, /debug/pprof)\n", hs.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(ctx)
+		}()
 	}
 	defer func() {
 		writeOut(*metricsOut, "metrics", func(w io.Writer) error { return obsv.Metrics.WritePrometheus(w) })
@@ -163,6 +182,31 @@ func main() {
 		PlanCacheSize:  *planCache,
 	})
 	opt.SetObserver(obsv)
+
+	var fb *feedback.Store
+	if *feedbackOn {
+		fb = feedback.NewStore(feedback.Options{})
+		if obsv != nil {
+			fb.SetMetrics(obsv.Metrics)
+		}
+		opt.SetFeedback(fb)
+		cl.SetCalibrator(fb.Calibrator())
+		fb.ArmCalibration(net, 0)
+	}
+	var slowLog *feedback.SlowQueryLog
+	if *slowLogPath != "" {
+		w := io.Writer(os.Stdout)
+		if *slowLogPath != "-" {
+			f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "slow-query-log: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		slowLog = feedback.NewSlowQueryLog(w, *slowThreshold)
+	}
 
 	// Result-set cache: repeated queries are served from whole cached
 	// results while every consumed table's data epoch is unchanged (the
@@ -228,6 +272,7 @@ func main() {
 		}
 		var fill *rescache.Fill
 		if rcache != nil && !*explainAnalyze {
+			hitStart := time.Now()
 			fill = rescache.Prepare(res.Plan, "", rcView)
 			if r, ok := rcache.Get(fill.Key, rcView); ok {
 				if sink := obsv.AuditSink(); sink != nil {
@@ -235,12 +280,32 @@ func main() {
 						sink.Record(rec)
 					}
 				}
+				if fb != nil || slowLog != nil {
+					// Hits replay the filling run's statistics; there is no
+					// execution, so no per-operator q-errors.
+					lat := time.Since(hitStart)
+					fb.ObserveQuery(lat.Seconds())
+					engine := "seq"
+					if *parallel {
+						engine = "par"
+					}
+					slowLog.Maybe(lat, feedback.QueryRecord{
+						SQLDigest:  feedback.SQLDigest(sql),
+						PlanDigest: feedback.ShortDigest(res.Plan.Digest()),
+						RowsOut:    r.Stats.RowsOut,
+						ShipBytes:  r.Stats.ShippedBytes,
+						ShipCostMS: r.Stats.ShipCost,
+						Retries:    r.Stats.Retries,
+						Cache:      feedback.CacheHit,
+						Engine:     engine,
+					})
+				}
 				printResult(r.Rows, r.Stats, true)
 				return
 			}
 		}
 		qo := obsv
-		if *explainAnalyze {
+		if *explainAnalyze || fb != nil || slowLog != nil {
 			qo = qo.WithProfile(obs.NewPlanProfile())
 		}
 		var capture *obs.AuditLog
@@ -250,13 +315,38 @@ func main() {
 		}
 		var rows []expr.Row
 		var stats *executor.RunStats
+		execStart := time.Now()
 		if *parallel {
 			rows, stats, err = executor.RunParallelObserved(context.Background(), res.Plan, cl, qo)
 		} else {
 			rows, stats, err = executor.RunObserved(res.Plan, cl, qo)
 		}
+		execLat := time.Since(execStart)
 		if *explainAnalyze {
 			fmt.Println(qo.Prof().Format(res.Plan))
+		}
+		if err == nil && (fb != nil || slowLog != nil) {
+			qerrs := feedback.RecordExecution(fb, res.Plan, qo.Prof())
+			fb.ObserveQuery(execLat.Seconds())
+			engine := "seq"
+			if *parallel {
+				engine = "par"
+			}
+			disp := feedback.CacheOff
+			if fill != nil {
+				disp = feedback.CacheMiss
+			}
+			slowLog.Maybe(execLat, feedback.QueryRecord{
+				SQLDigest:  feedback.SQLDigest(sql),
+				PlanDigest: feedback.ShortDigest(res.Plan.Digest()),
+				RowsOut:    stats.RowsOut,
+				ShipBytes:  stats.ShippedBytes,
+				ShipCostMS: stats.ShipCost,
+				Retries:    stats.Retries,
+				Cache:      disp,
+				Engine:     engine,
+				QErrors:    qerrs,
+			})
 		}
 		if err != nil {
 			var shipErr *network.ShipError
@@ -295,6 +385,7 @@ func main() {
 				MaxConcurrent: *maxConcurrent, QueueDepth: *queueDepth,
 				SiteSlots: *siteSlots, QueryTimeout: *queryTimeout,
 				ResultCache: rcache, CacheView: rcView,
+				SLOTarget: *sloTarget, Feedback: fb, SlowLog: slowLog,
 			},
 		})
 		return
@@ -491,4 +582,9 @@ func runServe(opt *optimizer.Optimizer, cl *cluster.Cluster, obsv *obs.Observer,
 		c.Executed, c.ResultCacheHits, c.ExecCoalesced)
 	fmt.Printf("latency p50 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	if cfg.opts.SLOTarget > 0 {
+		em, eq := srv.Tuning()
+		fmt.Printf("adaptive admission: effective max-concurrent %d, queue-depth %d (SLO target %v)\n",
+			em, eq, cfg.opts.SLOTarget)
+	}
 }

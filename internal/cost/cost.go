@@ -35,10 +35,21 @@ const (
 	outputRow    = 0.1
 )
 
+// CardHints supplies observed output cardinalities keyed by canonical
+// subplan digest (plan.Node.SubplanDigest); the feedback store
+// implements it. A hint overrides the statistics-derived estimate —
+// "actuals beat estimates" — for digests the source has high-confidence
+// observations of.
+type CardHints interface {
+	CardHint(digest string) (float64, bool)
+}
+
 // Estimator estimates operator cardinalities using base-table statistics
-// resolved through query aliases.
+// resolved through query aliases, optionally corrected by observed
+// actuals from a CardHints source.
 type Estimator struct {
 	tables map[string]*schema.Table // lowercase alias -> base table
+	hints  CardHints
 }
 
 // NewEstimator builds an estimator for one query: it collects the base
@@ -263,10 +274,32 @@ func OperatorCost(kind plan.Kind, outCard float64, inCards ...float64) float64 {
 	return outCard * cpuRow
 }
 
+// SetHints attaches an observed-cardinality source. Call before use;
+// nil detaches (the pure-statistics paths then run unchanged).
+func (e *Estimator) SetHints(h CardHints) { e.hints = h }
+
+// HasHints reports whether a hint source is attached (callers skip
+// digest construction entirely without one).
+func (e *Estimator) HasHints() bool { return e.hints != nil }
+
+// CardHint consults the attached hint source; never matches without one.
+func (e *Estimator) CardHint(digest string) (float64, bool) {
+	if e.hints == nil {
+		return 0, false
+	}
+	return e.hints.CardHint(digest)
+}
+
 // EstimateTree fills Card and Cost bottom-up for a complete plan tree.
 // The memo performs the same computation incrementally; this helper
-// serves the baseline paths, tests and the executor's accounting.
+// serves the baseline paths, tests and the executor's accounting. With
+// a hint source attached, each subtree's statistics estimate is
+// overridden by the observed actual when one is active.
 func (e *Estimator) EstimateTree(n *plan.Node) {
+	if e.hints != nil {
+		e.estimateHinted(n)
+		return
+	}
 	inCards := make([]float64, len(n.Children))
 	childCost := 0.0
 	for i, c := range n.Children {
@@ -276,6 +309,42 @@ func (e *Estimator) EstimateTree(n *plan.Node) {
 	}
 	n.Card = e.NodeCard(n, inCards)
 	n.Cost = childCost + OperatorCost(n.Kind, n.Card, inCards...)
+}
+
+// estimateHinted is EstimateTree building canonical subplan digests
+// alongside the bottom-up pass (mirroring plan.SubplanDigest, Ship
+// skipped) so each node's estimate can be corrected from observations.
+func (e *Estimator) estimateHinted(n *plan.Node) string {
+	inCards := make([]float64, len(n.Children))
+	childCost := 0.0
+	kids := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		kids[i] = e.estimateHinted(c)
+		inCards[i] = c.Card
+		childCost += c.Cost
+	}
+	n.Card = e.NodeCard(n, inCards)
+	var digest string
+	if n.Kind == plan.Ship && len(n.Children) == 1 {
+		digest = kids[0]
+	} else {
+		var b strings.Builder
+		b.WriteString(n.CanonOpDigest())
+		b.WriteByte('(')
+		for i, d := range kids {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(d)
+		}
+		b.WriteByte(')')
+		digest = b.String()
+		if card, ok := e.hints.CardHint(digest); ok {
+			n.Card = card
+		}
+	}
+	n.Cost = childCost + OperatorCost(n.Kind, n.Card, inCards...)
+	return digest
 }
 
 // NodeCard estimates one operator's output cardinality from its input

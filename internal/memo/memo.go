@@ -52,6 +52,13 @@ type Group struct {
 	Cols  []plan.ColRef
 	Card  float64
 
+	// fbDigest is the canonical feedback digest of the group (the
+	// creating expression's canonical op digest composed over child
+	// group digests — equal to plan.SubplanDigest of a tree extracted
+	// from the group). Only built when the estimator carries a hint
+	// source; empty otherwise.
+	fbDigest string
+
 	// Implementation results (set by Implement).
 	Alts        []*Alt
 	implemented bool
@@ -252,6 +259,28 @@ func (m *Memo) newGroup(op *plan.Node, children []*Group) *Group {
 	probe := *op
 	probe.Cols = g.Cols
 	g.Card = m.est.NodeCard(&probe, cards)
+	// Feedback: when observed actuals are available, the group's
+	// canonical subplan digest is looked up and a high-confidence actual
+	// replaces the statistics estimate. Groups derive cardinality from
+	// their creating expression, so every downstream estimate (parent
+	// groups, implementation costs, phase-2 ship pricing) sees the
+	// corrected value.
+	if m.est.HasHints() {
+		var b strings.Builder
+		b.WriteString(op.CanonOpDigest())
+		b.WriteByte('(')
+		for i, c := range children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(c.fbDigest)
+		}
+		b.WriteByte(')')
+		g.fbDigest = b.String()
+		if card, ok := m.est.CardHint(g.fbDigest); ok {
+			g.Card = card
+		}
+	}
 	m.Groups = append(m.Groups, g)
 	return g
 }

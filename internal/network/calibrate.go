@@ -24,6 +24,14 @@ type Calibrator struct {
 	estBytes  float64
 	wireBytes float64
 	edges     map[string]*edgeFit
+
+	// Continuous mode (SetAutoApply): every autoEvery encoding
+	// observations the current ratio is pushed into autoModel, turning
+	// the one-shot Apply into a standing feedback loop.
+	frames    int64
+	autoEvery int64
+	autoModel *CostModel
+	onApply   func(ratio float64)
 }
 
 type edgeFit struct {
@@ -41,10 +49,48 @@ func (c *Calibrator) ObserveEncoding(estimated, encoded int64) {
 	if estimated <= 0 {
 		return
 	}
+	var (
+		ratio float64
+		model *CostModel
+		cb    func(float64)
+	)
 	c.mu.Lock()
 	c.estBytes += float64(estimated)
 	c.wireBytes += float64(encoded)
+	if c.autoModel != nil {
+		c.frames++
+		if c.frames%c.autoEvery == 0 {
+			ratio = c.wireBytes / c.estBytes
+			model, cb = c.autoModel, c.onApply
+		}
+	}
 	c.mu.Unlock()
+	// Apply outside c.mu: SetByteScale takes the model's own lock, and
+	// the callback may fan out (epoch bumps, metrics).
+	if model != nil {
+		model.SetByteScale(ratio)
+		if cb != nil {
+			cb(ratio)
+		}
+	}
+}
+
+// SetAutoApply arms continuous calibration: after every everyN encoding
+// observations the accumulated encoding ratio is installed into m's
+// byte scale (as Apply would) and onApply, if non-nil, is invoked with
+// the applied ratio — callers use it to bump a feedback epoch so cached
+// plans re-price. everyN <= 0 disarms. The cost model's getters are
+// mutex-guarded, so concurrent EstShipCost readers stay race-free while
+// applies land.
+func (c *Calibrator) SetAutoApply(m *CostModel, everyN int, onApply func(ratio float64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if everyN <= 0 || m == nil {
+		c.autoModel, c.autoEvery, c.onApply = nil, 0, nil
+		return
+	}
+	c.autoModel, c.autoEvery, c.onApply = m, int64(everyN), onApply
+	c.frames = 0
 }
 
 // ObserveShip records one delivered shipment: encoded bytes and the

@@ -1,0 +1,101 @@
+package network
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAutoApplyEveryN(t *testing.T) {
+	m := FiveRegionWAN([]string{"L1", "L2"})
+	c := NewCalibrator()
+	var applies atomic.Int64
+	c.SetAutoApply(m, 3, func(ratio float64) {
+		applies.Add(1)
+		if ratio != 2 {
+			t.Errorf("applied ratio = %v, want 2", ratio)
+		}
+	})
+
+	// Encoded is always 2x estimated.
+	for i := 0; i < 7; i++ {
+		c.ObserveEncoding(100, 200)
+	}
+	if got := applies.Load(); got != 2 {
+		t.Fatalf("applies = %d, want 2 (frames 3 and 6)", got)
+	}
+	if got := m.ByteScale(); got != 2 {
+		t.Fatalf("byte scale = %v, want 2", got)
+	}
+
+	// Disarm: further frames never apply.
+	c.SetAutoApply(nil, 0, nil)
+	for i := 0; i < 9; i++ {
+		c.ObserveEncoding(100, 400)
+	}
+	if got := applies.Load(); got != 2 {
+		t.Fatalf("applies after disarm = %d, want 2", got)
+	}
+}
+
+func TestAutoApplyNilCallback(t *testing.T) {
+	m := FiveRegionWAN([]string{"L1", "L2"})
+	c := NewCalibrator()
+	c.SetAutoApply(m, 1, nil)
+	c.ObserveEncoding(100, 300)
+	if got := m.ByteScale(); got != 3 {
+		t.Fatalf("byte scale = %v, want 3", got)
+	}
+}
+
+// TestAutoApplyConcurrentWithReaders drives every-frame auto-apply from
+// many observer goroutines while other goroutines read ship costs and
+// the byte scale — the regression test that cost-model getters stay
+// race-free under continuous calibration (run with -race).
+func TestAutoApplyConcurrentWithReaders(t *testing.T) {
+	locs := []string{"L1", "L2", "L3"}
+	m := FiveRegionWAN(locs)
+	c := NewCalibrator()
+	c.SetAutoApply(m, 1, func(float64) {})
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				c.ObserveEncoding(100, int64(100+g*50+i%7))
+				c.ObserveShip("L1", "L2", 1024, 5)
+			}
+		}(g)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.EstShipCost("L1", "L2", 4096)
+				m.ByteScale()
+				c.EncodingRatio()
+				c.FitEdge("L1", "L2")
+			}
+		}()
+	}
+	// Re-arm concurrently too: SetAutoApply must not race with applies.
+	for i := 0; i < 50; i++ {
+		c.SetAutoApply(m, 1, func(float64) {})
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if s := m.ByteScale(); s <= 0 {
+		t.Fatalf("byte scale = %v after concurrent applies", s)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// HTTPServer exposes an observer's registry over HTTP for scraping and
+// debugging:
+//
+//	/metrics     Prometheus text exposition (WritePrometheus)
+//	/debug/vars  JSON registry export (WriteJSON)
+//	/debug/pprof net/http/pprof profiles
+//
+// The server runs on its own mux (never http.DefaultServeMux, so
+// importing pprof here does not leak handlers into embedding programs)
+// and shuts down gracefully.
+type HTTPServer struct {
+	srv  *http.Server
+	lis  net.Listener
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServeHTTP starts the observability listener on addr (host:port; port
+// 0 picks a free port — read it back from Addr). The registry may be
+// nil: /metrics and /debug/vars then serve empty exports, and pprof
+// still works.
+func ServeHTTP(addr string, reg *Registry) (*HTTPServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &HTTPServer{
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis:  lis,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// Serve returns ErrServerClosed after Shutdown; any other error
+		// means the listener died, which Shutdown will surface as a
+		// closed Done channel either way.
+		_ = s.srv.Serve(lis)
+	}()
+	return s, nil
+}
+
+// Addr returns the listener's bound address (useful with port 0).
+func (s *HTTPServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Done is closed when the serve loop has fully exited.
+func (s *HTTPServer) Done() <-chan struct{} { return s.done }
+
+// Shutdown gracefully stops the server: the listener closes, in-flight
+// requests drain until ctx expires, and the serve goroutine exits.
+// Safe to call more than once.
+func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestHTTPServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cgdqp_test_total").Add(7)
+	reg.Gauge("cgdqp_test_gauge").Set(1.5)
+	reg.Histogram("cgdqp_test_seconds").Observe(0.001)
+
+	s, err := ServeHTTP("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("ServeHTTP: %v", err)
+	}
+	defer s.Shutdown(context.Background())
+	base := "http://" + s.Addr()
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "cgdqp_test_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "cgdqp_test_seconds_bucket") {
+		t.Fatalf("/metrics missing histogram buckets:\n%s", body)
+	}
+
+	code, body = getBody(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+
+	code, _ = getBody(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestHTTPServerNilRegistry(t *testing.T) {
+	s, err := ServeHTTP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("ServeHTTP: %v", err)
+	}
+	defer s.Shutdown(context.Background())
+	if code, _ := getBody(t, "http://"+s.Addr()+"/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics with nil registry: status %d", code)
+	}
+}
+
+func TestHTTPServerGracefulShutdown(t *testing.T) {
+	s, err := ServeHTTP("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatalf("ServeHTTP: %v", err)
+	}
+	addr := s.Addr()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case <-s.Done():
+	default:
+		t.Fatal("Done not closed after Shutdown returned")
+	}
+	// Idempotent: a second Shutdown is a no-op, not a hang or error.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	// The listener really is closed.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	// Nil receiver is safe.
+	var nilSrv *HTTPServer
+	if err := nilSrv.Shutdown(ctx); err != nil || nilSrv.Addr() != "" {
+		t.Fatal("nil HTTPServer misbehaved")
+	}
+}

@@ -69,6 +69,12 @@ func (p *PlanProfile) Stats(n *plan.Node) *OpStats {
 	return s
 }
 
+// Peek reads a node's stats without creating them; nil means the
+// operator never ran (e.g. a pruned inner side). Consumers such as the
+// feedback recorder use it to distinguish "produced zero rows" from
+// "never executed".
+func (p *PlanProfile) Peek(n *plan.Node) *OpStats { return p.lookup(n) }
+
 // lookup reads a node's stats without creating them.
 func (p *PlanProfile) lookup(n *plan.Node) *OpStats {
 	if p == nil {

@@ -3,6 +3,7 @@ package optimizer
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"cgdqp/internal/cost"
@@ -97,12 +98,53 @@ type Optimizer struct {
 	// (latency histogram, plan-cache and policy-cache gauges). nil
 	// disables observation. Set it before sharing the optimizer.
 	obsv *obs.Observer
+
+	// fb supplies observed-cardinality hints and the feedback epoch
+	// (nil = feedback off; estimates come from statistics alone). Set it
+	// before sharing the optimizer.
+	fb FeedbackSource
+	// costEpoch versions cost-model state changes that arrive outside a
+	// feedback source (e.g. auto-applied calibration without a store);
+	// it folds into the plan-cache key alongside the feedback epoch.
+	costEpoch atomic.Uint64
+}
+
+// FeedbackSource supplies the optimizer's consumption of the feedback
+// telemetry store: observed-cardinality overrides for canonical subplan
+// digests, and an epoch whose movement means re-optimization could
+// produce a different plan (a hint activated/drifted, or the calibrated
+// byte scale moved).
+type FeedbackSource interface {
+	cost.CardHints
+	Epoch() uint64
 }
 
 // SetObserver installs the observability sinks optimizations report
 // into (nil disables). Like the catalogs, configure before concurrent
 // use starts.
 func (o *Optimizer) SetObserver(obsv *obs.Observer) { o.obsv = obsv }
+
+// SetFeedback installs the feedback source consulted during costing
+// (nil disables). Like the catalogs, configure before concurrent use
+// starts.
+func (o *Optimizer) SetFeedback(fb FeedbackSource) { o.fb = fb }
+
+// InvalidatePlans bumps the cost epoch, fencing every cached plan off
+// so the next optimization re-prices against current cost-model state.
+// Used by continuous calibration when no feedback store carries the
+// epoch.
+func (o *Optimizer) InvalidatePlans() { o.costEpoch.Add(1) }
+
+// feedbackEpoch is the fbEpoch plan-cache key component: the feedback
+// source's epoch (0 when feedback is off) folded with the local cost
+// epoch. Both only ever grow, so the sum moves whenever either does.
+func (o *Optimizer) feedbackEpoch() uint64 {
+	e := o.costEpoch.Load()
+	if o.fb != nil {
+		e += o.fb.Epoch()
+	}
+	return e
+}
 
 // New builds an optimizer over the given catalogs and network model.
 func New(sc *schema.Catalog, pc *policy.Catalog, net *network.CostModel, opts Options) *Optimizer {
@@ -206,6 +248,7 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 		cacheKey = planCacheKey{
 			planDigest: norm.Digest(),
 			epoch:      o.Evaluator.Epoch(),
+			fbEpoch:    o.feedbackEpoch(),
 			optsFP:     o.optsFP,
 		}
 		if e, ok := o.planCache.get(cacheKey); ok {
@@ -218,6 +261,9 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 	t1 := time.Now()
 	esp := o.obsv.StartSpan("optimize.explore")
 	est := cost.NewEstimator(norm)
+	if o.fb != nil {
+		est.SetHints(o.fb)
+	}
 	m := memo.New(est)
 	if o.Opts.MaxExprs > 0 {
 		m.MaxExprs = o.Opts.MaxExprs
@@ -363,7 +409,7 @@ func (o *Optimizer) OptimizeSQL(sql string) (*Result, error) {
 		start := time.Now()
 		sp := o.obsv.StartSpan("optimize.sql_fast_path")
 		if d, ok := o.sqlDigests.get(sql); ok {
-			key := planCacheKey{planDigest: d, epoch: o.Evaluator.Epoch(), optsFP: o.optsFP}
+			key := planCacheKey{planDigest: d, epoch: o.Evaluator.Epoch(), fbEpoch: o.feedbackEpoch(), optsFP: o.optsFP}
 			if e, ok := o.planCache.get(key); ok {
 				o.finishOptimize(sp, start, "hit", nil)
 				return cachedResult(e, 0, start), nil

@@ -11,11 +11,14 @@ import (
 // planCacheKey identifies one optimization outcome: the normalized
 // logical plan (its digest covers operators, predicates, projections and
 // fragment bindings), the policy-catalog epoch (a policy change bumps the
-// evaluator epoch, so stale plans can never be replayed), and the
-// optimizer options that shape the output.
+// evaluator epoch, so stale plans can never be replayed), the feedback
+// epoch (movement means observed actuals or a recalibrated byte scale
+// could price a different plan), and the optimizer options that shape
+// the output.
 type planCacheKey struct {
 	planDigest string
 	epoch      uint64
+	fbEpoch    uint64
 	optsFP     string
 }
 

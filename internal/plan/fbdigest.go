@@ -1,0 +1,81 @@
+package plan
+
+import "strings"
+
+// This file defines the *feedback digest*: a canonical identity for a
+// subplan that is stable across the plan's physical implementation and
+// its site assignment. The feedback store (internal/feedback) records
+// observed cardinalities under these digests from *executed* (located,
+// physical) plans, while the optimizer looks them up against *memo
+// groups* built from the normalized logical plan — so the digest must
+// erase exactly the two dimensions that differ between the two views:
+// physical operator choice (HashJoin vs NLJoin vs the logical Join) and
+// Ship operators (inserted by the site selector, cardinality-neutral).
+
+// Canon maps a physical operator kind to its logical counterpart; the
+// cardinality of a subplan does not depend on which implementation ran
+// it. Ship has no logical counterpart and is handled (skipped) by the
+// digest walk itself.
+func (k Kind) Canon() Kind {
+	switch k {
+	case TableScan:
+		return Scan
+	case FilterExec:
+		return Filter
+	case ProjectExec:
+		return Project
+	case HashJoin, NLJoin, MergeJoin:
+		return Join
+	case HashAgg:
+		return Aggregate
+	case SortExec:
+		return Sort
+	case LimitExec:
+		return Limit
+	case UnionAll:
+		return Union
+	}
+	return k
+}
+
+// CanonOpDigest is OpDigest rendered with the canonical (logical) kind,
+// so e.g. a HashJoin and the logical Join it implements produce the
+// same operator string.
+func (n *Node) CanonOpDigest() string {
+	ck := n.Kind.Canon()
+	if ck == n.Kind {
+		return n.OpDigest()
+	}
+	cp := *n
+	cp.Kind = ck
+	return cp.OpDigest()
+}
+
+// SubplanDigest returns the canonical feedback digest of the subtree:
+// canonical operator digests composed over children, with Ship nodes
+// skipped (a shipped stream has the producer's cardinality). A memo
+// group's feedback digest (first expression's canonical op digest over
+// child group digests) equals the SubplanDigest of any tree extracted
+// from that group, modulo post-extraction rewrites such as projection
+// merging.
+func (n *Node) SubplanDigest() string {
+	var b strings.Builder
+	n.subplanDigest(&b)
+	return b.String()
+}
+
+func (n *Node) subplanDigest(b *strings.Builder) {
+	if n.Kind == Ship && len(n.Children) == 1 {
+		n.Children[0].subplanDigest(b)
+		return
+	}
+	b.WriteString(n.CanonOpDigest())
+	b.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		c.subplanDigest(b)
+	}
+	b.WriteByte(')')
+}

@@ -147,7 +147,7 @@ func (s *Server) respondCached(t *task, r *rescache.Result, shared bool, sp obs.
 // per-site slots, capturing the run's audit records (when auditing is
 // on) so the cache can replay them to later hits.
 func (s *Server) execute(t *task, located *plan.Node) ([]expr.Row, []string, *executor.RunStats, []obs.AuditRecord, error) {
-	need := siteCensus(located, s.opts.siteSlots())
+	need := s.census(located)
 	if err := s.slots.acquire(t.ctx, need); err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -158,7 +158,7 @@ func (s *Server) execute(t *task, located *plan.Node) ([]expr.Row, []string, *ex
 		runObs = s.obsv.WithAudit(capture)
 	}
 	s.nExecuted.Add(1)
-	rows, stats, err := s.runPlan(t.ctx, located, runObs)
+	rows, stats, err := s.runPlanFeedback(t, located, runObs)
 	s.slots.release(need)
 	if err != nil {
 		return nil, nil, nil, nil, err

@@ -36,8 +36,10 @@ import (
 	"cgdqp/internal/cluster"
 	"cgdqp/internal/executor"
 	"cgdqp/internal/expr"
+	"cgdqp/internal/feedback"
 	"cgdqp/internal/obs"
 	"cgdqp/internal/optimizer"
+	"cgdqp/internal/plan"
 	"cgdqp/internal/rescache"
 )
 
@@ -83,6 +85,25 @@ type Options struct {
 	// Exec overrides the execution options served queries run under
 	// (nil = the build default).
 	Exec *executor.ExecOptions
+
+	// SLOTarget, when set, turns MaxConcurrent/QueueDepth into adaptive
+	// ceilings: a controller watches the observed cgdqp_sched_e2e_seconds
+	// p99 over each AdaptInterval window and AIMD-adjusts the effective
+	// limits against the target — multiplicative decrease when the p99
+	// breaches it, additive recovery when latency clears 80% of it. Zero
+	// keeps the static limits (bit-identical scheduling to previous
+	// behavior).
+	SLOTarget time.Duration
+	// AdaptInterval is the controller cadence (default 200ms).
+	AdaptInterval time.Duration
+	// Feedback, when set, (a) weights gang site-slot needs by observed
+	// fragment cardinality instead of counting every fragment as 1, and
+	// (b) receives per-operator actuals and e2e latency samples from
+	// every execution. Nil keeps fragment counting and records nothing.
+	Feedback *feedback.Store
+	// SlowLog, when set, receives a structured JSON line for every
+	// served query at or above its latency threshold.
+	SlowLog *feedback.SlowQueryLog
 }
 
 // Defaults for the zero Options value.
@@ -183,6 +204,19 @@ type Server struct {
 	wg      sync.WaitGroup
 	running atomic.Int64
 
+	// Adaptive admission (Options.SLOTarget): effMax/effQueue are the
+	// effective limits within [1, configured]; active (guarded by mu)
+	// counts tasks between next() and taskDone(), gating dispatch below
+	// effMax even though the worker pool itself is fixed. e2eHist
+	// mirrors the cgdqp_sched_e2e_seconds histogram privately so the
+	// controller can take windowed p99s without a registry.
+	effMax   atomic.Int64
+	effQueue atomic.Int64
+	active   int
+	e2eHist  *obs.Histogram
+	ctrlStop chan struct{}
+	ctrlWG   sync.WaitGroup
+
 	// execFlights coalesces identical in-flight executions when a result
 	// cache is configured (see execflight.go).
 	exmu        sync.Mutex
@@ -206,8 +240,16 @@ func NewServer(opt *optimizer.Optimizer, cl *cluster.Cluster, obsv *obs.Observer
 		slots:       newSlotTable(opts.siteSlots()),
 		flights:     flightGroup{m: map[string]*flight{}},
 		execFlights: map[string]*execFlight{},
+		e2eHist:     obs.NewLatencyHistogram(),
+		ctrlStop:    make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.effMax.Store(int64(opts.maxConcurrent()))
+	s.effQueue.Store(int64(opts.queueDepth()))
+	if opts.SLOTarget > 0 {
+		s.ctrlWG.Add(1)
+		go s.controller()
+	}
 	for i := 0; i < opts.maxConcurrent(); i++ {
 		s.wg.Add(1)
 		go func() {
@@ -247,7 +289,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		s.countRejected("closed")
 		return nil, ErrServerClosed
 	}
-	if len(s.queue) >= s.opts.queueDepth() {
+	if len(s.queue) >= s.effQueueDepth() {
 		depth := len(s.queue)
 		s.mu.Unlock()
 		s.nRejFull.Add(1)
@@ -323,13 +365,16 @@ func (tk *Ticket) Wait(ctx context.Context) (*Response, error) {
 func (tk *Ticket) Done() <-chan struct{} { return tk.t.done }
 
 // Close stops admission, drains the queue (admitted queries still run),
-// waits for the workers to exit, and returns. Safe to call once.
+// waits for the workers and the adaptive controller to exit, and
+// returns. Safe to call once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	close(s.ctrlStop)
+	s.ctrlWG.Wait()
 }
 
 // Counters returns a snapshot of the server's lifetime counts.
@@ -359,6 +404,111 @@ func (s *Server) QueueDepth() int {
 // Running returns the number of queries currently being served.
 func (s *Server) Running() int64 { return s.running.Load() }
 
+// effQueueDepth is the effective admission bound: the configured depth,
+// possibly lowered by the adaptive controller.
+func (s *Server) effQueueDepth() int { return int(s.effQueue.Load()) }
+
+// Tuning returns the current effective (MaxConcurrent, QueueDepth)
+// limits. Without an SLOTarget these are the configured values.
+func (s *Server) Tuning() (maxConcurrent, queueDepth int) {
+	return int(s.effMax.Load()), int(s.effQueue.Load())
+}
+
+// --- adaptive admission (Options.SLOTarget) ------------------------------
+
+// adaptMinSamples is the minimum number of completions in a controller
+// window before the p99 is considered meaningful; sparser windows are
+// accumulated into the next one instead of triggering adjustments.
+const adaptMinSamples = 8
+
+// DefaultAdaptInterval is the controller cadence when AdaptInterval is
+// zero.
+const DefaultAdaptInterval = 200 * time.Millisecond
+
+// controller is the AIMD admission loop: each interval it takes the
+// windowed p99 of end-to-end latency and adjusts the effective
+// MaxConcurrent/QueueDepth — halving on an SLO breach, creeping back up
+// when latency clears 80% of the target. It runs until Close.
+func (s *Server) controller() {
+	defer s.ctrlWG.Done()
+	interval := s.opts.AdaptInterval
+	if interval <= 0 {
+		interval = DefaultAdaptInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	prev := s.e2eHist.Snap()
+	for {
+		select {
+		case <-s.ctrlStop:
+			return
+		case <-tick.C:
+			cur := s.e2eHist.Snap()
+			delta := cur.Sub(prev)
+			if delta.Count() < adaptMinSamples {
+				// Too sparse to judge: keep prev so the next window
+				// accumulates these observations instead of losing them.
+				continue
+			}
+			prev = cur
+			s.adjust(delta.Quantile(0.99))
+		}
+	}
+}
+
+// adjust applies one AIMD step against the SLO target given the last
+// window's observed p99 (seconds).
+func (s *Server) adjust(p99 float64) {
+	slo := s.opts.SLOTarget.Seconds()
+	cfgMax := int64(s.opts.maxConcurrent())
+	cfgQueue := int64(s.opts.queueDepth())
+	em, eq := s.effMax.Load(), s.effQueue.Load()
+	switch {
+	case p99 > slo:
+		// Multiplicative decrease: shed load quickly on a breach.
+		if em > 1 {
+			em /= 2
+			if em < 1 {
+				em = 1
+			}
+			s.effMax.Store(em)
+		}
+		if eq > 1 {
+			eq /= 2
+			if eq < 1 {
+				eq = 1
+			}
+			s.effQueue.Store(eq)
+		}
+	case p99 < 0.8*slo:
+		// Additive increase: probe capacity back toward the configured
+		// ceilings once latency has comfortably recovered.
+		raised := false
+		if em < cfgMax {
+			s.effMax.Store(em + 1)
+			raised = true
+		}
+		if eq < cfgQueue {
+			eq += cfgQueue/8 + 1
+			if eq > cfgQueue {
+				eq = cfgQueue
+			}
+			s.effQueue.Store(eq)
+		}
+		if raised {
+			// A raised concurrency limit may unblock queued dispatch.
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}
+	if m := s.obsv.Reg(); m != nil {
+		m.Gauge("cgdqp_sched_eff_max_concurrent").Set(float64(s.effMax.Load()))
+		m.Gauge("cgdqp_sched_eff_queue_depth").Set(float64(s.effQueue.Load()))
+		m.Gauge("cgdqp_sched_window_p99_seconds").Set(p99)
+	}
+}
+
 // --- scheduling loop -----------------------------------------------------
 
 // worker serves queries one at a time, picking the next in
@@ -370,17 +520,20 @@ func (s *Server) worker() {
 			return
 		}
 		s.serve(t)
+		s.taskDone()
 	}
 }
 
 // next blocks until a task is schedulable (skipping tasks whose context
 // ended while queued — those never start) or the server is closed with
-// an empty queue.
+// an empty queue. Dispatch additionally respects the effective
+// concurrency limit: with adaptive admission the controller may hold it
+// below the worker-pool size, idling workers until latency recovers.
 func (s *Server) next() *task {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		for len(s.queue) > 0 {
+		for len(s.queue) > 0 && s.active < int(s.effMax.Load()) {
 			t := heap.Pop(&s.queue).(*task)
 			s.gaugeQueueLocked()
 			if t.ctx.Err() != nil {
@@ -394,13 +547,23 @@ func (s *Server) next() *task {
 			if t.vft > s.vtime {
 				s.vtime = t.vft
 			}
+			s.active++
 			return t
 		}
-		if s.closed {
+		if s.closed && len(s.queue) == 0 {
 			return nil
 		}
 		s.cond.Wait()
 	}
+}
+
+// taskDone returns a dispatch slot after serve and wakes waiters (the
+// effective limit may have kept tasks queued behind the finished one).
+func (s *Server) taskDone() {
+	s.mu.Lock()
+	s.active--
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // abandon removes a still-queued task whose context ended and finishes
@@ -449,14 +612,14 @@ func (s *Server) serve(t *task) {
 		return
 	}
 
-	need := siteCensus(located, s.opts.siteSlots())
+	need := s.census(located)
 	if err := s.slots.acquire(t.ctx, need); err != nil {
 		sp.Tag("outcome", "cancelled").End()
 		s.finish(t, nil, err)
 		return
 	}
 	s.nExecuted.Add(1)
-	rows, stats, err := s.runPlan(t.ctx, located, s.obsv)
+	rows, stats, err := s.runPlanFeedback(t, located, s.obsv)
 	s.slots.release(need)
 	if err != nil {
 		sp.Tag("outcome", "exec_error").End()
@@ -501,11 +664,70 @@ func (s *Server) finish(t *task, resp *Response, err error) {
 			s.nFailed.Add(1)
 			status = "error"
 		}
+		lat := time.Since(t.enq)
 		if m := s.obsv.Reg(); m != nil {
 			m.Counter("cgdqp_sched_queries_total", "status", status).Inc()
-			m.Histogram("cgdqp_sched_e2e_seconds").Observe(time.Since(t.enq).Seconds())
+			m.Histogram("cgdqp_sched_e2e_seconds").Observe(lat.Seconds())
+		}
+		s.e2eHist.Observe(lat.Seconds())
+		if err == nil && resp != nil {
+			s.opts.Feedback.ObserveQuery(lat.Seconds())
+			if s.opts.SlowLog != nil {
+				cacheDisp := feedback.CacheOff
+				if s.opts.ResultCache != nil {
+					cacheDisp = feedback.CacheMiss
+				}
+				if resp.CacheHit {
+					cacheDisp = feedback.CacheHit
+				}
+				s.opts.SlowLog.Maybe(lat, feedback.QueryRecord{
+					SQLDigest:  feedback.SQLDigest(t.req.SQL),
+					PlanDigest: t.planDigest,
+					RowsOut:    resp.Stats.RowsOut,
+					ShipBytes:  resp.Stats.ShippedBytes,
+					ShipCostMS: resp.Stats.ShipCost,
+					Retries:    resp.Stats.Retries,
+					Cache:      cacheDisp,
+					Engine:     "par",
+					Coalesced:  resp.Coalesced,
+					QErrors:    t.qerrors,
+				})
+			}
 		}
 	})
+}
+
+// census picks the gang site-slot demand for a located plan: plain
+// fragment counting, or — with a feedback store — counts weighted by
+// observed fragment cardinality, so heavy fragments claim more of a
+// site's capacity than trivial ones.
+func (s *Server) census(located *plan.Node) map[string]int {
+	if s.opts.Feedback != nil {
+		return siteCensusWeighted(located, s.opts.siteSlots(), s.opts.Feedback)
+	}
+	return siteCensus(located, s.opts.siteSlots())
+}
+
+// runPlanFeedback executes the located plan, installing a plan profile
+// when telemetry is on so per-operator actuals flow into the feedback
+// store and the task's slow-log context after a successful run.
+func (s *Server) runPlanFeedback(t *task, located *plan.Node, o *obs.Observer) ([]expr.Row, *executor.RunStats, error) {
+	runObs := o
+	var prof *obs.PlanProfile
+	if s.opts.Feedback != nil || s.opts.SlowLog != nil {
+		if prof = o.Prof(); prof == nil {
+			prof = obs.NewPlanProfile()
+			runObs = o.WithProfile(prof)
+		}
+		if s.opts.SlowLog != nil {
+			t.planDigest = feedback.ShortDigest(located.Digest())
+		}
+	}
+	rows, stats, err := s.runPlan(t.ctx, located, runObs)
+	if err == nil && prof != nil {
+		t.qerrors = feedback.RecordExecution(s.opts.Feedback, located, prof)
+	}
+	return rows, stats, err
 }
 
 // gaugeQueueLocked refreshes the queue-depth gauge (caller holds mu).

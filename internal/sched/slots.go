@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"cgdqp/internal/feedback"
 	"cgdqp/internal/plan"
 )
 
@@ -63,6 +64,57 @@ func siteCensus(p *plan.Node, cap int) map[string]int {
 		}
 	}
 	return need
+}
+
+// siteCensusWeighted is siteCensus informed by the feedback store: a
+// fragment's slot demand grows with its observed (or, absent actuals,
+// estimated) output cardinality — one slot for the first 10k rows and
+// one more per decade above it, capped at 4 — so a site hosting one
+// huge fragment and one trivial one is charged accordingly instead of
+// 1+1. Per-site totals are still clamped to cap, preserving the
+// invariant that every plan is schedulable.
+func siteCensusWeighted(p *plan.Node, cap int, fb *feedback.Store) map[string]int {
+	need := map[string]int{}
+	p.Walk(func(n *plan.Node) bool {
+		if n.Kind == plan.Ship && n.FromLoc != "" && len(n.Children) == 1 {
+			need[n.FromLoc] += fragSlots(observedRows(n.Children[0], fb), cap)
+		}
+		return true
+	})
+	if p.Loc != "" {
+		need[p.Loc] += fragSlots(observedRows(p, fb), cap)
+	}
+	for site, n := range need {
+		if n > cap {
+			need[site] = cap
+		}
+	}
+	return need
+}
+
+// observedRows is the fragment's best-known output cardinality: the
+// feedback store's activated actual for its subplan digest when one
+// exists, else the optimizer's estimate carried on the node.
+func observedRows(n *plan.Node, fb *feedback.Store) float64 {
+	if hint, ok := fb.CardHint(n.SubplanDigest()); ok {
+		return hint
+	}
+	return n.Card
+}
+
+// fragSlots converts a fragment cardinality into a slot demand: 1 for
+// anything up to 10k rows, +1 per decade beyond, capped at 4 and at the
+// per-site bound.
+func fragSlots(rows float64, cap int) int {
+	w := 1
+	for rows > 10000 && w < 4 {
+		rows /= 10
+		w++
+	}
+	if w > cap {
+		w = cap
+	}
+	return w
 }
 
 // fits reports whether the gang fits right now (caller holds mu).
