@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs ./internal/sched ./internal/expr ./internal/rescache ./internal/feedback
+	$(GO) test -race ./internal/executor ./internal/cluster ./internal/network ./internal/plan ./internal/policy ./internal/optimizer ./internal/obs ./internal/sched ./internal/expr ./internal/rescache ./internal/feedback ./internal/store
 
 benchsmoke:
 	$(GO) test -run NONE -bench Optimize -benchtime 1x .
@@ -40,20 +40,26 @@ benchsmoke:
 # throughput and p50/p99 at 1/4/16 clients, typed admission rejections
 # at 2x overload); the fourth rewrites BENCH_feedback.json (the
 # misestimated workload with the feedback loop off vs on, enforcing the
-# ship-bytes improvement floor); the rest print per-query numbers.
+# ship-bytes improvement floor); the fifth rewrites BENCH_store.json
+# (persistent-store access paths at 1M rows/site — full scan vs index
+# range vs index-lookup join, cold vs warm buffer pool — enforcing the
+# >=10x index-range floor); the rest print per-query numbers.
 bench:
 	$(GO) test -run TestOptimizerBenchReport -bench-report .
 	$(GO) test -run TestExecBenchReport -bench-report .
 	$(GO) test -run TestSchedBenchReport -bench-report -timeout 20m .
 	$(GO) test -run TestFeedbackBenchReport -bench-report .
+	$(GO) test -run TestStoreBenchReport -bench-report .
 	$(GO) test -run NONE -bench BenchmarkOptimizeTPCH -benchtime 3x -benchmem .
 	$(GO) test -run NONE -bench BenchmarkExecSeqVsParallel -benchtime 5x .
 
 # Short fuzzing pass over the SQL and policy parsers, the compiled
-# kernel / interpreter parity harness, and the wire-format decoder
-# (10s per target).
+# kernel / interpreter parity harness, the wire-format decoder, and the
+# storage engine's page decoder and B+ tree (10s per target).
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseSQL -fuzztime 10s ./internal/sqlparse
 	$(GO) test -run NONE -fuzz FuzzParsePolicy -fuzztime 10s ./internal/sqlparse
 	$(GO) test -run NONE -fuzz FuzzKernelParity -fuzztime 10s ./internal/expr
 	$(GO) test -run NONE -fuzz FuzzWireDecode -fuzztime 10s ./internal/network
+	$(GO) test -run NONE -fuzz FuzzPageDecode -fuzztime 10s ./internal/store
+	$(GO) test -run NONE -fuzz FuzzBTreeOps -fuzztime 10s ./internal/store

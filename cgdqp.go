@@ -199,6 +199,21 @@ type Options struct {
 	// SlowQueryThreshold is the slow-query latency floor (0 logs every
 	// query).
 	SlowQueryThreshold time.Duration
+	// DataDir switches every site onto the persistent storage engine:
+	// paged table files, a redo WAL and B+ tree indexes live under
+	// DataDir/<site>. Reopening a system over an existing directory
+	// recovers the data (see System.Loaded to skip reloading). Empty —
+	// the default — keeps the in-memory backend; results, RunStats and
+	// audit logs are byte-identical either way.
+	DataDir string
+	// BufferPoolBytes bounds the shared page cache of the persistent
+	// engine (0 = store.DefaultPoolBytes) and, independently of backend,
+	// feeds the optimizer's index access-path costing — so a given
+	// budget yields the same plans whether or not DataDir is set.
+	BufferPoolBytes int64
+	// Fsync gates fsyncs on WAL appends and checkpoints (durability vs
+	// speed; meaningful only with DataDir).
+	Fsync bool
 }
 
 // Observability handle types re-exported for embedders.
@@ -328,6 +343,38 @@ func (s *System) MustDefineTable(name, db, location string, rows int64, cols ...
 func (s *System) DefineFragmentedTable(name string, cols []Column, fragments []schema.Fragment) error {
 	s.invalidate()
 	return s.Schema.AddTable(&schema.Table{Name: name, Columns: cols, Fragments: fragments})
+}
+
+// DefineIndex declares B+ tree secondary indexes over the named columns
+// (int64-class or string key types). Both storage backends maintain
+// declared indexes and the optimizer considers IndexScan and
+// IndexLookupJoin access paths for them. Indexes are created with the
+// storage tables, so declare them before the first load.
+func (s *System) DefineIndex(table string, columns ...string) error {
+	t, ok := s.Schema.Table(table)
+	if !ok {
+		return fmt.Errorf("cgdqp: unknown table %q", table)
+	}
+	if s.cl != nil {
+		return fmt.Errorf("cgdqp: DefineIndex(%s) after the cluster was created; declare indexes before loading", table)
+	}
+	for _, col := range columns {
+		if _, ok := t.Column(col); !ok {
+			return fmt.Errorf("cgdqp: table %q has no column %q", table, col)
+		}
+		if !t.Indexed(col) {
+			t.Indexes = append(t.Indexes, col)
+		}
+	}
+	s.invalidate()
+	return nil
+}
+
+// MustDefineIndex is DefineIndex panicking on error.
+func (s *System) MustDefineIndex(table string, columns ...string) {
+	if err := s.DefineIndex(table, columns...); err != nil {
+		panic(err)
+	}
 }
 
 // SetColumnStats records optimizer statistics for a column.
@@ -486,11 +533,70 @@ func (s *System) Analyze() error {
 	return s.Cluster().AnalyzeAll(s.Schema)
 }
 
+// Open creates the cluster eagerly (after all tables are defined),
+// surfacing persistent-store open errors that Cluster would panic on.
+// Optional: every entry point opens the cluster lazily on first use.
+func (s *System) Open() error {
+	if s.cl != nil {
+		return nil
+	}
+	cl, err := s.newCluster()
+	if err != nil {
+		return err
+	}
+	s.cl = cl
+	return nil
+}
+
+// Close flushes and closes the persistent storage engines (checkpoint
+// plus WAL truncation); a no-op for in-memory systems. The system must
+// not be used afterwards.
+func (s *System) Close() error {
+	if s.cl == nil {
+		return nil
+	}
+	return s.cl.Close()
+}
+
+// Loaded reports whether every fragment of a table already holds rows —
+// true when a persistent system reopened its data directory, letting
+// loaders skip re-ingesting.
+func (s *System) Loaded(table string) bool {
+	t, ok := s.Schema.Table(table)
+	if !ok {
+		return false
+	}
+	for i := range t.Fragments {
+		if !s.Cluster().FragmentLoaded(t, i) {
+			return false
+		}
+	}
+	return len(t.Fragments) > 0
+}
+
+func (s *System) newCluster() (*cluster.Cluster, error) {
+	var cfg *cluster.StoreConfig
+	if s.opts.DataDir != "" {
+		cfg = &cluster.StoreConfig{
+			DataDir:         s.opts.DataDir,
+			BufferPoolBytes: s.opts.BufferPoolBytes,
+			Fsync:           s.opts.Fsync,
+		}
+	}
+	return cluster.NewWithStore(s.Schema, s.network(), cfg)
+}
+
 // Cluster returns the simulated geo-distributed cluster, creating it on
-// first use (after all tables are defined).
+// first use (after all tables are defined). It panics when the
+// persistent store cannot be opened — call Open first to handle that
+// error gracefully.
 func (s *System) Cluster() *cluster.Cluster {
 	if s.cl == nil {
-		s.cl = cluster.New(s.Schema, s.network())
+		cl, err := s.newCluster()
+		if err != nil {
+			panic(fmt.Sprintf("cgdqp: open persistent store: %v", err))
+		}
+		s.cl = cl
 		if s.opts.Faults != nil {
 			s.cl.SetFaults(s.opts.Faults)
 		}
@@ -639,6 +745,7 @@ func (s *System) Optimizer() *optimizer.Optimizer {
 			MaxAlts:        s.opts.MaxAlts,
 			MaxExprs:       s.opts.MaxExprs,
 			PlanCacheSize:  pcs,
+			PoolBytes:      s.opts.BufferPoolBytes,
 		})
 		s.opt.SetObserver(s.obsv)
 		if s.fb != nil {
@@ -836,7 +943,22 @@ func (s *System) query(ctx context.Context, sql string, o *obs.Observer) (*Resul
 func (s *System) countQuery(status string) {
 	if m := s.obsv.Reg(); m != nil {
 		m.Counter("cgdqp_queries_total", "status", status).Inc()
+		s.publishStoreStats(m)
 	}
+}
+
+// publishStoreStats refreshes the cgdqp_store_* gauges from the shared
+// buffer pool (no-op unless the persistent engine is running).
+func (s *System) publishStoreStats(m *MetricsRegistry) {
+	if s.cl == nil || !s.cl.Persistent() {
+		return
+	}
+	st := s.cl.StoreStats()
+	m.Gauge("cgdqp_store_pool_hits").Set(float64(st.Hits))
+	m.Gauge("cgdqp_store_pool_misses").Set(float64(st.Misses))
+	m.Gauge("cgdqp_store_pool_evictions").Set(float64(st.Evictions))
+	m.Gauge("cgdqp_store_pool_writebacks").Set(float64(st.Writebacks))
+	m.Gauge("cgdqp_store_pool_resident").Set(float64(st.Resident))
 }
 
 // noteQuery feeds a successful query's end-to-end outcome to the

@@ -49,9 +49,32 @@ import (
 	"cgdqp/internal/policy"
 	"cgdqp/internal/rescache"
 	"cgdqp/internal/sched"
+	"cgdqp/internal/schema"
 	"cgdqp/internal/tpch"
 	"cgdqp/internal/workload"
 )
+
+// preloaded reports whether a persistent cluster reopened a data
+// directory that already holds every fragment of every catalog table —
+// in that case the TPC-H load is skipped (reloading would append
+// duplicate rows).
+func preloaded(cat *schema.Catalog, cl *cluster.Cluster) bool {
+	if !cl.Persistent() {
+		return false
+	}
+	for _, t := range cat.Tables() {
+		n := len(t.Fragments)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if !cl.FragmentLoaded(t, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // writeOut renders one observability artefact to path ("-" = stdout,
 // "" = skip) at process exit.
@@ -105,6 +128,8 @@ func main() {
 	slowThreshold := flag.Duration("slow-query-threshold", 100*time.Millisecond, "latency floor for -slow-query-log (0 logs every query)")
 	sloTarget := flag.Duration("slo-target", 0, "serving mode: adaptively tune max-concurrent/queue-depth against this e2e p99 target (0 = static limits)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+	dataDir := flag.String("data-dir", "", "persist per-site table data under this directory with the paged storage engine (empty = in-memory); reopening a populated directory recovers from the WAL and skips the TPC-H load")
+	bufferPool := flag.Int64("buffer-pool", 0, "persistent-store buffer pool budget in bytes (0 = 64 MiB default); also feeds the optimizer's index access-path costing")
 	flag.Parse()
 
 	var obsv *obs.Observer
@@ -158,11 +183,30 @@ func main() {
 
 	cat := tpch.NewCatalog(*sf)
 	net := network.FiveRegionWAN(cat.Locations())
-	cl := cluster.New(cat, net)
-	fmt.Fprintf(os.Stderr, "loading TPC-H data at SF %g over L1..L5 ...\n", *sf)
-	if err := tpch.Generate(cat, cl); err != nil {
-		fmt.Fprintf(os.Stderr, "load: %v\n", err)
-		os.Exit(1)
+	var cl *cluster.Cluster
+	if *dataDir != "" {
+		var err error
+		cl, err = cluster.NewWithStore(cat, net, &cluster.StoreConfig{
+			DataDir:         *dataDir,
+			BufferPoolBytes: *bufferPool,
+			Fsync:           true,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "data-dir: %v\n", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+	} else {
+		cl = cluster.New(cat, net)
+	}
+	if preloaded(cat, cl) {
+		fmt.Fprintf(os.Stderr, "reopened persistent TPC-H data in %s (load skipped)\n", *dataDir)
+	} else {
+		fmt.Fprintf(os.Stderr, "loading TPC-H data at SF %g over L1..L5 ...\n", *sf)
+		if err := tpch.Generate(cat, cl); err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *chaosSeed != 0 {
 		faults := network.NewFaultPlan(*chaosSeed).SetDefault(network.EdgeFaults{
@@ -180,6 +224,7 @@ func main() {
 		Compliant:      true,
 		ResultLocation: *resultLoc,
 		PlanCacheSize:  *planCache,
+		PoolBytes:      *bufferPool,
 	})
 	opt.SetObserver(obsv)
 
@@ -441,6 +486,7 @@ func main() {
 					Compliant:      true,
 					ResultLocation: *resultLoc,
 					PlanCacheSize:  *planCache,
+					PoolBytes:      *bufferPool,
 				})
 				opt.SetObserver(obsv)
 			}

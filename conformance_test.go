@@ -263,6 +263,111 @@ func TestConformanceMatrix(t *testing.T) {
 	t.Logf("conformance: %d compared runs, %d warm cache hits, %d typed failures", recovered, warmHits, failed)
 }
 
+// newStoreConformSystem builds a fully loaded TPC-H system for one cell
+// of the store axis: dataDir "" keeps the in-memory backend, anything
+// else opens the persistent paged engine under that directory. Every
+// cell — including the in-memory reference — declares the same B+ tree
+// indexes so index access paths (IndexScan, IndexLookupJoin) are
+// planned identically on both backends.
+func newStoreConformSystem(t *testing.T, parallel, interp bool, dataDir string) *System {
+	t.Helper()
+	opts := Options{Parallel: parallel, NoVectorKernels: interp, Audit: true, DataDir: dataDir}
+	sys := NewSystemWith(opts)
+	sys.Schema = tpch.NewCatalog(0.001)
+	for _, tab := range sys.Schema.Tables() {
+		sys.MustAddPolicy("ship * from " + tab.Name + " to *")
+	}
+	sys.MustDefineIndex("customer", "custkey")
+	sys.MustDefineIndex("orders", "custkey", "orderdate")
+	sys.MustDefineIndex("lineitem", "orderkey")
+	if err := tpch.Generate(sys.Schema, sys.Cluster()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestConformanceStoreAxis extends the conformance matrix along the
+// storage axis: every golden TPC-H query runs on the persistent paged
+// engine across {seq, par} × {kernels, interp} × chaos seeds and must
+// be byte-identical — rows, shipping statistics, audit log — to an
+// in-memory sequential/interpreter reference over the same data and the
+// same declared indexes. The storage backend must be invisible to every
+// layer above it: plan choice, shipping, compliance accounting.
+func TestConformanceStoreAxis(t *testing.T) {
+	names := tpch.QueryNames()
+
+	ref := newStoreConformSystem(t, false, true, "")
+	goldens := map[string]*conformGolden{}
+	for _, name := range names {
+		ref.AuditLog().Reset()
+		out := runConform(t, "store-reference/"+name, ref, tpch.Queries[name])
+		if out.err != nil {
+			t.Fatalf("store reference %s: %v", name, out.err)
+		}
+		goldens[name] = &conformGolden{
+			rows:  renderRows(out.res.Rows),
+			bytes: out.res.ShippedBytes,
+			cost:  out.res.ShipCost,
+			audit: ref.AuditLog().String(),
+		}
+	}
+
+	seeds := []int64{0, 3, 5}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	retry := network.RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 20 * time.Microsecond,
+		MaxBackoff:  160 * time.Microsecond,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+	compared := 0
+	for _, parallel := range []bool{false, true} {
+		for _, interp := range []bool{false, true} {
+			sys := newStoreConformSystem(t, parallel, interp, t.TempDir())
+			cl := sys.Cluster()
+			if !cl.Persistent() {
+				t.Fatal("store axis cell did not open the persistent backend")
+			}
+			for _, seed := range seeds {
+				if seed == 0 {
+					cl.SetFaults(nil)
+				} else {
+					cl.SetFaults(NewFaultPlan(seed).SetDefault(EdgeFaults{
+						DropProb:      0.08,
+						TransientProb: 0.05,
+					}))
+					cl.SetRetry(retry)
+				}
+				for _, name := range names {
+					label := fmt.Sprintf("store par=%v interp=%v seed=%d %s", parallel, interp, seed, name)
+					sys.AuditLog().Reset()
+					out := runConform(t, label, sys, tpch.Queries[name])
+					if out.err != nil {
+						var se *network.ShipError
+						if !errors.As(out.err, &se) {
+							t.Fatalf("%s: untyped error: %v", label, out.err)
+						}
+						continue
+					}
+					conformCompare(t, label, out, sys.AuditLog().String(), goldens[name])
+					compared++
+				}
+			}
+			cl.SetFaults(nil)
+			if err := sys.Close(); err != nil {
+				t.Fatalf("store axis close: %v", err)
+			}
+		}
+	}
+	if compared == 0 {
+		t.Error("no run exercised the store-axis parity comparison")
+	}
+	t.Logf("store axis: %d compared runs", compared)
+}
+
 // newFallbackSystem builds a two-site system loaded with NULL-heavy,
 // lane-impure data: every column mixes in untyped NULLs, and a band in
 // the middle of Events plants values of the wrong type in the id and

@@ -12,46 +12,77 @@ import (
 // min/max for orderable types, plus fragment row counts. It is the
 // engine's ANALYZE: run it after loading so cardinality estimates match
 // the data.
+//
+// Indexed columns of single-fragment tables take the fast path: row
+// count, min/max and distinct come straight from the B+ tree (exact,
+// and identical to what the row scan would compute) — a fully indexed
+// table is analyzed without decoding a single page. Fragmented tables
+// and unindexed columns fall back to the scanning path.
 func (c *Cluster) Analyze(t *schema.Table) error {
 	type colAcc struct {
 		distinct map[uint64]struct{}
 		min, max expr.Value
 		seen     bool
 	}
+	fromIndex := make([]bool, len(t.Columns))
+	idxStats := make([]schema.ColStats, len(t.Columns))
+	if len(t.Fragments) == 1 {
+		if tab, err := c.fragmentTable(t, 0); err == nil {
+			t.Fragments[0].RowCount = int64(tab.RowCount())
+			for i, col := range t.Columns {
+				if min, max, distinct, ok := tab.IndexStats(col.Name); ok {
+					idxStats[i] = schema.ColStats{Distinct: int64(distinct), Min: min, Max: max}
+					fromIndex[i] = true
+				}
+			}
+		}
+	}
+	needScan := false
+	for i := range t.Columns {
+		if !fromIndex[i] {
+			needScan = true
+		}
+	}
 	accs := make([]colAcc, len(t.Columns))
 	for i := range accs {
 		accs[i].distinct = map[uint64]struct{}{}
 	}
-	for fi := range t.Fragments {
-		rows, err := c.FragmentRows(t, fi)
-		if err != nil {
-			return err
-		}
-		t.Fragments[fi].RowCount = int64(len(rows))
-		for _, row := range rows {
-			if len(row) != len(t.Columns) {
-				return fmt.Errorf("cluster: analyze %s: row width %d != %d columns", t.Name, len(row), len(t.Columns))
+	if needScan || len(t.Fragments) > 1 {
+		for fi := range t.Fragments {
+			rows, err := c.FragmentRows(t, fi)
+			if err != nil {
+				return err
 			}
-			for i, v := range row {
-				if v.IsNull() {
-					continue
+			t.Fragments[fi].RowCount = int64(len(rows))
+			for _, row := range rows {
+				if len(row) != len(t.Columns) {
+					return fmt.Errorf("cluster: analyze %s: row width %d != %d columns", t.Name, len(row), len(t.Columns))
 				}
-				a := &accs[i]
-				a.distinct[v.Hash()] = struct{}{}
-				if !a.seen {
-					a.min, a.max, a.seen = v, v, true
-					continue
-				}
-				if cres, err := v.Compare(a.min); err == nil && cres < 0 {
-					a.min = v
-				}
-				if cres, err := v.Compare(a.max); err == nil && cres > 0 {
-					a.max = v
+				for i, v := range row {
+					if fromIndex[i] || v.IsNull() {
+						continue
+					}
+					a := &accs[i]
+					a.distinct[v.Hash()] = struct{}{}
+					if !a.seen {
+						a.min, a.max, a.seen = v, v, true
+						continue
+					}
+					if cres, err := v.Compare(a.min); err == nil && cres < 0 {
+						a.min = v
+					}
+					if cres, err := v.Compare(a.max); err == nil && cres > 0 {
+						a.max = v
+					}
 				}
 			}
 		}
 	}
 	for i, col := range t.Columns {
+		if fromIndex[i] {
+			t.SetColStats(col.Name, idxStats[i])
+			continue
+		}
 		st := schema.ColStats{Distinct: int64(len(accs[i].distinct))}
 		if accs[i].seen {
 			st.Min, st.Max = accs[i].min, accs[i].max

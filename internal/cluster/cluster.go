@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 	"cgdqp/internal/obs"
 	"cgdqp/internal/schema"
 	"cgdqp/internal/storage"
+	"cgdqp/internal/store"
 )
 
 // Site is one location: a gateway to its local database.
@@ -64,6 +66,24 @@ type Cluster struct {
 	// table it consumed still has the epoch observed before execution.
 	epochMu sync.RWMutex
 	epochs  map[string]uint64
+
+	// Persistent-store state (nil/empty for the in-memory default): one
+	// engine per site sharing a single buffer pool, so the configured
+	// byte budget is cluster-global.
+	pool    *store.Pool
+	engines []*store.Engine
+}
+
+// StoreConfig configures the persistent per-site storage engines. The
+// zero value (no DataDir) keeps the in-memory backend.
+type StoreConfig struct {
+	// DataDir is the root directory; each site gets a subdirectory.
+	DataDir string
+	// BufferPoolBytes is the shared page-cache budget across all sites
+	// (default store.DefaultPoolBytes).
+	BufferPoolBytes int64
+	// Fsync gates fsyncs on WAL appends and checkpoints.
+	Fsync bool
 }
 
 // DataEpoch returns the current data epoch of a table
@@ -111,24 +131,110 @@ func (c *Cluster) SleepWire(costMS float64) {
 // a site hosting its database (named per the catalog's location→database
 // mapping), with every table fragment placed at its location.
 func New(cat *schema.Catalog, net *network.CostModel) *Cluster {
+	c, err := NewWithStore(cat, net, nil)
+	if err != nil {
+		// Unreachable: only the persistent backend can fail to open.
+		panic(err)
+	}
+	return c
+}
+
+// NewWithStore is New with an optional persistent storage backend: with
+// a StoreConfig, every site database runs on a paged engine under
+// DataDir/<location>, all sites sharing one buffer pool. Tables are
+// created with their catalog-declared column types and indexes on both
+// backends, so plans and results do not depend on the backend choice.
+func NewWithStore(cat *schema.Catalog, net *network.CostModel, cfg *StoreConfig) (*Cluster, error) {
 	c := &Cluster{sites: map[string]*Site{}, Net: net, Ledger: network.NewLedger(net), epochs: map[string]uint64{}}
+	if cfg != nil && cfg.DataDir != "" {
+		c.pool = store.NewPool(cfg.BufferPoolBytes)
+	}
 	for _, loc := range cat.Locations() {
 		dbName := cat.DatabaseAt(loc)
 		if dbName == "" {
 			dbName = "db@" + loc
 		}
-		c.sites[loc] = &Site{Location: loc, DB: storage.NewDB(dbName)}
+		var db *storage.DB
+		if c.pool != nil {
+			eng, err := store.Open(store.Options{
+				Dir:   filepath.Join(cfg.DataDir, siteDirName(loc)),
+				Pool:  c.pool,
+				Fsync: cfg.Fsync,
+			})
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: open store at %s: %w", loc, err)
+			}
+			c.engines = append(c.engines, eng)
+			db = storage.NewPersistentDB(dbName, eng)
+		} else {
+			db = storage.NewDB(dbName)
+		}
+		c.sites[loc] = &Site{Location: loc, DB: db}
 	}
 	for _, t := range cat.Tables() {
+		types := make([]expr.Type, len(t.Columns))
+		for i, col := range t.Columns {
+			types[i] = col.Type
+		}
 		for i := range t.Fragments {
 			site := c.sites[t.Fragments[i].Location]
 			if site == nil {
 				continue
 			}
-			_, _ = site.DB.CreateTable(fragName(t, i), t.ColumnNames())
+			if _, err := site.DB.CreateTableSpec(fragName(t, i), t.ColumnNames(), types, t.Indexes); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: create %s at %s: %w", t.Name, t.Fragments[i].Location, err)
+			}
 		}
 	}
-	return c
+	return c, nil
+}
+
+// siteDirName maps a location name onto a directory name.
+func siteDirName(loc string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, loc)
+}
+
+// Close flushes and closes the persistent engines (no-op in-memory).
+func (c *Cluster) Close() error {
+	var firstErr error
+	for _, e := range c.engines {
+		if err := e.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.engines = nil
+	return firstErr
+}
+
+// StoreStats snapshots the shared buffer-pool counters (zero when the
+// cluster runs in memory).
+func (c *Cluster) StoreStats() store.PoolStats {
+	if c.pool == nil {
+		return store.PoolStats{}
+	}
+	return c.pool.Stats()
+}
+
+// Persistent reports whether the cluster runs on the paged engine.
+func (c *Cluster) Persistent() bool { return c.pool != nil }
+
+// FragmentLoaded reports whether a fragment already holds rows — a
+// persistent cluster reopening its data directory skips reloading.
+func (c *Cluster) FragmentLoaded(t *schema.Table, fragIdx int) bool {
+	tab, err := c.fragmentTable(t, fragIdx)
+	if err != nil {
+		return false
+	}
+	return tab.RowCount() > 0
 }
 
 // fragName returns the storage name of a fragment: the bare table name
@@ -227,8 +333,8 @@ func validateSortedBy(t *schema.Table, rows []expr.Row) error {
 	return nil
 }
 
-// FragmentRows reads the stored rows of a table fragment.
-func (c *Cluster) FragmentRows(t *schema.Table, fragIdx int) ([]expr.Row, error) {
+// fragmentTable resolves the storage table behind one fragment.
+func (c *Cluster) fragmentTable(t *schema.Table, fragIdx int) (*storage.Table, error) {
 	if fragIdx < 0 {
 		fragIdx = 0
 	}
@@ -244,7 +350,52 @@ func (c *Cluster) FragmentRows(t *schema.Table, fragIdx int) ([]expr.Row, error)
 	if !ok {
 		return nil, fmt.Errorf("cluster: table %s missing at %s", t.Name, loc)
 	}
-	return st.Rows(), nil
+	return st, nil
+}
+
+// FragmentRows reads the stored rows of a table fragment.
+func (c *Cluster) FragmentRows(t *schema.Table, fragIdx int) ([]expr.Row, error) {
+	st, err := c.fragmentTable(t, fragIdx)
+	if err != nil {
+		return nil, err
+	}
+	return st.RowsChecked()
+}
+
+// FragmentBatches returns a page iterator over a persistent fragment
+// (decoding pages straight into column vectors); ok is false on the
+// in-memory backend, whose scans alias rows instead.
+func (c *Cluster) FragmentBatches(t *schema.Table, fragIdx int) (*store.Iterator, bool, error) {
+	st, err := c.fragmentTable(t, fragIdx)
+	if err != nil {
+		return nil, false, err
+	}
+	it, ok := st.Batches()
+	return it, ok, nil
+}
+
+// IndexRangeRows reads the rows of a fragment whose indexed column lies
+// in [lo, hi] via its B+ tree, in (key, insertion) order. ok is false
+// when the column carries no usable index — callers fall back to a full
+// scan plus filter.
+func (c *Cluster) IndexRangeRows(t *schema.Table, fragIdx int, col string, lo, hi *expr.Value, loInc, hiInc bool) ([]expr.Row, bool, error) {
+	st, err := c.fragmentTable(t, fragIdx)
+	if err != nil {
+		return nil, false, err
+	}
+	rows, ok := st.IndexRangeRows(col, lo, hi, loInc, hiInc)
+	return rows, ok, nil
+}
+
+// IndexLookupRows reads the rows of a fragment whose indexed column
+// equals key, in insertion order; ok as in IndexRangeRows.
+func (c *Cluster) IndexLookupRows(t *schema.Table, fragIdx int, col string, key expr.Value) ([]expr.Row, bool, error) {
+	st, err := c.fragmentTable(t, fragIdx)
+	if err != nil {
+		return nil, false, err
+	}
+	rows, ok := st.IndexLookupRows(col, key)
+	return rows, ok, nil
 }
 
 // AllRows concatenates the rows of every fragment of a table (global

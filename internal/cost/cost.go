@@ -35,6 +35,23 @@ const (
 	outputRow    = 0.1
 )
 
+// Index access-path cost weights. These price B+ tree descends and page
+// fetches against the plain per-row scan weights above; page fetches are
+// discounted by the fraction of the table the buffer pool can hold, so a
+// bigger pool makes index paths (which touch scattered pages) cheaper.
+// The model is deliberately backend-independent: it depends only on the
+// configured pool budget, never on which storage backend runs the plan,
+// so plan choice is identical across the in-memory / persistent axis.
+const (
+	pageSizeBytes    = 8192.0 // matches store.PageSize
+	pageFetchCost    = 4.0    // page read missing the buffer pool
+	pageWarmCost     = 0.25   // page read hitting the buffer pool
+	btreeLevelCost   = 0.5    // one interior-node descend
+	indexProbeRow    = 0.4    // per row fetched through an index posting
+	defaultPoolBytes = 64 << 20
+	btreeFanout      = 64.0 // matches store.btreeOrder
+)
+
 // CardHints supplies observed output cardinalities keyed by canonical
 // subplan digest (plan.Node.SubplanDigest); the feedback store
 // implements it. A hint overrides the statistics-derived estimate —
@@ -48,8 +65,9 @@ type CardHints interface {
 // resolved through query aliases, optionally corrected by observed
 // actuals from a CardHints source.
 type Estimator struct {
-	tables map[string]*schema.Table // lowercase alias -> base table
-	hints  CardHints
+	tables    map[string]*schema.Table // lowercase alias -> base table
+	hints     CardHints
+	poolBytes int64 // buffer-pool budget for page-fetch discounting; 0 = default
 }
 
 // NewEstimator builds an estimator for one query: it collects the base
@@ -58,7 +76,7 @@ func NewEstimator(root *plan.Node) *Estimator {
 	est := &Estimator{tables: map[string]*schema.Table{}}
 	if root != nil {
 		root.Walk(func(n *plan.Node) bool {
-			if n.Kind == plan.Scan || n.Kind == plan.TableScan {
+			if n.Kind == plan.Scan || n.Kind == plan.TableScan || n.Kind == plan.IndexScan {
 				est.tables[strings.ToLower(n.Alias)] = n.Table
 			}
 			return true
@@ -274,6 +292,135 @@ func OperatorCost(kind plan.Kind, outCard float64, inCards ...float64) float64 {
 	return outCard * cpuRow
 }
 
+// SetPoolBytes configures the buffer-pool budget used to discount page
+// fetches in index access-path costs; 0 keeps the default (64 MiB). The
+// setting is applied identically whether or not the persistent backend
+// runs the plan, so the chosen plan never depends on the backend.
+func (e *Estimator) SetPoolBytes(b int64) { e.poolBytes = b }
+
+// pagePrice returns the cost of touching one page of a table occupying
+// tableBytes: warm (pool hit) for the resident fraction, cold for the
+// rest.
+func (e *Estimator) pagePrice(tableBytes float64) float64 {
+	pool := float64(e.poolBytes)
+	if pool <= 0 {
+		pool = defaultPoolBytes
+	}
+	cov := 1.0
+	if tableBytes > pool {
+		cov = pool / tableBytes
+	}
+	return pageWarmCost*cov + pageFetchCost*(1-cov)
+}
+
+// btreeLevels estimates the descend depth of an index with d distinct
+// keys.
+func btreeLevels(d float64) float64 {
+	if d < btreeFanout {
+		return 1
+	}
+	return math.Ceil(math.Log(d) / math.Log(btreeFanout))
+}
+
+// IndexRangeSel estimates the fraction of an IndexScan's table matched
+// by the index bounds alone (the residual predicate narrows further).
+// Point lookups use 1/distinct; int-class ranges interpolate against the
+// column's min/max statistics; everything else falls back to the range
+// default.
+func (e *Estimator) IndexRangeSel(n *plan.Node) float64 {
+	col := expr.NewCol(n.Alias, n.IdxCol)
+	if n.IdxLo != nil && n.IdxHi != nil && n.IdxLoInc && n.IdxHiInc && n.IdxLo.Equal(*n.IdxHi) {
+		d := e.Distinct(col, 0)
+		if d > 0 {
+			return clampSel(1 / d)
+		}
+		return selEq
+	}
+	if t, ok := e.tables[strings.ToLower(n.Alias)]; ok {
+		s := t.Stats(n.IdxCol)
+		if !s.Min.IsNull() && !s.Max.IsNull() && intClass(s.Min.T) {
+			lo, hi := float64(s.Min.I), float64(s.Max.I)
+			if hi > lo {
+				a, b := lo, hi
+				if n.IdxLo != nil && intClass(n.IdxLo.T) {
+					a = math.Max(a, float64(n.IdxLo.I))
+				}
+				if n.IdxHi != nil && intClass(n.IdxHi.T) {
+					b = math.Min(b, float64(n.IdxHi.I))
+				}
+				if b < a {
+					return clampSel(0)
+				}
+				return clampSel((b - a) / (hi - lo))
+			}
+		}
+	}
+	return selRange
+}
+
+func intClass(t expr.Type) bool {
+	return t == expr.TInt || t == expr.TDate || t == expr.TBool
+}
+
+// AccessPathCost prices the index access paths. Unlike OperatorCost's
+// pure per-row weights, these depend on table statistics and the
+// buffer-pool budget: a descend per probe, a (possibly scattered) page
+// fetch per matched row, and the residual predicate over fetched rows.
+func (e *Estimator) AccessPathCost(n *plan.Node, outCard float64, inCards ...float64) float64 {
+	in := func(i int) float64 {
+		if i < len(inCards) {
+			return inCards[i]
+		}
+		return 0
+	}
+	switch n.Kind {
+	case plan.IndexScan:
+		tableCard := ScanCard(n.Table, n.FragIdx)
+		tableBytes := tableCard * float64(n.Table.RowWidth())
+		matched := math.Max(1, tableCard*e.IndexRangeSel(n))
+		tablePages := math.Max(1, tableBytes/pageSizeBytes)
+		pages := math.Min(matched, tablePages)
+		col := expr.NewCol(n.Alias, n.IdxCol)
+		levels := btreeLevels(e.Distinct(col, math.Sqrt(math.Max(tableCard, 1))))
+		return levels*btreeLevelCost + pages*e.pagePrice(tableBytes) +
+			matched*(indexProbeRow+cpuRow) + outCard*outputRow
+	case plan.IndexLookupJoin:
+		// Children are [outer, inner TableScan]; the inner scan is never
+		// executed (callers exclude its subtree cost) — each outer row
+		// descends the inner index and fetches its matches.
+		outer, inner := in(0), in(1)
+		var t *schema.Table
+		if len(n.Children) == 2 {
+			t = n.Children[1].Table
+		}
+		rowWidth := 64.0
+		if t != nil {
+			rowWidth = float64(t.RowWidth())
+		}
+		tableBytes := inner * rowWidth
+		d := math.Max(inner, 1)
+		if len(n.Children) == 2 {
+			d = e.Distinct(expr.NewCol(n.Children[1].Alias, n.IdxCol), d)
+		}
+		d = math.Max(1, d)
+		perOuter := math.Max(inner/d, 1.0/8) // expected matches per probe
+		levels := btreeLevels(d)
+		return outer*(levels*btreeLevelCost+perOuter*(e.pagePrice(tableBytes)+indexProbeRow+cpuRow)) +
+			outCard*outputRow
+	}
+	return OperatorCost(n.Kind, outCard, inCards...)
+}
+
+// CostFor returns the phase-1 cost of one operator, dispatching index
+// access paths to the statistics-aware model and everything else to the
+// pure per-row weights.
+func (e *Estimator) CostFor(n *plan.Node, outCard float64, inCards ...float64) float64 {
+	if n.Kind == plan.IndexScan || n.Kind == plan.IndexLookupJoin {
+		return e.AccessPathCost(n, outCard, inCards...)
+	}
+	return OperatorCost(n.Kind, outCard, inCards...)
+}
+
 // SetHints attaches an observed-cardinality source. Call before use;
 // nil detaches (the pure-statistics paths then run unchanged).
 func (e *Estimator) SetHints(h CardHints) { e.hints = h }
@@ -305,10 +452,15 @@ func (e *Estimator) EstimateTree(n *plan.Node) {
 	for i, c := range n.Children {
 		e.EstimateTree(c)
 		inCards[i] = c.Card
+		// An IndexLookupJoin's inner TableScan child is never executed
+		// (the index is probed instead), so its cost does not accrue.
+		if n.Kind == plan.IndexLookupJoin && i == 1 {
+			continue
+		}
 		childCost += c.Cost
 	}
 	n.Card = e.NodeCard(n, inCards)
-	n.Cost = childCost + OperatorCost(n.Kind, n.Card, inCards...)
+	n.Cost = childCost + e.CostFor(n, n.Card, inCards...)
 }
 
 // estimateHinted is EstimateTree building canonical subplan digests
@@ -321,12 +473,22 @@ func (e *Estimator) estimateHinted(n *plan.Node) string {
 	for i, c := range n.Children {
 		kids[i] = e.estimateHinted(c)
 		inCards[i] = c.Card
+		if n.Kind == plan.IndexLookupJoin && i == 1 {
+			continue
+		}
 		childCost += c.Cost
 	}
 	n.Card = e.NodeCard(n, inCards)
 	var digest string
 	if n.Kind == plan.Ship && len(n.Children) == 1 {
 		digest = kids[0]
+	} else if n.Kind == plan.IndexScan {
+		// Mirror plan.SubplanDigest: an IndexScan digests as the
+		// Filter(Scan) it implements.
+		digest = plan.IndexScanFilterDigest(n)
+		if card, ok := e.hints.CardHint(digest); ok {
+			n.Card = card
+		}
 	} else {
 		var b strings.Builder
 		b.WriteString(n.CanonOpDigest())
@@ -343,7 +505,7 @@ func (e *Estimator) estimateHinted(n *plan.Node) string {
 			n.Card = card
 		}
 	}
-	n.Cost = childCost + OperatorCost(n.Kind, n.Card, inCards...)
+	n.Cost = childCost + e.CostFor(n, n.Card, inCards...)
 	return digest
 }
 
@@ -363,7 +525,11 @@ func (e *Estimator) NodeCard(n *plan.Node, inCards []float64) float64 {
 		return math.Max(1, in(0)*e.FilterSel(n.Pred))
 	case plan.Project, plan.ProjectExec, plan.Sort, plan.SortExec:
 		return in(0)
-	case plan.Join, plan.HashJoin, plan.NLJoin, plan.MergeJoin:
+	case plan.IndexScan:
+		// Same estimate as the Filter(Scan) it implements: the index
+		// bounds are conjuncts of the residual predicate.
+		return math.Max(1, ScanCard(n.Table, n.FragIdx)*e.FilterSel(n.Pred))
+	case plan.Join, plan.HashJoin, plan.NLJoin, plan.MergeJoin, plan.IndexLookupJoin:
 		return math.Max(1, in(0)*in(1)*e.JoinSel(n.Pred, in(0), in(1)))
 	case plan.Aggregate, plan.HashAgg:
 		return e.GroupCard(n.GroupBy, in(0))

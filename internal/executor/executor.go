@@ -110,6 +110,12 @@ func buildObs(n *plan.Node, env buildEnv) (Operator, error) {
 	switch n.Kind {
 	case plan.TableScan, plan.Scan:
 		op, err = newScan(n, env.c)
+	case plan.IndexScan:
+		op, err = newIndexScan(n, env.c)
+	case plan.IndexLookupJoin:
+		// The inner scan child (children[1]) is reached through the index
+		// probes, never executed as an operator.
+		op, err = newIndexLookupJoin(n, children[0], env.c)
 	case plan.FilterExec, plan.Filter:
 		op, err = newFilter(n, children[0], env.opt.kernels())
 	case plan.ProjectExec, plan.Project:

@@ -11,6 +11,7 @@ import (
 	"cgdqp/internal/network"
 	"cgdqp/internal/obs"
 	"cgdqp/internal/plan"
+	"cgdqp/internal/store"
 )
 
 // This file implements the parallel, batch-oriented execution engine.
@@ -181,6 +182,12 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 			return nil, err
 		}
 		return &batchScanOp{scan: op.(*scanOp)}, nil
+	case plan.IndexScan:
+		op, err := newIndexScan(n, eng.c)
+		if err != nil {
+			return nil, err
+		}
+		return &rowsToBatches{op: op}, nil
 	case plan.FilterExec, plan.Filter:
 		src, err := buildParallel(n.Children[0], eng)
 		if err != nil {
@@ -258,6 +265,14 @@ func buildParallelNode(n *plan.Node, eng *parallelEngine) (BatchOperator, error)
 			return nil, serr
 		}
 		op, err = newHashAggBatch(n, src, eng.opt.kernels())
+	case plan.IndexLookupJoin:
+		// Only the outer child executes; the inner scan is reached through
+		// the index probes.
+		outer, oerr := buildParallel(n.Children[0], eng)
+		if oerr != nil {
+			return nil, oerr
+		}
+		op, err = newIndexLookupJoin(n, &batchesToRows{src: outer}, eng.c)
 	case plan.MergeJoin, plan.NLJoin, plan.Join, plan.SortExec, plan.Sort:
 		children := make([]Operator, len(n.Children))
 		for i, ch := range n.Children {
@@ -545,18 +560,43 @@ func (b *batchesToRows) Close() error {
 
 // --- vectorized streaming operators --------------------------------------
 
-// batchScanOp emits a table fragment's rows as batches.
+// batchScanOp emits a table fragment's rows as batches. Persistent
+// fragments stream page by page through a store.Iterator, each page
+// decoding straight into the batch's column vectors — no row
+// materialization between disk and the kernels; the in-memory backend
+// keeps the zero-copy row-aliasing path.
 type batchScanOp struct {
 	scan *scanOp
+	it   *store.Iterator
 	pos  int
 }
 
 func (s *batchScanOp) Open() error {
-	s.pos = 0
+	s.pos, s.it = 0, nil
+	n := s.scan.node
+	if n.FragIdx >= 0 || !n.Table.Fragmented() {
+		it, ok, err := s.scan.c.FragmentBatches(n.Table, n.FragIdx)
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.it = it
+			return nil
+		}
+	}
 	return s.scan.Open()
 }
 
 func (s *batchScanOp) NextBatch() (*Batch, error) {
+	if s.it != nil {
+		b := NewBatch()
+		ok, err := s.it.NextBatch(b.Data())
+		if err != nil || !ok {
+			b.Release()
+			return nil, err
+		}
+		return b, nil
+	}
 	rows := s.scan.rows
 	if s.pos >= len(rows) {
 		return nil, nil
@@ -573,7 +613,10 @@ func (s *batchScanOp) NextBatch() (*Batch, error) {
 	return b, nil
 }
 
-func (s *batchScanOp) Close() error { return s.scan.Close() }
+func (s *batchScanOp) Close() error {
+	s.it = nil
+	return s.scan.Close()
+}
 
 // runSelect narrows a batch's selection through a compiled predicate,
 // in place: the surviving selection lives in batch-owned storage either

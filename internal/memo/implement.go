@@ -145,6 +145,21 @@ func (m *Memo) Implement(g *Group, cfg *ImplConfig) []*Alt {
 				}
 			})
 		}
+		// Index access paths (see indexpaths.go): IndexScan implements a
+		// Filter over a bare Scan; IndexLookupJoin implements a Join whose
+		// inner side is a bare Scan with an index on the join key.
+		if e.Op.Kind == plan.Filter && len(e.Children) == 1 {
+			for _, alt := range m.indexScanAlts(e, eCols, cfg) {
+				alts = insertAlt(alts, alt, maxAlts, cfg)
+			}
+		}
+		if e.Op.Kind == plan.Join && len(e.Children) == 2 {
+			for _, left := range childAlts[0] {
+				if alt := m.indexLookupJoinAlt(e, left, eCols, cfg); alt != nil {
+					alts = insertAlt(alts, alt, maxAlts, cfg)
+				}
+			}
+		}
 		// Sort elision: when a child alternative already delivers the
 		// requested ordering, the Sort disappears entirely.
 		if e.Op.Kind == plan.Sort {

@@ -63,16 +63,21 @@ type Options struct {
 	// options). 0 disables it — the default, so the paper's
 	// optimization-time experiments measure real optimizer work.
 	PlanCacheSize int
+	// PoolBytes is the configured buffer-pool budget fed to the cost
+	// model's index access-path pricing (0 = the model's default). It
+	// reflects the *configured* budget, never which storage backend
+	// runs, so plan choice stays backend-independent.
+	PoolBytes int64
 }
 
 // fingerprint renders every option that shapes the optimizer's output
 // (PlanCacheSize only changes caching, not plans) for plan-cache keys.
 func (o Options) fingerprint() string {
-	return fmt.Sprintf("c=%t;im=%d;ma=%d;me=%d;ap=%t;jr=%t;gs=%t;rt=%t;rl=%s;npc=%t",
+	return fmt.Sprintf("c=%t;im=%d;ma=%d;me=%d;ap=%t;jr=%t;gs=%t;rt=%t;rl=%s;npc=%t;pb=%d",
 		o.Compliant, o.ImplicationMode, o.MaxAlts, o.MaxExprs,
 		o.DisableAggPushdown, o.DisableJoinReorder,
 		o.GreedySiteSelection, o.ResponseTimeObjective,
-		o.ResultLocation, o.NoPolicyCache)
+		o.ResultLocation, o.NoPolicyCache, o.PoolBytes)
 }
 
 // Optimizer turns bound logical plans into located, compliant QEPs.
@@ -261,6 +266,9 @@ func (o *Optimizer) optimize(logical *plan.Node) (*Result, string, error) {
 	t1 := time.Now()
 	esp := o.obsv.StartSpan("optimize.explore")
 	est := cost.NewEstimator(norm)
+	if o.Opts.PoolBytes > 0 {
+		est.SetPoolBytes(o.Opts.PoolBytes)
+	}
 	if o.fb != nil {
 		est.SetHints(o.fb)
 	}

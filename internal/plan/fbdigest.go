@@ -1,6 +1,9 @@
 package plan
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+)
 
 // This file defines the *feedback digest*: a canonical identity for a
 // subplan that is stable across the plan's physical implementation and
@@ -24,7 +27,7 @@ func (k Kind) Canon() Kind {
 		return Filter
 	case ProjectExec:
 		return Project
-	case HashJoin, NLJoin, MergeJoin:
+	case HashJoin, NLJoin, MergeJoin, IndexLookupJoin:
 		return Join
 	case HashAgg:
 		return Aggregate
@@ -69,6 +72,14 @@ func (n *Node) subplanDigest(b *strings.Builder) {
 		n.Children[0].subplanDigest(b)
 		return
 	}
+	if n.Kind == IndexScan {
+		// An IndexScan is Filter(Scan) with the index pre-filtering; its
+		// output cardinality is that of the filter it implements, so it
+		// digests identically (the bounds are derived from the predicate
+		// and carry no extra identity).
+		b.WriteString(IndexScanFilterDigest(n))
+		return
+	}
 	b.WriteString(n.CanonOpDigest())
 	b.WriteByte('(')
 	for i, c := range n.Children {
@@ -78,4 +89,14 @@ func (n *Node) subplanDigest(b *strings.Builder) {
 		c.subplanDigest(b)
 	}
 	b.WriteByte(')')
+}
+
+// IndexScanFilterDigest renders an IndexScan as the canonical digest of
+// the Filter-over-Scan it implements.
+func IndexScanFilterDigest(n *Node) string {
+	p := ""
+	if n.Pred != nil {
+		p = n.Pred.String()
+	}
+	return fmt.Sprintf("Filter:%s(Scan:%s:%s:%d())", p, n.Table.Name, n.Alias, n.FragIdx)
 }

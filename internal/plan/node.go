@@ -40,6 +40,15 @@ const (
 	UnionAll
 	Ship
 	MergeJoin
+	// IndexScan is a physical access path: a B+ tree range scan on an
+	// indexed column (IdxCol, bounds IdxLo/IdxHi) with the full original
+	// predicate re-applied as a residual — it is Filter(Scan) with the
+	// index pre-filtering the rows.
+	IndexScan
+	// IndexLookupJoin probes the inner table's B+ tree with each outer
+	// row's key instead of building a hash table; its second child is the
+	// inner TableScan it replaces.
+	IndexLookupJoin
 )
 
 // String returns the operator name.
@@ -83,6 +92,10 @@ func (k Kind) String() string {
 		return "Ship"
 	case MergeJoin:
 		return "MergeJoin"
+	case IndexScan:
+		return "IndexScan"
+	case IndexLookupJoin:
+		return "IndexLookupJoin"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -167,6 +180,14 @@ type Node struct {
 	LimitN   int64         // Limit/LimitExec
 	FromLoc  string        // Ship
 	ToLoc    string        // Ship
+
+	// Index access-path parameters (IndexScan / IndexLookupJoin).
+	IdxCol   string      // indexed column (unqualified) on the accessed table
+	IdxLo    *expr.Value // IndexScan lower bound; nil = unbounded
+	IdxHi    *expr.Value // IndexScan upper bound; nil = unbounded
+	IdxLoInc bool        // lower bound inclusive
+	IdxHiInc bool        // upper bound inclusive
+	IdxOuter *expr.Col   // IndexLookupJoin outer-side key probed into the index
 
 	// Estimates and annotations.
 	Card  float64 // estimated output cardinality
@@ -351,7 +372,7 @@ func (n *Node) Walk(fn func(*Node) bool) {
 func (n *Node) Tables() []*Node {
 	var scans []*Node
 	n.Walk(func(x *Node) bool {
-		if x.Kind == Scan || x.Kind == TableScan {
+		if x.Kind == Scan || x.Kind == TableScan || x.Kind == IndexScan {
 			scans = append(scans, x)
 		}
 		return true
@@ -410,8 +431,46 @@ func (n *Node) OpString() string {
 		return fmt.Sprintf("Ship[%s -> %s]", n.FromLoc, n.ToLoc)
 	case Union, UnionAll:
 		return n.Kind.String()
+	case IndexScan:
+		s := fmt.Sprintf("IndexScan(%s", n.Table.Name)
+		if !strings.EqualFold(n.Alias, n.Table.Name) {
+			s += " AS " + n.Alias
+		}
+		if n.FragIdx >= 0 && n.Table.Fragmented() {
+			s += fmt.Sprintf(" frag %d@%s", n.FragIdx, n.Table.Fragments[n.FragIdx].Location)
+		}
+		s += " ON " + n.IdxCol + " " + n.idxRange() + ")"
+		if n.Pred != nil {
+			s += fmt.Sprintf("[%s]", n.Pred)
+		}
+		return s
+	case IndexLookupJoin:
+		inner := ""
+		if len(n.Children) == 2 {
+			inner = n.Children[1].Alias + "."
+		}
+		return fmt.Sprintf("IndexLookupJoin[%s; probe %s%s]", n.Pred, inner, n.IdxCol)
 	}
 	return n.Kind.String()
+}
+
+// idxRange renders the index bounds of an IndexScan.
+func (n *Node) idxRange() string {
+	lo, hi := "-inf", "+inf"
+	lb, hb := "(", ")"
+	if n.IdxLo != nil {
+		lo = n.IdxLo.String()
+		if n.IdxLoInc {
+			lb = "["
+		}
+	}
+	if n.IdxHi != nil {
+		hi = n.IdxHi.String()
+		if n.IdxHiInc {
+			hb = "]"
+		}
+	}
+	return lb + lo + ".." + hi + hb
 }
 
 // Format pretty-prints the plan tree with one operator per line. Set
@@ -466,7 +525,7 @@ func (n *Node) RowWidth() float64 {
 		}
 	}
 	// Scans know real column widths from the catalog.
-	if (n.Kind == Scan || n.Kind == TableScan) && n.Table != nil {
+	if (n.Kind == Scan || n.Kind == TableScan || n.Kind == IndexScan) && n.Table != nil {
 		return float64(n.Table.RowWidth())
 	}
 	return w
@@ -529,6 +588,18 @@ func (n *Node) OpDigest() string {
 		return fmt.Sprintf("%s:%d", n.Kind, n.LimitN)
 	case Ship:
 		return fmt.Sprintf("Ship:%s>%s", n.FromLoc, n.ToLoc)
+	case IndexScan:
+		p := ""
+		if n.Pred != nil {
+			p = n.Pred.String()
+		}
+		return fmt.Sprintf("IndexScan:%s:%s:%d:%s%s:%s", n.Table.Name, n.Alias, n.FragIdx, n.IdxCol, n.idxRange(), p)
+	case IndexLookupJoin:
+		p := ""
+		if n.Pred != nil {
+			p = n.Pred.String()
+		}
+		return fmt.Sprintf("IndexLookupJoin:%s:probe=%s<=%s", p, n.IdxCol, n.IdxOuter)
 	}
 	return n.Kind.String()
 }

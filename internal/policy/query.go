@@ -301,8 +301,10 @@ func (a *Analyzer) analyzeUncached(n *plan.Node) (*descState, bool) {
 		return a.analyzeFilter(n)
 	case plan.Project, plan.ProjectExec:
 		return a.analyzeProject(n)
-	case plan.Join, plan.HashJoin, plan.NLJoin:
+	case plan.Join, plan.HashJoin, plan.NLJoin, plan.IndexLookupJoin:
 		return a.analyzeJoin(n)
+	case plan.IndexScan:
+		return a.analyzeIndexScan(n)
 	case plan.Aggregate, plan.HashAgg:
 		return a.analyzeAggregate(n)
 	case plan.Union, plan.UnionAll:
@@ -333,6 +335,27 @@ func analyzeScan(n *plan.Node) (*descState, bool) {
 		st.cols[i] = colLineage{{attr: Attr{Table: table, Name: strings.ToLower(c.Name)}}}
 	}
 	return st, true
+}
+
+// analyzeIndexScan describes an IndexScan exactly as the Filter(Scan)
+// it implements: same base attributes, same conjuncts (the index bounds
+// are conjuncts of the residual predicate, so they add nothing), hence
+// the same descriptor digest and the same AR4 destinations.
+func (a *Analyzer) analyzeIndexScan(n *plan.Node) (*descState, bool) {
+	st, ok := analyzeScan(n)
+	if !ok {
+		return nil, false
+	}
+	if n.Pred == nil {
+		return st, true
+	}
+	canon, ok := canonicalize(n.Pred, n, st)
+	if !ok {
+		return nil, false
+	}
+	out := &descState{db: st.db, home: st.home, cols: st.cols, groupBy: st.groupBy, aggregated: st.aggregated}
+	out.conjuncts = append(append([]expr.Expr{}, st.conjuncts...), expr.Conjuncts(canon)...)
+	return out, true
 }
 
 func (a *Analyzer) analyzeFilter(n *plan.Node) (*descState, bool) {

@@ -65,6 +65,22 @@ type Table struct {
 	// of sorted tables feed merge joins without re-sorting. Loading
 	// validates the declared order.
 	SortedBy []string
+	// Indexes declares which columns carry B+ tree secondary indexes
+	// (int64-class or string key types only; others are ignored). Both
+	// storage backends maintain the declared indexes, and the optimizer
+	// considers IndexScan / IndexLookupJoin alternatives for them.
+	// Empty by default: existing catalogs plan exactly as before.
+	Indexes []string
+}
+
+// Indexed reports whether the named column is declared indexed.
+func (t *Table) Indexed(col string) bool {
+	for _, c := range t.Indexes {
+		if strings.EqualFold(c, col) {
+			return true
+		}
+	}
+	return false
 }
 
 // NewTable builds a single-fragment table located in db at location.

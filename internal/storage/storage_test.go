@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"cgdqp/internal/expr"
+	"cgdqp/internal/store"
 )
 
 func TestTableInsertAndScan(t *testing.T) {
@@ -51,6 +53,176 @@ func TestDBTables(t *testing.T) {
 	}
 	if names := db.Tables(); len(names) != 1 || names[0] != "T" {
 		t.Errorf("Tables: %v", names)
+	}
+}
+
+// TestRowsSnapshotZeroAlloc pins the O(1) snapshot contract: Rows() on
+// the in-memory backend is a capped slice expression over the
+// append-only rows — no per-scan copy, no allocations — and later
+// appends never mutate an outstanding snapshot.
+func TestRowsSnapshotZeroAlloc(t *testing.T) {
+	tab := NewTable("t", []string{"a", "b"})
+	for i := 0; i < 10_000; i++ {
+		if err := tab.Insert(expr.Row{expr.NewInt(int64(i)), expr.NewString("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap []expr.Row
+	allocs := testing.AllocsPerRun(100, func() { snap = tab.Rows() })
+	if allocs != 0 {
+		t.Errorf("Rows() allocates %.1f per call on 10k rows, want 0 (O(n) snapshot copy regressed)", allocs)
+	}
+	if len(snap) != 10_000 {
+		t.Fatalf("snapshot length %d, want 10000", len(snap))
+	}
+	first := snap[0][0].Int()
+	if err := tab.Insert(expr.Row{expr.NewInt(-1), expr.NewString("late")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 10_000 || snap[0][0].Int() != first {
+		t.Error("append after snapshot mutated the snapshot")
+	}
+	// Appending into the capacity gap beyond a snapshot's capped length
+	// must not be observable through the snapshot either.
+	if cap(snap) != len(snap) {
+		t.Errorf("snapshot capacity %d exceeds its length %d (aliasing window)", cap(snap), len(snap))
+	}
+}
+
+// TestTablesSorted pins the deterministic ordering of DB.Tables():
+// creation order and map iteration order must not leak through.
+func TestTablesSorted(t *testing.T) {
+	db := NewDB("db-1")
+	for _, name := range []string{"zeta", "alpha", "Mid", "beta"} {
+		if _, err := db.CreateTable(name, []string{"a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"Mid", "alpha", "beta", "zeta"} // sort.Strings order
+	for i := 0; i < 20; i++ {
+		got := db.Tables()
+		if len(got) != len(want) {
+			t.Fatalf("Tables: %v", got)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Tables()[%d] = %q, want %q (run %d)", j, got[j], want[j], i)
+			}
+		}
+	}
+}
+
+// TestBackendIndexParity loads identical rows — duplicate keys, NULLs,
+// string and int indexes — into an in-memory table and a persistent
+// one, and requires every index read (range scans over each bound
+// shape, point lookups, stats) to return identical rows in identical
+// order. This is the contract that lets the executor treat the backends
+// interchangeably.
+func TestBackendIndexParity(t *testing.T) {
+	cols := []string{"k", "name", "val"}
+	types := []expr.Type{expr.TInt, expr.TString, expr.TFloat}
+	indexed := []string{"k", "name"}
+
+	mem := NewDB("db-mem")
+	eng, err := store.Open(store.Options{Dir: t.TempDir(), BufferPoolBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	per := NewPersistentDB("db-per", eng)
+
+	mt, err := mem.CreateTableSpec("T", cols, types, indexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := per.CreateTableSpec("T", cols, types, indexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Persistent() || !pt.Persistent() {
+		t.Fatal("backend selection")
+	}
+
+	var rows []expr.Row
+	for i := 0; i < 500; i++ {
+		k := expr.NewInt(int64(i % 37)) // duplicates share keys
+		if i%23 == 0 {
+			k = expr.NullValue()
+		}
+		rows = append(rows, expr.Row{
+			k,
+			expr.NewString(fmt.Sprintf("n-%02d", i%41)),
+			expr.NewFloat(float64(i) / 8),
+		})
+	}
+	if err := mt.Insert(rows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Insert(rows...); err != nil {
+		t.Fatal(err)
+	}
+
+	sameRows := func(label string, a, b []expr.Row, aOK, bOK bool) {
+		t.Helper()
+		if aOK != bOK {
+			t.Fatalf("%s: ok %v (mem) vs %v (persistent)", label, aOK, bOK)
+		}
+		if !aOK {
+			return
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d rows (mem) vs %d (persistent)", label, len(a), len(b))
+		}
+		for i := range a {
+			if fmt.Sprint(a[i]) != fmt.Sprint(b[i]) {
+				t.Fatalf("%s: row %d differs: %v vs %v", label, i, a[i], b[i])
+			}
+		}
+	}
+
+	iv := func(n int64) *expr.Value { v := expr.NewInt(n); return &v }
+	sv := func(s string) *expr.Value { v := expr.NewString(s); return &v }
+	ranges := []struct {
+		label        string
+		col          string
+		lo, hi       *expr.Value
+		loInc, hiInc bool
+	}{
+		{"int full", "k", nil, nil, true, true},
+		{"int [5,20]", "k", iv(5), iv(20), true, true},
+		{"int (5,20)", "k", iv(5), iv(20), false, false},
+		{"int [-3,5)", "k", iv(-3), iv(5), true, false},
+		{"int lower only", "k", iv(30), nil, true, true},
+		{"int upper only", "k", nil, iv(4), true, false},
+		{"int empty", "k", iv(50), iv(90), true, true},
+		{"str [n-05,n-11]", "name", sv("n-05"), sv("n-11"), true, true},
+		{"str (n-05,n-11)", "name", sv("n-05"), sv("n-11"), false, false},
+		{"str upper only", "name", nil, sv("n-03"), true, true},
+	}
+	for _, r := range ranges {
+		a, aOK := mt.IndexRangeRows(r.col, r.lo, r.hi, r.loInc, r.hiInc)
+		b, bOK := pt.IndexRangeRows(r.col, r.lo, r.hi, r.loInc, r.hiInc)
+		sameRows("range "+r.label, a, b, aOK, bOK)
+	}
+	for _, key := range []expr.Value{expr.NewInt(7), expr.NewInt(99), expr.NewString("n-17"), expr.NullValue()} {
+		a, aOK := mt.IndexLookupRows("k", key)
+		b, bOK := pt.IndexLookupRows("k", key)
+		sameRows(fmt.Sprintf("lookup k=%v", key), a, b, aOK, bOK)
+	}
+	for _, col := range []string{"k", "name", "val"} {
+		aMin, aMax, aN, aOK := mt.IndexStats(col)
+		bMin, bMax, bN, bOK := pt.IndexStats(col)
+		if aOK != bOK || aN != bN || fmt.Sprint(aMin) != fmt.Sprint(bMin) || fmt.Sprint(aMax) != fmt.Sprint(bMax) {
+			t.Fatalf("stats %s: mem (%v,%v,%d,%v) vs persistent (%v,%v,%d,%v)",
+				col, aMin, aMax, aN, aOK, bMin, bMax, bN, bOK)
+		}
+	}
+	// The unindexed column refuses index reads on both backends.
+	if _, ok := mt.IndexRangeRows("val", nil, nil, true, true); ok {
+		t.Error("mem: unindexed column served a range")
+	}
+	if _, ok := pt.IndexRangeRows("val", nil, nil, true, true); ok {
+		t.Error("persistent: unindexed column served a range")
 	}
 }
 

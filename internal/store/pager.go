@@ -1,0 +1,90 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// tableFile is the on-disk pager for one table: a flat file of
+// fixed-size checksummed pages, addressed by page number.
+type tableFile struct {
+	path  string
+	f     *os.File
+	nCols int
+	fsync bool
+}
+
+// safeFileName maps a table name (which may contain a '#fragment'
+// suffix) onto a filesystem-safe file name.
+func safeFileName(table string) string {
+	mapped := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		case r == '#':
+			return '.'
+		default:
+			return '_'
+		}
+	}, table)
+	return mapped + ".tbl"
+}
+
+// openTableFile opens (creating if needed) the page file for a table.
+func openTableFile(path string, nCols int, fsync bool) (*tableFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open table file: %w", err)
+	}
+	return &tableFile{path: path, f: f, nCols: nCols, fsync: fsync}, nil
+}
+
+// diskPages returns how many whole pages the file currently holds.
+func (tf *tableFile) diskPages() (uint32, error) {
+	st, err := tf.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return uint32(st.Size() / PageSize), nil
+}
+
+// readPage reads page number pg into buf and validates its checksum.
+func (tf *tableFile) readPage(pg uint32, buf []byte) error {
+	if _, err := tf.f.ReadAt(buf[:PageSize], int64(pg)*PageSize); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("store: page %d of %s past end of file", pg, tf.path)
+		}
+		return err
+	}
+	if !validPage(buf, tf.nCols) {
+		return fmt.Errorf("store: page %d of %s failed checksum", pg, tf.path)
+	}
+	return nil
+}
+
+// writePage seals buf (checksum) and writes it as page number pg.
+func (tf *tableFile) writePage(pg uint32, buf []byte) error {
+	sealPage(buf)
+	if _, err := tf.f.WriteAt(buf[:PageSize], int64(pg)*PageSize); err != nil {
+		return err
+	}
+	return nil
+}
+
+// sync flushes the file to stable storage when fsync is enabled.
+func (tf *tableFile) sync() error {
+	if !tf.fsync {
+		return nil
+	}
+	return tf.f.Sync()
+}
+
+// truncatePages drops every page from pg onward (recovery discards a
+// torn tail before replaying the WAL over it).
+func (tf *tableFile) truncatePages(pg uint32) error {
+	return tf.f.Truncate(int64(pg) * PageSize)
+}
+
+func (tf *tableFile) close() error { return tf.f.Close() }

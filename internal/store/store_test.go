@@ -1,0 +1,315 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cgdqp/internal/expr"
+)
+
+func openTestEngine(t *testing.T, dir string, poolBytes int64) *Engine {
+	t.Helper()
+	e, err := Open(Options{Dir: dir, BufferPoolBytes: poolBytes})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return e
+}
+
+func intRow(vals ...int64) expr.Row {
+	r := make(expr.Row, len(vals))
+	for i, v := range vals {
+		r[i] = expr.NewInt(v)
+	}
+	return r
+}
+
+// mixedRows exercises every type plus typed NULLs.
+func mixedRows(n int) []expr.Row {
+	rows := make([]expr.Row, n)
+	for i := 0; i < n; i++ {
+		r := expr.Row{
+			expr.NewInt(int64(i)),
+			expr.NewFloat(float64(i) * 1.5),
+			expr.NewString(string(rune('a' + i%26))),
+			expr.NewBool(i%2 == 0),
+			expr.NewDate(int64(10000 + i)),
+		}
+		if i%7 == 3 {
+			r[1] = expr.TypedNull(expr.TFloat)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+var mixedCols = []string{"id", "amount", "tag", "flag", "day"}
+var mixedTypes = []expr.Type{expr.TInt, expr.TFloat, expr.TString, expr.TBool, expr.TDate}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	e := openTestEngine(t, t.TempDir(), 0)
+	defer e.Close()
+	tab, err := e.CreateTable("demo", mixedCols, mixedTypes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough rows to span several pages.
+	want := mixedRows(5000)
+	if err := tab.Append(want[:1200]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append(want[1200:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.RowCount(); got != 5000 {
+		t.Fatalf("RowCount = %d, want 5000", got)
+	}
+	got, err := tab.ScanRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch (%d rows back)", len(got))
+	}
+}
+
+func TestIteratorColumnarDecode(t *testing.T) {
+	e := openTestEngine(t, t.TempDir(), 0)
+	defer e.Close()
+	tab, err := e.CreateTable("demo", mixedCols, mixedTypes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mixedRows(3000)
+	if err := tab.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	it := tab.NewIterator()
+	var b expr.Batch
+	var got []expr.Row
+	sawColumnar := false
+	for {
+		more, err := it.NextBatch(&b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		if !b.RowBacked() {
+			sawColumnar = true
+		}
+		for i := 0; i < b.Len(); i++ {
+			got = append(got, append(expr.Row(nil), b.Row(i)...))
+		}
+	}
+	if !sawColumnar {
+		t.Fatal("expected at least one columnar (lane-pure) page decode")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("iterator mismatch: got %d rows", len(got))
+	}
+}
+
+func TestIteratorImpurePageFallsBackToRows(t *testing.T) {
+	e := openTestEngine(t, t.TempDir(), 0)
+	defer e.Close()
+	tab, err := e.CreateTable("demo", []string{"a"}, []expr.Type{expr.TInt}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []expr.Row{{expr.NewInt(1)}, {expr.NewString("x")}, {expr.NullValue()}}
+	if err := tab.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	it := tab.NewIterator()
+	var b expr.Batch
+	more, err := it.NextBatch(&b)
+	if err != nil || !more {
+		t.Fatalf("NextBatch = %v, %v", more, err)
+	}
+	if !b.RowBacked() {
+		t.Fatal("impure page should decode through the row path")
+	}
+	if !reflect.DeepEqual(b.Rows(), want) {
+		t.Fatalf("impure decode mismatch: %+v", b.Rows())
+	}
+}
+
+func TestIndexRangeAndLookup(t *testing.T) {
+	e := openTestEngine(t, t.TempDir(), 0)
+	defer e.Close()
+	tab, err := e.CreateTable("demo", []string{"k", "s", "v"},
+		[]expr.Type{expr.TInt, expr.TString, expr.TInt}, []string{"k", "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []expr.Row
+	for i := 0; i < 500; i++ {
+		rows = append(rows, expr.Row{
+			expr.NewInt(int64(i % 50)), // duplicate keys, insertion order ties
+			expr.NewString(string(rune('a' + i%10))),
+			expr.NewInt(int64(i)),
+		})
+	}
+	if err := tab.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := expr.NewInt(10), expr.NewInt(12)
+	got, ok := tab.IndexRangeRows("k", &lo, &hi, true, false)
+	if !ok {
+		t.Fatal("index range on k failed")
+	}
+	var want []expr.Row
+	for key := 10; key < 12; key++ {
+		for _, r := range rows {
+			if r[0].I == int64(key) {
+				want = append(want, r)
+			}
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("range rows: got %d want %d", len(got), len(want))
+	}
+	sGot, ok := tab.IndexLookupRows("s", expr.NewString("c"))
+	if !ok {
+		t.Fatal("index lookup on s failed")
+	}
+	var sWant []expr.Row
+	for _, r := range rows {
+		if r[1].S == "c" {
+			sWant = append(sWant, r)
+		}
+	}
+	if !reflect.DeepEqual(sGot, sWant) {
+		t.Fatalf("lookup rows: got %d want %d", len(sGot), len(sWant))
+	}
+	if _, ok := tab.IndexRangeRows("v", &lo, &hi, true, true); ok {
+		t.Fatal("unindexed column must report no index")
+	}
+	min, max, distinct, ok := tab.IndexStats("k")
+	if !ok || min.I != 0 || max.I != 49 || distinct != 50 {
+		t.Fatalf("IndexStats(k) = %v %v %d %v", min, max, distinct, ok)
+	}
+}
+
+func TestBufferPoolEvictionAndStats(t *testing.T) {
+	dir := t.TempDir()
+	// Budget of 4 pages forces eviction + dirty writebacks on a table
+	// that spans many pages.
+	e := openTestEngine(t, dir, 4*PageSize)
+	tab, err := e.CreateTable("demo", mixedCols, mixedTypes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mixedRows(20000)
+	if err := tab.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab.ScanRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("scan through a tiny pool lost rows")
+	}
+	st := e.Stats()
+	if st.Misses == 0 || st.Evictions == 0 || st.Writebacks == 0 {
+		t.Fatalf("expected pool traffic, got %+v", st)
+	}
+	// A second scan over a warm... 4-page pool still misses, but a
+	// second scan with a big pool should be all hits.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := openTestEngine(t, dir, 0)
+	defer e2.Close()
+	tab2, _ := e2.Table("demo")
+	if _, err := tab2.ScanRows(); err != nil {
+		t.Fatal(err)
+	}
+	before := e2.Stats()
+	if _, err := tab2.ScanRows(); err != nil {
+		t.Fatal(err)
+	}
+	after := e2.Stats()
+	if after.Misses != before.Misses {
+		t.Fatalf("warm scan should not miss: %+v -> %+v", before, after)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatalf("warm scan should hit: %+v -> %+v", before, after)
+	}
+}
+
+func TestReopenPersistence(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, 0)
+	tab, err := e.CreateTable("demo", []string{"k", "v"},
+		[]expr.Type{expr.TInt, expr.TString}, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []expr.Row
+	for i := 0; i < 1000; i++ {
+		want = append(want, expr.Row{expr.NewInt(int64(i)), expr.NewString("v")})
+	}
+	if err := tab.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openTestEngine(t, dir, 0)
+	defer e2.Close()
+	tab2, ok := e2.Table("demo")
+	if !ok {
+		t.Fatal("table lost on reopen")
+	}
+	got, err := tab2.ScanRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("rows lost on reopen")
+	}
+	lo := expr.NewInt(500)
+	rows, ok := tab2.IndexRangeRows("k", &lo, nil, true, true)
+	if !ok || len(rows) != 500 {
+		t.Fatalf("index rebuilt wrong: ok=%v n=%d", ok, len(rows))
+	}
+	// Re-declaring with the same shape returns the existing table;
+	// a different shape errors.
+	if _, err := e2.CreateTable("demo", []string{"k", "v"},
+		[]expr.Type{expr.TInt, expr.TString}, []string{"k"}); err != nil {
+		t.Fatalf("same-shape CreateTable on reopen: %v", err)
+	}
+	if _, err := e2.CreateTable("demo", []string{"x"}, []expr.Type{expr.TInt}, nil); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestWALCheckpointThreshold(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, 0)
+	defer e.Close()
+	tab, err := e.CreateTable("demo", []string{"k"}, []expr.Type{expr.TInt}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append([]expr.Row{intRow(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Fatalf("checkpoint left %d WAL bytes", st.Size())
+	}
+}
